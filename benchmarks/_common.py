@@ -1,0 +1,31 @@
+"""Shared helpers for the experiment benchmarks (E1-E12).
+
+Every benchmark regenerates one table of EXPERIMENTS.md: it runs the
+experiment once (untimed), prints the table, saves it under
+``benchmarks/results/``, asserts the survey claim's *shape*, and times a
+representative unit of work with pytest-benchmark so ``--benchmark-only``
+reports meaningful per-operation numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, List
+
+from repro.bench.harness import format_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    print()
+    print(text)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as f:
+        f.write(text + "\n")
+
+
+def emit_rows(name: str, rows: Iterable[Dict[str, Any]], title: str) -> None:
+    """Format, print and persist a row table."""
+    emit(name, format_table(list(rows), title))

@@ -1,0 +1,63 @@
+"""Ablation A1 — Seq2SQL's reinforcement-learning stage [69].
+
+Seq2SQL's headline design choice is training the WHERE decoder with
+"reinforcement learning ... using rewards from in-the-loop query
+execution".  The ablation trains the same model with and without the
+execution-reward fine-tuning stage and measures execution accuracy; the
+claim's shape is that RL does not hurt and tends to help (the paper
+reports +2-3 points from RL).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit_rows
+from repro.bench.wikisql import WikiSQLGenerator, execution_accuracy
+from repro.systems.neural import Seq2SQLModel
+
+SEEDS = (3, 11, 23)
+TRAIN, TEST = 350, 120
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    results = {0: [0, 0], 2: [0, 0]}
+    for seed in SEEDS:
+        dataset = WikiSQLGenerator(seed=seed).generate(TRAIN, TEST, split="by-table")
+        for rl_rounds in (0, 2):
+            model = Seq2SQLModel(seed=0, epochs=35, rl_rounds=rl_rounds)
+            model.fit(dataset.train, dataset.database)
+            for example in dataset.test:
+                prediction = model.predict(
+                    example.question, dataset.database.table(example.table)
+                )
+                results[rl_rounds][0] += execution_accuracy(
+                    dataset.database, prediction, example.sketch
+                )
+                results[rl_rounds][1] += 1
+    return results
+
+
+def test_a1_seq2sql_rl(experiment, benchmark):
+    rows = [
+        {
+            "variant": "supervised only" if rl == 0 else f"+ execution-reward tuning",
+            "exec accuracy": f"{correct}/{total} ({correct / total:.3f})",
+        }
+        for rl, (correct, total) in experiment.items()
+    ]
+    emit_rows("a1_seq2sql_rl", rows, "A1: Seq2SQL with vs without the RL stage (3 seeds)")
+
+    def accuracy(rl):
+        correct, total = experiment[rl]
+        return correct / total
+
+    # the RL stage must not hurt (and usually helps)
+    assert accuracy(2) >= accuracy(0) - 0.01
+
+    dataset = WikiSQLGenerator(seed=3).generate(100, 1)
+    model = Seq2SQLModel(seed=0, epochs=5, rl_rounds=1)
+    benchmark.pedantic(
+        lambda: model.fit(dataset.train, dataset.database), rounds=1, iterations=1
+    )

@@ -1,0 +1,61 @@
+"""E11 — Benchmark-statistics table (§6 Benchmarks).
+
+The survey quotes the sizes of WikiSQL, Spider, SParC and CoSQL; this
+benchmark regenerates the table from our synthetic analogues (at roughly
+1:100 scale, per the DESIGN.md substitution) and checks the structural
+properties each family must have: single-table pairs for WikiSQL-like,
+multi-domain tiered questions for Spider-like, multi-turn coherence for
+SParC-like, system-initiated clarification turns for CoSQL-like.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit_rows
+from repro.bench import (
+    benchmark_statistics,
+    build_cosql_like,
+    build_sparc_like,
+    build_spider_like,
+    build_wikisql_like,
+)
+from repro.core.complexity import ComplexityTier, classify
+
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return benchmark_statistics(seed=SEED)
+
+
+def test_e11_benchmark_stats(stats, benchmark):
+    emit_rows("e11_benchmark_stats", stats, "E11: benchmark statistics (ours vs survey-quoted originals)")
+
+    wikisql = build_wikisql_like(seed=SEED, train=200, test=50)
+    # WikiSQL-like: every query is single-table, sketch-shaped
+    for example in wikisql.train[:50]:
+        stmt = example.sketch.to_select()
+        assert len(stmt.referenced_tables()) == 1
+        assert not stmt.subqueries()
+
+    spider = build_spider_like(seed=SEED, per_tier=4)
+    # Spider-like: multiple domains, all four tiers present
+    assert len(spider.contexts) >= 6
+    tiers = {classify(e.sql) for _, e in spider.all_examples()}
+    assert tiers == set(ComplexityTier)
+
+    sparc = build_sparc_like(seed=SEED, sequences_per_domain=4)
+    # SParC-like: sequences are multi-turn
+    for _, sequences in sparc.values():
+        for sequence in sequences:
+            assert len(sequence) >= 2
+
+    cosql = build_cosql_like(seed=SEED, dialogues_per_domain=4)
+    # CoSQL-like: dialogues contain a system-initiated clarification turn
+    for _, dialogues in cosql.values():
+        for dialogue in dialogues:
+            assert any(t.startswith("SYSTEM: Did you mean") for t in dialogue.turns)
+
+    benchmark(lambda: build_wikisql_like(seed=SEED, train=50, test=10))

@@ -1,0 +1,97 @@
+"""E1 — Capability matrix: system family × query-complexity tier (§3).
+
+The survey's central organizing claim: keyword systems handle only
+simple selection; pattern systems add single-table aggregation; parse-
+and ontology-based systems add joins; only the ontology system with the
+BI extension handles nested queries.  This benchmark regenerates the
+matrix (execution accuracy per tier per system) over four domains.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit_rows
+from repro.bench import WorkloadGenerator, build_domain, evaluate_system
+from repro.bench.metrics import by_tier
+from repro.core import NLIDBContext
+from repro.core.complexity import ComplexityTier
+from repro.systems import (
+    AthenaNoBISystem,
+    AthenaSystem,
+    NalirSystem,
+    SodaSystem,
+    SqakSystem,
+)
+
+DOMAINS = ["hr", "retail", "movies", "university"]
+PER_TIER = 6
+SEED = 2
+
+
+def _run_experiment():
+    systems = [
+        SodaSystem(),
+        SqakSystem(),
+        NalirSystem(),
+        AthenaNoBISystem(),
+        AthenaSystem(),
+    ]
+    totals = {}
+    for domain in DOMAINS:
+        database = build_domain(domain)
+        context = NLIDBContext(database)
+        examples = WorkloadGenerator(database, seed=SEED).generate_mixed(PER_TIER)
+        for system in systems:
+            outcomes = evaluate_system(system, context, examples)
+            for tier, summary in by_tier(outcomes).items():
+                correct, total = totals.get((system.name, tier), (0, 0))
+                totals[(system.name, tier)] = (
+                    correct + summary.correct,
+                    total + summary.total,
+                )
+    rows = []
+    for system in systems:
+        row = {"system": system.name}
+        for tier in ComplexityTier:
+            correct, total = totals.get((system.name, tier), (0, 0))
+            row[tier.label] = f"{correct}/{total} ({correct / total:.2f})" if total else "-"
+        rows.append(row)
+    return rows, totals
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return _run_experiment()
+
+
+def test_e1_capability_matrix(experiment, benchmark):
+    rows, totals = experiment
+    emit_rows("e1_capability_matrix", rows, "E1: capability matrix (execution accuracy per tier)")
+
+    def accuracy(system, tier):
+        correct, total = totals.get((system, tier), (0, 0))
+        return correct / total if total else 0.0
+
+    # §3 claims, by shape:
+    # keyword systems: selection only
+    assert accuracy("soda", ComplexityTier.SELECTION) >= 0.8
+    assert accuracy("soda", ComplexityTier.AGGREGATION) == 0.0
+    assert accuracy("soda", ComplexityTier.JOIN) == 0.0
+    # pattern systems: + aggregation, still no joins
+    assert accuracy("sqak", ComplexityTier.AGGREGATION) >= 0.8
+    assert accuracy("sqak", ComplexityTier.JOIN) == 0.0
+    # parse-based systems: + joins, weak on nesting
+    assert accuracy("nalir", ComplexityTier.JOIN) >= 0.6
+    assert accuracy("nalir", ComplexityTier.NESTED) < accuracy("athena", ComplexityTier.NESTED)
+    # ontology+BI: strongest everywhere, incl. nested
+    assert accuracy("athena", ComplexityTier.NESTED) >= 0.8
+    # the BI extension is what buys nesting (ablation)
+    assert accuracy("athena-nobi", ComplexityTier.NESTED) < accuracy("athena", ComplexityTier.NESTED)
+
+    # timed unit: one full ATHENA interpretation on a join question
+    database = build_domain("hr")
+    context = NLIDBContext(database)
+    athena = AthenaSystem()
+    question = "which departments have employees with salary over 100000"
+    benchmark(lambda: athena.interpret(question, context))

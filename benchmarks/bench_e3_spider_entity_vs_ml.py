@@ -1,0 +1,82 @@
+"""E3 — Spider-tier: entity-based vs ML-based on joins and nesting.
+
+Claim (§4.1 vs §4.2): entity-based approaches "can handle complex input
+queries and generate complex structured queries", while ML-based systems
+"still have limited capability of handling complex queries involving
+multiple tables with aggregations, and nested queries".
+
+Both families are evaluated on the same Spider-like multi-domain
+workload; the neural system is trained per domain on DBPal-synthesized
+single-table data (the only training data a deployment would have).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit_rows
+from repro.bench import build_spider_like, evaluate_system
+from repro.bench.metrics import by_tier
+from repro.core.complexity import ComplexityTier
+from repro.systems import AthenaSystem
+from repro.systems.neural import DBPalModel, NeuralSketchSystem
+
+DOMAINS = ["hr", "retail", "movies", "finance"]
+PER_TIER = 6
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    dataset = build_spider_like(seed=SEED, per_tier=PER_TIER, domains=DOMAINS)
+    totals = {}
+    for domain in DOMAINS:
+        context = dataset.contexts[domain]
+        examples = dataset.examples[domain]
+        athena = AthenaSystem()
+        model = DBPalModel(seed=0, epochs=25)
+        model.fit_from_schema(context.database, size=300, seed=SEED)
+        neural = NeuralSketchSystem(model, "neural(dbpal)")
+        for system in (athena, neural):
+            outcomes = evaluate_system(system, context, examples)
+            for tier, summary in by_tier(outcomes).items():
+                correct, total = totals.get((system.name, tier), (0, 0))
+                totals[(system.name, tier)] = (
+                    correct + summary.correct,
+                    total + summary.total,
+                )
+    return totals
+
+
+def test_e3_entity_vs_ml(experiment, benchmark):
+    rows = []
+    for name in ("athena", "neural(dbpal)"):
+        row = {"system": name}
+        for tier in ComplexityTier:
+            correct, total = experiment.get((name, tier), (0, 0))
+            row[tier.label] = f"{correct}/{total} ({correct / total:.2f})" if total else "-"
+        rows.append(row)
+    emit_rows("e3_spider_entity_vs_ml", rows, "E3: entity-based vs ML-based on Spider-like tiers")
+
+    def accuracy(name, tier):
+        correct, total = experiment.get((name, tier), (0, 0))
+        return correct / total if total else 0.0
+
+    # simple tier: both families work
+    assert accuracy("neural(dbpal)", ComplexityTier.SELECTION) >= 0.5
+    # join tier: entity-based dominates (ML is single-table)
+    assert accuracy("athena", ComplexityTier.JOIN) > accuracy(
+        "neural(dbpal)", ComplexityTier.JOIN
+    ) + 0.3
+    # nested tier: entity-based dominates
+    assert accuracy("athena", ComplexityTier.NESTED) > accuracy(
+        "neural(dbpal)", ComplexityTier.NESTED
+    ) + 0.3
+
+    # timed unit: table choice + sketch prediction on a multi-table db
+    dataset = build_spider_like(seed=SEED, per_tier=1, domains=["hr"])
+    context = dataset.contexts["hr"]
+    model = DBPalModel(seed=0, epochs=10)
+    model.fit_from_schema(context.database, size=120, seed=SEED)
+    neural = NeuralSketchSystem(model, "neural")
+    benchmark(lambda: neural.interpret("average salary of employees", context))

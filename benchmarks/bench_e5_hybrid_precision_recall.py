@@ -1,0 +1,109 @@
+"""E5 — Precision/recall trade-off and the hybrid combiner (§6).
+
+Claim: "the entity-based approaches provide better accuracy [precision]
+while the machine learning-based approaches offer greater flexibility
+(recall) ... more research is needed on hybrid approach that leverages
+the best from both worlds."
+
+Setup: a selection-tier workload (the complexity slice all families
+share) where half the questions are paraphrased out of the entity
+grammar (level 3, including typos).  The exact-lookup keyword system
+(SODA) abstains when it cannot ground a value → high precision, low
+answer rate; the neural system always answers → full answer rate, lower
+precision; the hybrid cascade keeps entity precision on in-grammar
+questions while recovering recall on the rest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit_rows
+from repro.bench import Paraphraser, build_domain, evaluate_system
+from repro.bench.metrics import summarize
+from repro.bench.workloads import WorkloadGenerator
+from repro.core import NLIDBContext
+from repro.core.complexity import ComplexityTier
+from repro.systems import AthenaSystem, HybridSystem, SodaSystem
+from repro.systems.neural import DBPalModel, NeuralSketchSystem
+
+DOMAINS = ["hr", "movies"]
+SEED = 13
+N = 16
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    results = {}
+    for domain in DOMAINS:
+        database = build_domain(domain)
+        context = NLIDBContext(database)
+        generator = WorkloadGenerator(database, seed=SEED)
+        base = generator.generate(ComplexityTier.SELECTION, N)
+        paraphraser = Paraphraser(seed=SEED)
+        examples = [
+            paraphraser.paraphrase_example(e, 3) if i % 2 else e
+            for i, e in enumerate(base)
+        ]
+        model = DBPalModel(seed=0, epochs=25)
+        model.fit_from_schema(database, size=350, seed=SEED, augment=True)
+        neural = NeuralSketchSystem(model, "neural(dbpal)")
+        systems = [
+            SodaSystem(),
+            AthenaSystem(),
+            neural,
+            HybridSystem(AthenaSystem(), neural, name="hybrid(athena+ml)"),
+        ]
+        for system in systems:
+            outcomes = evaluate_system(system, context, examples)
+            summary = summarize(outcomes)
+            agg = results.setdefault(system.name, [0, 0, 0])
+            agg[0] += summary.correct
+            agg[1] += summary.answered
+            agg[2] += summary.total
+    return results
+
+
+def test_e5_hybrid_precision_recall(experiment, benchmark):
+    rows = []
+    for name, (correct, answered, total) in experiment.items():
+        precision = correct / answered if answered else 0.0
+        recall = correct / total if total else 0.0
+        rows.append(
+            {
+                "system": name,
+                "precision": f"{precision:.3f}",
+                "recall": f"{recall:.3f}",
+                "answer rate": f"{answered / total:.3f}",
+            }
+        )
+    emit_rows(
+        "e5_hybrid_precision_recall",
+        rows,
+        "E5: precision / recall on a half-paraphrased workload",
+    )
+
+    def precision(name):
+        correct, answered, _ = experiment[name]
+        return correct / answered if answered else 0.0
+
+    def recall(name):
+        correct, _, total = experiment[name]
+        return correct / total if total else 0.0
+
+    # entity-based precision exceeds ML precision
+    assert precision("soda") > precision("neural(dbpal)")
+    assert precision("athena") > precision("neural(dbpal)")
+    # ML answers everything; the exact-lookup keyword system abstains
+    _, soda_answered, soda_total = experiment["soda"]
+    _, ml_answered, ml_total = experiment["neural(dbpal)"]
+    assert ml_answered / ml_total > soda_answered / soda_total
+    # the hybrid keeps near-entity precision at full answer rate
+    assert recall("hybrid(athena+ml)") >= recall("neural(dbpal)")
+    assert precision("hybrid(athena+ml)") > precision("neural(dbpal)")
+    assert recall("hybrid(athena+ml)") >= recall("soda")
+
+    database = build_domain("hr")
+    context = NLIDBContext(database)
+    soda = SodaSystem()
+    benchmark(lambda: soda.interpret("show the employees with title engineer", context))

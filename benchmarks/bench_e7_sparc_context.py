@@ -1,0 +1,134 @@
+"""E7 — SParC-tier multi-turn: the value of context (§5, [65, 67]).
+
+Claims: conversational interfaces "persist the context of conversation
+across multiple turns"; Zhang et al. generate SQL "by editing the query
+in the previous turn", which "is robust to error propagation".
+
+Setup: SParC-like sequences; three strategies answer every turn:
+
+- ``context-blind`` — each turn interpreted independently (one-shot),
+- ``concat`` — all turns so far concatenated and interpreted as one
+  question (the naive context baseline),
+- ``edit-based`` — the follow-up resolver edits the previous turn's
+  query (and falls back to fresh interpretation).
+
+Shape: edit-based ≫ context-blind on follow-up turns; concat is not a
+substitute for real context handling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _common import emit_rows
+from repro.bench import build_domain
+from repro.bench.metrics import execution_match
+from repro.bench.sparc import SparcGenerator
+from repro.core import NLIDBContext
+from repro.core.intermediate import compile_oql
+from repro.dialogue import FollowupResolver
+from repro.systems import AthenaSystem
+
+DOMAINS = ["hr", "retail", "movies", "finance"]
+SEED = 4
+SEQUENCES = 10
+
+
+def _interpret_fresh(system, question, context):
+    interpretations = system.interpret(question, context)
+    if not interpretations:
+        return None
+    return max(interpretations, key=lambda i: i.confidence).oql
+
+
+def _sql_of(query, context):
+    if query is None:
+        return None
+    try:
+        return compile_oql(query, context.ontology, context.mapping).to_sql()
+    except Exception:
+        return None
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    results = {"context-blind": [0, 0], "concat": [0, 0], "edit-based": [0, 0]}
+    first_turn = [0, 0]
+    for domain in DOMAINS:
+        context = NLIDBContext(build_domain(domain))
+        sequences = SparcGenerator(context, seed=SEED).generate(SEQUENCES, 3)
+        athena = AthenaSystem()
+        resolver = FollowupResolver()
+        for sequence in sequences:
+            previous = None
+            history = []
+            for i, turn in enumerate(sequence.turns):
+                history.append(turn.utterance)
+                # edit-based
+                edited, _ = resolver.resolve(turn.utterance, previous, context)
+                prediction = edited if edited is not None else _interpret_fresh(
+                    athena, turn.utterance, context
+                )
+                sql = _sql_of(prediction, context)
+                edit_ok = sql is not None and execution_match(
+                    context.database, sql, turn.gold_sql
+                )
+                # context-blind
+                blind = _sql_of(_interpret_fresh(athena, turn.utterance, context), context)
+                blind_ok = blind is not None and execution_match(
+                    context.database, blind, turn.gold_sql
+                )
+                # concat
+                concat = _sql_of(
+                    _interpret_fresh(athena, " and ".join(history), context), context
+                )
+                concat_ok = concat is not None and execution_match(
+                    context.database, concat, turn.gold_sql
+                )
+                if i == 0:
+                    first_turn[0] += edit_ok
+                    first_turn[1] += 1
+                else:
+                    results["edit-based"][0] += edit_ok
+                    results["edit-based"][1] += 1
+                    results["context-blind"][0] += blind_ok
+                    results["context-blind"][1] += 1
+                    results["concat"][0] += concat_ok
+                    results["concat"][1] += 1
+                previous = prediction if prediction is not None else previous
+    return results, first_turn
+
+
+def test_e7_sparc_context(experiment, benchmark):
+    results, first_turn = experiment
+    rows = [
+        {
+            "strategy": name,
+            "follow-up accuracy": f"{correct}/{total} ({correct / total:.3f})",
+        }
+        for name, (correct, total) in results.items()
+    ]
+    rows.append(
+        {
+            "strategy": "(first turns, any strategy)",
+            "follow-up accuracy": f"{first_turn[0]}/{first_turn[1]} ({first_turn[0] / first_turn[1]:.3f})",
+        }
+    )
+    emit_rows("e7_sparc_context", rows, "E7: follow-up turn accuracy on SParC-like sequences")
+
+    def accuracy(name):
+        correct, total = results[name]
+        return correct / total if total else 0.0
+
+    # context carry-over is decisive on follow-ups
+    assert accuracy("edit-based") > accuracy("context-blind") + 0.4
+    # naive concatenation does not substitute for editing
+    assert accuracy("edit-based") > accuracy("concat") + 0.2
+
+    context = NLIDBContext(build_domain("hr"))
+    resolver = FollowupResolver()
+    sequences = SparcGenerator(context, seed=SEED).generate(1, 2)
+    base = sequences[0]
+    athena = AthenaSystem()
+    previous = _interpret_fresh(athena, base.turns[0].utterance, context)
+    benchmark(lambda: resolver.resolve("just the top 3", previous, context))

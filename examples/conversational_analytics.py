@@ -1,0 +1,43 @@
+"""Conversational analytics: the §5 extension to dialogue, end to end.
+
+A business user explores the retail database across multiple turns.  The
+conversational NLIDB persists context, so elliptical follow-ups ("just
+the top 3", "what about Paris") are resolved by *editing* the previous
+query [67]; fresh questions go through the ontology-driven interpreter;
+intents come from the ontology-bootstrapped classifier [42].
+
+Run:  python examples/conversational_analytics.py
+"""
+
+from repro.bench.domains import build_domain
+from repro.core import NLIDBContext
+from repro.dialogue import ConversationalNLIDB
+
+
+def main() -> None:
+    context = NLIDBContext(build_domain("retail", seed=0))
+    bot = ConversationalNLIDB(context)
+
+    conversation = [
+        "total total of orders by customer name",
+        "just the top 3",
+        "make that the average",
+        "show the customers with city Berlin",
+        "what about Paris",
+        "how many orders are there",
+        "break that down by region",
+    ]
+    for utterance in conversation:
+        turn = bot.ask(utterance)
+        print(f"USER   > {utterance}")
+        print(f"        intent: {turn.intent or '(fresh question)'}")
+        print(f"        SQL:    {turn.sql or '(none)'}")
+        first_line = turn.response.splitlines()[0] if turn.response else ""
+        print(f"SYSTEM < {first_line}")
+        for line in turn.response.splitlines()[1:4]:
+            print(f"         {line}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

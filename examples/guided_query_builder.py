@@ -1,0 +1,70 @@
+"""The RDF side of the survey: guided construction, layered SPARQL QA,
+and structured keyword answers.
+
+Three systems that never free-parse the whole question:
+
+- TR Discover [49]: auto-completion walks a grammar over the ontology
+  vocabulary, ranked by RDF-graph centrality — every completed sentence
+  is guaranteed interpretable.
+- BELA [53]: template-based SPARQL generation with layered matching
+  (exact → synonyms → fuzzy).
+- Précis [26, 47]: keyword queries in DNF answered with a *logical
+  database subset* (matching rows plus their FK neighbourhood).
+
+Run:  python examples/guided_query_builder.py
+"""
+
+from repro.bench.domains import build_domain
+from repro.core import NLIDBContext
+from repro.core.intermediate import compile_oql
+from repro.systems import BelaSystem, PrecisSystem, TRDiscoverCompleter
+
+
+def main() -> None:
+    context = NLIDBContext(build_domain("movies", seed=0))
+
+    print("=== TR Discover: guided construction ===")
+    completer = TRDiscoverCompleter(context)
+    prefix = ""
+    for step in ("", "movies", "movies with", "movies with genre"):
+        suggestions = completer.complete(step)
+        shown = ", ".join(s.text for s in suggestions[:5])
+        print(f"  {step!r:28s} -> {shown}")
+    sentence = "movies with genre drama"
+    query = completer.parse_completed(sentence)
+    statement = compile_oql(query, context.ontology, context.mapping)
+    result = context.executor.execute(statement)
+    print(f"  completed: {sentence!r}")
+    print(f"  SQL: {statement.to_sql()}  -> {len(result)} rows")
+    print()
+
+    print("=== BELA: layered SPARQL templates ===")
+    bela = BelaSystem(context)
+    director = context.database.table("directors").rows[0][1]
+    for question in (
+        "how many movies with genre drama",       # layer 1: exact
+        "how many movies with class drama",       # layer 2: synonym
+        f"movies whose director is {director}",   # relation traversal
+    ):
+        readings = bela.interpret_sparql(question)
+        if not readings:
+            print(f"  {question!r}: no reading")
+            continue
+        top = readings[0]
+        answer = bela.answer(question)
+        print(f"  [layer {top.layer}] {question}")
+        print(f"    {top.query.to_sparql()}")
+        print(f"    -> {answer.rows[:3]}")
+    print()
+
+    print("=== Précis: keywords in, database subset out ===")
+    retail = NLIDBContext(build_domain("retail", seed=0))
+    answer = PrecisSystem().answer("Berlin corporate", retail)
+    if answer:
+        print(f"  'Berlin corporate' -> tables {answer.table_names()}, "
+              f"{answer.row_count()} rows")
+        print("  " + answer.to_text(max_rows=2).replace("\n", "\n  "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: ask natural-language questions over a database.
+
+Builds the retail demo database, derives its ontology automatically, and
+runs an ATHENA-style ontology-driven interpreter over a handful of
+questions spanning all four complexity tiers of the survey's §3 — from a
+simple selection to a nested "above average" BI query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.bench.domains import build_domain
+from repro.core import NLIDBContext
+from repro.systems import AthenaSystem
+
+
+def main() -> None:
+    database = build_domain("retail", seed=0)
+    context = NLIDBContext(database)
+    system = AthenaSystem()
+
+    print(f"database: {database.name}  {database.stats()}")
+    print(f"ontology: {context.ontology}")
+    print()
+
+    questions = [
+        # tier 1: simple selection
+        "show the customers with city Berlin",
+        # tier 2: aggregation on one table
+        "what is the average price of products",
+        "top 3 products by price",
+        # tier 3: join across tables
+        "number of orders per customer name",
+        # tier 4: nested BI queries
+        "which products have price above the average price",
+        "customers that have orders with total exceeding 500",
+    ]
+    for question in questions:
+        print(f"Q: {question}")
+        interpretations = system.interpret(question, context)
+        if not interpretations:
+            print("   (no interpretation)")
+            continue
+        top = max(interpretations, key=lambda i: i.confidence)
+        statement = top.to_sql(context.ontology, context.mapping)
+        result = context.executor.execute(statement)
+        print(f"   SQL: {statement.to_sql()}")
+        print(f"   confidence {top.confidence:.2f}, {len(result)} row(s)")
+        for row in result.rows[:3]:
+            print(f"     {row}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Reproduction of "State of the Art and Open Challenges in Natural
+Language Interfaces to Data" (Özcan et al., SIGMOD 2020).
+
+The survey describes a landscape: four tiers of generated-query
+complexity, three families of interpretation approach (entity-based,
+machine-learning-based, hybrid), and the extension from one-shot querying
+to dialogue.  This package implements one working representative of every
+surveyed family, the substrates they require, and the benchmark harness
+that turns the survey's qualitative claims into measurements.
+
+Sub-packages:
+
+- :mod:`repro.sqldb` — in-memory SQL engine (catalog, parser, executor).
+- :mod:`repro.nlp` — tokenization, tagging, parsing, similarity, embeddings.
+- :mod:`repro.ontology` — ontology model, schema→ontology builder, reasoner,
+  query relaxation over external knowledge bases.
+- :mod:`repro.core` — the unifying NLIDB framework: evidence annotation,
+  candidate interpretations, the OQL intermediate language, complexity
+  classification, ranking, and the system interface.
+- :mod:`repro.systems` — SODA-, SQAK-, NaLIR-, ATHENA-, TEMPLAR-style
+  entity-based systems; Seq2SQL-, SQLNet-, TypeSQL-, DBPal-style neural
+  systems (pure numpy); QUEST-style and generic hybrids.
+- :mod:`repro.dialogue` — intents/entities/dialogue managers, follow-up
+  resolution, DialSQL-style clarification, ontology bootstrap.
+- :mod:`repro.bench` — domain generators, WikiSQL/Spider/SParC/CoSQL-style
+  synthetic datasets, paraphrasing, metrics, and the experiment harness.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,52 @@
+"""Benchmark substrate (§6 of the survey).
+
+- :mod:`~repro.bench.domains` — seven deterministic domain databases.
+- :mod:`~repro.bench.workloads` — tiered NLQ/SQL gold-pair generation.
+- :mod:`~repro.bench.wikisql` / :mod:`~repro.bench.sparc` /
+  :mod:`~repro.bench.cosql` / :mod:`~repro.bench.datasets` — synthetic
+  analogues of the benchmark families the survey reviews.
+- :mod:`~repro.bench.paraphrase` — controlled-strength paraphrasing.
+- :mod:`~repro.bench.querylog` — skewed SQL logs for TEMPLAR.
+- :mod:`~repro.bench.metrics` / :mod:`~repro.bench.harness` — execution
+  accuracy, exact match, component F1, and the experiment runner.
+"""
+
+from .cosql import AmbiguousExample, CoSQLDialogue, CoSQLGenerator, oracle_judge
+from .datasets import (
+    SpiderLikeDataset,
+    benchmark_statistics,
+    build_cosql_like,
+    build_sparc_like,
+    build_spider_like,
+    build_wikisql_like,
+)
+from .domains import all_domains, build_domain, domain_names
+from .harness import ComparisonRow, compare_systems, evaluate_system, format_table, print_table
+from .metrics import (
+    EvaluationSummary,
+    ExampleOutcome,
+    by_tier,
+    component_f1,
+    exact_match,
+    execution_match,
+    summarize,
+)
+from .paraphrase import Paraphraser
+from .querylog import synthesize_log
+from .sparc import SparcGenerator, SparcSequence, SparcTurn, dataset_stats
+from .wikisql import WikiSQLDataset, WikiSQLExample, WikiSQLGenerator, execution_accuracy
+from .workloads import QueryExample, WorkloadGenerator
+
+__all__ = [
+    "all_domains", "build_domain", "domain_names",
+    "QueryExample", "WorkloadGenerator",
+    "WikiSQLGenerator", "WikiSQLDataset", "WikiSQLExample", "execution_accuracy",
+    "SparcGenerator", "SparcSequence", "SparcTurn", "dataset_stats",
+    "CoSQLGenerator", "CoSQLDialogue", "AmbiguousExample", "oracle_judge",
+    "SpiderLikeDataset", "build_wikisql_like", "build_spider_like",
+    "build_sparc_like", "build_cosql_like", "benchmark_statistics",
+    "Paraphraser", "synthesize_log",
+    "execution_match", "exact_match", "component_f1",
+    "ExampleOutcome", "EvaluationSummary", "summarize", "by_tier",
+    "evaluate_system", "compare_systems", "ComparisonRow", "format_table", "print_table",
+]

@@ -1,0 +1,192 @@
+"""CoSQL-style dialogue generation (§6 Benchmarks, [63]).
+
+CoSQL is "a dialogue version of the Spider and SParC data sets" whose
+defining feature is *system-initiated* turns: the system may ask a
+clarification question before answering.  This generator produces the
+corresponding scenario at laptop scale: questions that are genuinely
+ambiguous against the schema (a property name shared by several
+concepts, or a value stored in several columns), the gold reading, and
+the dialogue skeleton (user question → system clarification → user
+answer → system answer).
+
+Experiment E8 runs these through
+:class:`~repro.dialogue.clarify.ClarifyingSystem` with a simulated
+oracle and measures accuracy as a function of allowed clarification
+rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import NLIDBContext
+from repro.ontology.builder import pluralize
+from repro.sqldb.types import DataType
+
+
+@dataclass(frozen=True)
+class AmbiguousExample:
+    """One deliberately under-specified question.
+
+    ``gold_sql`` is the reading the (simulated) user intends;
+    ``gold_target`` identifies the schema element that resolves the
+    ambiguity (used by the oracle to answer clarifications);
+    ``ambiguity`` names the kind (``property`` or ``value``).
+    """
+
+    question: str
+    gold_sql: str
+    gold_target: str
+    ambiguity: str
+
+
+@dataclass
+class CoSQLDialogue:
+    """The four-turn dialogue skeleton around an ambiguous question."""
+
+    example: AmbiguousExample
+    turns: Tuple[str, ...]  # speaker-tagged lines, for statistics/display
+
+
+class CoSQLGenerator:
+    """Seeded generator of ambiguous questions + dialogue skeletons."""
+
+    def __init__(self, context: NLIDBContext, seed: int = 0):
+        self.context = context
+        self.rng = np.random.default_rng(seed)
+
+    # -- ambiguity discovery -----------------------------------------------------
+
+    def ambiguous_properties(self) -> List[Tuple[str, List[Tuple[str, str]]]]:
+        """Property names shared by several concepts:
+        ``[(prop_name, [(concept, prop), ...]), ...]``."""
+        by_name: Dict[str, List[Tuple[str, str]]] = {}
+        for concept in self.context.ontology.concepts.values():
+            for prop in concept.properties.values():
+                if prop.name.lower() == "id":
+                    continue
+                by_name.setdefault(prop.name.lower(), []).append(
+                    (concept.name, prop.name)
+                )
+        return sorted(
+            ((name, owners) for name, owners in by_name.items() if len(owners) > 1),
+            key=lambda kv: kv[0],
+        )
+
+    def ambiguous_values(self) -> List[Tuple[str, List[Tuple[str, str]]]]:
+        """Values stored in more than one (concept, property)."""
+        owners: Dict[str, List[Tuple[str, str]]] = {}
+        for concept in self.context.ontology.concepts.values():
+            for prop in concept.properties.values():
+                if prop.dtype is not DataType.TEXT:
+                    continue
+                table, column = self.context.mapping.column_of(concept.name, prop.name)
+                for value in self.context.database.table(table).distinct_values(column):
+                    owners.setdefault(str(value).lower(), []).append(
+                        (concept.name, prop.name)
+                    )
+        return sorted(
+            (
+                (value, places)
+                for value, places in owners.items()
+                if len({c for c, _ in places}) > 1
+            ),
+            key=lambda kv: kv[0],
+        )
+
+    # -- example generation ----------------------------------------------------------
+
+    def generate(self, count: int) -> List[AmbiguousExample]:
+        """Generate up to ``count`` ambiguous examples (mixed kinds)."""
+        properties = self.ambiguous_properties()
+        values = self.ambiguous_values()
+        out: List[AmbiguousExample] = []
+        attempts = 0
+        while len(out) < count and attempts < count * 30:
+            attempts += 1
+            if values and (not properties or self.rng.random() < 0.5):
+                example = self._value_example(values)
+            elif properties:
+                example = self._property_example(properties)
+            else:
+                break
+            if example is not None and all(e.question != example.question for e in out):
+                out.append(example)
+        return out
+
+    def _property_example(self, properties) -> Optional[AmbiguousExample]:
+        name, owners = properties[int(self.rng.integers(len(properties)))]
+        concept_name, prop_name = owners[int(self.rng.integers(len(owners)))]
+        concept = self.context.ontology.concept(concept_name)
+        prop = concept.property(prop_name)
+        table, column = self.context.mapping.column_of(concept_name, prop_name)
+        if prop.dtype.is_numeric:
+            agg = str(self._pick(["avg", "sum", "max", "min"]))
+            words = {"avg": "average", "sum": "total", "max": "maximum", "min": "minimum"}
+            question = f"what is the {words[agg]} {name}"
+            gold_sql = f"SELECT {agg.upper()}({column}) FROM {table}"
+        else:
+            values = self.context.database.table(table).distinct_values(column)
+            if not values:
+                return None
+            value = self._pick(values)
+            question = f"how many have {name} {value}"
+            gold_sql = f"SELECT COUNT(*) FROM {table} WHERE {column} = '{value}'"
+        return AmbiguousExample(
+            question, gold_sql, f"{concept_name}.{prop_name}", "property"
+        )
+
+    def _value_example(self, values) -> Optional[AmbiguousExample]:
+        value, places = values[int(self.rng.integers(len(values)))]
+        concept_name, prop_name = places[int(self.rng.integers(len(places)))]
+        table, column = self.context.mapping.column_of(concept_name, prop_name)
+        original = next(
+            (
+                v
+                for v in self.context.database.table(table).distinct_values(column)
+                if str(v).lower() == value
+            ),
+            None,
+        )
+        if original is None:
+            return None
+        question = f"how many {pluralize(concept_name)} with {original}"
+        gold_sql = f"SELECT COUNT(*) FROM {table} WHERE {column} = '{original}'"
+        return AmbiguousExample(
+            question, gold_sql, f"{concept_name}.{prop_name}", "value"
+        )
+
+    def dialogues(self, count: int) -> List[CoSQLDialogue]:
+        """Dialogue skeletons (for corpus statistics, E11)."""
+        out = []
+        for example in self.generate(count):
+            turns = (
+                f"USER: {example.question}",
+                f"SYSTEM: Did you mean {example.gold_target}?",
+                "USER: yes",
+                "SYSTEM: <answer>",
+            )
+            out.append(CoSQLDialogue(example, turns))
+        return out
+
+    def _pick(self, pool: Sequence):
+        return pool[int(self.rng.integers(len(pool)))]
+
+
+def oracle_judge(example: AmbiguousExample):
+    """Build the oracle's option judge for one example.
+
+    Options carry :class:`~repro.core.evidence.EvidenceAnnotation`
+    payloads; the judge scores an option by whether its target mentions
+    the gold element.
+    """
+    gold = example.gold_target.lower()
+
+    def judge(payload) -> float:
+        target = getattr(payload, "target", "") or ""
+        return 1.0 if gold in target.lower() else 0.0
+
+    return judge

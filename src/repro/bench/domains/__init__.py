@@ -1,0 +1,43 @@
+"""Benchmark domain databases.
+
+Six deterministic domains standing in for the multi-domain spread of
+Spider (200 databases over 138 domains — §6 of the survey): retail, HR,
+healthcare, movies, finance, geography and university.  Each module's
+``build(seed, scale)`` returns a fresh :class:`~repro.sqldb.Database`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.sqldb import Database
+
+from . import finance, geo, healthcare, hr, movies, retail, university
+
+BUILDERS: Dict[str, Callable[..., Database]] = {
+    "retail": retail.build,
+    "hr": hr.build,
+    "healthcare": healthcare.build,
+    "movies": movies.build,
+    "finance": finance.build,
+    "geo": geo.build,
+    "university": university.build,
+}
+
+
+def build_domain(name: str, seed: int = 0, scale: float = 1.0) -> Database:
+    """Build one domain database by name."""
+    builder = BUILDERS.get(name.lower())
+    if builder is None:
+        raise KeyError(f"unknown domain {name!r}; have {sorted(BUILDERS)}")
+    return builder(seed=seed, scale=scale)
+
+
+def all_domains(seed: int = 0, scale: float = 1.0) -> Dict[str, Database]:
+    """Build every domain once."""
+    return {name: builder(seed=seed, scale=scale) for name, builder in BUILDERS.items()}
+
+
+def domain_names() -> List[str]:
+    """Sorted list of available domain names."""
+    return sorted(BUILDERS)

@@ -1,0 +1,80 @@
+"""Shared utilities for deterministic domain data generation.
+
+Every domain module exposes ``build(seed=0, scale=1.0) -> Database``.
+``scale`` multiplies row counts so benchmarks can grow datasets without
+touching schemas; the same ``(seed, scale)`` always yields byte-identical
+data (the reproducibility contract of the whole bench layer).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import List, Sequence
+
+import numpy as np
+
+FIRST_NAMES = [
+    "Ada", "Alan", "Alice", "Amir", "Anna", "Ben", "Carla", "Chen", "Clara",
+    "David", "Dana", "Elena", "Emil", "Fatima", "Felix", "Grace", "Hana",
+    "Hugo", "Ines", "Ivan", "Jack", "Jana", "Karl", "Kira", "Lena", "Liam",
+    "Lucia", "Marco", "Maria", "Max", "Mia", "Nadia", "Noah", "Nora", "Omar",
+    "Olga", "Pablo", "Petra", "Quinn", "Rosa", "Sam", "Sara", "Tariq",
+    "Tina", "Uma", "Victor", "Wei", "Xenia", "Yara", "Zoe",
+]
+
+LAST_NAMES = [
+    "Adams", "Baker", "Chen", "Diaz", "Evans", "Fischer", "Garcia", "Hansen",
+    "Ito", "Jones", "Kim", "Lopez", "Meyer", "Nakamura", "Olsen", "Patel",
+    "Quinn", "Rossi", "Schmidt", "Tanaka", "Ueda", "Varga", "Weber", "Xu",
+    "Yilmaz", "Zhang",
+]
+
+CITIES = [
+    "Berlin", "Paris", "London", "Madrid", "Rome", "Vienna", "Prague",
+    "Zurich", "Amsterdam", "Dublin", "Lisbon", "Oslo", "Helsinki", "Athens",
+    "Warsaw", "Budapest",
+]
+
+COUNTRIES = [
+    "Germany", "France", "United Kingdom", "Spain", "Italy", "Austria",
+    "Czechia", "Switzerland", "Netherlands", "Ireland",
+]
+
+REGIONS = ["North", "South", "East", "West", "Central"]
+
+
+def rng_for(seed: int) -> np.random.Generator:
+    """A numpy generator isolated per call site."""
+    return np.random.default_rng(seed)
+
+
+def person_name(rng: np.random.Generator) -> str:
+    """A deterministic "First Last" sampled from the pools."""
+    first = FIRST_NAMES[int(rng.integers(len(FIRST_NAMES)))]
+    last = LAST_NAMES[int(rng.integers(len(LAST_NAMES)))]
+    return f"{first} {last}"
+
+
+def pick(rng: np.random.Generator, pool: Sequence):
+    """Uniform pick from ``pool``."""
+    return pool[int(rng.integers(len(pool)))]
+
+
+def random_date(
+    rng: np.random.Generator,
+    start: datetime.date = datetime.date(2018, 1, 1),
+    end: datetime.date = datetime.date(2023, 12, 31),
+) -> datetime.date:
+    """Uniform date between ``start`` and ``end`` inclusive."""
+    delta = (end - start).days
+    return start + datetime.timedelta(days=int(rng.integers(delta + 1)))
+
+
+def money(rng: np.random.Generator, low: float, high: float) -> float:
+    """A price-like float rounded to cents."""
+    return round(float(rng.uniform(low, high)), 2)
+
+
+def scaled(count: int, scale: float) -> int:
+    """Scale a base row count, keeping at least 1."""
+    return max(1, int(round(count * scale)))

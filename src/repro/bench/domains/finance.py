@@ -1,0 +1,110 @@
+"""Finance domain: accounts, clients, branches, transactions.
+
+Mirrors SODA's original setting [15] — SODA was built for a financial
+data warehouse — with account types and transaction flows that make
+nested "above average" BI questions natural.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb import Column, Database, DataType, TableSchema
+
+from .base import CITIES, money, person_name, pick, random_date, rng_for, scaled
+
+ACCOUNT_TYPES = ["checking", "savings", "brokerage", "retirement"]
+TX_TYPES = ["deposit", "withdrawal", "transfer", "fee", "interest"]
+
+
+def build(seed: int = 0, scale: float = 1.0) -> Database:
+    """Build the finance database (≈6 branches, 30 clients, 50 accounts,
+    200 transactions)."""
+    rng = rng_for(seed + 4)
+    db = Database("finance")
+    db.create_table(
+        TableSchema(
+            "branches",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("city", DataType.TEXT, synonyms=("location", "town")),
+                Column("assets", DataType.FLOAT, synonyms=("holdings",)),
+            ],
+            synonyms=("branch", "office"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "clients",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("city", DataType.TEXT, synonyms=("town",)),
+                Column("risk_profile", DataType.TEXT, synonyms=("risk", "profile")),
+            ],
+            synonyms=("client", "customer"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "accounts",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("client_id", DataType.INTEGER, nullable=False),
+                Column("branch_id", DataType.INTEGER, nullable=False),
+                Column("account_type", DataType.TEXT, synonyms=("type", "kind")),
+                Column("balance", DataType.FLOAT, synonyms=("amount", "funds")),
+                Column("opened", DataType.DATE, synonyms=("opened date", "since")),
+            ],
+            synonyms=("account",),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "transactions",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("account_id", DataType.INTEGER, nullable=False),
+                Column("tx_date", DataType.DATE, synonyms=("date",)),
+                Column("tx_type", DataType.TEXT, synonyms=("type", "kind")),
+                Column("amount", DataType.FLOAT, synonyms=("value", "sum")),
+            ],
+            synonyms=("transaction", "movement", "payment"),
+        )
+    )
+    db.add_foreign_key("accounts", "client_id", "clients", "id")
+    db.add_foreign_key("accounts", "branch_id", "branches", "id")
+    db.add_foreign_key("transactions", "account_id", "accounts", "id")
+
+    n_branches = scaled(6, scale)
+    n_clients = scaled(30, scale)
+    n_accounts = scaled(50, scale)
+    n_tx = scaled(200, scale)
+
+    risk = ["conservative", "balanced", "aggressive"]
+    for i in range(1, n_branches + 1):
+        db.insert("branches", [i, pick(rng, CITIES), money(rng, 1e6, 5e7)])
+    for i in range(1, n_clients + 1):
+        db.insert("clients", [i, person_name(rng), pick(rng, CITIES), pick(rng, risk)])
+    for i in range(1, n_accounts + 1):
+        db.insert(
+            "accounts",
+            [
+                i,
+                int(rng.integers(1, n_clients + 1)),
+                int(rng.integers(1, n_branches + 1)),
+                pick(rng, ACCOUNT_TYPES),
+                money(rng, 100, 250_000),
+                random_date(rng),
+            ],
+        )
+    for i in range(1, n_tx + 1):
+        db.insert(
+            "transactions",
+            [
+                i,
+                int(rng.integers(1, n_accounts + 1)),
+                random_date(rng),
+                pick(rng, TX_TYPES),
+                money(rng, 5, 20_000),
+            ],
+        )
+    return db

@@ -1,0 +1,143 @@
+"""Geography domain: countries, cities, rivers.
+
+Geo questions are the oldest NLIDB benchmark family (GeoQuery); a small
+deterministic geography supports single-table selection and aggregation
+questions with well-known answers.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb import Column, Database, DataType, TableSchema
+
+COUNTRIES = [
+    # name, continent, population (millions), area (1000 km^2)
+    ("Germany", "Europe", 83.2, 357.6),
+    ("France", "Europe", 67.8, 643.8),
+    ("Spain", "Europe", 47.4, 505.9),
+    ("Italy", "Europe", 59.1, 301.3),
+    ("Poland", "Europe", 37.8, 312.7),
+    ("Japan", "Asia", 125.7, 377.9),
+    ("India", "Asia", 1407.6, 3287.3),
+    ("China", "Asia", 1412.4, 9596.9),
+    ("Vietnam", "Asia", 97.5, 331.2),
+    ("Brazil", "South America", 214.3, 8515.8),
+    ("Argentina", "South America", 45.8, 2780.4),
+    ("Egypt", "Africa", 109.3, 1001.5),
+    ("Nigeria", "Africa", 213.4, 923.8),
+    ("Kenya", "Africa", 53.0, 580.4),
+    ("Canada", "North America", 38.2, 9984.7),
+    ("Mexico", "North America", 126.7, 1964.4),
+    ("Australia", "Oceania", 25.7, 7692.0),
+]
+
+CITIES = [
+    # name, country, population (millions), capital?
+    ("Berlin", "Germany", 3.6, True),
+    ("Hamburg", "Germany", 1.9, False),
+    ("Munich", "Germany", 1.5, False),
+    ("Paris", "France", 2.1, True),
+    ("Lyon", "France", 0.5, False),
+    ("Madrid", "Spain", 3.3, True),
+    ("Barcelona", "Spain", 1.6, False),
+    ("Rome", "Italy", 2.8, True),
+    ("Milan", "Italy", 1.4, False),
+    ("Warsaw", "Poland", 1.8, True),
+    ("Tokyo", "Japan", 13.9, True),
+    ("Osaka", "Japan", 2.7, False),
+    ("Delhi", "India", 31.2, True),
+    ("Mumbai", "India", 20.7, False),
+    ("Beijing", "China", 21.5, True),
+    ("Shanghai", "China", 24.9, False),
+    ("Hanoi", "Vietnam", 8.1, True),
+    ("Brasilia", "Brazil", 3.1, True),
+    ("Sao Paulo", "Brazil", 12.3, False),
+    ("Buenos Aires", "Argentina", 3.1, True),
+    ("Cairo", "Egypt", 10.0, True),
+    ("Lagos", "Nigeria", 14.9, False),
+    ("Abuja", "Nigeria", 3.6, True),
+    ("Nairobi", "Kenya", 4.4, True),
+    ("Ottawa", "Canada", 1.0, True),
+    ("Toronto", "Canada", 2.8, False),
+    ("Mexico City", "Mexico", 9.2, True),
+    ("Canberra", "Australia", 0.5, True),
+    ("Sydney", "Australia", 5.3, False),
+]
+
+RIVERS = [
+    # name, country, length (km)
+    ("Rhine", "Germany", 1233),
+    ("Danube", "Germany", 2850),
+    ("Seine", "France", 777),
+    ("Loire", "France", 1012),
+    ("Ebro", "Spain", 930),
+    ("Po", "Italy", 652),
+    ("Vistula", "Poland", 1047),
+    ("Shinano", "Japan", 367),
+    ("Ganges", "India", 2525),
+    ("Yangtze", "China", 6300),
+    ("Mekong", "Vietnam", 4350),
+    ("Amazon", "Brazil", 6400),
+    ("Parana", "Argentina", 4880),
+    ("Nile", "Egypt", 6650),
+    ("Niger", "Nigeria", 4180),
+    ("Tana", "Kenya", 1000),
+    ("Mackenzie", "Canada", 4241),
+    ("Rio Grande", "Mexico", 3051),
+    ("Murray", "Australia", 2508),
+]
+
+
+def build(seed: int = 0, scale: float = 1.0) -> Database:
+    """Build the geography database (fixed facts; seed/scale ignored —
+    kept for interface uniformity)."""
+    db = Database("geo")
+    db.create_table(
+        TableSchema(
+            "countries",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("continent", DataType.TEXT, synonyms=("region",)),
+                Column("population", DataType.FLOAT, synonyms=("people", "inhabitants")),
+                Column("area", DataType.FLOAT, synonyms=("size", "surface")),
+            ],
+            synonyms=("country", "nation", "state"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "cities",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("country_id", DataType.INTEGER, nullable=False),
+                Column("population", DataType.FLOAT, synonyms=("people", "inhabitants")),
+                Column("is_capital", DataType.BOOLEAN, synonyms=("capital",)),
+            ],
+            synonyms=("city", "town", "municipality"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "rivers",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("country_id", DataType.INTEGER, nullable=False),
+                Column("length", DataType.INTEGER, synonyms=("km", "distance")),
+            ],
+            synonyms=("river", "stream", "waterway"),
+        )
+    )
+    db.add_foreign_key("cities", "country_id", "countries", "id")
+    db.add_foreign_key("rivers", "country_id", "countries", "id")
+
+    country_ids = {}
+    for i, (name, continent, pop, area) in enumerate(COUNTRIES, start=1):
+        db.insert("countries", [i, name, continent, pop, area])
+        country_ids[name] = i
+    for i, (name, country, pop, capital) in enumerate(CITIES, start=1):
+        db.insert("cities", [i, name, country_ids[country], pop, capital])
+    for i, (name, country, length) in enumerate(RIVERS, start=1):
+        db.insert("rivers", [i, name, country_ids[country], length])
+    return db

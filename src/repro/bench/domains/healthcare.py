@@ -1,0 +1,122 @@
+"""Healthcare domain: patients, doctors, visits, diagnoses, prescriptions.
+
+The medical domain exists specifically to exercise the Lei et al. [28]
+relaxation path: diagnosis and drug values are stored under *canonical
+clinical terms* (``myocardial infarction``) while users ask with
+colloquial ones (``heart attack``) — the gap the external KB bridges.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb import Column, Database, DataType, TableSchema
+
+from .base import person_name, pick, random_date, rng_for, scaled
+
+SPECIALTIES = [
+    "cardiology", "neurology", "pulmonology", "endocrinology",
+    "nephrology", "pediatrics", "oncology",
+]
+
+# Canonical clinical terms (the KB's canonical side).
+DIAGNOSES = [
+    "myocardial infarction", "hypertension", "arrhythmia", "asthma",
+    "pneumonia", "chronic obstructive pulmonary disease", "diabetes mellitus",
+    "hyperlipidemia", "cerebrovascular accident", "migraine", "epilepsy",
+    "influenza", "gastroenteritis", "chronic kidney disease",
+]
+
+DRUGS = [
+    "acetaminophen", "ibuprofen", "amoxicillin", "azithromycin",
+    "lisinopril", "amlodipine", "metformin", "insulin", "atorvastatin",
+    "simvastatin",
+]
+
+
+def build(seed: int = 0, scale: float = 1.0) -> Database:
+    """Build the healthcare database (≈40 patients, 12 doctors, 100 visits)."""
+    rng = rng_for(seed + 2)
+    db = Database("healthcare")
+    db.create_table(
+        TableSchema(
+            "patients",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("age", DataType.INTEGER, synonyms=("years",)),
+                Column("gender", DataType.TEXT, synonyms=("sex",)),
+            ],
+            synonyms=("patient", "case"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "doctors",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("specialty", DataType.TEXT, synonyms=("specialization", "field")),
+            ],
+            synonyms=("doctor", "physician", "clinician"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "visits",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("patient_id", DataType.INTEGER, nullable=False),
+                Column("doctor_id", DataType.INTEGER, nullable=False),
+                Column("visit_date", DataType.DATE, synonyms=("date", "seen")),
+                Column("diagnosis", DataType.TEXT, synonyms=("condition", "disease", "illness")),
+            ],
+            synonyms=("visit", "appointment", "consultation", "encounter"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "prescriptions",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("visit_id", DataType.INTEGER, nullable=False),
+                Column("drug", DataType.TEXT, synonyms=("medication", "medicine")),
+                Column("dosage_mg", DataType.INTEGER, synonyms=("dose", "dosage")),
+            ],
+            synonyms=("prescription", "script"),
+        )
+    )
+    db.add_foreign_key("visits", "patient_id", "patients", "id")
+    db.add_foreign_key("visits", "doctor_id", "doctors", "id")
+    db.add_foreign_key("prescriptions", "visit_id", "visits", "id")
+
+    n_patients = scaled(40, scale)
+    n_doctors = scaled(12, scale)
+    n_visits = scaled(100, scale)
+
+    genders = ["female", "male"]
+    for i in range(1, n_patients + 1):
+        db.insert(
+            "patients", [i, person_name(rng), int(rng.integers(1, 95)), pick(rng, genders)]
+        )
+    for i in range(1, n_doctors + 1):
+        db.insert(
+            "doctors", [i, f"Dr. {person_name(rng)}", pick(rng, SPECIALTIES)]
+        )
+    rx_id = 1
+    for i in range(1, n_visits + 1):
+        db.insert(
+            "visits",
+            [
+                i,
+                int(rng.integers(1, n_patients + 1)),
+                int(rng.integers(1, n_doctors + 1)),
+                random_date(rng),
+                pick(rng, DIAGNOSES),
+            ],
+        )
+        for _ in range(int(rng.integers(0, 3))):
+            db.insert(
+                "prescriptions",
+                [rx_id, i, pick(rng, DRUGS), int(rng.integers(1, 20)) * 50],
+            )
+            rx_id += 1
+    return db

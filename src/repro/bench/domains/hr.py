@@ -1,0 +1,115 @@
+"""HR domain: employees, departments, projects, assignments.
+
+The classic NLIDB example domain (SODA's and NaLIR's running examples are
+HR-like).  Contains a self-referential reporting chain flattened to a
+``manager`` name column (self-joins are outside the engine's dialect) and
+a junction table for project assignments.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb import Column, Database, DataType, TableSchema
+
+from .base import CITIES, money, person_name, pick, random_date, rng_for, scaled
+
+DEPT_NAMES = [
+    "Engineering", "Sales", "Marketing", "Finance", "Human Resources",
+    "Support", "Research", "Legal",
+]
+TITLES = ["engineer", "analyst", "manager", "director", "associate", "specialist"]
+PROJECT_WORDS = ["Apollo", "Borealis", "Cascade", "Dynamo", "Everest", "Falcon", "Gemini", "Horizon"]
+
+
+def build(seed: int = 0, scale: float = 1.0) -> Database:
+    """Build the HR database (≈6 departments, 50 employees, 10 projects)."""
+    rng = rng_for(seed + 1)
+    db = Database("hr")
+    db.create_table(
+        TableSchema(
+            "departments",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT, synonyms=("title",)),
+                Column("budget", DataType.FLOAT, synonyms=("funding",)),
+                Column("city", DataType.TEXT, synonyms=("location",)),
+            ],
+            synonyms=("department", "division", "unit", "dept"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "employees",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("department_id", DataType.INTEGER),
+                Column("title", DataType.TEXT, synonyms=("role", "position", "job")),
+                Column("salary", DataType.FLOAT, synonyms=("pay", "wage", "compensation")),
+                Column("hire_date", DataType.DATE, synonyms=("hired", "start date", "joined")),
+            ],
+            synonyms=("employee", "worker", "staff"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "projects",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT, synonyms=("title",)),
+                Column("department_id", DataType.INTEGER),
+                Column("budget", DataType.FLOAT, synonyms=("funding", "cost")),
+            ],
+            synonyms=("project", "initiative"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "assignments",
+            [
+                Column("employee_id", DataType.INTEGER, nullable=False),
+                Column("project_id", DataType.INTEGER, nullable=False),
+                Column("hours", DataType.INTEGER, synonyms=("effort",)),
+            ],
+            synonyms=("assignment", "allocation"),
+        )
+    )
+    db.add_foreign_key("employees", "department_id", "departments", "id")
+    db.add_foreign_key("projects", "department_id", "departments", "id")
+    db.add_foreign_key("assignments", "employee_id", "employees", "id")
+    db.add_foreign_key("assignments", "project_id", "projects", "id")
+
+    n_depts = min(scaled(6, scale), len(DEPT_NAMES))
+    n_emps = scaled(50, scale)
+    n_projects = scaled(10, scale)
+
+    for i in range(1, n_depts + 1):
+        db.insert(
+            "departments",
+            [i, DEPT_NAMES[i - 1], money(rng, 100_000, 2_000_000), pick(rng, CITIES)],
+        )
+    for i in range(1, n_emps + 1):
+        db.insert(
+            "employees",
+            [
+                i,
+                person_name(rng),
+                int(rng.integers(1, n_depts + 1)),
+                pick(rng, TITLES),
+                money(rng, 35_000, 180_000),
+                random_date(rng),
+            ],
+        )
+    for i in range(1, n_projects + 1):
+        word = PROJECT_WORDS[(i - 1) % len(PROJECT_WORDS)]
+        suffix = "" if i <= len(PROJECT_WORDS) else f" {i}"
+        db.insert(
+            "projects",
+            [i, f"Project {word}{suffix}", int(rng.integers(1, n_depts + 1)), money(rng, 20_000, 800_000)],
+        )
+    for emp in range(1, n_emps + 1):
+        for _ in range(int(rng.integers(0, 3))):
+            db.insert(
+                "assignments",
+                [emp, int(rng.integers(1, n_projects + 1)), int(rng.integers(10, 200))],
+            )
+    return db

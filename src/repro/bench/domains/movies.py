@@ -1,0 +1,109 @@
+"""Movies domain: films, directors, actors, castings, ratings.
+
+The cross-domain benchmark staple (Spider includes several film
+databases).  Junction table ``castings`` links movies and actors.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb import Column, Database, DataType, TableSchema
+
+from .base import person_name, pick, rng_for, scaled
+
+GENRES = ["drama", "comedy", "action", "thriller", "romance", "horror", "sci-fi", "documentary"]
+
+TITLE_A = ["Midnight", "Silent", "Golden", "Broken", "Electric", "Crimson", "Hidden", "Distant", "Burning", "Frozen"]
+TITLE_B = ["River", "Empire", "Garden", "Signal", "Promise", "Horizon", "Letter", "Echo", "Harbor", "Mirror"]
+
+
+def build(seed: int = 0, scale: float = 1.0) -> Database:
+    """Build the movies database (≈40 movies, 15 directors, 40 actors)."""
+    rng = rng_for(seed + 3)
+    db = Database("movies")
+    db.create_table(
+        TableSchema(
+            "directors",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("country", DataType.TEXT, synonyms=("nation", "nationality")),
+            ],
+            synonyms=("director", "filmmaker"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "movies",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("title", DataType.TEXT, synonyms=("name",)),
+                Column("director_id", DataType.INTEGER),
+                Column("genre", DataType.TEXT, synonyms=("category", "type", "kind")),
+                Column("year", DataType.INTEGER, synonyms=("released", "release year")),
+                Column("rating", DataType.FLOAT, synonyms=("score", "grade")),
+                Column("gross", DataType.FLOAT, synonyms=("revenue", "box office", "earnings")),
+            ],
+            synonyms=("movie", "film", "picture"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "actors",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("age", DataType.INTEGER, synonyms=("years",)),
+            ],
+            synonyms=("actor", "performer", "star"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "castings",
+            [
+                Column("movie_id", DataType.INTEGER, nullable=False),
+                Column("actor_id", DataType.INTEGER, nullable=False),
+                Column("role", DataType.TEXT, synonyms=("part", "character")),
+            ],
+            synonyms=("casting", "cast"),
+        )
+    )
+    db.add_foreign_key("movies", "director_id", "directors", "id")
+    db.add_foreign_key("castings", "movie_id", "movies", "id")
+    db.add_foreign_key("castings", "actor_id", "actors", "id")
+
+    countries = ["USA", "France", "Japan", "Germany", "UK", "Korea", "Italy"]
+    n_directors = scaled(15, scale)
+    n_movies = scaled(40, scale)
+    n_actors = scaled(40, scale)
+
+    for i in range(1, n_directors + 1):
+        db.insert("directors", [i, person_name(rng), pick(rng, countries)])
+    seen_titles = set()
+    for i in range(1, n_movies + 1):
+        title = f"{pick(rng, TITLE_A)} {pick(rng, TITLE_B)}"
+        while title in seen_titles:
+            title = f"{pick(rng, TITLE_A)} {pick(rng, TITLE_B)} {int(rng.integers(2, 9))}"
+        seen_titles.add(title)
+        db.insert(
+            "movies",
+            [
+                i,
+                title,
+                int(rng.integers(1, n_directors + 1)),
+                pick(rng, GENRES),
+                int(rng.integers(1980, 2024)),
+                round(float(rng.uniform(3.0, 9.5)), 1),
+                round(float(rng.uniform(0.5, 500.0)), 1),
+            ],
+        )
+    roles = ["lead", "supporting", "cameo"]
+    for i in range(1, n_actors + 1):
+        db.insert("actors", [i, person_name(rng), int(rng.integers(18, 85))])
+    for movie in range(1, n_movies + 1):
+        for _ in range(int(rng.integers(1, 4))):
+            db.insert(
+                "castings",
+                [movie, int(rng.integers(1, n_actors + 1)), pick(rng, roles)],
+            )
+    return db

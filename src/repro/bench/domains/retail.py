@@ -1,0 +1,133 @@
+"""Retail domain: customers, products, orders, order lines, stores.
+
+The canonical "business user" domain the survey's introduction motivates:
+joins across five tables, a junction-like order-line table, and plenty of
+numeric columns for aggregation and BI-style nesting.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb import Column, Database, DataType, TableSchema
+
+from .base import (
+    CITIES,
+    REGIONS,
+    money,
+    person_name,
+    pick,
+    random_date,
+    rng_for,
+    scaled,
+)
+
+CATEGORIES = ["Electronics", "Clothing", "Home", "Toys", "Sports", "Books", "Garden"]
+PRODUCT_ADJ = ["Basic", "Premium", "Deluxe", "Eco", "Smart", "Classic", "Pro", "Mini"]
+PRODUCT_NOUN = ["Lamp", "Chair", "Phone", "Shirt", "Ball", "Novel", "Drill", "Blender", "Tent", "Watch"]
+
+
+def build(seed: int = 0, scale: float = 1.0) -> Database:
+    """Build the retail database (≈40 customers, 30 products, 120 orders
+    at scale 1.0)."""
+    rng = rng_for(seed)
+    db = Database("retail")
+    db.create_table(
+        TableSchema(
+            "stores",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("city", DataType.TEXT, synonyms=("location", "town")),
+                Column("region", DataType.TEXT, synonyms=("area", "zone")),
+            ],
+            synonyms=("store", "shop", "outlet", "branch"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "customers",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("city", DataType.TEXT, synonyms=("town", "location")),
+                Column("segment", DataType.TEXT, synonyms=("tier", "group")),
+            ],
+            synonyms=("customer", "client", "buyer", "shopper"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "products",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT, synonyms=("title",)),
+                Column("category", DataType.TEXT, synonyms=("type", "kind", "genre")),
+                Column("price", DataType.FLOAT, synonyms=("cost", "amount")),
+                Column("stock", DataType.INTEGER, synonyms=("inventory", "quantity available")),
+            ],
+            synonyms=("product", "item", "goods", "merchandise"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "orders",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("customer_id", DataType.INTEGER, nullable=False),
+                Column("store_id", DataType.INTEGER, nullable=False),
+                Column("order_date", DataType.DATE, synonyms=("date", "placed")),
+                Column("total", DataType.FLOAT, synonyms=("amount", "value", "revenue")),
+            ],
+            synonyms=("order", "purchase", "transaction", "sale"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "order_lines",
+            [
+                Column("order_id", DataType.INTEGER, nullable=False),
+                Column("product_id", DataType.INTEGER, nullable=False),
+                Column("quantity", DataType.INTEGER, synonyms=("qty", "count")),
+            ],
+            synonyms=("order line", "line item"),
+        )
+    )
+    db.add_foreign_key("orders", "customer_id", "customers", "id")
+    db.add_foreign_key("orders", "store_id", "stores", "id")
+    db.add_foreign_key("order_lines", "order_id", "orders", "id")
+    db.add_foreign_key("order_lines", "product_id", "products", "id")
+
+    n_stores = scaled(8, scale)
+    n_customers = scaled(40, scale)
+    n_products = scaled(30, scale)
+    n_orders = scaled(120, scale)
+
+    for i in range(1, n_stores + 1):
+        db.insert("stores", [i, pick(rng, CITIES), pick(rng, REGIONS)])
+    segments = ["consumer", "corporate", "small business"]
+    for i in range(1, n_customers + 1):
+        db.insert(
+            "customers", [i, person_name(rng), pick(rng, CITIES), pick(rng, segments)]
+        )
+    seen_names = set()
+    for i in range(1, n_products + 1):
+        name = f"{pick(rng, PRODUCT_ADJ)} {pick(rng, PRODUCT_NOUN)}"
+        while name in seen_names:
+            name = f"{pick(rng, PRODUCT_ADJ)} {pick(rng, PRODUCT_NOUN)} {int(rng.integers(2, 99))}"
+        seen_names.add(name)
+        db.insert(
+            "products",
+            [i, name, pick(rng, CATEGORIES), money(rng, 3, 400), int(rng.integers(0, 500))],
+        )
+    for i in range(1, n_orders + 1):
+        customer = int(rng.integers(1, n_customers + 1))
+        store = int(rng.integers(1, n_stores + 1))
+        date = random_date(rng)
+        lines = int(rng.integers(1, 4))
+        total = 0.0
+        for _ in range(lines):
+            product = int(rng.integers(1, n_products + 1))
+            qty = int(rng.integers(1, 6))
+            db.insert("order_lines", [i, product, qty])
+            price = db.table("products").rows[product - 1][3]
+            total += price * qty
+        db.insert("orders", [i, customer, store, date, round(total, 2)])
+    return db

@@ -1,0 +1,110 @@
+"""University domain: students, courses, instructors, enrollments.
+
+Spider's flagship domains include several academic databases; this one
+provides grade/credit aggregations and a student-course junction.
+"""
+
+from __future__ import annotations
+
+from repro.sqldb import Column, Database, DataType, TableSchema
+
+from .base import person_name, pick, rng_for, scaled
+
+MAJORS = ["computer science", "biology", "history", "mathematics", "economics", "physics"]
+COURSE_SUBJECTS = ["Databases", "Algorithms", "Genetics", "Calculus", "Microeconomics", "Optics", "Statistics", "Ethics"]
+LEVELS = ["intro", "intermediate", "advanced"]
+
+
+def build(seed: int = 0, scale: float = 1.0) -> Database:
+    """Build the university database (≈60 students, 16 courses, 10
+    instructors)."""
+    rng = rng_for(seed + 5)
+    db = Database("university")
+    db.create_table(
+        TableSchema(
+            "instructors",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("department", DataType.TEXT, synonyms=("dept", "faculty")),
+                Column("salary", DataType.FLOAT, synonyms=("pay", "wage")),
+            ],
+            synonyms=("instructor", "teacher", "professor", "lecturer"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "students",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("major", DataType.TEXT, synonyms=("field", "subject")),
+                Column("year", DataType.INTEGER, synonyms=("class year",)),
+                Column("gpa", DataType.FLOAT, synonyms=("grade average", "grade point average")),
+            ],
+            synonyms=("student", "pupil", "learner"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "courses",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("title", DataType.TEXT, synonyms=("name",)),
+                Column("instructor_id", DataType.INTEGER),
+                Column("credits", DataType.INTEGER, synonyms=("units",)),
+                Column("level", DataType.TEXT, synonyms=("difficulty",)),
+            ],
+            synonyms=("course", "class", "module"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "enrollments",
+            [
+                Column("student_id", DataType.INTEGER, nullable=False),
+                Column("course_id", DataType.INTEGER, nullable=False),
+                Column("grade", DataType.FLOAT, synonyms=("mark", "score")),
+            ],
+            synonyms=("enrollment", "registration"),
+        )
+    )
+    db.add_foreign_key("courses", "instructor_id", "instructors", "id")
+    db.add_foreign_key("enrollments", "student_id", "students", "id")
+    db.add_foreign_key("enrollments", "course_id", "courses", "id")
+
+    n_instructors = scaled(10, scale)
+    n_students = scaled(60, scale)
+    n_courses = scaled(16, scale)
+
+    for i in range(1, n_instructors + 1):
+        db.insert(
+            "instructors",
+            [i, f"Prof. {person_name(rng)}", pick(rng, MAJORS), round(float(rng.uniform(60_000, 160_000)), 2)],
+        )
+    for i in range(1, n_students + 1):
+        db.insert(
+            "students",
+            [
+                i,
+                person_name(rng),
+                pick(rng, MAJORS),
+                int(rng.integers(1, 5)),
+                round(float(rng.uniform(2.0, 4.0)), 2),
+            ],
+        )
+    for i in range(1, n_courses + 1):
+        subject = COURSE_SUBJECTS[(i - 1) % len(COURSE_SUBJECTS)]
+        level = LEVELS[(i - 1) // len(COURSE_SUBJECTS) % len(LEVELS)]
+        title = f"{subject} {'I' * (1 + (i - 1) // len(COURSE_SUBJECTS))}"
+        db.insert(
+            "courses",
+            [i, title, int(rng.integers(1, n_instructors + 1)), int(rng.integers(2, 6)), level],
+        )
+    for student in range(1, n_students + 1):
+        for _ in range(int(rng.integers(1, 5))):
+            db.insert(
+                "enrollments",
+                [student, int(rng.integers(1, n_courses + 1)), round(float(rng.uniform(1.0, 4.0)), 1)],
+            )
+    return db

@@ -1,0 +1,132 @@
+"""Experiment harness: run systems over workloads and print tables.
+
+Every experiment (E1-E12 in DESIGN.md) boils down to: build databases,
+generate gold pairs, run one or more systems, fold outcomes into metric
+rows, print the table.  This module is that shared machinery; the files
+under ``benchmarks/`` parameterize it per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.complexity import ComplexityTier
+from repro.core.pipeline import NLIDBContext, NLIDBSystem
+
+from .metrics import ExampleOutcome, EvaluationSummary, by_tier, execution_match, exact_match, summarize
+from .workloads import QueryExample
+
+
+def evaluate_system(
+    system: NLIDBSystem,
+    context: NLIDBContext,
+    examples: Sequence[QueryExample],
+) -> List[ExampleOutcome]:
+    """Run ``system`` over ``examples`` and score every prediction."""
+    outcomes: List[ExampleOutcome] = []
+    for example in examples:
+        predicted_sql: Optional[str] = None
+        try:
+            interpretations = system.interpret(example.question, context)
+        except Exception:
+            interpretations = []
+        if interpretations:
+            top = max(interpretations, key=lambda i: i.confidence)
+            try:
+                predicted_sql = top.to_sql(context.ontology, context.mapping).to_sql()
+            except Exception:
+                predicted_sql = None
+        answered = predicted_sql is not None
+        correct = answered and execution_match(
+            context.database, predicted_sql, example.sql
+        )
+        outcomes.append(
+            ExampleOutcome(
+                question=example.question,
+                gold_sql=example.sql,
+                predicted_sql=predicted_sql,
+                answered=answered,
+                correct=correct,
+                exact=answered and exact_match(predicted_sql, example.sql),
+                tier=example.tier,
+                metadata=dict(example.metadata),
+            )
+        )
+    return outcomes
+
+
+@dataclass
+class ComparisonRow:
+    """One row of an experiment table."""
+
+    system: str
+    scope: str  # e.g. tier label, paraphrase level, train size
+    summary: EvaluationSummary
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat dict for printing/serialization."""
+        return {
+            "system": self.system,
+            "scope": self.scope,
+            "total": self.summary.total,
+            "answered": self.summary.answered,
+            "correct": self.summary.correct,
+            "accuracy": round(self.summary.accuracy, 3),
+            "precision": round(self.summary.precision, 3),
+            "answer_rate": round(self.summary.answer_rate, 3),
+        }
+
+
+def compare_systems(
+    systems: Sequence[NLIDBSystem],
+    context: NLIDBContext,
+    examples: Sequence[QueryExample],
+    split_by_tier: bool = True,
+) -> List[ComparisonRow]:
+    """Evaluate each system; one row per (system, tier) plus an "all" row."""
+    rows: List[ComparisonRow] = []
+    for system in systems:
+        outcomes = evaluate_system(system, context, examples)
+        if split_by_tier:
+            for tier, summary in by_tier(outcomes).items():
+                label = tier.label if isinstance(tier, ComplexityTier) else str(tier)
+                rows.append(ComparisonRow(system.name, label, summary))
+        rows.append(ComparisonRow(system.name, "all", summarize(outcomes)))
+    return rows
+
+
+def format_table(rows: Iterable[Dict[str, Any]], title: str = "") -> str:
+    """ASCII table from an iterable of flat dicts (stable column order)."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)"
+    columns = list(rows[0].keys())
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column, "")
+            text = f"{value:.3f}" if isinstance(value, float) else str(value)
+            widths[column] = max(widths[column], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for cells in rendered:
+        lines.append(
+            " | ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns))
+        )
+    return "\n".join(lines)
+
+
+def print_table(rows: Iterable[ComparisonRow], title: str = "") -> str:
+    """Format and print comparison rows; returns the text."""
+    text = format_table([r.as_dict() for r in rows], title)
+    print(text)
+    return text

@@ -1,0 +1,185 @@
+"""Paraphrase generation at controlled strength levels.
+
+The survey's central contrast (§4.1 vs §4.2, §6) is that entity-based
+systems are "highly sensitive to variations and paraphrasing of the user
+query" while ML-based systems are "robust to NL variations".  To measure
+that (experiment E4) we need paraphrases whose *distance from the
+original phrasing* is controllable:
+
+- **level 0** — identity.
+- **level 1** — lexical: synonym substitution from the thesaurus plus a
+  politeness prefix ("could you show ...").
+- **level 2** — phrasal: level 1 plus cue-word swaps ("greater than" →
+  "exceeding"/"north of", "how many" → "count of") and question-form
+  changes ("show X" → "I need X" / "X please").
+- **level 3** — noisy: level 2 plus determiner dropping and a single
+  keyboard-style typo in one content word.
+
+All choices are seeded; the same (question, level, seed) always yields
+the same paraphrase.  The gold SQL is untouched — only the surface form
+moves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nlp.stopwords import is_stopword
+from repro.nlp.thesaurus import DEFAULT_THESAURUS, Thesaurus
+from repro.nlp.tokenizer import tokenize
+
+from .workloads import QueryExample
+
+_PREFIXES = [
+    "could you show",
+    "please give me",
+    "i would like to see",
+    "can you tell me",
+    "i want",
+]
+
+_PHRASE_SWAPS = [
+    (("greater", "than"), ("exceeding",)),
+    (("more", "than"), ("above",)),
+    (("over",), ("beyond",)),
+    (("how", "many"), ("count", "of")),
+    (("number", "of"), ("how", "many")),
+    (("top",), ("best",)),
+    (("show", "the"), ("give", "me", "the")),
+    (("list", "the"), ("enumerate", "the")),
+    (("what", "is", "the"), ("tell", "me", "the")),
+    (("which",), ("what",)),
+    (("have",), ("with",)),
+    (("by",), ("per",)),
+]
+
+_KEYBOARD_NEIGHBORS = {
+    "a": "s", "b": "v", "c": "x", "d": "f", "e": "r", "f": "g", "g": "h",
+    "h": "j", "i": "o", "j": "k", "k": "l", "l": "k", "m": "n", "n": "m",
+    "o": "p", "p": "o", "q": "w", "r": "t", "s": "d", "t": "y", "u": "i",
+    "v": "b", "w": "e", "x": "c", "y": "u", "z": "x",
+}
+
+# Words whose substitution would change the query semantics; never touched.
+_PROTECTED = frozenset(
+    "not no between and or above below over under least most than".split()
+)
+
+
+class Paraphraser:
+    """Seeded paraphrase generator with strength levels 0-3."""
+
+    def __init__(self, seed: int = 0, thesaurus: Optional[Thesaurus] = None):
+        self.rng = np.random.default_rng(seed)
+        self.thesaurus = thesaurus or DEFAULT_THESAURUS
+
+    def paraphrase(self, question: str, level: int) -> str:
+        """Return a paraphrase of ``question`` at the given strength."""
+        if level <= 0:
+            return question
+        words = question.split()
+        words = self._synonym_substitute(words)
+        if self.rng.random() < 0.7:
+            words = self._add_prefix(words)
+        if level >= 2:
+            words = self._phrase_swaps(words)
+        if level >= 3:
+            words = self._drop_determiners(words)
+            words = self._inject_typo(words)
+        return " ".join(words)
+
+    def paraphrase_example(self, example: QueryExample, level: int) -> QueryExample:
+        """Paraphrase a gold pair (SQL untouched, level recorded)."""
+        return example.with_question(
+            self.paraphrase(example.question, level), paraphrase_level=level
+        )
+
+    def paraphrase_set(
+        self, examples: Sequence[QueryExample], level: int
+    ) -> List[QueryExample]:
+        """Paraphrase every example at one level."""
+        return [self.paraphrase_example(e, level) for e in examples]
+
+    # -- transformations -----------------------------------------------------------
+
+    def _synonym_substitute(self, words: List[str]) -> List[str]:
+        out: List[str] = []
+        for word in words:
+            lower = word.lower()
+            if (
+                lower in _PROTECTED
+                or is_stopword(lower)
+                or not word.isalpha()
+                or self.rng.random() > 0.5
+            ):
+                out.append(word)
+                continue
+            ring = sorted(self.thesaurus.synonyms(lower) - {lower})
+            # Only substitute inside curated rings (never invent words);
+            # multiword synonyms are allowed.
+            if ring:
+                out.append(str(self._pick(ring)))
+            else:
+                out.append(word)
+        return out
+
+    def _add_prefix(self, words: List[str]) -> List[str]:
+        # Replace a leading imperative verb; otherwise prepend.
+        prefix = str(self._pick(_PREFIXES)).split()
+        head = words[0].lower() if words else ""
+        if head in ("show", "list", "display", "give", "find", "get"):
+            rest = words[1:]
+            if rest and rest[0].lower() == "me":
+                rest = rest[1:]
+            return prefix + rest
+        if head in ("what", "which", "who", "how"):
+            return words  # question forms keep their wh-word
+        return prefix + words
+
+    def _phrase_swaps(self, words: List[str]) -> List[str]:
+        lowered = [w.lower() for w in words]
+        out: List[str] = []
+        i = 0
+        while i < len(words):
+            swapped = False
+            for pattern, replacement in _PHRASE_SWAPS:
+                if tuple(lowered[i : i + len(pattern)]) == pattern:
+                    if self.rng.random() < 0.6:
+                        out.extend(replacement)
+                        i += len(pattern)
+                        swapped = True
+                        break
+            if not swapped:
+                out.append(words[i])
+                i += 1
+        return out
+
+    def _drop_determiners(self, words: List[str]) -> List[str]:
+        return [
+            w
+            for w in words
+            if w.lower() not in ("the", "a", "an") or self.rng.random() > 0.7
+        ]
+
+    def _inject_typo(self, words: List[str]) -> List[str]:
+        candidates = [
+            i
+            for i, w in enumerate(words)
+            if w.isalpha() and len(w) > 4 and not is_stopword(w.lower())
+            and w.lower() not in _PROTECTED
+        ]
+        if not candidates or self.rng.random() > 0.6:
+            return words
+        idx = int(self._pick(candidates))
+        word = words[idx]
+        pos = int(self.rng.integers(1, len(word) - 1))
+        ch = word[pos].lower()
+        replacement = _KEYBOARD_NEIGHBORS.get(ch, ch)
+        words = list(words)
+        words[idx] = word[:pos] + replacement + word[pos + 1 :]
+        return words
+
+    def _pick(self, pool: Sequence):
+        return pool[int(self.rng.integers(len(pool)))]

@@ -1,0 +1,294 @@
+"""SParC-style multi-turn dataset generation (§6 Benchmarks, [65]).
+
+SParC is "a context-dependent/multi-turn version of the Spider data set
+... coherent question sequences" — each sequence starts with a full
+question and continues with elliptical follow-ups whose meaning depends
+on the preceding turns.
+
+The generator builds sequences at the OQL level: turn 1 instantiates a
+base query; later turns apply one *edit move* each (the move inventory
+of :mod:`repro.dialogue.followup`), and every turn's gold SQL is the
+compiled edited query.  Follow-up utterances are elliptical by
+construction ("just the top 3"), so context-blind systems cannot answer
+them — the property experiment E7 quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.intermediate import (
+    OQLCondition,
+    OQLItem,
+    OQLOrder,
+    OQLQuery,
+    PropertyRef,
+    compile_oql,
+)
+from repro.core.pipeline import NLIDBContext
+from repro.ontology.builder import humanize, pluralize
+from repro.sqldb.types import DataType
+
+
+@dataclass(frozen=True)
+class SparcTurn:
+    """One turn: the utterance, its gold SQL, and the edit move used."""
+
+    utterance: str
+    gold_sql: str
+    move: str
+
+
+@dataclass
+class SparcSequence:
+    """A coherent multi-turn question sequence over one database."""
+
+    domain: str
+    turns: List[SparcTurn]
+
+    def __len__(self) -> int:
+        return len(self.turns)
+
+
+class SparcGenerator:
+    """Seeded generator of SParC-like sequences for one context."""
+
+    def __init__(self, context: NLIDBContext, seed: int = 0):
+        self.context = context
+        self.rng = np.random.default_rng(seed)
+
+    def generate(self, n_sequences: int, turns_per_sequence: int = 3) -> List[SparcSequence]:
+        """Build ``n_sequences`` sequences of 2..turns_per_sequence+1 turns."""
+        out: List[SparcSequence] = []
+        attempts = 0
+        while len(out) < n_sequences and attempts < n_sequences * 40:
+            attempts += 1
+            sequence = self._make_sequence(turns_per_sequence)
+            if sequence is not None and len(sequence) >= 2:
+                out.append(sequence)
+        return out
+
+    # -- sequence construction ----------------------------------------------------
+
+    def _make_sequence(self, max_followups: int) -> Optional[SparcSequence]:
+        base = self._base_query()
+        if base is None:
+            return None
+        query, utterance = base
+        sql = self._compile(query)
+        if sql is None:
+            return None
+        turns = [SparcTurn(utterance, sql, "new_query")]
+        for _ in range(int(self.rng.integers(1, max_followups + 1))):
+            step = self._followup(query)
+            if step is None:
+                break
+            query, followup_utterance, move = step
+            followup_sql = self._compile(query)
+            if followup_sql is None:
+                break
+            turns.append(SparcTurn(followup_utterance, followup_sql, move))
+        return SparcSequence(self.context.database.name, turns)
+
+    def _compile(self, query: OQLQuery) -> Optional[str]:
+        try:
+            stmt = compile_oql(query, self.context.ontology, self.context.mapping)
+            result = self.context.executor.execute(stmt)
+        except Exception:
+            return None
+        if not result.rows:
+            return None
+        return stmt.to_sql()
+
+    # -- base queries ----------------------------------------------------------------
+
+    def _base_query(self) -> Optional[Tuple[OQLQuery, str]]:
+        ontology = self.context.ontology
+        concepts = [
+            c
+            for c in ontology.concepts.values()
+            if any(p.dtype is DataType.TEXT for p in c.properties.values())
+        ]
+        if not concepts:
+            return None
+        concept = concepts[int(self.rng.integers(len(concepts)))]
+        text_props = [p for p in concept.properties.values() if p.dtype is DataType.TEXT]
+        display = text_props[0]
+        filter_props = [p for p in text_props[1:]] or text_props
+        prop = filter_props[int(self.rng.integers(len(filter_props)))]
+        value = self._sample_value(concept.name, prop.name)
+        if value is None:
+            return None
+        nouns = pluralize(concept.name)
+        numeric_props = [
+            p
+            for p in concept.properties.values()
+            if p.dtype.is_numeric and p.name != "id"
+        ]
+        roll = self.rng.random()
+        if roll < 0.4:
+            query = OQLQuery(
+                select=(OQLItem(ref=PropertyRef(concept.name, display.name)),),
+                conditions=(OQLCondition(PropertyRef(concept.name, prop.name), "=", value),),
+            )
+            utterance = f"show the {nouns} with {prop.name} {value}"
+        elif roll < 0.7 or not numeric_props:
+            query = OQLQuery(
+                select=(OQLItem(count_all=True, concept=concept.name),),
+                conditions=(OQLCondition(PropertyRef(concept.name, prop.name), "=", value),),
+            )
+            utterance = f"how many {nouns} have {prop.name} {value}"
+        else:
+            measure = numeric_props[int(self.rng.integers(len(numeric_props)))]
+            query = OQLQuery(
+                select=(
+                    OQLItem(ref=PropertyRef(concept.name, measure.name), aggregate="avg"),
+                ),
+                conditions=(OQLCondition(PropertyRef(concept.name, prop.name), "=", value),),
+            )
+            utterance = f"what is the average {measure.name} of {nouns} with {prop.name} {value}"
+        return query, utterance
+
+    def _sample_value(self, concept: str, prop: str):
+        table, column = self.context.mapping.column_of(concept, prop)
+        values = self.context.database.table(table).distinct_values(column)
+        if not values:
+            return None
+        return values[int(self.rng.integers(len(values)))]
+
+    # -- follow-up moves ----------------------------------------------------------------
+
+    def _followup(self, query: OQLQuery) -> Optional[Tuple[OQLQuery, str, str]]:
+        moves = ["change_value", "add_filter", "group_swap", "agg_change", "top_k"]
+        self.rng.shuffle(moves)
+        for move in moves:
+            maker = getattr(self, f"_move_{move}")
+            step = maker(query)
+            if step is not None:
+                return (*step, move)
+        return None
+
+    def _move_change_value(self, query: OQLQuery):
+        for i, cond in enumerate(query.conditions):
+            if isinstance(cond, OQLCondition) and cond.op == "=" and isinstance(cond.value, str):
+                other = self._sample_value(cond.ref.concept, cond.ref.prop)
+                if other is None or other == cond.value:
+                    continue
+                conditions = list(query.conditions)
+                conditions[i] = replace(cond, value=other)
+                lead = ["what about", "how about"][int(self.rng.integers(2))]
+                return replace(query, conditions=tuple(conditions)), f"{lead} {other}"
+        return None
+
+    def _move_add_filter(self, query: OQLQuery):
+        concepts = query.concepts()
+        if not concepts:
+            return None
+        concept = self.context.ontology.concept(concepts[0])
+        used = {
+            c.ref.prop
+            for c in query.conditions
+            if isinstance(c, OQLCondition) and c.ref is not None
+        }
+        numeric = [
+            p
+            for p in concept.properties.values()
+            if p.dtype.is_numeric and p.name not in used and p.name != "id"
+        ]
+        if not numeric:
+            return None
+        prop = numeric[int(self.rng.integers(len(numeric)))]
+        table, column = self.context.mapping.column_of(concept.name, prop.name)
+        values = [
+            v
+            for v in self.context.database.table(table).column_values(column)
+            if v is not None
+        ]
+        if len(values) < 3:
+            return None
+        threshold = round(float(np.percentile(values, 50)), 2)
+        value_text = str(int(threshold)) if float(threshold).is_integer() else repr(threshold)
+        condition = OQLCondition(PropertyRef(concept.name, prop.name), ">", threshold)
+        return (
+            replace(query, conditions=(*query.conditions, condition)),
+            f"only those with {prop.name} over {value_text}",
+        )
+
+    def _move_group_swap(self, query: OQLQuery):
+        if not any(i.count_all or i.aggregate for i in query.select):
+            return None
+        concepts = query.concepts()
+        if not concepts:
+            return None
+        concept = self.context.ontology.concept(concepts[0])
+        used_groups = set(query.group_by)
+        group_candidates = [
+            p
+            for p in concept.properties.values()
+            if p.dtype is DataType.TEXT and PropertyRef(concept.name, p.name) not in used_groups
+        ]
+        if not group_candidates:
+            return None
+        prop = group_candidates[int(self.rng.integers(len(group_candidates)))]
+        ref = PropertyRef(concept.name, prop.name)
+        agg_items = tuple(i for i in query.select if i.aggregate or i.count_all)
+        if not agg_items:
+            return None
+        edited = replace(
+            query,
+            select=(OQLItem(ref=ref), *agg_items),
+            group_by=(ref,),
+            order_by=(),
+            limit=None,
+        )
+        lead = ["break that down by", "group it by"][int(self.rng.integers(2))]
+        return edited, f"{lead} {prop.name}"
+
+    def _move_agg_change(self, query: OQLQuery):
+        agg_positions = [
+            i for i, item in enumerate(query.select) if item.aggregate
+        ]
+        if not agg_positions:
+            return None
+        position = agg_positions[0]
+        current = query.select[position]
+        alternatives = [a for a in ("avg", "sum", "min", "max") if a != current.aggregate]
+        new_agg = alternatives[int(self.rng.integers(len(alternatives)))]
+        words = {"avg": "average", "sum": "total", "min": "minimum", "max": "maximum"}
+        select = list(query.select)
+        select[position] = replace(current, aggregate=new_agg)
+        return (
+            replace(query, select=tuple(select)),
+            f"make that the {words[new_agg]}",
+        )
+
+    def _move_top_k(self, query: OQLQuery):
+        if query.limit is not None:
+            return None
+        agg_item = next(
+            (i for i in query.select if i.aggregate or i.count_all), None
+        )
+        if agg_item is None or not query.group_by:
+            return None
+        k = int(self.rng.integers(2, 6))
+        return (
+            replace(
+                query,
+                order_by=(OQLOrder(agg_item, "desc"),),
+                limit=k,
+            ),
+            f"just the top {k}",
+        )
+
+
+def dataset_stats(sequences: Sequence[SparcSequence]) -> Dict[str, float]:
+    """Aggregate statistics (compare with SParC's reported numbers)."""
+    turns = sum(len(s) for s in sequences)
+    return {
+        "sequences": len(sequences),
+        "turns": turns,
+        "avg_turns": round(turns / len(sequences), 2) if sequences else 0.0,
+    }

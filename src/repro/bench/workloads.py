@@ -1,0 +1,486 @@
+"""Tiered NLQ/SQL workload generation.
+
+Gold question/SQL pairs are generated from templates stratified by the
+survey's §3 complexity tiers.  Values are drawn from the *actual data* of
+the target database (so gold queries return meaningful results) and every
+example is validated by execution before it is emitted.
+
+The generator is the stand-in for the crowd-sourced WikiSQL / Spider
+corpora (see DESIGN.md substitutions): the templates cover the same
+clause inventory — selection, aggregation, GROUP BY, ORDER BY + LIMIT,
+FK joins, and the three canonical nesting shapes (scalar-average
+comparison, IN-subquery through a foreign key, NOT-IN anti-join).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.complexity import ComplexityTier, classify
+from repro.sqldb import Column, Database, DataType, execute_sql
+from repro.sqldb.schema import ForeignKey
+from repro.sqldb.types import format_value
+
+
+@dataclass
+class QueryExample:
+    """One gold pair: a natural-language question and its SQL."""
+
+    question: str
+    sql: str
+    tier: ComplexityTier
+    domain: str
+    template: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def with_question(self, question: str, **metadata: Any) -> "QueryExample":
+        """Copy with a replaced question (used by the paraphraser)."""
+        merged = dict(self.metadata)
+        merged.update(metadata)
+        return dataclasses.replace(self, question=question, metadata=merged)
+
+
+class WorkloadGenerator:
+    """Generates tier-stratified gold pairs for one database."""
+
+    def __init__(self, database: Database, seed: int = 0):
+        self.db = database
+        self.rng = np.random.default_rng(seed)
+        self._fk_pairs = self._usable_fks()
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self, tier: ComplexityTier, count: int) -> List[QueryExample]:
+        """``count`` validated examples of the requested tier."""
+        makers = {
+            ComplexityTier.SELECTION: self._make_selection,
+            ComplexityTier.AGGREGATION: self._make_aggregation,
+            ComplexityTier.JOIN: self._make_join,
+            ComplexityTier.NESTED: self._make_nested,
+        }
+        maker = makers[tier]
+        out: List[QueryExample] = []
+        attempts = 0
+        seen_questions = set()
+        while len(out) < count and attempts < count * 60:
+            attempts += 1
+            example = maker()
+            if example is None:
+                continue
+            if example.question in seen_questions:
+                continue
+            if not self._valid(example):
+                continue
+            seen_questions.add(example.question)
+            out.append(example)
+        return out
+
+    def generate_mixed(self, per_tier: int) -> List[QueryExample]:
+        """``per_tier`` examples of every tier, concatenated in tier order."""
+        out: List[QueryExample] = []
+        for tier in ComplexityTier:
+            out.extend(self.generate(tier, per_tier))
+        return out
+
+    # -- infrastructure ------------------------------------------------------------
+
+    def _valid(self, example: QueryExample) -> bool:
+        try:
+            result = execute_sql(self.db, example.sql)
+        except Exception:
+            return False
+        if classify(example.sql) is not example.tier:
+            return False
+        return len(result) > 0
+
+    def _usable_fks(self) -> List[ForeignKey]:
+        return list(self.db.foreign_keys)
+
+    def _pick(self, pool: Sequence):
+        return pool[int(self.rng.integers(len(pool)))]
+
+    def _table_with(self, predicate) -> Optional[Tuple[str, List[Column]]]:
+        candidates = []
+        for table in self.db.tables:
+            cols = [c for c in table.schema if predicate(c)]
+            if cols and len(table) > 0:
+                candidates.append((table.name, cols))
+        if not candidates:
+            return None
+        return self._pick(candidates)
+
+    def _sample_value(self, table: str, column: str):
+        values = self.db.table(table).distinct_values(column)
+        if not values:
+            return None
+        return self._pick(values)
+
+    def _is_entity_text(self, column: Column) -> bool:
+        return column.dtype is DataType.TEXT
+
+    def _is_measure(self, column: Column) -> bool:
+        return column.dtype.is_numeric and not column.primary_key and not column.name.lower().endswith("id")
+
+    def _display_column(self, table: str) -> str:
+        schema = self.db.schema(table)
+        for column in schema:
+            if column.dtype is DataType.TEXT:
+                return column.name
+        # No text column: prefer a non-foreign-key column so the display
+        # attribute is a real entity property (FK columns are join
+        # plumbing that ontology-level systems do not expose).
+        fk_cols = {
+            fk.src_column.lower()
+            for fk in self.db.foreign_keys
+            if fk.src_table.lower() == table.lower()
+        }
+        for column in schema:
+            if column.name.lower() not in fk_cols:
+                return column.name
+        return schema.columns[0].name
+
+    def _noun(self, table: str) -> str:
+        from repro.ontology.builder import humanize
+
+        return humanize(table)
+
+    def _nouns(self, table: str) -> str:
+        from repro.ontology.builder import pluralize
+
+        return pluralize(self._noun(table))
+
+    def _col_phrase(self, table: str, column: str) -> str:
+        from repro.ontology.builder import humanize
+
+        return humanize(column)
+
+    # -- tier 1: simple selection ---------------------------------------------------
+
+    def _make_selection(self) -> Optional[QueryExample]:
+        choice = int(self.rng.integers(4))
+        if choice == 3:
+            return self._make_date_selection()
+        picked = self._table_with(self._is_entity_text)
+        if picked is None:
+            return None
+        table, text_cols = picked
+        display = self._display_column(table)
+        filter_col = self._pick(text_cols)
+        value = self._sample_value(table, filter_col.name)
+        if value is None:
+            return None
+        nouns = self._nouns(table)
+        fc_phrase = self._col_phrase(table, filter_col.name)
+        if choice == 0:
+            question = f"show the {nouns} with {fc_phrase} {value}"
+            sql = (
+                f"SELECT {display} FROM {table} "
+                f"WHERE {filter_col.name} = {format_value(value)}"
+            )
+            template = "select-eq"
+        elif choice == 1:
+            numeric = [c for c in self.db.schema(table) if self._is_measure(c)]
+            if not numeric:
+                return None
+            measure = self._pick(numeric)
+            threshold = self._numeric_threshold(table, measure.name)
+            if threshold is None:
+                return None
+            m_phrase = self._col_phrase(table, measure.name)
+            question = f"list the {nouns} with {m_phrase} greater than {threshold:g}"
+            sql = f"SELECT {display} FROM {table} WHERE {measure.name} > {threshold:g}"
+            template = "select-gt"
+        else:
+            other = [
+                c
+                for c in self.db.schema(table)
+                if c.dtype is DataType.TEXT and c.name != display
+            ]
+            if not other:
+                return None
+            out_col = self._pick(other)
+            value = self._sample_value(table, out_col.name)
+            filter_value = self._sample_value(table, display)
+            if value is None or filter_value is None:
+                return None
+            o_phrase = self._col_phrase(table, out_col.name)
+            d_phrase = self._col_phrase(table, display)
+            question = f"what is the {o_phrase} of the {self._noun(table)} with {d_phrase} {filter_value}"
+            sql = (
+                f"SELECT {out_col.name} FROM {table} "
+                f"WHERE {display} = {format_value(filter_value)}"
+            )
+            template = "select-attr"
+        return QueryExample(
+            question, sql, ComplexityTier.SELECTION, self.db.name, template
+        )
+
+    def _make_date_selection(self) -> Optional[QueryExample]:
+        picked = self._table_with(lambda c: c.dtype is DataType.DATE)
+        if picked is None:
+            return None
+        table, date_cols = picked
+        date_col = self._pick(date_cols)
+        values = sorted(
+            v for v in self.db.table(table).column_values(date_col.name) if v is not None
+        )
+        if len(values) < 4:
+            return None
+        threshold = values[len(values) // 2]
+        direction = self._pick(["after", "before"])
+        op = ">" if direction == "after" else "<"
+        display = self._display_column(table)
+        question = (
+            f"show the {self._nouns(table)} with "
+            f"{self._col_phrase(table, date_col.name)} {direction} {threshold.isoformat()}"
+        )
+        sql = (
+            f"SELECT {display} FROM {table} "
+            f"WHERE {date_col.name} {op} '{threshold.isoformat()}'"
+        )
+        return QueryExample(
+            question, sql, ComplexityTier.SELECTION, self.db.name, "select-date"
+        )
+
+    def _numeric_threshold(self, table: str, column: str) -> Optional[float]:
+        values = [v for v in self.db.table(table).column_values(column) if v is not None]
+        if len(values) < 3:
+            return None
+        values.sort()
+        quantile = values[int(len(values) * 0.6)]
+        if isinstance(quantile, float):
+            return round(quantile, 2)
+        return float(quantile)
+
+    # -- tier 2: single-table aggregation ------------------------------------------------
+
+    def _make_aggregation(self) -> Optional[QueryExample]:
+        choice = int(self.rng.integers(4))
+        if choice == 0:
+            picked = self._table_with(self._is_entity_text)
+            if picked is None:
+                return None
+            table, text_cols = picked
+            filter_col = self._pick(text_cols)
+            value = self._sample_value(table, filter_col.name)
+            if value is None:
+                return None
+            question = f"how many {self._nouns(table)} have {self._col_phrase(table, filter_col.name)} {value}"
+            sql = (
+                f"SELECT COUNT(*) FROM {table} "
+                f"WHERE {filter_col.name} = {format_value(value)}"
+            )
+            template = "agg-count"
+        elif choice == 1:
+            picked = self._table_with(self._is_measure)
+            if picked is None:
+                return None
+            table, measures = picked
+            measure = self._pick(measures)
+            func = self._pick(["avg", "sum", "min", "max"])
+            words = {"avg": "average", "sum": "total", "min": "minimum", "max": "maximum"}
+            m_phrase = self._col_phrase(table, measure.name)
+            if m_phrase == words[func]:
+                words = dict(words, sum="combined", avg="mean")
+            question = f"what is the {words[func]} {m_phrase} of {self._nouns(table)}"
+            sql = f"SELECT {func.upper()}({measure.name}) FROM {table}"
+            template = f"agg-{func}"
+        elif choice == 2:
+            table_info = self._group_candidate()
+            if table_info is None:
+                return None
+            table, group_col, measure = table_info
+            func = self._pick(["avg", "sum", "count"])
+            g_phrase = self._col_phrase(table, group_col)
+            if func == "count":
+                question = f"count the {self._nouns(table)} by {g_phrase}"
+                sql = f"SELECT {group_col}, COUNT(*) FROM {table} GROUP BY {group_col}"
+            else:
+                words = {"avg": "average", "sum": "total"}
+                m_phrase = self._col_phrase(table, measure)
+                if m_phrase == words[func]:
+                    words = {"avg": "mean", "sum": "combined"}
+                question = f"{words[func]} {m_phrase} of {self._nouns(table)} by {g_phrase}"
+                sql = (
+                    f"SELECT {group_col}, {func.upper()}({measure}) "
+                    f"FROM {table} GROUP BY {group_col}"
+                )
+            template = "agg-groupby"
+        else:
+            picked = self._table_with(self._is_measure)
+            if picked is None:
+                return None
+            table, measures = picked
+            measure = self._pick(measures)
+            display = self._display_column(table)
+            k = int(self.rng.integers(2, 6))
+            m_phrase = self._col_phrase(table, measure.name)
+            question = f"top {k} {self._nouns(table)} by {m_phrase}"
+            sql = (
+                f"SELECT {display} FROM {table} "
+                f"ORDER BY {measure.name} DESC LIMIT {k}"
+            )
+            template = "agg-topk"
+        return QueryExample(
+            question, sql, ComplexityTier.AGGREGATION, self.db.name, template
+        )
+
+    def _group_candidate(self) -> Optional[Tuple[str, str, str]]:
+        candidates = []
+        for table in self.db.tables:
+            if len(table) == 0:
+                continue
+            group_cols = [
+                c.name
+                for c in table.schema
+                if c.dtype is DataType.TEXT
+                and 1 < len(table.distinct_values(c.name)) <= max(2, len(table) // 2)
+            ]
+            measures = [c.name for c in table.schema if self._is_measure(c)]
+            if group_cols and measures:
+                candidates.append(
+                    (table.name, self._pick(group_cols), self._pick(measures))
+                )
+        if not candidates:
+            return None
+        return self._pick(candidates)
+
+    # -- tier 3: joins --------------------------------------------------------------
+
+    def _make_join(self) -> Optional[QueryExample]:
+        if not self._fk_pairs:
+            return None
+        fk = self._pick(self._fk_pairs)
+        child, parent = fk.src_table, fk.dst_table
+        choice = int(self.rng.integers(3))
+        parent_display = self._display_column(parent)
+        child_display = self._display_column(child)
+        if choice == 0:
+            # filter child rows by a parent attribute value
+            value = self._sample_value(parent, parent_display)
+            if value is None or child_display == parent_display:
+                return None
+            question = (
+                f"show the {self._col_phrase(child, child_display)} of {self._nouns(child)} "
+                f"whose {self._noun(parent)} {self._col_phrase(parent, parent_display)} is {value}"
+            )
+            sql = (
+                f"SELECT {child}.{child_display} FROM {child} "
+                f"JOIN {parent} ON {child}.{fk.src_column} = {parent}.{fk.dst_column} "
+                f"WHERE {parent}.{parent_display} = {format_value(value)}"
+            )
+            template = "join-filter-parent"
+        elif choice == 1:
+            # filter parent rows by a child measure
+            measures = [c for c in self.db.schema(child) if self._is_measure(c)]
+            if not measures:
+                return None
+            measure = self._pick(measures)
+            threshold = self._numeric_threshold(child, measure.name)
+            if threshold is None:
+                return None
+            question = (
+                f"which {self._nouns(parent)} have {self._nouns(child)} with "
+                f"{self._col_phrase(child, measure.name)} over {threshold:g}"
+            )
+            sql = (
+                f"SELECT DISTINCT {parent}.{parent_display} FROM {parent} "
+                f"JOIN {child} ON {parent}.{fk.dst_column} = {child}.{fk.src_column} "
+                f"WHERE {child}.{measure.name} > {threshold:g}"
+            )
+            template = "join-filter-child"
+        else:
+            # group child measure by parent attribute
+            measures = [c for c in self.db.schema(child) if self._is_measure(c)]
+            if not measures:
+                return None
+            measure = self._pick(measures)
+            func = self._pick(["avg", "sum", "count"])
+            if func == "count":
+                question = (
+                    f"number of {self._nouns(child)} per {self._noun(parent)} "
+                    f"{self._col_phrase(parent, parent_display)}"
+                )
+                agg_sql = "COUNT(*)"
+            else:
+                words = {"avg": "average", "sum": "total"}
+                m_phrase = self._col_phrase(child, measure.name)
+                if m_phrase == words[func]:
+                    words = {"avg": "mean", "sum": "combined"}
+                question = (
+                    f"{words[func]} {m_phrase} of "
+                    f"{self._nouns(child)} by {self._noun(parent)} "
+                    f"{self._col_phrase(parent, parent_display)}"
+                )
+                agg_sql = f"{func.upper()}({child}.{measure.name})"
+            sql = (
+                f"SELECT {parent}.{parent_display}, {agg_sql} FROM {parent} "
+                f"JOIN {child} ON {parent}.{fk.dst_column} = {child}.{fk.src_column} "
+                f"GROUP BY {parent}.{parent_display}"
+            )
+            template = "join-groupby"
+        return QueryExample(question, sql, ComplexityTier.JOIN, self.db.name, template)
+
+    # -- tier 4: nested (BI) -----------------------------------------------------------
+
+    def _make_nested(self) -> Optional[QueryExample]:
+        choice = int(self.rng.integers(3))
+        if choice == 0:
+            picked = self._table_with(self._is_measure)
+            if picked is None:
+                return None
+            table, measures = picked
+            measure = self._pick(measures)
+            display = self._display_column(table)
+            if display == measure.name:
+                return None
+            m_phrase = self._col_phrase(table, measure.name)
+            question = (
+                f"which {self._nouns(table)} have {m_phrase} above the average {m_phrase}"
+            )
+            sql = (
+                f"SELECT {display} FROM {table} "
+                f"WHERE {measure.name} > (SELECT AVG({measure.name}) FROM {table})"
+            )
+            template = "nested-avg"
+        elif choice == 1:
+            if not self._fk_pairs:
+                return None
+            fk = self._pick(self._fk_pairs)
+            child, parent = fk.src_table, fk.dst_table
+            measures = [c for c in self.db.schema(child) if self._is_measure(c)]
+            if not measures:
+                return None
+            measure = self._pick(measures)
+            threshold = self._numeric_threshold(child, measure.name)
+            if threshold is None:
+                return None
+            parent_display = self._display_column(parent)
+            question = (
+                f"{self._nouns(parent)} that have {self._nouns(child)} with "
+                f"{self._col_phrase(child, measure.name)} exceeding {threshold:g}"
+            )
+            sql = (
+                f"SELECT DISTINCT {parent_display} FROM {parent} "
+                f"WHERE {fk.dst_column} IN (SELECT {fk.src_column} FROM {child} "
+                f"WHERE {measure.name} > {threshold:g})"
+            )
+            template = "nested-in"
+        else:
+            if not self._fk_pairs:
+                return None
+            fk = self._pick(self._fk_pairs)
+            child, parent = fk.src_table, fk.dst_table
+            parent_display = self._display_column(parent)
+            question = f"{self._nouns(parent)} that have no {self._nouns(child)}"
+            sql = (
+                f"SELECT DISTINCT {parent_display} FROM {parent} "
+                f"WHERE {fk.dst_column} NOT IN "
+                f"(SELECT {fk.src_column} FROM {child} WHERE {fk.src_column} IS NOT NULL)"
+            )
+            template = "nested-notin"
+        return QueryExample(question, sql, ComplexityTier.NESTED, self.db.name, template)

@@ -1,0 +1,153 @@
+"""Command-line interface.
+
+Three subcommands exercise the library end to end::
+
+    python -m repro ask "top 3 products by price" --domain retail
+    python -m repro ask "..." --system soda --explain
+    python -m repro chat --domain retail            # multi-turn REPL
+    python -m repro complete "movies with" --domain movies
+    python -m repro systems                         # list registered systems
+
+Domains are the built-in benchmark databases
+(:mod:`repro.bench.domains`); systems are resolved through the registry
+(:mod:`repro.core.registry`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.domains import build_domain, domain_names
+from repro.core import NLIDBContext, available, create
+from repro.systems import AthenaSystem  # ensures registry population
+
+
+def _build_context(domain: str, seed: int) -> NLIDBContext:
+    return NLIDBContext(build_domain(domain, seed=seed))
+
+
+def cmd_ask(args: argparse.Namespace) -> int:
+    """One-shot question answering."""
+    context = _build_context(args.domain, args.seed)
+    system = create(args.system)
+    interpretations = system.interpret(args.question, context)
+    if not interpretations:
+        print("no interpretation (the system abstained)")
+        return 1
+    top = max(interpretations, key=lambda i: i.confidence)
+    try:
+        statement = top.to_sql(context.ontology, context.mapping)
+        result = context.executor.execute(statement)
+    except Exception as exc:
+        print(f"interpretation failed to execute: {exc}")
+        return 1
+    print(f"SQL: {statement.to_sql()}")
+    if args.explain:
+        print()
+        if top.oql is not None:
+            print(f"reading: {top.oql.to_english()}")
+        print(top.describe())
+        print()
+    print(result.to_text(max_rows=args.rows))
+    return 0
+
+
+def cmd_chat(args: argparse.Namespace) -> int:
+    """Interactive multi-turn session (§5's conversational extension)."""
+    from repro.dialogue import ConversationalNLIDB
+
+    context = _build_context(args.domain, args.seed)
+    bot = ConversationalNLIDB(context)
+    print(f"connected to {args.domain!r} — ask away (blank line to quit)")
+    while True:
+        try:
+            utterance = input("you> ").strip()
+        except EOFError:
+            break
+        if not utterance:
+            break
+        turn = bot.ask(utterance)
+        if turn.sql:
+            print(f"sql> {turn.sql}")
+        print(turn.response)
+    return 0
+
+
+def cmd_complete(args: argparse.Namespace) -> int:
+    """TR Discover-style auto-completion for a typed prefix."""
+    from repro.systems.trdiscover import TRDiscoverCompleter
+
+    context = _build_context(args.domain, args.seed)
+    completer = TRDiscoverCompleter(context)
+    suggestions = completer.complete(args.prefix)
+    if not suggestions:
+        query = completer.parse_completed(args.prefix)
+        if query is not None:
+            from repro.core.intermediate import compile_oql
+
+            statement = compile_oql(query, context.ontology, context.mapping)
+            print(f"complete query!  SQL: {statement.to_sql()}")
+            print(context.executor.execute(statement).to_text(max_rows=args.rows))
+            return 0
+        print("(no suggestions)")
+        return 1
+    for suggestion in suggestions:
+        print(f"{suggestion.text:30s} [{suggestion.kind}] {suggestion.score:.4f}")
+    return 0
+
+
+def cmd_systems(args: argparse.Namespace) -> int:
+    """List registered systems and available domains."""
+    print("systems:", ", ".join(available()))
+    print("domains:", ", ".join(domain_names()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Natural-language interfaces to data — SIGMOD 2020 survey reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    ask = sub.add_parser("ask", help="answer one natural-language question")
+    ask.add_argument("question")
+    ask.add_argument("--domain", default="retail", choices=domain_names())
+    ask.add_argument("--system", default="athena")
+    ask.add_argument("--seed", type=int, default=0)
+    ask.add_argument("--rows", type=int, default=10)
+    ask.add_argument("--explain", action="store_true", help="show the evidence trail")
+    ask.set_defaults(func=cmd_ask)
+
+    chat = sub.add_parser("chat", help="interactive multi-turn session")
+    chat.add_argument("--domain", default="retail", choices=domain_names())
+    chat.add_argument("--seed", type=int, default=0)
+    chat.set_defaults(func=cmd_chat)
+
+    complete = sub.add_parser("complete", help="auto-complete a query prefix")
+    complete.add_argument("prefix")
+    complete.add_argument("--domain", default="movies", choices=domain_names())
+    complete.add_argument("--seed", type=int, default=0)
+    complete.add_argument("--rows", type=int, default=10)
+    complete.set_defaults(func=cmd_complete)
+
+    systems = sub.add_parser("systems", help="list systems and domains")
+    systems.set_defaults(func=cmd_systems)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. piping into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

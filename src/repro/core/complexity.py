@@ -1,0 +1,95 @@
+"""Query-complexity taxonomy (§3 of the survey).
+
+The survey classifies generated queries into four tiers:
+
+1. ``SELECTION`` — simple selection on a single table,
+2. ``AGGREGATION`` — aggregation / GROUP BY / ORDER BY on a single table,
+3. ``JOIN`` — queries involving multiple tables,
+4. ``NESTED`` — BI/analytic queries with nested sub-queries.
+
+`classify` assigns a tier to any SQL statement; the benchmark harness
+uses it both to stratify workloads and to report per-tier capability
+(experiment E1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from repro.sqldb.ast import SelectStatement
+from repro.sqldb.parser import parse_select
+
+
+class ComplexityTier(enum.IntEnum):
+    """The survey's four complexity tiers (ordered)."""
+
+    SELECTION = 1
+    AGGREGATION = 2
+    JOIN = 3
+    NESTED = 4
+
+    @property
+    def label(self) -> str:
+        """Readable name used in benchmark tables."""
+        return {
+            ComplexityTier.SELECTION: "simple selection",
+            ComplexityTier.AGGREGATION: "aggregation",
+            ComplexityTier.JOIN: "multi-table join",
+            ComplexityTier.NESTED: "nested (BI)",
+        }[self]
+
+
+def classify(query: Union[str, SelectStatement]) -> ComplexityTier:
+    """Classify SQL text or an AST into a :class:`ComplexityTier`.
+
+    Nesting dominates joins, which dominate aggregation: a nested query
+    with joins is ``NESTED``; a single-table ``GROUP BY`` is
+    ``AGGREGATION``.
+    """
+    stmt = parse_select(query) if isinstance(query, str) else query
+    if stmt.subqueries():
+        return ComplexityTier.NESTED
+    if len(stmt.referenced_tables()) > 1:
+        return ComplexityTier.JOIN
+    if stmt.has_aggregate() or stmt.group_by or stmt.order_by:
+        return ComplexityTier.AGGREGATION
+    return ComplexityTier.SELECTION
+
+
+def tier_at_most(query: Union[str, SelectStatement], tier: ComplexityTier) -> bool:
+    """Whether ``query`` is within (at or below) ``tier``."""
+    return classify(query) <= tier
+
+
+def spider_hardness(query: Union[str, SelectStatement]) -> str:
+    """Spider-style hardness label: easy / medium / hard / extra.
+
+    Spider [64] buckets queries by counting SQL components; this is the
+    same idea expressed over our dialect: nesting or many simultaneous
+    components → ``extra``; joins or aggregation-with-grouping-and-
+    ordering → ``hard``; single-feature queries → ``medium``; bare
+    selections → ``easy``.
+    """
+    stmt = parse_select(query) if isinstance(query, str) else query
+    components = 0
+    if stmt.joins:
+        components += 1 + max(0, len(stmt.joins) - 1)
+    if stmt.has_aggregate():
+        components += 1
+    if stmt.group_by:
+        components += 1
+    if stmt.order_by:
+        components += 1
+    if stmt.limit is not None:
+        components += 1
+    nested = bool(stmt.subqueries())
+    if nested and components >= 1:
+        return "extra"
+    if nested or components >= 3:
+        return "extra" if nested else "hard"
+    if stmt.joins or components == 2:
+        return "hard"
+    if components == 1:
+        return "medium"
+    return "easy"

@@ -1,0 +1,20 @@
+"""Errors raised by the core NLIDB framework."""
+
+from __future__ import annotations
+
+
+class NLIDBError(Exception):
+    """Base class for interpretation-framework errors."""
+
+
+class InterpretationError(NLIDBError):
+    """Raised when a question cannot be interpreted at all.
+
+    Systems normally return an empty interpretation list instead; this
+    exception is reserved for *structural* failures (e.g. compiling an
+    OQL query whose concepts are disconnected).
+    """
+
+
+class CompilationError(NLIDBError):
+    """Raised when an OQL query cannot be compiled to SQL."""

@@ -1,0 +1,97 @@
+"""Evidence annotations: how question tokens map to query elements.
+
+Every entity-based system in the survey (§4.1) works by *annotating*
+spans of the question with the database/ontology elements they evoke —
+SODA's index hits, NaLIR's parse-node mappings, ATHENA's ontology
+evidence.  :class:`EvidenceAnnotation` is the shared record; the ranker
+scores interpretations by how much of the question their evidence covers
+and how confident each piece is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class EvidenceAnnotation:
+    """One span → element mapping.
+
+    Attributes:
+        start: first token index of the span (inclusive).
+        end: one past the last token index.
+        kind: what was matched — ``"concept"``, ``"property"``,
+            ``"relation"``, ``"table"``, ``"column"``, ``"value"``,
+            ``"operator"``, ``"aggregation"``, ``"pattern"``.
+        target: readable identity of the matched element
+            (``"customer.city"``, ``"value 'Berlin' in customers.city"``).
+        score: match confidence in (0, 1].
+        payload: optional machine payload (e.g. the matched value).
+    """
+
+    start: int
+    end: int
+    kind: str
+    target: str
+    score: float = 1.0
+    payload: Any = None
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """(start, end) token span."""
+        return (self.start, self.end)
+
+    def overlaps(self, other: "EvidenceAnnotation") -> bool:
+        """Whether two annotations claim overlapping spans."""
+        return self.start < other.end and other.start < self.end
+
+    def describe(self) -> str:
+        """Readable line for explanations."""
+        return f"[{self.start}:{self.end}] {self.kind} -> {self.target} ({self.score:.2f})"
+
+
+def covered_tokens(annotations: Sequence[EvidenceAnnotation]) -> Set[int]:
+    """Set of token indices claimed by any annotation."""
+    covered: Set[int] = set()
+    for ann in annotations:
+        covered.update(range(ann.start, ann.end))
+    return covered
+
+
+def coverage(
+    annotations: Sequence[EvidenceAnnotation], content_token_indices: Sequence[int]
+) -> float:
+    """Fraction of content tokens covered by evidence (in [0, 1])."""
+    if not content_token_indices:
+        return 1.0
+    covered = covered_tokens(annotations)
+    hit = sum(1 for i in content_token_indices if i in covered)
+    return hit / len(content_token_indices)
+
+
+def resolve_overlaps(
+    annotations: Sequence[EvidenceAnnotation],
+) -> List[EvidenceAnnotation]:
+    """Greedy overlap resolution by composite score.
+
+    This is the standard annotation-selection step (SODA/ATHENA): a
+    phrase match ("order date") beats the word matches it subsumes —
+    but only when its match quality holds up.  Longer spans earn a small
+    per-token bonus rather than absolute priority, so a strong word match
+    ("grade" → the adjacent table's column, exact + context-boosted) can
+    still beat a mediocre phrase reading ("average grade" → gpa).
+    """
+    def composite(a: EvidenceAnnotation) -> float:
+        return a.score + 0.05 * (a.end - a.start - 1)
+
+    ranked = sorted(
+        annotations, key=lambda a: (-composite(a), a.start, a.kind, a.target)
+    )
+    kept: List[EvidenceAnnotation] = []
+    for ann in ranked:
+        if any(ann.overlaps(existing) for existing in kept):
+            continue
+        kept.append(ann)
+    kept.sort(key=lambda a: a.start)
+    return kept

@@ -1,0 +1,91 @@
+"""User-feedback hooks: clarification questions and simulated users.
+
+The survey highlights interactive disambiguation as a recurring device:
+NaLIR asks the user to pick among candidate mappings [31], DialSQL asks
+multi-choice validation questions [22], QUICK lets users select among
+suggested interpretations [66].  This module defines the shared
+clarification protocol plus two resolvers:
+
+- :class:`FirstOptionUser` — the non-interactive default (always takes
+  the top-ranked option), and
+- :class:`SimulatedOracle` — a benchmark user that answers according to
+  gold knowledge, used to measure the *value of interaction*
+  (experiment E8's clarification on/off ablation).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+
+@dataclass
+class ClarificationOption:
+    """One choice in a clarification dialog."""
+
+    label: str
+    payload: Any = None
+
+
+@dataclass
+class ClarificationRequest:
+    """A multi-choice question posed to the user.
+
+    ``topic`` identifies what is being disambiguated (e.g. the ambiguous
+    question token); ``options`` are ordered best-first by the system.
+    """
+
+    question: str
+    options: List[ClarificationOption]
+    topic: str = ""
+
+
+class ClarificationUser(abc.ABC):
+    """Someone (or something) that answers clarification requests."""
+
+    @abc.abstractmethod
+    def choose(self, request: ClarificationRequest) -> int:
+        """Return the index of the chosen option."""
+
+
+class FirstOptionUser(ClarificationUser):
+    """Always accepts the system's top suggestion (non-interactive)."""
+
+    def choose(self, request: ClarificationRequest) -> int:
+        return 0
+
+
+class ScriptedUser(ClarificationUser):
+    """Answers from a prerecorded list of indices (for tests)."""
+
+    def __init__(self, answers: Sequence[int]):
+        self._answers = list(answers)
+        self._cursor = 0
+
+    def choose(self, request: ClarificationRequest) -> int:
+        if self._cursor >= len(self._answers):
+            return 0
+        answer = self._answers[self._cursor]
+        self._cursor += 1
+        return min(answer, len(request.options) - 1)
+
+
+class SimulatedOracle(ClarificationUser):
+    """A benchmark user that knows the gold answer.
+
+    ``judge`` receives each option's payload and returns a goodness
+    score; the oracle picks the argmax.  Benchmarks construct the judge
+    from gold SQL (e.g. "does this option's column appear in the gold
+    query?"), simulating a cooperative user as DialSQL's evaluation does.
+    """
+
+    def __init__(self, judge: Callable[[Any], float]):
+        self.judge = judge
+        self.questions_asked = 0
+
+    def choose(self, request: ClarificationRequest) -> int:
+        self.questions_asked += 1
+        scores = [self.judge(opt.payload) for opt in request.options]
+        best = max(range(len(scores)), key=lambda i: scores[i])
+        return best

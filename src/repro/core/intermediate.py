@@ -1,0 +1,482 @@
+"""OQL — the Ontology Query Language intermediate representation.
+
+ATHENA [44] translates natural language first into an *intermediate query
+language* over the ontology, and only then into SQL.  The indirection is
+what lets one interpretation pipeline serve different backends and what
+makes interpretations explainable (every OQL element cites ontology
+elements the user can recognize).  Our OQL models exactly the query
+surface the survey's complexity taxonomy spans (§3):
+
+- property projections with optional aggregates (tier 1-2),
+- conditions on properties (tier 1),
+- GROUP BY / ORDER BY / LIMIT (tier 2),
+- multi-concept queries — joins inferred via the reasoner (tier 3),
+- nested sub-queries in conditions (tier 4, the BI class [46]).
+
+`compile_oql` lowers an :class:`OQLQuery` to a
+:class:`~repro.sqldb.ast.SelectStatement` using an
+:class:`~repro.ontology.mapping.OntologyMapping` and a
+:class:`~repro.ontology.reasoner.Reasoner` for join inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.ontology.mapping import OntologyMapping
+from repro.ontology.model import Ontology, OntologyError
+from repro.ontology.reasoner import Reasoner
+from repro.sqldb.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SubqueryExpr,
+    TableRef,
+    UnaryOp,
+)
+
+from .errors import CompilationError
+
+
+@dataclass(frozen=True)
+class PropertyRef:
+    """Reference to ``concept.property`` in the ontology."""
+
+    concept: str
+    prop: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.concept}.{self.prop}"
+
+
+@dataclass(frozen=True)
+class OQLItem:
+    """One projection item: a property, optionally aggregated.
+
+    ``aggregate`` is one of ``count/sum/avg/min/max`` or ``None``;
+    ``count_all`` requests ``COUNT(*)`` (the property is ignored).
+    ``concept`` names the concept being counted for ``count_all`` items —
+    it carries no SQL of its own but pulls that concept into the join,
+    so "number of projects per department" joins the projects.
+    """
+
+    ref: Optional[PropertyRef] = None
+    aggregate: Optional[str] = None
+    count_all: bool = False
+    distinct: bool = False
+    alias: Optional[str] = None
+    concept: Optional[str] = None
+
+    def describe(self) -> str:
+        """Readable rendering used in explanations."""
+        if self.count_all:
+            return f"count({self.concept or '*'})" if self.concept else "count(*)"
+        body = str(self.ref) if self.ref else "?"
+        if self.aggregate:
+            inner = f"distinct {body}" if self.distinct else body
+            return f"{self.aggregate}({inner})"
+        return body
+
+
+@dataclass(frozen=True)
+class OQLCondition:
+    """One condition on a property.
+
+    ``op`` ∈ {=, !=, <, <=, >, >=, like, between, in, not_in, exists,
+    not_exists}; ``value`` holds a literal (or list for ``in``/values of
+    ``between``), and ``subquery`` holds a nested :class:`OQLQuery` when
+    the right-hand side is itself a query.
+    """
+
+    ref: Optional[PropertyRef]
+    op: str
+    value: Any = None
+    value2: Any = None
+    subquery: Optional["OQLQuery"] = None
+    negated: bool = False
+
+    def describe(self) -> str:
+        """Readable rendering used in explanations."""
+        lhs = str(self.ref) if self.ref else ""
+        if self.subquery is not None:
+            return f"{lhs} {self.op} (<subquery>)"
+        if self.op == "between":
+            return f"{lhs} between {self.value!r} and {self.value2!r}"
+        return f"{lhs} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class OQLHasCondition:
+    """A relationship condition: the primary concept [does not] relate to
+    ``target_concept`` (optionally with conditions on the target).
+
+    Lowered to an ``IN`` / ``NOT IN`` sub-query over the foreign-key
+    chain — the only correct lowering for the negated form (an anti-join
+    cannot be expressed with inner joins).  This is how ATHENA-style BI
+    interpretation expresses "customers that have no orders" [46].
+    """
+
+    target_concept: str
+    negated: bool = False
+    conditions: Tuple[OQLCondition, ...] = ()
+
+    def describe(self) -> str:
+        """Readable rendering used in explanations."""
+        verb = "has no" if self.negated else "has"
+        body = f"{verb} {self.target_concept}"
+        if self.conditions:
+            body += " with " + " and ".join(c.describe() for c in self.conditions)
+        return body
+
+
+@dataclass(frozen=True)
+class OQLOrder:
+    """One ORDER BY key (a projection-like item plus a direction)."""
+
+    item: OQLItem
+    direction: str = "asc"
+
+
+@dataclass(frozen=True)
+class OQLQuery:
+    """A complete ontology-level query.
+
+    ``conditions`` mixes :class:`OQLCondition` (property predicates) and
+    :class:`OQLHasCondition` (relationship predicates).
+    """
+
+    select: Tuple[OQLItem, ...]
+    conditions: Tuple[Union[OQLCondition, "OQLHasCondition"], ...] = ()
+    group_by: Tuple[PropertyRef, ...] = ()
+    having: Tuple[OQLCondition, ...] = ()
+    order_by: Tuple[OQLOrder, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+    def concepts(self) -> List[str]:
+        """All concepts referenced anywhere in the query (dedup, ordered)."""
+        seen: List[str] = []
+
+        def _add(concept: Optional[str]) -> None:
+            if concept and concept not in seen:
+                seen.append(concept)
+
+        for item in self.select:
+            if item.ref:
+                _add(item.ref.concept)
+            _add(item.concept)
+        for cond in self.conditions:
+            if isinstance(cond, OQLHasCondition):
+                continue  # relationship conditions do not force a join
+            if cond.ref:
+                _add(cond.ref.concept)
+        for ref in self.group_by:
+            _add(ref.concept)
+        for cond in self.having:
+            if cond.ref:
+                _add(cond.ref.concept)
+        for order in self.order_by:
+            if order.item.ref:
+                _add(order.item.ref.concept)
+        return seen
+
+    def to_english(self) -> str:
+        """A NaLIR-style natural-language explanation of the query.
+
+        Entity-based systems explain their interpretation back to the
+        user for verification [30-32]; this rendering is what the CLI's
+        ``--explain`` and clarification dialogs show.
+        """
+        ops = {
+            "=": "is", "!=": "is not", ">": "is greater than",
+            "<": "is less than", ">=": "is at least", "<=": "is at most",
+            "like": "matches", "between": "is between", "in": "is one of",
+            "not_in": "is none of",
+        }
+        agg_words = {
+            "count": "the number of", "sum": "the total", "avg": "the average",
+            "min": "the smallest", "max": "the largest",
+        }
+
+        def item_text(item: OQLItem) -> str:
+            if item.count_all:
+                return f"how many {item.concept or 'rows'}(s) there are"
+            assert item.ref is not None
+            if item.aggregate:
+                return f"{agg_words[item.aggregate]} {item.ref.prop} of each {item.ref.concept}"
+            return f"the {item.ref.prop} of each {item.ref.concept}"
+
+        def cond_text(cond) -> str:
+            if isinstance(cond, OQLHasCondition):
+                verb = "it has no" if cond.negated else "it has some"
+                body = f"{verb} {cond.target_concept}"
+                if cond.conditions:
+                    body += " whose " + " and ".join(
+                        cond_text(c).replace(f"{cond.target_concept}'s ", "", 1)
+                        for c in cond.conditions
+                    )
+                return body
+            lhs = f"{cond.ref.concept}'s {cond.ref.prop}" if cond.ref else "the value"
+            if cond.subquery is not None:
+                return f"{lhs} {ops.get(cond.op, cond.op)} ({cond.subquery.to_english()})"
+            if cond.op == "between":
+                return f"{lhs} is between {cond.value} and {cond.value2}"
+            return f"{lhs} {ops.get(cond.op, cond.op)} {cond.value!r}"
+
+        sentence = "find " + " and ".join(item_text(i) for i in self.select)
+        if self.conditions:
+            sentence += ", where " + " and ".join(cond_text(c) for c in self.conditions)
+        if self.group_by:
+            sentence += ", grouped by " + ", ".join(r.prop for r in self.group_by)
+        if self.order_by:
+            directions = {"asc": "ascending", "desc": "descending"}
+            sentence += ", ordered by " + ", ".join(
+                f"{o.item.describe()} ({directions[o.direction]})" for o in self.order_by
+            )
+        if self.limit is not None:
+            sentence += f", keeping the top {self.limit}"
+        return sentence
+
+    def describe(self) -> str:
+        """One-line readable form for logs and clarification dialogs."""
+        parts = ["select " + ", ".join(i.describe() for i in self.select)]
+        if self.conditions:
+            parts.append("where " + " and ".join(c.describe() for c in self.conditions))
+        if self.group_by:
+            parts.append("group by " + ", ".join(map(str, self.group_by)))
+        if self.having:
+            parts.append("having " + " and ".join(c.describe() for c in self.having))
+        if self.order_by:
+            parts.append(
+                "order by "
+                + ", ".join(f"{o.item.describe()} {o.direction}" for o in self.order_by)
+            )
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        return " ".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Compilation to SQL
+# --------------------------------------------------------------------------
+
+
+class OQLCompiler:
+    """Lowers OQL queries to SQL ASTs through an ontology mapping."""
+
+    def __init__(self, ontology: Ontology, mapping: OntologyMapping):
+        self.ontology = ontology
+        self.mapping = mapping
+        self.reasoner = Reasoner(ontology, mapping)
+
+    def compile(self, query: OQLQuery) -> SelectStatement:
+        """Compile ``query`` into a :class:`SelectStatement`.
+
+        Join structure: the Steiner tree over the query's concepts is
+        walked breadth-first; each hop contributes the FK chain of the
+        relation used, which may pass through junction tables not in the
+        ontology.
+        """
+        concepts = query.concepts()
+        if not concepts:
+            raise CompilationError("OQL query references no concepts")
+        try:
+            from_table, joins, table_order = self._build_joins(concepts)
+        except OntologyError as exc:
+            raise CompilationError(str(exc)) from exc
+
+        select_items = tuple(
+            SelectItem(self._item_expr(item), item.alias) for item in query.select
+        )
+        where_parts: List[Optional[Expr]] = []
+        for cond in query.conditions:
+            if isinstance(cond, OQLHasCondition):
+                where_parts.append(self._has_condition_expr(cond, concepts[0]))
+            else:
+                where_parts.append(self._condition_expr(cond))
+        where = self._conjunction(where_parts)
+        having = self._conjunction([self._condition_expr(c) for c in query.having])
+        group_by = tuple(self._ref_expr(ref) for ref in query.group_by)
+        order_by = tuple(
+            OrderItem(self._item_expr(o.item), o.direction) for o in query.order_by
+        )
+        return SelectStatement(
+            select_items=select_items,
+            from_table=from_table,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=query.limit,
+            distinct=query.distinct,
+        )
+
+    # -- join construction -------------------------------------------------------
+
+    def _build_joins(
+        self, concepts: Sequence[str]
+    ) -> Tuple[TableRef, Tuple[Join, ...], List[str]]:
+        root_table = self.mapping.table_of(concepts[0])
+        tables = [root_table]
+        joins: List[Join] = []
+        if len(set(concepts)) > 1:
+            ordered = self.reasoner.join_concepts(list(concepts))
+            visited_concepts = {self.ontology.concept(concepts[0]).name}
+            # join_concepts starts BFS from concepts[0]
+            for concept_name, relation in ordered:
+                if relation is None:
+                    visited_concepts.add(concept_name)
+                    continue
+                # orient the FK chain from an already-joined concept
+                src = relation.src if relation.src in visited_concepts else relation.dst
+                dst = relation.dst if src == relation.src else relation.src
+                chain = self.mapping.fk_chain_of(relation.name, src, dst)
+                for fk in chain:
+                    next_table = (
+                        fk.dst_table if fk.src_table in tables else fk.src_table
+                    )
+                    near_table = fk.src_table if next_table == fk.dst_table else fk.dst_table
+                    near_col = fk.src_column if next_table == fk.dst_table else fk.dst_column
+                    far_col = fk.dst_column if next_table == fk.dst_table else fk.src_column
+                    if next_table in tables:
+                        continue
+                    condition = BinaryOp(
+                        "=",
+                        ColumnRef(near_col, table=near_table),
+                        ColumnRef(far_col, table=next_table),
+                    )
+                    joins.append(Join(TableRef(next_table), condition))
+                    tables.append(next_table)
+                visited_concepts.add(concept_name)
+        return TableRef(root_table), tuple(joins), tables
+
+    # -- expression lowering ---------------------------------------------------------
+
+    def _ref_expr(self, ref: PropertyRef) -> Expr:
+        table, column = self.mapping.column_of(ref.concept, ref.prop)
+        return ColumnRef(column, table=table)
+
+    def _item_expr(self, item: OQLItem) -> Expr:
+        if item.count_all:
+            return FuncCall("count", (Star(),))
+        if item.ref is None:
+            raise CompilationError("projection item lacks a property reference")
+        base = self._ref_expr(item.ref)
+        if item.aggregate:
+            return FuncCall(item.aggregate.lower(), (base,), distinct=item.distinct)
+        return base
+
+    def _condition_expr(self, cond: OQLCondition) -> Expr:
+        if cond.op in ("exists", "not_exists"):
+            if cond.subquery is None:
+                raise CompilationError("EXISTS condition requires a subquery")
+            sub = self.compile(cond.subquery)
+            kind = "not_exists" if (cond.op == "not_exists" or cond.negated) else "exists"
+            return SubqueryExpr(kind, sub)
+        if cond.ref is None:
+            raise CompilationError(f"condition {cond.op!r} lacks a property reference")
+        lhs: Expr
+        if cond.op in ("having_count",):
+            lhs = FuncCall("count", (Star(),))
+            expr: Expr = BinaryOp(cond.value2 or ">", lhs, Literal(cond.value))
+            return expr
+        lhs = self._ref_expr(cond.ref)
+        if cond.subquery is not None:
+            sub = self.compile(cond.subquery)
+            if cond.op in ("in", "not_in"):
+                kind = "not_in" if (cond.op == "not_in" or cond.negated) else "in"
+                return SubqueryExpr(kind, sub, operand=lhs)
+            expr = SubqueryExpr("scalar", sub, operand=lhs, op=cond.op)
+            return UnaryOp("NOT", expr) if cond.negated else expr
+        if cond.op == "between":
+            return Between(lhs, Literal(cond.value), Literal(cond.value2), negated=cond.negated)
+        if cond.op in ("in", "not_in"):
+            items = tuple(Literal(v) for v in (cond.value or []))
+            return InList(lhs, items, negated=(cond.op == "not_in" or cond.negated))
+        if cond.op == "like":
+            expr = BinaryOp("LIKE", lhs, Literal(cond.value))
+            return UnaryOp("NOT", expr) if cond.negated else expr
+        if cond.op in ("=", "!=", "<", "<=", ">", ">="):
+            op = cond.op
+            if cond.negated and op == "=":
+                op = "!="
+                expr = BinaryOp(op, lhs, Literal(cond.value))
+                return expr
+            expr = BinaryOp(op, lhs, Literal(cond.value))
+            return UnaryOp("NOT", expr) if cond.negated else expr
+        # aggregate HAVING conditions carry the aggregate in `value2`
+        if cond.op in ("count>", "count<", "count="):
+            func = FuncCall("count", (Star(),))
+            return BinaryOp(cond.op[-1], func, Literal(cond.value))
+        raise CompilationError(f"unsupported OQL operator {cond.op!r}")
+
+    def _has_condition_expr(self, cond: OQLHasCondition, primary: str) -> Expr:
+        """Lower a relationship condition to an ``IN`` / ``NOT IN``
+        sub-query along the foreign-key chain from target to primary."""
+        try:
+            chain = self.reasoner.fk_chain(cond.target_concept, primary)
+        except OntologyError as exc:
+            raise CompilationError(str(exc)) from exc
+        if not chain:
+            raise CompilationError(
+                f"no relationship between {primary!r} and {cond.target_concept!r}"
+            )
+        last = chain[-1]
+        outer = ColumnRef(last.dst_column, table=last.dst_table)
+        inner_col = ColumnRef(last.src_column, table=last.src_table)
+        from_table = TableRef(chain[0].src_table)
+        joins: List[Join] = []
+        for fk in chain[:-1]:
+            joins.append(
+                Join(
+                    TableRef(fk.dst_table),
+                    BinaryOp(
+                        "=",
+                        ColumnRef(fk.src_column, table=fk.src_table),
+                        ColumnRef(fk.dst_column, table=fk.dst_table),
+                    ),
+                )
+            )
+        inner_parts: List[Optional[Expr]] = [
+            self._condition_expr(c) for c in cond.conditions
+        ]
+        if cond.negated:
+            # keep NULL foreign keys out of the NOT IN set
+            inner_parts.append(IsNull(inner_col, negated=True))
+        subquery = SelectStatement(
+            select_items=(SelectItem(inner_col),),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=self._conjunction(inner_parts),
+        )
+        kind = "not_in" if cond.negated else "in"
+        return SubqueryExpr(kind, subquery, operand=outer)
+
+    @staticmethod
+    def _conjunction(exprs: List[Optional[Expr]]) -> Optional[Expr]:
+        present = [e for e in exprs if e is not None]
+        if not present:
+            return None
+        out = present[0]
+        for expr in present[1:]:
+            out = BinaryOp("AND", out, expr)
+        return out
+
+
+def compile_oql(
+    query: OQLQuery, ontology: Ontology, mapping: OntologyMapping
+) -> SelectStatement:
+    """Convenience wrapper around :class:`OQLCompiler`."""
+    return OQLCompiler(ontology, mapping).compile(query)

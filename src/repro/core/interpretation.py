@@ -1,0 +1,82 @@
+"""Candidate interpretations of a question.
+
+A question is ambiguous; every system therefore produces a *ranked list*
+of :class:`Interpretation` objects.  An interpretation carries either an
+OQL query (entity-based systems) or a raw SQL AST (neural systems), the
+evidence trail that produced it, a confidence, and optional clarification
+hooks for interactive systems (NaLIR [31], DialSQL [22]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.ontology.mapping import OntologyMapping
+from repro.ontology.model import Ontology
+from repro.sqldb.ast import SelectStatement
+
+from .errors import CompilationError
+from .evidence import EvidenceAnnotation
+from .intermediate import OQLQuery, compile_oql
+
+
+@dataclass
+class Interpretation:
+    """One candidate reading of the question.
+
+    Exactly one of ``oql`` / ``sql`` is set at construction; ``to_sql``
+    lowers OQL lazily (and caches) when the ontology context is given.
+    """
+
+    system: str
+    confidence: float
+    oql: Optional[OQLQuery] = None
+    sql: Optional[SelectStatement] = None
+    evidence: List[EvidenceAnnotation] = field(default_factory=list)
+    explanation: str = ""
+    clarifications: List[Any] = field(default_factory=list)
+
+    def __post_init__(self):
+        if (self.oql is None) == (self.sql is None):
+            raise ValueError("an interpretation needs exactly one of oql or sql")
+
+    def to_sql(
+        self,
+        ontology: Optional[Ontology] = None,
+        mapping: Optional[OntologyMapping] = None,
+    ) -> SelectStatement:
+        """The SQL statement of this interpretation.
+
+        OQL-backed interpretations need ``ontology`` and ``mapping`` on
+        the first call; the compiled statement is cached.
+        """
+        if self.sql is not None:
+            return self.sql
+        if ontology is None or mapping is None:
+            raise CompilationError(
+                "OQL interpretation needs ontology+mapping to compile"
+            )
+        assert self.oql is not None
+        self.sql = compile_oql(self.oql, ontology, mapping)
+        return self.sql
+
+    def describe(self) -> str:
+        """Readable multi-line explanation of this interpretation."""
+        lines = [f"system={self.system} confidence={self.confidence:.3f}"]
+        if self.explanation:
+            lines.append(self.explanation)
+        if self.oql is not None:
+            lines.append("OQL: " + self.oql.describe())
+        if self.sql is not None:
+            lines.append("SQL: " + self.sql.to_sql())
+        for evidence in self.evidence:
+            lines.append("  " + evidence.describe())
+        return "\n".join(lines)
+
+
+def best(interpretations: Sequence[Interpretation]) -> Optional[Interpretation]:
+    """Highest-confidence interpretation, or ``None`` if empty."""
+    if not interpretations:
+        return None
+    return max(interpretations, key=lambda i: i.confidence)

@@ -1,0 +1,100 @@
+"""The system interface and per-database interpretation context.
+
+`NLIDBSystem` is the single interface every surveyed approach implements
+in this reproduction — the survey's own framing (§4: systems differ in
+*interpretation method*, not in what they must produce).  The
+:class:`NLIDBContext` bundles the per-database resources interpretation
+needs (indexes, ontology, reasoner) so they are built once and shared by
+all systems under comparison.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.nlp.thesaurus import DEFAULT_THESAURUS, Thesaurus
+from repro.ontology.builder import build_ontology
+from repro.ontology.mapping import OntologyMapping
+from repro.ontology.model import Ontology
+from repro.ontology.reasoner import Reasoner
+from repro.sqldb.database import Database
+from repro.sqldb.executor import Executor
+from repro.sqldb.index import DatabaseIndex
+from repro.sqldb.relation import Relation
+
+from .interpretation import Interpretation
+
+
+class NLIDBContext:
+    """Shared per-database resources for interpretation.
+
+    Building the value index and the ontology is linear in the data; the
+    context makes that a one-time cost per database, mirroring how real
+    systems build their indexes offline.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        ontology: Optional[Ontology] = None,
+        mapping: Optional[OntologyMapping] = None,
+        thesaurus: Optional[Thesaurus] = None,
+    ):
+        self.database = database
+        self.index = DatabaseIndex(database)
+        if ontology is None or mapping is None:
+            ontology, mapping = build_ontology(database)
+        self.ontology = ontology
+        self.mapping = mapping
+        self.reasoner = Reasoner(ontology, mapping)
+        self.thesaurus = thesaurus or DEFAULT_THESAURUS
+        self.executor = Executor(database)
+        self._register_schema_synonyms()
+
+    def _register_schema_synonyms(self) -> None:
+        """Feed schema-declared synonyms into the thesaurus so string
+        and semantic matching agree with the catalog."""
+        for table in self.database.tables:
+            if table.schema.synonyms:
+                self.thesaurus.add_synonyms([table.name, *table.schema.synonyms])
+            for column in table.schema:
+                if column.synonyms:
+                    self.thesaurus.add_synonyms([column.name, *column.synonyms])
+
+    def execute(self, interpretation: Interpretation) -> Relation:
+        """Compile (if needed) and run an interpretation."""
+        stmt = interpretation.to_sql(self.ontology, self.mapping)
+        return self.executor.execute(stmt)
+
+
+class NLIDBSystem(abc.ABC):
+    """Base class for every NLIDB system in the reproduction."""
+
+    #: short identifier used in benchmark tables
+    name: str = "base"
+    #: which interpretation family the survey places this system in
+    family: str = "entity"  # "entity" | "ml" | "hybrid"
+
+    @abc.abstractmethod
+    def interpret(self, question: str, context: NLIDBContext) -> List[Interpretation]:
+        """Produce ranked candidate interpretations for ``question``.
+
+        An empty list means the system cannot interpret the question at
+        all (counted as abstention by the precision/recall metrics).
+        """
+
+    def answer(self, question: str, context: NLIDBContext) -> Optional[Relation]:
+        """Interpret and execute the top candidate; ``None`` on failure."""
+        interpretations = self.interpret(question, context)
+        if not interpretations:
+            return None
+        top = max(interpretations, key=lambda i: i.confidence)
+        try:
+            return context.execute(top)
+        except Exception:
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} family={self.family!r}>"

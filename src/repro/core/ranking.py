@@ -1,0 +1,71 @@
+"""Interpretation ranking.
+
+SODA [15] ranks candidate interpretations "based on an aggregation of the
+scores associated with each lookup result"; NaLIR and ATHENA do the same
+with parse/ontology evidence.  `score_interpretation` implements that
+shared recipe — evidence quality × question coverage — and `rank` orders
+a candidate list, optionally re-normalizing confidences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.nlp.stopwords import is_stopword
+from repro.nlp.tokenizer import Token
+
+from .evidence import EvidenceAnnotation, coverage
+from .interpretation import Interpretation
+
+
+def evidence_score(annotations: Sequence[EvidenceAnnotation]) -> float:
+    """Geometric mean of evidence scores (1.0 when there is none).
+
+    The geometric mean punishes a single weak link harder than the
+    arithmetic mean — one dubious mapping should sink the whole
+    interpretation, which is what makes entity-based ranking precise.
+    """
+    if not annotations:
+        return 1.0
+    logs = sum(math.log(min(max(a.score, 1e-6), 1.0)) for a in annotations)
+    return math.exp(logs / len(annotations))
+
+
+def content_indices(tokens: Sequence[Token]) -> List[int]:
+    """Indices of tokens that matter for coverage (non-stopword words,
+    numbers, dates, quoted values)."""
+    out = []
+    for i, token in enumerate(tokens):
+        if token.kind == "punct":
+            continue
+        if token.kind == "word" and is_stopword(token.norm):
+            continue
+        out.append(i)
+    return out
+
+
+def score_interpretation(
+    interpretation: Interpretation, tokens: Sequence[Token]
+) -> float:
+    """Composite score: evidence quality × coverage of content tokens."""
+    ev = evidence_score(interpretation.evidence)
+    cov = coverage(interpretation.evidence, content_indices(tokens))
+    return ev * (0.4 + 0.6 * cov)
+
+
+def rank(
+    interpretations: List[Interpretation],
+    tokens: Sequence[Token],
+    rescore: bool = True,
+) -> List[Interpretation]:
+    """Order interpretations best-first.
+
+    With ``rescore`` (the default) each interpretation's confidence is
+    replaced by the composite score; otherwise existing confidences are
+    used only for ordering.
+    """
+    if rescore:
+        for interpretation in interpretations:
+            interpretation.confidence = score_interpretation(interpretation, tokens)
+    return sorted(interpretations, key=lambda i: -i.confidence)

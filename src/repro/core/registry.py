@@ -1,0 +1,43 @@
+"""System registry.
+
+The benchmark harness compares systems by name; the registry decouples
+"which systems exist" from "which systems this experiment runs".
+Factories (not instances) are registered because some systems carry
+trained state and must be constructed per experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .pipeline import NLIDBSystem
+
+_FACTORIES: Dict[str, Callable[[], NLIDBSystem]] = {}
+
+
+def register(name: str, factory: Callable[[], NLIDBSystem]) -> None:
+    """Register a system factory under ``name`` (overwrites silently)."""
+    _FACTORIES[name.lower()] = factory
+
+
+def create(name: str) -> NLIDBSystem:
+    """Instantiate the system registered under ``name``."""
+    factory = _FACTORIES.get(name.lower())
+    if factory is None:
+        raise KeyError(f"no NLIDB system registered as {name!r}; have {available()}")
+    return factory()
+
+
+def available() -> List[str]:
+    """Sorted names of all registered systems."""
+    return sorted(_FACTORIES)
+
+
+def registered(name: str) -> Callable[[Callable[[], NLIDBSystem]], Callable[[], NLIDBSystem]]:
+    """Decorator form: ``@registered("soda")`` on a factory callable."""
+
+    def wrap(factory: Callable[[], NLIDBSystem]) -> Callable[[], NLIDBSystem]:
+        register(name, factory)
+        return factory
+
+    return wrap

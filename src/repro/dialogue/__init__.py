@@ -1,0 +1,39 @@
+"""Extension to dialogue (§5 of the survey).
+
+- :mod:`~repro.dialogue.state` — multi-turn context persistence.
+- :mod:`~repro.dialogue.intents` — intents + trainable classifier.
+- :mod:`~repro.dialogue.managers` — finite-state, frame-based and
+  agent-based dialogue management.
+- :mod:`~repro.dialogue.followup` — edit-based follow-up resolution [67].
+- :mod:`~repro.dialogue.clarify` — DialSQL-style multi-choice repair [22].
+- :mod:`~repro.dialogue.bootstrap` — ontology-driven artifact generation
+  for conversational interfaces [42].
+- :mod:`~repro.dialogue.conversation` — the assembled conversational
+  NLIDB.
+"""
+
+from .bootstrap import ConversationArtifacts, bootstrap_artifacts
+from .clarify import ClarifyingSystem
+from .conversation import ConversationalNLIDB
+from .followup import FollowupResolver
+from .intents import Intent, IntentClassifier
+from .managers import (
+    AgentManager,
+    DialogueAction,
+    DialogueManager,
+    FiniteStateManager,
+    FrameManager,
+    FrameSlot,
+)
+from .state import DialogueState, Turn
+
+__all__ = [
+    "DialogueState", "Turn",
+    "Intent", "IntentClassifier",
+    "DialogueManager", "DialogueAction", "FiniteStateManager",
+    "FrameManager", "FrameSlot", "AgentManager",
+    "FollowupResolver",
+    "ClarifyingSystem",
+    "ConversationArtifacts", "bootstrap_artifacts",
+    "ConversationalNLIDB",
+]

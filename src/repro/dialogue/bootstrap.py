@@ -1,0 +1,151 @@
+"""Ontology-driven conversation bootstrap (Quamar et al. [42], §5).
+
+"Ontologies provide a powerful abstraction for representing domain
+knowledge ... This can be used to bootstrap conversation systems to
+minimize the required manual labor."  Quamar et al. "demonstrate the
+effectiveness of capturing patterns in the expected workload, mapping
+these patterns against the domain ontology to generate artifacts (i.e.,
+intents, training examples, entities), and supporting dialogue."
+
+:func:`bootstrap_artifacts` is that generator: given an ontology (plus
+the database for entity values), it emits
+
+- one intent per workload pattern × concept (lookup / filter / count /
+  aggregate / relate),
+- training utterances instantiated from the ontology vocabulary
+  (names *and synonyms* — the linguistic-variability infusion §5 notes),
+- entity dictionaries (concept → known values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.pipeline import NLIDBContext
+from repro.ontology.builder import pluralize
+from repro.ontology.model import Ontology
+from repro.sqldb.database import Database
+from repro.sqldb.types import DataType
+
+from .intents import Intent
+
+
+@dataclass
+class ConversationArtifacts:
+    """Everything needed to instantiate a conversational interface."""
+
+    intents: List[Intent] = field(default_factory=list)
+    entities: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def training_examples(self) -> int:
+        """Total generated utterances across intents."""
+        return sum(len(i.examples) for i in self.intents)
+
+
+def bootstrap_artifacts(
+    context: NLIDBContext,
+    max_values_per_entity: int = 30,
+    use_synonyms: bool = True,
+) -> ConversationArtifacts:
+    """Generate intents, training examples and entity lists from the
+    ontology and data of ``context``.
+
+    ``use_synonyms=False`` is the E12 ablation: without the ontology's
+    vocabulary the training examples lose linguistic variability and
+    intent accuracy on paraphrased user input drops.
+    """
+    ontology = context.ontology
+    artifacts = ConversationArtifacts()
+
+    for concept in ontology.concepts.values():
+        names = [concept.name]
+        if use_synonyms:
+            names.extend(s for s in concept.synonyms)
+        plural_forms = [pluralize(n) for n in names]
+        text_props = [
+            p for p in concept.properties.values() if p.dtype is DataType.TEXT
+        ]
+        numeric_props = [
+            p for p in concept.properties.values() if p.dtype.is_numeric and p.name != "id"
+        ]
+
+        lookup = Intent(
+            f"lookup_{_slug(concept.name)}",
+            description=f"List or show {pluralize(concept.name)}",
+        )
+        for plural in plural_forms:
+            lookup.add_example(f"show me all {plural}")
+            lookup.add_example(f"list the {plural}")
+            lookup.add_example(f"what {plural} are there")
+        artifacts.intents.append(lookup)
+
+        if text_props:
+            filter_intent = Intent(
+                f"filter_{_slug(concept.name)}",
+                description=f"Filter {pluralize(concept.name)} by an attribute",
+            )
+            for prop in text_props[:3]:
+                prop_names = [prop.name] + (list(prop.synonyms) if use_synonyms else [])
+                for pname in prop_names:
+                    for plural in plural_forms[:2]:
+                        filter_intent.add_example(f"show {plural} with {pname} X")
+                        filter_intent.add_example(f"which {plural} have {pname} X")
+            artifacts.intents.append(filter_intent)
+
+        count_intent = Intent(
+            f"count_{_slug(concept.name)}",
+            description=f"Count {pluralize(concept.name)}",
+        )
+        for plural in plural_forms:
+            count_intent.add_example(f"how many {plural} are there")
+            count_intent.add_example(f"number of {plural}")
+            count_intent.add_example(f"count the {plural}")
+        artifacts.intents.append(count_intent)
+
+        if numeric_props:
+            agg_intent = Intent(
+                f"aggregate_{_slug(concept.name)}",
+                description=f"Aggregate a measure of {pluralize(concept.name)}",
+            )
+            for prop in numeric_props[:3]:
+                prop_names = [prop.name] + (list(prop.synonyms) if use_synonyms else [])
+                for pname in prop_names[:3]:
+                    for plural in plural_forms[:2]:
+                        agg_intent.add_example(f"what is the average {pname} of {plural}")
+                        agg_intent.add_example(f"total {pname} of {plural}")
+                        agg_intent.add_example(f"highest {pname} among {plural}")
+            artifacts.intents.append(agg_intent)
+
+        # entity dictionary: known values of the concept's text properties
+        values: List[str] = []
+        table = context.mapping.table_of(concept.name)
+        for prop in text_props:
+            _, column = context.mapping.column_of(concept.name, prop.name)
+            values.extend(
+                str(v)
+                for v in context.database.table(table).distinct_values(column)[
+                    :max_values_per_entity
+                ]
+            )
+        if values:
+            artifacts.entities[concept.name] = values[:max_values_per_entity]
+
+    for relation in ontology.relations:
+        relate = Intent(
+            f"relate_{_slug(relation.src)}_{_slug(relation.dst)}",
+            description=f"Navigate from {relation.src} to {relation.dst}",
+        )
+        src_plural = pluralize(relation.src)
+        dst_plural = pluralize(relation.dst)
+        relate.add_example(f"which {src_plural} have {dst_plural}")
+        relate.add_example(f"show the {dst_plural} of each {relation.src}")
+        relate.add_example(f"{src_plural} and their {dst_plural}")
+        artifacts.intents.append(relate)
+
+    return artifacts
+
+
+def _slug(name: str) -> str:
+    return name.lower().replace(" ", "_")

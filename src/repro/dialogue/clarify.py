@@ -1,0 +1,91 @@
+"""DialSQL-style clarification [22] (§4.2/§5).
+
+DialSQL "is capable of identifying potential errors in a generated SQL
+query and asking users for validation via simple multi-choice questions.
+User feedback is then leveraged to revise the query."
+
+:class:`ClarifyingSystem` wraps any entity-pipeline system (one exposing
+``annotator`` + ``interpreter``):
+
+1. interpret the question,
+2. find *suspect* spans — evidence whose score is low or which has a
+   close alternative candidate,
+3. for each suspect (bounded by ``max_rounds``), pose a multi-choice
+   :class:`~repro.core.feedback.ClarificationRequest`,
+4. re-interpret with the user's choices substituted.
+
+With a :class:`~repro.core.feedback.SimulatedOracle` as the user, E8
+measures the accuracy gained per clarification round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.feedback import (
+    ClarificationOption,
+    ClarificationRequest,
+    ClarificationUser,
+    FirstOptionUser,
+)
+from repro.core.interpretation import Interpretation
+from repro.core.pipeline import NLIDBContext, NLIDBSystem
+
+
+class ClarifyingSystem(NLIDBSystem):
+    """Multi-choice error-repair wrapper around an entity system."""
+
+    family = "hybrid"
+
+    def __init__(
+        self,
+        base: NLIDBSystem,
+        user: Optional[ClarificationUser] = None,
+        max_rounds: int = 3,
+        suspicion_threshold: float = 0.9,
+        margin: float = 0.25,
+        name: Optional[str] = None,
+    ):
+        if not hasattr(base, "annotator") or not hasattr(base, "interpreter"):
+            raise TypeError("ClarifyingSystem needs an entity-pipeline system")
+        self.base = base
+        self.user = user or FirstOptionUser()
+        self.max_rounds = max_rounds
+        self.suspicion_threshold = suspicion_threshold
+        self.margin = margin
+        self.name = name or f"{base.name}+clarify"
+        self.questions_asked = 0
+
+    def interpret(self, question: str, context: NLIDBContext) -> List[Interpretation]:
+        annotated = self.base.annotator.annotate(question, context)
+        rounds = 0
+        for annotation in list(annotated.annotations):
+            if rounds >= self.max_rounds:
+                break
+            if annotation.kind not in ("property", "value", "concept"):
+                continue
+            alternatives = annotated.alternatives_for(annotation, margin=self.margin)
+            suspicious = annotation.score < self.suspicion_threshold or alternatives
+            if not suspicious:
+                continue
+            options = [ClarificationOption(annotation.describe(), annotation)]
+            options.extend(
+                ClarificationOption(alt.describe(), alt) for alt in alternatives[:3]
+            )
+            if len(options) < 2:
+                continue
+            span_text = " ".join(
+                t.text for t in annotated.tokens[annotation.start : annotation.end]
+            )
+            request = ClarificationRequest(
+                f"I interpreted {span_text!r} as {options[0].label}; is that right?",
+                options,
+                topic=span_text,
+            )
+            rounds += 1
+            self.questions_asked += 1
+            choice = self.user.choose(request)
+            chosen = options[choice].payload
+            if chosen != annotation:
+                annotated = annotated.replace(annotation, chosen)
+        return self.base.interpreter.interpret(annotated, context)

@@ -1,0 +1,114 @@
+"""The conversational NLIDB: §5's extension of one-shot querying.
+
+Ties the dialogue pieces together into a data-exploration chatbot:
+
+- fresh questions go through an entity-based interpreter (ATHENA-style),
+- elliptical follow-ups are resolved by *editing* the previous query
+  (:class:`~repro.dialogue.followup.FollowupResolver`, per [67]),
+- ambiguity can be routed through clarification
+  (:class:`~repro.dialogue.clarify.ClarifyingSystem`, per [22]),
+- intents are classified with ontology-bootstrapped artifacts ([42]),
+- everything is recorded in a :class:`~repro.dialogue.state.DialogueState`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.interpretation import Interpretation
+from repro.core.intermediate import compile_oql
+from repro.core.pipeline import NLIDBContext, NLIDBSystem
+from repro.systems.ontology_athena import AthenaSystem
+
+from .bootstrap import bootstrap_artifacts
+from .followup import FollowupResolver
+from .intents import IntentClassifier
+from .state import DialogueState, Turn
+
+
+class ConversationalNLIDB:
+    """A multi-turn natural-language interface over one database."""
+
+    def __init__(
+        self,
+        context: NLIDBContext,
+        base_system: Optional[NLIDBSystem] = None,
+        use_intents: bool = True,
+        clarify_user=None,
+        max_clarification_rounds: int = 2,
+    ):
+        self.context = context
+        self.base_system = base_system or AthenaSystem()
+        if clarify_user is not None:
+            from .clarify import ClarifyingSystem
+
+            self.base_system = ClarifyingSystem(
+                self.base_system,
+                user=clarify_user,
+                max_rounds=max_clarification_rounds,
+            )
+        self.resolver = FollowupResolver()
+        self.state = DialogueState()
+        self.intent_classifier: Optional[IntentClassifier] = None
+        if use_intents:
+            artifacts = bootstrap_artifacts(context)
+            if artifacts.intents:
+                self.intent_classifier = IntentClassifier().fit(artifacts.intents)
+
+    # -- main entry -------------------------------------------------------------
+
+    RESET_PHRASES = ("start over", "start again", "reset", "never mind", "forget it", "new question")
+
+    def ask(self, utterance: str) -> Turn:
+        """Process one user turn end to end."""
+        turn = Turn(utterance=utterance)
+        lowered = utterance.lower().strip()
+        if any(lowered.startswith(p) or lowered == p for p in self.RESET_PHRASES):
+            self.reset()
+            turn.intent = "reset"
+            turn.response = "Okay, starting fresh — what would you like to know?"
+            return turn
+        if self.intent_classifier is not None:
+            intent, _ = self.intent_classifier.classify(utterance)
+            turn.intent = intent or ""
+
+        edited, move = self.resolver.resolve(
+            utterance, self.state.last_query(), self.context
+        )
+        if edited is not None:
+            turn.query = edited
+            turn.intent = move  # the follow-up move is the real intent
+        else:
+            interpretations = self.base_system.interpret(utterance, self.context)
+            if interpretations:
+                top = max(interpretations, key=lambda i: i.confidence)
+                turn.query = top.oql
+                if turn.query is None:
+                    # Neural systems return raw SQL; keep it for execution.
+                    turn.sql = top.to_sql().to_sql()
+
+        self._execute(turn)
+        self.state.record(turn)
+        return turn
+
+    def _execute(self, turn: Turn) -> None:
+        try:
+            if turn.query is not None:
+                stmt = compile_oql(turn.query, self.context.ontology, self.context.mapping)
+                turn.sql = stmt.to_sql()
+                result = self.context.executor.execute(stmt)
+            elif turn.sql:
+                result = self.context.executor.execute_sql(turn.sql)
+            else:
+                turn.response = "I could not interpret that — could you rephrase?"
+                return
+        except Exception as exc:
+            turn.response = f"That query failed: {exc}"
+            return
+        turn.result_rows = len(result)
+        preview = result.to_text(max_rows=5)
+        turn.response = f"{len(result)} row(s):\n{preview}"
+
+    def reset(self) -> None:
+        """Start a fresh conversation."""
+        self.state.reset()

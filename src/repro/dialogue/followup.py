@@ -1,0 +1,287 @@
+"""Follow-up resolution: edit the previous query instead of restating it.
+
+Zhang et al. [67] "propose SQL query generation by editing the query in
+the previous turn ... This sequence editing mechanism models token-level
+changes and is thus robust to error propagation."  At the OQL level the
+same idea becomes structural edits; :class:`FollowupResolver` recognizes
+the follow-up move expressed by an utterance and applies it to the
+previous turn's query:
+
+- ``change_value`` — "what about Paris" (swap a filter value),
+- ``add_filter`` — "only the ones with price over 100",
+- ``group_swap`` — "break that down by region",
+- ``agg_change`` — "make that the average" / "the maximum instead",
+- ``top_k`` — "just the top 3",
+- ``add_projection`` — "also show their city",
+- ``new_query`` — anything that reads like a fresh question.
+
+The resolver is deliberately rule-based — the survey's point (§5) is the
+*capability* of context carry-over; E7 measures its value against
+context-blind re-interpretation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import replace
+from typing import List, Optional, Tuple
+
+from repro.core.intermediate import (
+    OQLCondition,
+    OQLHasCondition,
+    OQLItem,
+    OQLOrder,
+    OQLQuery,
+    PropertyRef,
+)
+from repro.core.pipeline import NLIDBContext
+from repro.nlp.patterns import AGGREGATION_CUES, detect_patterns
+from repro.nlp.pos import tag_text
+
+from repro.systems.base import EntityAnnotator
+
+_FRESH_LEADS = ("show", "list", "what", "which", "how", "who", "give", "find", "count")
+_FOLLOWUP_LEADS = (
+    "what about", "how about", "and", "also", "only", "just", "instead",
+    "break", "group", "sort", "order", "now", "same", "of those",
+    "among those", "make",
+)
+
+
+class FollowupResolver:
+    """Applies follow-up edits to the previous OQL query."""
+
+    def __init__(self, annotator: Optional[EntityAnnotator] = None):
+        self.annotator = annotator or EntityAnnotator(similarity_threshold=0.75)
+
+    # -- move detection ---------------------------------------------------------
+
+    def is_followup(self, utterance: str) -> bool:
+        """Heuristic: does this utterance depend on previous context?"""
+        lowered = utterance.lower().strip()
+        if any(lowered.startswith(lead) for lead in _FOLLOWUP_LEADS):
+            return True
+        words = lowered.split()
+        # Very short utterances ("by region", "the average?") are
+        # elliptical by construction.
+        if len(words) <= 3 and not lowered.startswith(_FRESH_LEADS):
+            return True
+        return False
+
+    def resolve(
+        self,
+        utterance: str,
+        previous: Optional[OQLQuery],
+        context: NLIDBContext,
+    ) -> Tuple[Optional[OQLQuery], str]:
+        """Return (edited query, move name); (None, "new_query") when the
+        utterance should be interpreted from scratch."""
+        if previous is None or not self.is_followup(utterance):
+            return None, "new_query"
+        annotated = self.annotator.annotate(utterance, context)
+        annotated = self._prefer_context_concepts(annotated, previous)
+        tokens = annotated.tokens
+        patterns = annotated.patterns
+        lowered = utterance.lower()
+
+        value_anns = annotated.annotations_of("value")
+        prop_anns = annotated.annotations_of("property")
+        limit_patterns = [p for p in patterns if p.kind == "limit"]
+        group_patterns = [p for p in patterns if p.kind == "group_by"]
+        agg_patterns = [p for p in patterns if p.kind in ("aggregation", "count")]
+        comparison_patterns = [p for p in patterns if p.kind == "comparison"]
+
+        if limit_patterns and not value_anns:
+            return self._apply_topk(previous, limit_patterns[0], prop_anns, context), "top_k"
+        if group_patterns and prop_anns:
+            # the group key is the property mentioned AFTER the cue
+            # ("group it by name" — not a cue word that happens to match
+            # a column synonym)
+            cue_end = group_patterns[-1].end
+            after = [a for a in prop_anns if a.start >= cue_end]
+            edited = self._apply_group_swap(previous, after or prop_anns, context)
+            if edited is not None:
+                return edited, "group_swap"
+        if agg_patterns and not value_anns and not comparison_patterns:
+            edited = self._apply_agg_change(previous, agg_patterns[0].value, prop_anns)
+            if edited is not None:
+                return edited, "agg_change"
+        if comparison_patterns and not value_anns:
+            edited = self._apply_numeric_filter(
+                previous, tokens, comparison_patterns[0], prop_anns
+            )
+            if edited is not None:
+                return edited, "add_filter"
+        if value_anns:
+            if lowered.startswith(("what about", "how about", "and for", "and in")):
+                return self._apply_change_value(previous, value_anns), "change_value"
+            return self._apply_add_filter(previous, value_anns), "add_filter"
+        if prop_anns and any(w in lowered for w in ("also", "show", "add", "their")):
+            return self._apply_add_projection(previous, prop_anns), "add_projection"
+        return None, "new_query"
+
+    def _prefer_context_concepts(self, annotated, previous: OQLQuery):
+        """Re-map ambiguous annotations onto the previous query's concepts.
+
+        An elliptical follow-up ("group it by name") names no concept, so
+        the annotator cannot disambiguate "name"; the dialogue context can
+        — the conversation is still about the previous query's entities.
+        """
+        context_concepts = set(previous.concepts())
+        if not context_concepts:
+            return annotated
+        current = annotated
+        for annotation in list(annotated.annotations):
+            concept = None
+            if annotation.kind == "property":
+                concept = annotation.payload.concept
+            elif annotation.kind == "value":
+                concept = annotation.payload[0].concept
+            if concept is None or concept in context_concepts:
+                continue
+            for alternative in annotated.alternatives_for(annotation, margin=0.4):
+                alt_concept = None
+                if alternative.kind == "property":
+                    alt_concept = alternative.payload.concept
+                elif alternative.kind == "value":
+                    alt_concept = alternative.payload[0].concept
+                if alt_concept in context_concepts:
+                    current = current.replace(annotation, alternative)
+                    break
+        return current
+
+    # -- edits -----------------------------------------------------------------
+
+    def _apply_change_value(self, previous: OQLQuery, value_anns) -> OQLQuery:
+        ref, value = value_anns[0].payload
+        conditions = list(previous.conditions)
+        replaced = False
+        for i, cond in enumerate(conditions):
+            if (
+                isinstance(cond, OQLCondition)
+                and cond.ref is not None
+                and cond.ref.prop == ref.prop
+                and cond.op == "="
+            ):
+                conditions[i] = replace(cond, ref=ref, value=value)
+                replaced = True
+                break
+        if not replaced:
+            conditions.append(OQLCondition(ref, "=", value))
+        return replace(previous, conditions=tuple(conditions))
+
+    def _apply_add_filter(self, previous: OQLQuery, value_anns) -> OQLQuery:
+        ref, value = value_anns[0].payload
+        condition = OQLCondition(ref, "=", value)
+        if condition in previous.conditions:
+            return previous
+        return replace(previous, conditions=(*previous.conditions, condition))
+
+    def _apply_numeric_filter(
+        self, previous: OQLQuery, tokens, comparison, prop_anns
+    ) -> Optional[OQLQuery]:
+        number = None
+        for token in tokens[comparison.end :]:
+            if token.is_number:
+                number = float(token.numeric_value)
+                break
+        if number is None or comparison.value not in (">", "<", ">=", "<="):
+            return None
+        ref = None
+        for ann in prop_anns:
+            from repro.sqldb.types import DataType
+
+            ref = ann.payload
+            break
+        if ref is None:
+            # fall back to the measure the previous query aggregates/orders
+            ref = self._previous_measure(previous)
+        if ref is None:
+            return None
+        condition = OQLCondition(ref, comparison.value, number)
+        return replace(previous, conditions=(*previous.conditions, condition))
+
+    def _apply_group_swap(
+        self, previous: OQLQuery, prop_anns, context: NLIDBContext
+    ) -> Optional[OQLQuery]:
+        ref: PropertyRef = prop_anns[0].payload
+        agg_items = tuple(
+            item for item in previous.select if item.aggregate or item.count_all
+        )
+        if not agg_items:
+            # grouping a plain listing means counting per group
+            agg_items = (OQLItem(count_all=True, concept=previous.concepts()[0] if previous.concepts() else None),)
+        select = (OQLItem(ref=ref), *agg_items)
+        return replace(
+            previous,
+            select=select,
+            group_by=(ref,),
+            order_by=(),
+            limit=None,
+            distinct=False,
+        )
+
+    def _apply_agg_change(
+        self, previous: OQLQuery, new_agg: str, prop_anns
+    ) -> Optional[OQLQuery]:
+        target: Optional[PropertyRef] = None
+        if prop_anns:
+            target = prop_anns[0].payload
+        else:
+            target = self._previous_measure(previous)
+        if new_agg == "count":
+            concept = previous.concepts()[0] if previous.concepts() else None
+            new_item = OQLItem(count_all=True, concept=concept)
+        else:
+            if target is None:
+                return None
+            new_item = OQLItem(ref=target, aggregate=new_agg)
+        select = list(previous.select)
+        for i, item in enumerate(select):
+            if item.aggregate or item.count_all:
+                select[i] = new_item
+                break
+        else:
+            select = [new_item]
+            if previous.group_by:
+                select = [OQLItem(ref=previous.group_by[0]), new_item]
+        return replace(previous, select=tuple(select), distinct=False)
+
+    def _apply_topk(
+        self, previous: OQLQuery, limit_pattern, prop_anns, context: NLIDBContext
+    ) -> OQLQuery:
+        count_text, direction = limit_pattern.value.split(":")
+        order_ref = None
+        if prop_anns:
+            order_ref = prop_anns[0].payload
+        else:
+            order_ref = self._previous_measure(previous)
+        order_by = previous.order_by
+        if order_ref is not None:
+            agg = next(
+                (i.aggregate for i in previous.select if i.ref == order_ref and i.aggregate),
+                None,
+            )
+            order_by = (OQLOrder(OQLItem(ref=order_ref, aggregate=agg), direction),)
+        elif previous.select and (previous.select[-1].aggregate or previous.select[-1].count_all):
+            order_by = (OQLOrder(previous.select[-1], direction),)
+        return replace(previous, order_by=order_by, limit=int(count_text))
+
+    def _apply_add_projection(self, previous: OQLQuery, prop_anns) -> OQLQuery:
+        ref = prop_anns[0].payload
+        if any(item.ref == ref for item in previous.select):
+            return previous
+        return replace(previous, select=(*previous.select, OQLItem(ref=ref)))
+
+    @staticmethod
+    def _previous_measure(previous: OQLQuery) -> Optional[PropertyRef]:
+        for item in previous.select:
+            if item.aggregate and item.ref is not None:
+                return item.ref
+        for order in previous.order_by:
+            if order.item.ref is not None:
+                return order.item.ref
+        for cond in previous.conditions:
+            if isinstance(cond, OQLCondition) and cond.ref is not None and cond.op in (">", "<", ">=", "<="):
+                return cond.ref
+        return None

@@ -1,0 +1,109 @@
+"""Intents: goals expressed in user utterances (§5).
+
+"The set of all possible interactions with a conversational interface is
+defined in terms of three main components ... intents, entities, and
+dialogue.  Intents are goals/actions that are expressed in the user
+utterances."  :class:`IntentClassifier` is the trainable piece chatbot
+platforms provide: given labeled example utterances per intent, classify
+new utterances — here with embedding centroids plus a logistic layer,
+which is faithful to the shallow classifiers those platforms run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nlp.embeddings import HashedEmbeddings, cosine
+from repro.nlp.tokenizer import words
+from repro.systems.neural.nn import MLPClassifier
+
+
+@dataclass
+class Intent:
+    """One dialogue intent with its training utterances."""
+
+    name: str
+    examples: List[str] = field(default_factory=list)
+    description: str = ""
+
+    def add_example(self, utterance: str) -> None:
+        """Attach a training utterance."""
+        self.examples.append(utterance)
+
+
+class IntentClassifier:
+    """Centroid + MLP intent classifier over hashed embeddings."""
+
+    def __init__(self, dim: int = 32, threshold: float = 0.25, seed: int = 0):
+        self.dim = dim
+        self.threshold = threshold
+        self.seed = seed
+        # Unsmoothed embeddings: a generic chatbot platform knows nothing
+        # about the domain vocabulary — synonym coverage must come from
+        # the *training examples* (which is exactly what the ontology
+        # bootstrap of [42] provides, and what E12 measures).
+        self.embeddings = HashedEmbeddings(dim, smooth=False)
+        self.intents: List[Intent] = []
+        self._centroids: Optional[np.ndarray] = None
+        self._mlp: Optional[MLPClassifier] = None
+
+    def _vector(self, utterance: str) -> np.ndarray:
+        from repro.nlp.stopwords import content_words
+
+        tokens = content_words(words(utterance)) or words(utterance)
+        return self.embeddings.sentence_vector(tokens)
+
+    def fit(self, intents: Sequence[Intent]) -> "IntentClassifier":
+        """Train on the given intents' example utterances."""
+        self.intents = [i for i in intents if i.examples]
+        if not self.intents:
+            raise ValueError("no intents with examples to train on")
+        self._centroids = np.stack(
+            [
+                np.mean([self._vector(e) for e in intent.examples], axis=0)
+                for intent in self.intents
+            ]
+        )
+        xs, ys = [], []
+        for idx, intent in enumerate(self.intents):
+            for example in intent.examples:
+                xs.append(self._features(self._vector(example)))
+                ys.append(idx)
+        self._mlp = MLPClassifier(
+            self._centroids.shape[0] + self.dim,
+            len(self.intents),
+            hidden=24,
+            seed=self.seed,
+        )
+        self._mlp.fit(np.array(xs), np.array(ys), epochs=40, seed=self.seed)
+        return self
+
+    def _features(self, vec: np.ndarray) -> np.ndarray:
+        assert self._centroids is not None
+        sims = np.array([cosine(vec, c) for c in self._centroids])
+        return np.concatenate([sims, vec])
+
+    def classify(self, utterance: str) -> Tuple[Optional[str], float]:
+        """(intent name, confidence); (None, best) below the threshold."""
+        if self._mlp is None or self._centroids is None:
+            raise RuntimeError("call fit() first")
+        vec = self._vector(utterance)
+        probs = self._mlp.predict_proba(self._features(vec))[0]
+        best = int(np.argmax(probs))
+        confidence = float(probs[best])
+        sims = [cosine(vec, c) for c in self._centroids]
+        if max(sims) < self.threshold:
+            return None, confidence
+        return self.intents[best].name, confidence
+
+    def accuracy(self, labeled: Sequence[Tuple[str, str]]) -> float:
+        """Fraction of (utterance, gold intent) pairs classified right."""
+        if not labeled:
+            return 0.0
+        hits = sum(
+            1 for utterance, gold in labeled if self.classify(utterance)[0] == gold
+        )
+        return hits / len(labeled)

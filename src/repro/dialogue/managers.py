@@ -1,0 +1,204 @@
+"""Dialogue management: finite-state, frame-based and agent-based (§5).
+
+The survey contrasts three approaches: rule-based finite-state systems
+("simple to construct ... but restrict user input to predetermined words
+and phrases"), frame-based systems ("enable the user to provide more
+information than required by the system's question"), and agent-based
+systems ("statistical models trained on corpora ... the most flexible
+form of dialogue management, and hence suitable for iterative data
+exploration").
+
+All three implement the same :class:`DialogueManager` protocol — given
+the current state and an utterance, decide the next
+:class:`DialogueAction` — so experiment E12's ablations can swap them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nlp.tokenizer import words
+
+from .state import DialogueState
+
+
+@dataclass(frozen=True)
+class DialogueAction:
+    """What the manager wants to do next.
+
+    ``kind`` ∈ {``answer``, ``ask_slot``, ``clarify``, ``reject``,
+    ``reset``}; ``payload`` carries the slot name or prompt text.
+    """
+
+    kind: str
+    payload: str = ""
+    prompt: str = ""
+
+
+class DialogueManager(abc.ABC):
+    """Chooses the next dialogue action."""
+
+    name = "manager"
+
+    @abc.abstractmethod
+    def decide(self, state: DialogueState, utterance: str) -> DialogueAction:
+        """Decide how to respond to ``utterance`` given ``state``."""
+
+
+# --------------------------------------------------------------------------
+# Finite-state
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FSMTransition:
+    """One allowed transition: keywords that move the machine along."""
+
+    source: str
+    target: str
+    keywords: Tuple[str, ...]
+    action: DialogueAction
+
+
+class FiniteStateManager(DialogueManager):
+    """A fixed state graph; input must contain the expected keywords.
+
+    Faithful to the rule-based systems [35, 37]: robust inside the
+    script, lost outside it — utterances matching no outgoing transition
+    are rejected.
+    """
+
+    name = "finite-state"
+
+    def __init__(self, start: str = "start"):
+        self.state_name = start
+        self.transitions: List[FSMTransition] = []
+
+    def add_transition(
+        self, source: str, target: str, keywords: Sequence[str], action: DialogueAction
+    ) -> None:
+        """Declare an edge of the dialogue graph."""
+        self.transitions.append(
+            FSMTransition(source, target, tuple(k.lower() for k in keywords), action)
+        )
+
+    def decide(self, state: DialogueState, utterance: str) -> DialogueAction:
+        tokens = set(words(utterance))
+        for transition in self.transitions:
+            if transition.source != self.state_name:
+                continue
+            if all(k in tokens for k in transition.keywords):
+                self.state_name = transition.target
+                return transition.action
+        return DialogueAction("reject", prompt="Sorry, I did not understand that.")
+
+
+# --------------------------------------------------------------------------
+# Frame-based
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class FrameSlot:
+    """A required piece of information with its extraction function."""
+
+    name: str
+    prompt: str
+    extractor: Callable[[str], Optional[str]]
+    value: Optional[str] = None
+
+
+class FrameManager(DialogueManager):
+    """Slot filling with over-answering.
+
+    Every utterance is run through *all* empty slots' extractors — the
+    frame-based property that "the user [may] provide more information
+    than required by the system's question" [13, 19, 21].  When slots
+    remain, the manager asks for the first missing one; when the frame is
+    complete it answers.
+    """
+
+    name = "frame"
+
+    def __init__(self, slots: Sequence[FrameSlot]):
+        self.slots = list(slots)
+
+    def decide(self, state: DialogueState, utterance: str) -> DialogueAction:
+        for slot in self.slots:
+            if slot.value is None:
+                extracted = slot.extractor(utterance)
+                if extracted is not None:
+                    slot.value = extracted
+        missing = [s for s in self.slots if s.value is None]
+        if missing:
+            return DialogueAction("ask_slot", payload=missing[0].name, prompt=missing[0].prompt)
+        return DialogueAction("answer")
+
+    def values(self) -> Dict[str, str]:
+        """Filled slot values."""
+        return {s.name: s.value for s in self.slots if s.value is not None}
+
+    def reset(self) -> None:
+        """Clear all slots."""
+        for slot in self.slots:
+            slot.value = None
+
+
+# --------------------------------------------------------------------------
+# Agent-based (statistical)
+# --------------------------------------------------------------------------
+
+
+class AgentManager(DialogueManager):
+    """Statistical policy over dialogue acts [14, 40, 60].
+
+    A softmax policy over hand-countable state features, trained on a
+    corpus of (state-features, correct action) pairs — the scaled-down
+    analogue of POMDP policies "trained on corpora of real human computer
+    dialogue".  Unlike the FSM it accepts any input; unlike frames it can
+    decide to clarify, answer, or hand control to the user drill-down.
+    """
+
+    name = "agent"
+
+    ACTIONS = ("answer", "ask_slot", "clarify", "reset")
+
+    def __init__(self, seed: int = 0):
+        from repro.systems.neural.nn import MLPClassifier
+
+        self._clf = MLPClassifier(6, len(self.ACTIONS), hidden=16, seed=seed)
+        self.trained = False
+
+    @staticmethod
+    def featurize(state: DialogueState, utterance: str) -> np.ndarray:
+        """Dialogue-act features: coverage, ambiguity, history length."""
+        tokens = words(utterance)
+        return np.array(
+            [
+                min(len(tokens) / 12.0, 1.0),
+                1.0 if state.current_query is not None else 0.0,
+                min(state.turn_count / 6.0, 1.0),
+                1.0 if state.pending_clarification is not None else 0.0,
+                1.0 if any(w in ("start", "restart", "reset", "over") for w in tokens) else 0.0,
+                1.0 if any(w in ("which", "what", "did", "mean") for w in tokens) else 0.0,
+            ]
+        )
+
+    def fit(self, corpus: Sequence[Tuple[np.ndarray, str]]) -> "AgentManager":
+        """Train on (features, action-name) pairs."""
+        xs = np.stack([f for f, _ in corpus])
+        ys = np.array([self.ACTIONS.index(a) for _, a in corpus])
+        self._clf.fit(xs, ys, epochs=60)
+        self.trained = True
+        return self
+
+    def decide(self, state: DialogueState, utterance: str) -> DialogueAction:
+        if not self.trained:
+            return DialogueAction("answer")
+        features = self.featurize(state, utterance)
+        action = self.ACTIONS[int(self._clf.predict(features)[0])]
+        return DialogueAction(action)

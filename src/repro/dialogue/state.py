@@ -1,0 +1,73 @@
+"""Dialogue state: the persisted context of a conversation (§5).
+
+The survey defines conversational interfaces by their ability to
+"persist the context of conversation across multiple turns".
+:class:`DialogueState` is that context: the turn history, the current
+query (as OQL, so it can be edited), the entities in focus, and any
+pending clarification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.core.feedback import ClarificationRequest
+from repro.core.intermediate import OQLQuery, PropertyRef
+from repro.sqldb.relation import Relation
+
+
+@dataclass
+class Turn:
+    """One exchange: what the user said, what the system did."""
+
+    utterance: str
+    intent: str = ""
+    query: Optional[OQLQuery] = None
+    sql: str = ""
+    result_rows: int = -1
+    response: str = ""
+
+
+@dataclass
+class DialogueState:
+    """Mutable conversation context."""
+
+    turns: List[Turn] = field(default_factory=list)
+    current_query: Optional[OQLQuery] = None
+    focus_concept: Optional[str] = None
+    focus_entities: List[Tuple[PropertyRef, Any]] = field(default_factory=list)
+    pending_clarification: Optional[ClarificationRequest] = None
+
+    @property
+    def turn_count(self) -> int:
+        """Number of completed turns."""
+        return len(self.turns)
+
+    def record(self, turn: Turn) -> None:
+        """Append a completed turn and update the focus."""
+        self.turns.append(turn)
+        if turn.query is not None:
+            self.current_query = turn.query
+            concepts = turn.query.concepts()
+            if concepts:
+                self.focus_concept = concepts[0]
+
+    def last_query(self) -> Optional[OQLQuery]:
+        """The most recent successfully interpreted query."""
+        return self.current_query
+
+    def remember_entity(self, ref: PropertyRef, value: Any) -> None:
+        """Track a value the conversation is 'about' (for coreference)."""
+        self.focus_entities = [
+            (r, v) for r, v in self.focus_entities if r != ref
+        ]
+        self.focus_entities.append((ref, value))
+
+    def reset(self) -> None:
+        """Forget everything (a "start over" user action)."""
+        self.turns.clear()
+        self.current_query = None
+        self.focus_concept = None
+        self.focus_entities.clear()
+        self.pending_clarification = None

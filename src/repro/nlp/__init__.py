@@ -1,0 +1,58 @@
+"""Natural-language processing substrate.
+
+Everything the surveyed NLIDB systems need from NLP, self-contained:
+
+- :mod:`~repro.nlp.tokenizer` — tokens with spans, quoted-phrase support.
+- :mod:`~repro.nlp.stopwords` — NLIDB-aware stopword list.
+- :mod:`~repro.nlp.lemmatizer` — rule-based lemmas.
+- :mod:`~repro.nlp.pos` — rule-based POS tagging.
+- :mod:`~repro.nlp.parser` — chunking dependency parser (NaLIR-style
+  parse trees).
+- :mod:`~repro.nlp.similarity` / :mod:`~repro.nlp.thesaurus` /
+  :mod:`~repro.nlp.matching` — string, synonym and Wu–Palmer similarity,
+  blended into one ``term_similarity``.
+- :mod:`~repro.nlp.embeddings` — deterministic hashed embeddings and
+  PPMI+SVD co-occurrence embeddings (numpy).
+- :mod:`~repro.nlp.patterns` — detectors for aggregation / group-by /
+  comparison / limit / negation cues.
+- :mod:`~repro.nlp.numbers` — number-word and ordinal parsing.
+"""
+
+from .embeddings import CooccurrenceEmbeddings, HashedEmbeddings, cosine
+from .lemmatizer import lemmatize, lemmas_equal
+from .matching import phrase_similarity, term_similarity
+from .numbers import ordinal_to_number, parse_number, word_to_number
+from .parser import ParseNode, ParseTree, parse, parse_tokens
+from .patterns import (
+    PatternMatch,
+    aggregation_of,
+    detect_patterns,
+    detect_text,
+    has_group_by,
+)
+from .pos import tag, tag_text
+from .similarity import (
+    edit_similarity,
+    jaccard,
+    levenshtein,
+    string_similarity,
+    trigram_similarity,
+)
+from .stopwords import STOPWORDS, content_words, is_stopword
+from .thesaurus import DEFAULT_THESAURUS, Thesaurus, are_synonyms, synonyms, wup_similarity
+from .tokenizer import Token, detokenize, tokenize, words
+
+__all__ = [
+    "Token", "tokenize", "words", "detokenize",
+    "STOPWORDS", "is_stopword", "content_words",
+    "lemmatize", "lemmas_equal",
+    "tag", "tag_text",
+    "ParseNode", "ParseTree", "parse", "parse_tokens",
+    "levenshtein", "edit_similarity", "trigram_similarity", "jaccard",
+    "string_similarity",
+    "Thesaurus", "DEFAULT_THESAURUS", "synonyms", "are_synonyms", "wup_similarity",
+    "term_similarity", "phrase_similarity",
+    "HashedEmbeddings", "CooccurrenceEmbeddings", "cosine",
+    "PatternMatch", "detect_patterns", "detect_text", "aggregation_of", "has_group_by",
+    "parse_number", "word_to_number", "ordinal_to_number",
+]

@@ -1,0 +1,173 @@
+"""Word embeddings without pretrained downloads.
+
+Two providers, both deterministic:
+
+- :class:`HashedEmbeddings` — random-feature vectors seeded by a hash of
+  the word, with synonym smoothing: a word's vector is the average of its
+  own hash vector and its synonym ring's vectors, so synonyms land close
+  in cosine space.  This plays the role word2vec/GloVe play in the
+  learned NLIDB systems the survey discusses (§4.2) at zero training
+  cost.
+- :class:`CooccurrenceEmbeddings` — PPMI + truncated SVD over a training
+  corpus, the classic count-based embedding; used by the DBPal-style
+  pipeline to learn domain vocabulary from its synthetic corpus.
+
+Both expose ``vector(word)`` and ``sentence_vector(words)`` and are
+consumed by the neural models in :mod:`repro.systems.neural`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .lemmatizer import lemmatize
+from .thesaurus import DEFAULT_THESAURUS, Thesaurus
+
+
+def _hash_seed(word: str) -> int:
+    digest = hashlib.sha256(word.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class HashedEmbeddings:
+    """Deterministic hash-based embeddings with synonym smoothing.
+
+    With ``smooth=False`` the synonym-ring averaging is skipped and each
+    word keeps its own hash vector — useful when nearby-but-distinct cue
+    words ("number" vs "amount") must stay separable for a classifier.
+    """
+
+    def __init__(
+        self,
+        dim: int = 64,
+        thesaurus: Optional[Thesaurus] = None,
+        smooth: bool = True,
+    ):
+        self.dim = dim
+        self.thesaurus = thesaurus or DEFAULT_THESAURUS
+        self.smooth = smooth
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def _raw_vector(self, word: str) -> np.ndarray:
+        rng = np.random.default_rng(_hash_seed(word))
+        vec = rng.standard_normal(self.dim)
+        return vec / (np.linalg.norm(vec) + 1e-12)
+
+    def vector(self, word: str) -> np.ndarray:
+        """Unit-norm vector for ``word``; synonyms share most of it."""
+        w = lemmatize(word.lower())
+        cached = self._cache.get(w)
+        if cached is not None:
+            return cached
+        if not self.smooth:
+            vec = self._raw_vector(w)
+            self._cache[w] = vec
+            return vec
+        ring = sorted(lemmatize(s) for s in self.thesaurus.synonyms(w))
+        if len(ring) > 1:
+            # Anchor on the ring centroid so all synonyms are close, and
+            # mix in the word's own vector so they are not identical.
+            centroid = np.mean([self._raw_vector(s) for s in ring], axis=0)
+            vec = 0.8 * centroid + 0.2 * self._raw_vector(w)
+        else:
+            vec = self._raw_vector(w)
+        vec = vec / (np.linalg.norm(vec) + 1e-12)
+        self._cache[w] = vec
+        return vec
+
+    def sentence_vector(self, words: Sequence[str]) -> np.ndarray:
+        """Mean of word vectors (zero vector for an empty input)."""
+        if not words:
+            return np.zeros(self.dim)
+        return np.mean([self.vector(w) for w in words], axis=0)
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two word vectors."""
+        return cosine(self.vector(a), self.vector(b))
+
+
+class CooccurrenceEmbeddings:
+    """PPMI + SVD embeddings trained on a corpus of token lists."""
+
+    def __init__(self, dim: int = 32, window: int = 3, min_count: int = 1):
+        self.dim = dim
+        self.window = window
+        self.min_count = min_count
+        self.vocab: Dict[str, int] = {}
+        self._vectors: Optional[np.ndarray] = None
+
+    def fit(self, corpus: Iterable[Sequence[str]]) -> "CooccurrenceEmbeddings":
+        """Learn embeddings from an iterable of tokenized sentences."""
+        sentences = [[w.lower() for w in sent] for sent in corpus]
+        counts: Dict[str, int] = {}
+        for sent in sentences:
+            for word in sent:
+                counts[word] = counts.get(word, 0) + 1
+        self.vocab = {
+            w: i
+            for i, w in enumerate(
+                sorted(w for w, c in counts.items() if c >= self.min_count)
+            )
+        }
+        size = len(self.vocab)
+        if size == 0:
+            self._vectors = np.zeros((0, self.dim))
+            return self
+        matrix = np.zeros((size, size))
+        for sent in sentences:
+            ids = [self.vocab[w] for w in sent if w in self.vocab]
+            for i, center in enumerate(ids):
+                lo = max(0, i - self.window)
+                hi = min(len(ids), i + self.window + 1)
+                for j in range(lo, hi):
+                    if j != i:
+                        matrix[center, ids[j]] += 1.0
+        total = matrix.sum()
+        if total == 0:
+            self._vectors = np.zeros((size, self.dim))
+            return self
+        row = matrix.sum(axis=1, keepdims=True)
+        col = matrix.sum(axis=0, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            pmi = np.log((matrix * total) / (row @ col))
+        pmi[~np.isfinite(pmi)] = 0.0
+        ppmi = np.maximum(pmi, 0.0)
+        dim = min(self.dim, size)
+        u, s, _ = np.linalg.svd(ppmi, full_matrices=False)
+        vectors = u[:, :dim] * np.sqrt(s[:dim])
+        if dim < self.dim:
+            vectors = np.pad(vectors, ((0, 0), (0, self.dim - dim)))
+        norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+        self._vectors = vectors / np.maximum(norms, 1e-12)
+        return self
+
+    def vector(self, word: str) -> np.ndarray:
+        """Vector for ``word``; zero vector when out of vocabulary."""
+        if self._vectors is None:
+            raise RuntimeError("call fit() before vector()")
+        idx = self.vocab.get(word.lower())
+        if idx is None:
+            return np.zeros(self.dim)
+        return self._vectors[idx]
+
+    def sentence_vector(self, words: Sequence[str]) -> np.ndarray:
+        """Mean of in-vocabulary word vectors."""
+        if not words:
+            return np.zeros(self.dim)
+        vecs = [self.vector(w) for w in words]
+        return np.mean(vecs, axis=0)
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cosine similarity between two word vectors."""
+        return cosine(self.vector(a), self.vector(b))
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity with zero-vector protection."""
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na < 1e-12 or nb < 1e-12:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))

@@ -1,0 +1,163 @@
+"""Rule-based lemmatizer.
+
+Covers the inflection patterns that matter for matching question words
+against schema terms: noun plurals (``employees`` → ``employee``,
+``salaries`` → ``salary``, ``branches`` → ``branch``), verb forms
+(``earns``/``earned``/``earning`` → ``earn``), and a table of common
+irregulars.  The output is used by index lookup, so precision matters
+more than linguistic completeness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+IRREGULAR: Dict[str, str] = {
+    # nouns
+    "people": "person",
+    "men": "man",
+    "women": "woman",
+    "children": "child",
+    "feet": "foot",
+    "teeth": "tooth",
+    "mice": "mouse",
+    "geese": "goose",
+    "criteria": "criterion",
+    "data": "datum",
+    "indices": "index",
+    "analyses": "analysis",
+    "countries": "country",
+    "cities": "city",
+    "companies": "company",
+    "salaries": "salary",
+    "categories": "category",
+    "branches": "branch",
+    "movies": "movie",
+    "cookies": "cookie",
+    "calories": "calorie",
+    "species": "species",
+    "series": "series",
+    # verbs
+    "is": "be",
+    "are": "be",
+    "was": "be",
+    "were": "be",
+    "been": "be",
+    "am": "be",
+    "has": "have",
+    "had": "have",
+    "does": "do",
+    "did": "do",
+    "went": "go",
+    "gone": "go",
+    "made": "make",
+    "sold": "sell",
+    "bought": "buy",
+    "spent": "spend",
+    "paid": "pay",
+    "earned": "earn",
+    "got": "get",
+    "gave": "give",
+    "took": "take",
+    "held": "hold",
+    "ran": "run",
+    "grew": "grow",
+    "left": "leave",
+    "won": "win",
+    "lost": "lose",
+}
+
+# Words ending in 's' that are not plurals.
+_S_EXCEPTIONS = frozenset(
+    "always perhaps status bonus campus census genus bus plus analysis"
+    " basis crisis thesis lens boss class gross less miss process address"
+    " business species series news".split()
+)
+
+_VOWELS = set("aeiou")
+
+
+def lemmatize(word: str) -> str:
+    """Best-effort lemma of ``word`` (lower-cased)."""
+    w = word.lower()
+    if len(w) <= 2:
+        return w
+    if w in IRREGULAR:
+        return IRREGULAR[w]
+    if w in _S_EXCEPTIONS:
+        return w
+    # -ies -> -y  (salaries -> salary)
+    if w.endswith("ies") and len(w) > 4:
+        return w[:-3] + "y"
+    # -sses/-shes/-ches/-xes/-zes -> strip 'es'
+    if w.endswith(("sses", "shes", "ches", "xes", "zes")) and len(w) > 4:
+        return w[:-2]
+    # -oes -> -o  (heroes -> hero); but 'does' handled above
+    if w.endswith("oes") and len(w) > 4:
+        return w[:-2]
+    # -ing -> base (earning -> earn, running -> run, making -> make)
+    if w.endswith("ing") and len(w) > 5:
+        stem = w[:-3]
+        if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in _VOWELS:
+            return stem[:-1]  # running -> run
+        if _needs_e(stem):
+            return stem + "e"  # making -> make
+        return stem
+    # -ed -> base (earned -> earn, saved -> save, planned -> plan)
+    if w.endswith("ed") and len(w) > 4:
+        stem = w[:-2]
+        if len(stem) >= 3 and stem[-1] == stem[-2] and stem[-1] not in _VOWELS:
+            return stem[:-1]
+        if _needs_e(stem):
+            return stem + "e"
+        return stem
+    # plain plural -s (but not -ss, -us, -is)
+    if w.endswith("s") and not w.endswith(("ss", "us", "is")):
+        return w[:-1]
+    return w
+
+
+def _needs_e(stem: str) -> bool:
+    """Heuristic: stems like ``mak``, ``sav``, ``stor`` need a trailing e."""
+    if len(stem) < 3:
+        return False
+    if stem[-1] in _VOWELS or stem[-1] in "wxy":
+        return False
+    # consonant-vowel-consonant with a 'hard' ending usually re-adds e
+    return stem[-2] in _VOWELS and stem[-3] not in _VOWELS and stem[-1] not in "gn"
+
+
+_NOUN_IRREGULAR = {
+    w: lemma
+    for w, lemma in IRREGULAR.items()
+    # verb irregulars (was->be etc.) must not fire on noun identifiers
+    if lemma not in ("be", "have", "do", "go")
+}
+
+
+def singularize(word: str) -> str:
+    """Noun-only lemmatization: strips plural suffixes but never verb
+    morphology — schema identifiers like ``rating`` or ``opened`` must
+    keep their surface form (``lemmatize`` would turn them into ``rate``
+    and ``open``)."""
+    w = word.lower()
+    if len(w) <= 2:
+        return w
+    if w in _NOUN_IRREGULAR:
+        return _NOUN_IRREGULAR[w]
+    if w in _S_EXCEPTIONS:
+        return w
+    if w.endswith("ies") and len(w) > 4:
+        return w[:-3] + "y"
+    if w.endswith(("sses", "shes", "ches", "xes", "zes")) and len(w) > 4:
+        return w[:-2]
+    if w.endswith("oes") and len(w) > 4:
+        return w[:-2]
+    if w.endswith("s") and not w.endswith(("ss", "us", "is")):
+        return w[:-1]
+    return w
+
+
+def lemmas_equal(a: str, b: str) -> bool:
+    """Whether two words share a lemma (symmetric convenience)."""
+    return lemmatize(a) == lemmatize(b)

@@ -1,0 +1,64 @@
+"""Closed-class word lists and POS lexicon for the rule-based tagger.
+
+The tag set is a compact subset of Penn Treebank tags sufficient for the
+NaLIR-style parse analysis the survey describes (§4.1):
+
+``DT`` determiner, ``IN`` preposition, ``CC`` conjunction, ``PRP``
+pronoun, ``WP``/``WRB`` wh-words, ``VB`` verb, ``MD`` modal, ``NN`` noun,
+``NNS`` plural noun, ``JJ`` adjective, ``JJR`` comparative, ``JJS``
+superlative, ``RB`` adverb, ``CD`` number, ``SYM`` punctuation/symbol.
+"""
+
+from __future__ import annotations
+
+DETERMINERS = frozenset("a an the this that these those each every all any some no".split())
+
+PREPOSITIONS = frozenset(
+    """
+    of in on at to from into onto with without within by per for between
+    over under above below after before during since until through across
+    against about
+    """.split()
+)
+
+CONJUNCTIONS = frozenset("and or but nor".split())
+
+PRONOUNS = frozenset("i you he she it we they me him her us them".split())
+
+WH_PRONOUNS = frozenset("what which who whom whose".split())
+
+WH_ADVERBS = frozenset("where when why how".split())
+
+MODALS = frozenset("will would shall should may might can could must".split())
+
+AUX_VERBS = frozenset("is are was were be been being am do does did have has had".split())
+
+COMMON_VERBS = frozenset(
+    """
+    show list find give get display return tell count earn work live make
+    sell buy pay cost order ship manage belong contain include exceed
+    average compare rank sort group filter play direct act release star
+    treat diagnose prescribe visit admit supply produce employ hire
+    """.split()
+)
+
+COMPARATIVES = frozenset(
+    "more less greater fewer higher lower larger smaller older younger newer "
+    "bigger earlier later longer shorter cheaper".split()
+)
+
+SUPERLATIVES = frozenset(
+    "most least highest lowest largest smallest oldest youngest newest biggest "
+    "earliest latest longest shortest cheapest best worst top bottom maximum minimum".split()
+)
+
+ADVERBS = frozenset("not only also very too just at_least at_most".split())
+
+ADJECTIVES = frozenset(
+    """
+    total average minimum maximum distinct different recent new old big small
+    high low good bad male female active inactive open closed same current
+    """.split()
+)
+
+NEGATIONS = frozenset("not no never without except excluding".split())

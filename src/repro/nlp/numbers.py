@@ -1,0 +1,97 @@
+"""Number-word and ordinal parsing.
+
+Questions express numbers three ways — digits ("5"), words ("five"),
+ordinals ("fifth" / "top five") — and all three must normalize before
+they can become SQL literals or LIMIT counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+_UNITS = {
+    "zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+    "six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+    "eleven": 11, "twelve": 12, "thirteen": 13, "fourteen": 14,
+    "fifteen": 15, "sixteen": 16, "seventeen": 17, "eighteen": 18,
+    "nineteen": 19,
+}
+
+_TENS = {
+    "twenty": 20, "thirty": 30, "forty": 40, "fifty": 50,
+    "sixty": 60, "seventy": 70, "eighty": 80, "ninety": 90,
+}
+
+_SCALES = {"hundred": 100, "thousand": 1000, "million": 1000000, "billion": 1000000000}
+
+_ORDINALS = {
+    "first": 1, "second": 2, "third": 3, "fourth": 4, "fifth": 5,
+    "sixth": 6, "seventh": 7, "eighth": 8, "ninth": 9, "tenth": 10,
+    "eleventh": 11, "twelfth": 12, "twentieth": 20, "hundredth": 100,
+}
+
+
+def word_to_number(word: str) -> Optional[int]:
+    """Parse a single number word; ``None`` if it is not one."""
+    w = word.lower()
+    if w in _UNITS:
+        return _UNITS[w]
+    if w in _TENS:
+        return _TENS[w]
+    if w in _SCALES:
+        return _SCALES[w]
+    return None
+
+
+def ordinal_to_number(word: str) -> Optional[int]:
+    """Parse an ordinal word or digit-ordinal ("3rd"); ``None`` otherwise."""
+    w = word.lower()
+    if w in _ORDINALS:
+        return _ORDINALS[w]
+    for suffix in ("st", "nd", "rd", "th"):
+        if w.endswith(suffix) and w[: -len(suffix)].isdigit():
+            return int(w[: -len(suffix)])
+    return None
+
+
+def parse_number(text: str) -> Optional[float]:
+    """Parse digits, decimals, number words or short compounds.
+
+    Handles "5", "4.5", "five", "twenty five", "2 million".
+    Returns ``None`` when the text is not numeric.
+    """
+    t = text.strip().lower().replace(",", "")
+    if not t:
+        return None
+    try:
+        return float(t)
+    except ValueError:
+        pass
+    total = 0.0
+    current = 0.0
+    any_word = False
+    for word in t.replace("-", " ").split():
+        if word == "and":
+            continue
+        try:
+            current = float(word) if current == 0 else current
+            if word.replace(".", "", 1).isdigit():
+                current = float(word)
+                any_word = True
+                continue
+        except ValueError:
+            pass
+        value = word_to_number(word)
+        if value is None:
+            return None
+        any_word = True
+        if word in _SCALES:
+            current = (current or 1) * value
+            if value >= 1000:
+                total += current
+                current = 0
+        else:
+            current += value
+    if not any_word:
+        return None
+    return total + current

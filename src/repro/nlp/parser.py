@@ -1,0 +1,247 @@
+"""Chunking dependency parser.
+
+A light-weight stand-in for the Stanford dependency parser that NaLIR
+[30-32] consumes: the question is chunked into noun phrases, the main
+verb becomes the root, noun phrases attach to the verb or to each other
+through prepositions, and wh-words mark the question focus.
+
+The produced :class:`ParseTree` supports exactly the analyses the
+entity-based systems need:
+
+- ``noun_phrases()`` — candidate entity/value mentions,
+- ``focus()`` — the phrase being asked for (head of the SELECT clause),
+- ``attachments()`` — (head, preposition, dependent) triples that hint at
+  relationships and filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from . import pos as pos_mod
+from .tokenizer import Token, tokenize
+
+_NP_TAGS = {"DT", "JJ", "JJR", "JJS", "NN", "NNS", "NNP", "CD", "VBG"}
+_NP_HEAD_TAGS = {"NN", "NNS", "NNP", "CD"}
+
+
+@dataclass
+class ParseNode:
+    """One node of the parse tree.
+
+    ``label`` is ``"ROOT"``, ``"VP"``, ``"NP"``, ``"WH"`` or ``"PP"``;
+    ``relation`` names the grammatical link to the parent (``"subj"``,
+    ``"obj"``, ``"prep:<word>"``, ``"mod"``).
+    """
+
+    label: str
+    tokens: List[Token] = field(default_factory=list)
+    children: List["ParseNode"] = field(default_factory=list)
+    relation: str = ""
+
+    @property
+    def head(self) -> Optional[Token]:
+        """Head token: last nominal token for NPs, first token otherwise."""
+        if not self.tokens:
+            return None
+        if self.label == "NP":
+            for token in reversed(self.tokens):
+                if token.pos in _NP_HEAD_TAGS or token.kind == "quoted":
+                    return token
+        return self.tokens[-1] if self.label == "NP" else self.tokens[0]
+
+    @property
+    def text(self) -> str:
+        """Surface text of this node's own tokens."""
+        return " ".join(t.text for t in self.tokens)
+
+    @property
+    def content_words(self) -> List[str]:
+        """Normalized non-determiner words of this node."""
+        return [t.norm for t in self.tokens if t.pos not in ("DT", "SYM")]
+
+    def walk(self):
+        """Yield this node and all descendants depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def pretty(self, indent: int = 0) -> str:
+        """Indented tree rendering for debugging."""
+        line = "  " * indent + f"{self.label}"
+        if self.relation:
+            line += f"[{self.relation}]"
+        if self.tokens:
+            line += f": {self.text}"
+        lines = [line]
+        lines.extend(child.pretty(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+
+@dataclass
+class ParseTree:
+    """Root container plus convenience analyses."""
+
+    root: ParseNode
+    tokens: List[Token]
+
+    def noun_phrases(self) -> List[ParseNode]:
+        """All NP nodes, in question order."""
+        return [n for n in self.root.walk() if n.label == "NP"]
+
+    def wh_node(self) -> Optional[ParseNode]:
+        """The wh-question node, if any."""
+        for node in self.root.walk():
+            if node.label == "WH":
+                return node
+        return None
+
+    def focus(self) -> Optional[ParseNode]:
+        """The phrase the question asks for.
+
+        For "what/which X ..." this is the NP right after the wh-word;
+        for "show me X ..." it is the first NP; ``None`` when the
+        question has no NP at all.
+        """
+        wh = self.wh_node()
+        nps = self.noun_phrases()
+        if wh is not None and wh.children:
+            for child in wh.children:
+                if child.label == "NP":
+                    return child
+        return nps[0] if nps else None
+
+    def attachments(self) -> List[Tuple[ParseNode, str, ParseNode]]:
+        """(head NP/VP, preposition word, dependent NP) triples."""
+        out = []
+        for node in self.root.walk():
+            for child in node.children:
+                if child.relation.startswith("prep:") and child.label == "NP":
+                    out.append((node, child.relation.split(":", 1)[1], child))
+        return out
+
+    def verbs(self) -> List[Token]:
+        """Main verb tokens (excluding auxiliaries attached to WH)."""
+        return [
+            n.tokens[0]
+            for n in self.root.walk()
+            if n.label == "VP" and n.tokens
+        ]
+
+    def pretty(self) -> str:
+        """Indented rendering of the whole tree."""
+        return self.root.pretty()
+
+
+def parse(text: str) -> ParseTree:
+    """Tokenize, tag and parse ``text`` into a :class:`ParseTree`."""
+    tokens = pos_mod.tag_text(text)
+    return parse_tokens(tokens)
+
+
+def parse_tokens(tokens: List[Token]) -> ParseTree:
+    """Parse already-tagged tokens (the tagger must have run)."""
+    root = ParseNode("ROOT")
+    chunks = _chunk(tokens)
+    current_head: Optional[ParseNode] = None  # last NP or VP to attach PPs to
+    verb_node: Optional[ParseNode] = None
+    wh_node: Optional[ParseNode] = None
+    pending_prep: Optional[Token] = None
+    pending_cc = False
+
+    for kind, toks in chunks:
+        if kind == "WH":
+            wh_node = ParseNode("WH", toks, relation="wh")
+            root.children.append(wh_node)
+            current_head = wh_node
+            pending_prep = None
+            continue
+        if kind == "VP":
+            verb_node = ParseNode("VP", toks, relation="pred")
+            root.children.append(verb_node)
+            current_head = verb_node
+            pending_prep = None
+            continue
+        if kind == "IN":
+            pending_prep = toks[0]
+            continue
+        if kind == "CC":
+            pending_cc = True
+            continue
+        if kind == "NP":
+            node = ParseNode("NP", toks)
+            if pending_prep is not None:
+                node.relation = f"prep:{pending_prep.norm}"
+                (current_head or root).children.append(node)
+                pending_prep = None
+                current_head = node
+            elif pending_cc and current_head is not None and current_head.label == "NP":
+                node.relation = "conj"
+                current_head.children.append(node)
+                pending_cc = False
+            elif wh_node is not None and not any(
+                c.label == "NP" for c in wh_node.children
+            ) and verb_node is None:
+                node.relation = "focus"
+                wh_node.children.append(node)
+                current_head = node
+            elif verb_node is not None:
+                node.relation = "obj" if any(
+                    c.label == "NP" for c in verb_node.children
+                ) else ("obj" if wh_node is not None else "subj")
+                verb_node.children.append(node)
+                current_head = node
+            else:
+                node.relation = "mod"
+                root.children.append(node)
+                current_head = node
+            continue
+        # Anything else (adverbs, punctuation) becomes a modifier leaf.
+        node = ParseNode("MOD", toks, relation="mod")
+        (current_head or root).children.append(node)
+
+    return ParseTree(root, tokens)
+
+
+def _chunk(tokens: List[Token]) -> List[Tuple[str, List[Token]]]:
+    """Group tokens into WH / VP / NP / IN / CC / MOD chunks."""
+    chunks: List[Tuple[str, List[Token]]] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        token = tokens[i]
+        pos = token.pos or "NN"
+        if pos in ("WP", "WRB"):
+            chunks.append(("WH", [token]))
+            i += 1
+            # Skip auxiliary right after wh ("what is", "how many ... do")
+            continue
+        if pos in ("VB", "VBD", "MD") and token.norm not in ("is", "are", "was", "were", "do", "does", "did"):
+            chunks.append(("VP", [token]))
+            i += 1
+            continue
+        if pos in ("VB",):  # auxiliaries — skip silently
+            i += 1
+            continue
+        if pos == "IN":
+            chunks.append(("IN", [token]))
+            i += 1
+            continue
+        if pos == "CC":
+            chunks.append(("CC", [token]))
+            i += 1
+            continue
+        if pos in _NP_TAGS or token.kind == "quoted":
+            group = [token]
+            i += 1
+            while i < n and (
+                (tokens[i].pos in _NP_TAGS) or tokens[i].kind == "quoted"
+            ):
+                group.append(tokens[i])
+                i += 1
+            chunks.append(("NP", group))
+            continue
+        chunks.append(("MOD", [token]))
+        i += 1
+    return chunks

@@ -1,0 +1,210 @@
+"""Natural-language pattern detectors.
+
+Pattern-based NLIDB systems (SQAK [51] and kin — §3 of the survey) go
+beyond keyword lookup by recognizing *fixed linguistic patterns* that
+signal SQL clauses: "total"/"average" → aggregation, "by"/"per"/"for
+each" → GROUP BY, "top N"/"highest" → ORDER BY + LIMIT, "more than" →
+comparison predicates.  This module centralizes those detectors; the
+pattern-based system and the sketch featurisers of the neural models both
+consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .numbers import ordinal_to_number, parse_number, word_to_number
+from .tokenizer import Token, tokenize
+
+AGGREGATION_CUES = {
+    "total": "sum",
+    "sum": "sum",
+    "overall": "sum",
+    "combined": "sum",
+    "average": "avg",
+    "mean": "avg",
+    "avg": "avg",
+    "typical": "avg",
+    "maximum": "max",
+    "max": "max",
+    "highest": "max",
+    "largest": "max",
+    "greatest": "max",
+    "biggest": "max",
+    "most": "max",
+    "latest": "max",
+    "newest": "max",
+    "oldest": "min",
+    "minimum": "min",
+    "min": "min",
+    "lowest": "min",
+    "smallest": "min",
+    "least": "min",
+    "fewest": "min",
+    "earliest": "min",
+    "cheapest": "min",
+}
+
+COUNT_PHRASES = (
+    ("how", "many"),
+    ("number", "of"),
+    ("count", "of"),
+    ("total", "number"),
+)
+
+GROUPBY_CUES = ("by", "per")
+GROUPBY_PHRASES = (("for", "each"), ("for", "every"), ("in", "each"), ("grouped", "by"), ("broken", "down", "by"))
+
+_GT_PHRASES = (
+    ("more", "than"), ("greater", "than"), ("higher", "than"), ("larger", "than"),
+    ("bigger", "than"), ("above",), ("over",), ("exceeding",), ("after",), ("beyond",),
+)
+_GTE_PHRASES = (("at", "least"), ("no", "less", "than"), ("minimum", "of"), ("or", "more"))
+_LT_PHRASES = (
+    ("less", "than"), ("fewer", "than"), ("lower", "than"), ("smaller", "than"),
+    ("below",), ("under",), ("before",), ("cheaper", "than"),
+)
+_LTE_PHRASES = (("at", "most"), ("no", "more", "than"), ("maximum", "of"), ("or", "less"))
+_NEQ_PHRASES = (("not", "equal"), ("other", "than"), ("except",), ("excluding",), ("besides",))
+
+SORT_DESC_CUES = ("descending", "decreasing", "highest", "largest", "most", "top", "best", "latest", "newest")
+SORT_ASC_CUES = ("ascending", "increasing", "lowest", "smallest", "least", "bottom", "worst", "earliest", "oldest", "cheapest")
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One detected pattern.
+
+    ``kind`` names the pattern family (``"aggregation"``, ``"count"``,
+    ``"group_by"``, ``"comparison"``, ``"superlative"``, ``"limit"``,
+    ``"negation"``, ``"order"``); ``value`` carries the payload (e.g. the
+    aggregate function name or comparison operator); ``start``/``end``
+    delimit the matched token span.
+    """
+
+    kind: str
+    value: str
+    start: int
+    end: int
+
+
+def _match_phrase(norms: List[str], i: int, phrase: Tuple[str, ...]) -> bool:
+    return tuple(norms[i : i + len(phrase)]) == phrase
+
+
+def detect_patterns(tokens: List[Token]) -> List[PatternMatch]:
+    """Scan tagged/untagged tokens for all pattern families.
+
+    Matches are returned in token order; overlapping matches are allowed
+    (the consumer decides precedence — e.g. "how many" wins over a bare
+    "many").
+    """
+    norms = [t.norm for t in tokens]
+    matches: List[PatternMatch] = []
+    n = len(norms)
+
+    consumed_count_positions = set()
+    for i in range(n):
+        for phrase in COUNT_PHRASES:
+            if _match_phrase(norms, i, phrase):
+                matches.append(PatternMatch("count", "count", i, i + len(phrase)))
+                consumed_count_positions.update(range(i, i + len(phrase)))
+    for i, word in enumerate(norms):
+        # bare verb "count" ("count the employees by title")
+        if word == "count" and i not in consumed_count_positions:
+            matches.append(PatternMatch("count", "count", i, i + 1))
+            consumed_count_positions.add(i)
+
+    for i, word in enumerate(norms):
+        if i in consumed_count_positions:
+            continue
+        func = AGGREGATION_CUES.get(word)
+        if func:
+            matches.append(PatternMatch("aggregation", func, i, i + 1))
+
+    for i in range(n):
+        for phrase in GROUPBY_PHRASES:
+            if _match_phrase(norms, i, phrase):
+                matches.append(PatternMatch("group_by", "group", i, i + len(phrase)))
+    for i, word in enumerate(norms):
+        if word in GROUPBY_CUES:
+            # "by"/"per" only signals GROUP BY when followed by a word
+            # (not "by 2019", which is a filter).
+            if i + 1 < n and tokens[i + 1].kind == "word":
+                matches.append(PatternMatch("group_by", "group", i, i + 1))
+
+    for i in range(n):
+        for phrases, op in (
+            (_GTE_PHRASES, ">="),
+            (_LTE_PHRASES, "<="),
+            (_GT_PHRASES, ">"),
+            (_LT_PHRASES, "<"),
+            (_NEQ_PHRASES, "!="),
+        ):
+            for phrase in phrases:
+                if _match_phrase(norms, i, phrase):
+                    matches.append(
+                        PatternMatch("comparison", op, i, i + len(phrase))
+                    )
+        if norms[i] == "between":
+            matches.append(PatternMatch("comparison", "between", i, i + 1))
+
+    for i, word in enumerate(norms):
+        if word in ("not", "no", "never") and i not in consumed_count_positions:
+            matches.append(PatternMatch("negation", "not", i, i + 1))
+
+    matches.extend(_detect_limits(tokens))
+
+    for i, word in enumerate(norms):
+        if word in SORT_DESC_CUES:
+            matches.append(PatternMatch("order", "desc", i, i + 1))
+        elif word in SORT_ASC_CUES:
+            matches.append(PatternMatch("order", "asc", i, i + 1))
+
+    matches.sort(key=lambda m: (m.start, m.end))
+    return matches
+
+
+def _detect_limits(tokens: List[Token]) -> List[PatternMatch]:
+    """Detect "top N" / "N highest" / "first N" limit patterns."""
+    norms = [t.norm for t in tokens]
+    out: List[PatternMatch] = []
+    for i, word in enumerate(norms):
+        if word in ("top", "first", "bottom", "last"):
+            count = 1
+            end = i + 1
+            if i + 1 < len(norms):
+                nxt = tokens[i + 1]
+                value = (
+                    int(nxt.numeric_value)
+                    if nxt.is_number
+                    else (word_to_number(nxt.norm) or ordinal_to_number(nxt.norm))
+                )
+                if value:
+                    count = int(value)
+                    end = i + 2
+            direction = "asc" if word in ("bottom", "last") else "desc"
+            out.append(PatternMatch("limit", f"{count}:{direction}", i, end))
+    return out
+
+
+def detect_text(text: str) -> List[PatternMatch]:
+    """Convenience: tokenize then detect."""
+    return detect_patterns(tokenize(text))
+
+
+def aggregation_of(matches: List[PatternMatch]) -> Optional[str]:
+    """First aggregate function implied by the matches (count wins)."""
+    for match in matches:
+        if match.kind == "count":
+            return "count"
+    for match in matches:
+        if match.kind == "aggregation":
+            return match.value
+    return None
+
+
+def has_group_by(matches: List[PatternMatch]) -> bool:
+    """Whether any GROUP BY cue fired."""
+    return any(m.kind == "group_by" for m in matches)

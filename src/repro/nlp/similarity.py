@@ -1,0 +1,97 @@
+"""String similarity measures.
+
+Entity-based systems match question tokens against schema terms and data
+values with fuzzy string similarity (NaLIR uses WordNet-based similarity
+plus string distance; SODA uses exact/fuzzy index lookup).  This module
+provides the string-level half; the semantic half lives in
+:mod:`repro.nlp.thesaurus`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Optimal-string-alignment edit distance.
+
+    Insert/delete/substitute cost 1, and — because keyboard typos are the
+    dominant error source in NLIDB value matching — an adjacent
+    *transposition* also costs 1 (Damerau/OSA variant).
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    rows = [list(range(len(b) + 1))]
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            best = min(rows[i - 1][j] + 1, current[j - 1] + 1, rows[i - 1][j - 1] + cost)
+            if i > 1 and j > 1 and ca == b[j - 2] and a[i - 2] == cb:
+                best = min(best, rows[i - 2][j - 2] + 1)
+            current.append(best)
+        rows.append(current)
+    return rows[-1][-1]
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """Normalized edit similarity in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein(a, b) / longest
+
+
+def trigrams(text: str) -> Set[str]:
+    """Character trigrams of ``text`` with boundary padding."""
+    padded = f"  {text.lower()} "
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def trigram_similarity(a: str, b: str) -> float:
+    """Jaccard similarity of character trigram sets."""
+    ta, tb = trigrams(a), trigrams(b)
+    if not ta and not tb:
+        return 1.0
+    return len(ta & tb) / len(ta | tb)
+
+
+def jaccard(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard similarity of two token sets."""
+    sa, sb = set(a), set(b)
+    if not sa and not sb:
+        return 1.0
+    if not sa or not sb:
+        return 0.0
+    return len(sa & sb) / len(sa | sb)
+
+
+def prefix_bonus(a: str, b: str) -> float:
+    """Small boost when one string prefixes the other (``sal`` ~ ``salary``)."""
+    a, b = a.lower(), b.lower()
+    if not a or not b:
+        return 0.0
+    if a.startswith(b) or b.startswith(a):
+        return min(len(a), len(b)) / max(len(a), len(b))
+    return 0.0
+
+
+def string_similarity(a: str, b: str) -> float:
+    """Blended string similarity in [0, 1].
+
+    Exact match scores 1.0; otherwise a weighted mix of edit and trigram
+    similarity with a prefix bonus, which behaves well on both short
+    column names and longer values.
+    """
+    a_l, b_l = a.lower().strip(), b.lower().strip()
+    if a_l == b_l:
+        return 1.0
+    edit = edit_similarity(a_l, b_l)
+    blended = 0.5 * edit + 0.4 * trigram_similarity(a_l, b_l) + 0.1 * prefix_bonus(a_l, b_l)
+    # Near-miss typos (1-2 edits) should stay strong even when trigram
+    # overlap collapses, so the edit channel alone can carry the score.
+    return min(max(blended, 0.9 * edit), 0.99)

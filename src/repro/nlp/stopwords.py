@@ -1,0 +1,48 @@
+"""Stopword list used by keyword lookup and bag-of-words featurisation.
+
+Deliberately *excludes* words that carry query semantics in NLIDB —
+"by", "per", "each", "most", "more", "than", "not", "between", "over",
+"under", "top" — because the pattern detectors in
+:mod:`repro.nlp.patterns` need them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+STOPWORDS = frozenset(
+    """
+    a an the this that these those there
+    i you he she it we they me him her us them my your his its our their
+    is are was were be been being am
+    do does did done doing
+    have has had having
+    will would shall should may might can could must
+    of in on at to from into onto with without within
+    and or but nor so yet
+    as if then else when while because since although though
+    what which who whom whose where why how
+    please show me give get find list display tell return
+    all any some
+    s t re ve ll d
+    """.split()
+)
+
+# Words that look like stopwords but are load-bearing for interpretation.
+SEMANTIC_KEEPWORDS = frozenset(
+    """
+    by per each most least more less than not no between over under top
+    first last highest lowest largest smallest best worst every
+    """.split()
+)
+
+
+def is_stopword(word: str) -> bool:
+    """Whether ``word`` should be dropped before index lookup."""
+    lowered = word.lower()
+    return lowered in STOPWORDS and lowered not in SEMANTIC_KEEPWORDS
+
+
+def content_words(tokens: Iterable[str]) -> List[str]:
+    """Filter an iterable of words down to non-stopwords."""
+    return [w for w in tokens if not is_stopword(w)]

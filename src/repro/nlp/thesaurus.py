@@ -1,0 +1,248 @@
+"""Built-in thesaurus: synonym sets and a small IS-A taxonomy.
+
+This stands in for WordNet in NaLIR's node-mapping step [30-32] and for
+the domain vocabularies entity-based systems consume (§4.1).  Two
+services are provided:
+
+- synonym lookup (``synonyms("salary")`` → {"pay", "wage", ...}), and
+- Wu–Palmer similarity [58] over the taxonomy, the same measure NaLIR
+  uses to score mappings from parse-tree nodes to schema elements.
+
+Domains can extend both at runtime — the ontology layer injects its own
+vocabulary when a database declares synonyms.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .lemmatizer import lemmatize
+
+# Synonym rings: every word in a ring is a synonym of every other.
+_SYNONYM_RINGS: List[Set[str]] = [
+    {"salary", "pay", "wage", "compensation", "earnings", "income"},
+    {"employee", "worker", "staff", "personnel"},
+    {"department", "division", "unit", "dept"},
+    {"company", "firm", "corporation", "business", "employer"},
+    {"customer", "client", "buyer", "shopper", "purchaser"},
+    {"product", "item", "goods", "merchandise", "article"},
+    {"order", "purchase", "transaction"},
+    {"price", "cost", "amount", "value", "charge"},
+    {"revenue", "sales", "turnover", "proceeds"},
+    {"profit", "gain", "margin"},
+    {"quantity", "count", "number", "amount"},
+    {"city", "town", "municipality"},
+    {"country", "nation", "state"},
+    {"doctor", "physician", "clinician", "practitioner"},
+    {"patient", "case"},
+    {"disease", "illness", "condition", "disorder", "ailment"},
+    {"drug", "medication", "medicine", "prescription", "pharmaceutical"},
+    {"hospital", "clinic", "facility"},
+    {"movie", "film", "picture", "feature"},
+    {"director", "filmmaker"},
+    {"actor", "performer", "star", "cast"},
+    {"rating", "score", "grade"},
+    {"year", "yr"},
+    {"date", "day", "time"},
+    {"name", "title", "label"},
+    {"big", "large", "huge", "major"},
+    {"small", "little", "minor", "tiny"},
+    {"average", "mean", "typical"},
+    {"total", "sum", "overall", "aggregate", "combined"},
+    {"maximum", "max", "largest", "highest", "greatest", "biggest", "most"},
+    {"minimum", "min", "smallest", "lowest", "least", "fewest"},
+    {"show", "display", "list", "give", "find", "get", "return"},
+    {"make", "manufacture", "produce", "build"},
+    {"buy", "purchase", "acquire"},
+    {"branch", "office", "location", "outlet", "store", "shop"},
+    {"manager", "supervisor", "boss", "head", "lead"},
+    {"teacher", "instructor", "professor", "lecturer"},
+    {"student", "pupil", "learner"},
+    {"grade", "mark", "score"},
+    {"author", "writer"},
+    {"song", "track", "tune"},
+    {"genre", "category", "type", "kind", "class"},
+    {"age", "years"},
+    {"live", "reside", "stay", "dwell"},
+    {"work", "serve"},
+    {"earn", "make", "receive", "get"},
+]
+
+# IS-A edges (child -> parent) forming a small concept taxonomy.
+_HYPERNYMS: Dict[str, str] = {
+    "employee": "person",
+    "manager": "employee",
+    "customer": "person",
+    "doctor": "person",
+    "patient": "person",
+    "teacher": "person",
+    "student": "person",
+    "actor": "person",
+    "director": "person",
+    "author": "person",
+    "person": "entity",
+    "company": "organization",
+    "department": "organization",
+    "hospital": "organization",
+    "branch": "organization",
+    "school": "organization",
+    "organization": "entity",
+    "product": "artifact",
+    "drug": "artifact",
+    "movie": "artifact",
+    "song": "artifact",
+    "book": "artifact",
+    "artifact": "entity",
+    "order": "event",
+    "transaction": "event",
+    "visit": "event",
+    "admission": "event",
+    "event": "entity",
+    "salary": "money",
+    "price": "money",
+    "revenue": "money",
+    "profit": "money",
+    "budget": "money",
+    "money": "quantity",
+    "quantity": "attribute",
+    "rating": "attribute",
+    "age": "attribute",
+    "attribute": "entity",
+    "city": "place",
+    "country": "place",
+    "region": "place",
+    "place": "entity",
+    "disease": "condition",
+    "condition": "state",
+    "state": "entity",
+}
+
+_ROOT = "entity"
+
+
+class Thesaurus:
+    """Synonym + taxonomy service with runtime extension.
+
+    Synonymy is *one-hop*: two words are synonyms when they share at
+    least one declared ring, not when a chain of rings connects them.
+    Transitive merging would let domain-schema synonyms (``amount`` ↔
+    ``sum``) collapse unrelated rings (``sum`` ↔ ``total``) into one
+    giant equivalence class — precisely the over-generalization the
+    survey warns domain vocabularies against.
+    """
+
+    def __init__(self):
+        self._rings: List[Set[str]] = []
+        self._syn_index: Dict[str, List[int]] = {}
+        for ring in _SYNONYM_RINGS:
+            self._add_ring(set(ring))
+        self._hypernyms: Dict[str, str] = dict(_HYPERNYMS)
+
+    def _add_ring(self, ring: Set[str]) -> None:
+        ring = {w.lower() for w in ring}
+        index = len(self._rings)
+        self._rings.append(ring)
+        for word in ring:
+            self._syn_index.setdefault(word, []).append(index)
+
+    def add_synonyms(self, words: Iterable[str]) -> None:
+        """Declare all ``words`` mutual synonyms (a new ring; existing
+        rings are left untouched — synonymy stays one-hop)."""
+        self._add_ring(set(words))
+
+    def add_hypernym(self, child: str, parent: str) -> None:
+        """Add an IS-A edge ``child -> parent`` to the taxonomy."""
+        self._hypernyms[child.lower()] = parent.lower()
+
+    def synonyms(self, word: str) -> Set[str]:
+        """All synonyms of ``word`` (including itself), lemma-aware."""
+        w = word.lower()
+        ring_ids = self._syn_index.get(w)
+        if ring_ids is None:
+            ring_ids = self._syn_index.get(lemmatize(w), [])
+        out = {w}
+        for ring_id in ring_ids:
+            out |= self._rings[ring_id]
+        return out
+
+    def are_synonyms(self, a: str, b: str) -> bool:
+        """Whether two words share a synonym ring (or a lemma)."""
+        a_l, b_l = a.lower(), b.lower()
+        if a_l == b_l or lemmatize(a_l) == lemmatize(b_l):
+            return True
+        return lemmatize(b_l) in {lemmatize(s) for s in self.synonyms(a_l)}
+
+    # -- taxonomy -----------------------------------------------------------
+
+    def _ancestry(self, word: str) -> List[str]:
+        chain = [word]
+        seen = {word}
+        current = word
+        while current in self._hypernyms:
+            current = self._hypernyms[current]
+            if current in seen:  # defensive: no cycles
+                break
+            seen.add(current)
+            chain.append(current)
+        if chain[-1] != _ROOT:
+            chain.append(_ROOT)
+        return chain
+
+    def _canonical(self, word: str) -> str:
+        w = lemmatize(word.lower())
+        if w in self._hypernyms or w == _ROOT:
+            return w
+        for syn in self.synonyms(w):
+            s = lemmatize(syn)
+            if s in self._hypernyms:
+                return s
+        return w
+
+    def wup_similarity(self, a: str, b: str) -> float:
+        """Wu–Palmer similarity in (0, 1]; 1.0 for synonyms.
+
+        ``wup = 2 * depth(lcs) / (depth(a) + depth(b))`` with depth
+        counted from the taxonomy root.  Words outside the taxonomy get
+        0.0 unless they are synonyms.
+        """
+        if self.are_synonyms(a, b):
+            return 1.0
+        ca, cb = self._canonical(a), self._canonical(b)
+        if ca == cb:
+            return 1.0
+        chain_a = self._ancestry(ca)
+        chain_b = self._ancestry(cb)
+        if len(chain_a) == 1 and chain_a[0] == _ROOT and ca != _ROOT:
+            return 0.0
+        set_b = {node: i for i, node in enumerate(chain_b)}
+        for i, node in enumerate(chain_a):
+            if node in set_b:
+                depth_a = len(chain_a) - 1 - 0  # root at end
+                # depth counted from the root (root depth = 1)
+                d_lcs = len(chain_a) - i
+                d_a = len(chain_a)
+                d_b = len(chain_b)
+                # only count if either side actually sits in the taxonomy
+                if d_lcs <= 1 and (ca not in self._hypernyms or cb not in self._hypernyms):
+                    return 0.0
+                return 2.0 * d_lcs / (d_a + d_b)
+        return 0.0
+
+
+# Module-level default instance used across the library.
+DEFAULT_THESAURUS = Thesaurus()
+
+
+def synonyms(word: str) -> Set[str]:
+    """Synonyms of ``word`` from the default thesaurus."""
+    return DEFAULT_THESAURUS.synonyms(word)
+
+
+def are_synonyms(a: str, b: str) -> bool:
+    """Synonym test on the default thesaurus."""
+    return DEFAULT_THESAURUS.are_synonyms(a, b)
+
+
+def wup_similarity(a: str, b: str) -> float:
+    """Wu–Palmer similarity on the default thesaurus."""
+    return DEFAULT_THESAURUS.wup_similarity(a, b)

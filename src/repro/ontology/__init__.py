@@ -1,0 +1,32 @@
+"""Ontology layer: domain semantics over the physical schema.
+
+Implements the ontology-driven interpretation stack the survey centres on
+ATHENA [44] and its derivatives [24, 28, 29, 42, 46]:
+
+- :mod:`~repro.ontology.model` — concepts, data properties, relations,
+  inheritance, and the relation graph.
+- :mod:`~repro.ontology.builder` — automatic schema → ontology generation
+  (with junction-table folding), per Jammi et al. [24].
+- :mod:`~repro.ontology.mapping` — ontology ⇄ schema mappings consumed by
+  OQL → SQL translation.
+- :mod:`~repro.ontology.reasoner` — relationship paths and Steiner-tree
+  join inference.
+- :mod:`~repro.ontology.kb` / :mod:`~repro.ontology.relaxation` —
+  external knowledge bases and Lei et al. [28] query relaxation.
+"""
+
+from .builder import build_ontology, humanize
+from .kb import KBEntry, KnowledgeBase, build_medical_kb
+from .mapping import OntologyMapping, RelationMapping
+from .model import Concept, DataProperty, Ontology, OntologyError, Relation
+from .reasoner import Reasoner
+from .relaxation import QueryRelaxer, RelaxedTerm
+
+__all__ = [
+    "Ontology", "Concept", "DataProperty", "Relation", "OntologyError",
+    "OntologyMapping", "RelationMapping",
+    "build_ontology", "humanize",
+    "Reasoner",
+    "KnowledgeBase", "KBEntry", "build_medical_kb",
+    "QueryRelaxer", "RelaxedTerm",
+]

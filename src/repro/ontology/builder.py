@@ -1,0 +1,147 @@
+"""Automatic ontology generation from a database schema.
+
+The survey notes that ATHENA's ontology "and the mappings to the
+underlying data can be either provided manually, or generated
+automatically from the database information [24]".  This module is that
+generator: every table becomes a concept, every non-FK column a data
+property, every foreign key a relation — except *junction tables* (two
+FKs and no independent attributes), which collapse into a single
+many-to-many relation between the referenced concepts.
+
+Names are humanized (``order_items`` → concept ``order item``) and schema
+synonyms flow into the ontology vocabulary, which the interpretation and
+dialogue-bootstrap layers then exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.sqldb.database import Database
+from repro.sqldb.index import split_identifier
+from repro.sqldb.schema import ForeignKey
+
+from .mapping import OntologyMapping
+from .model import Ontology
+
+
+def humanize(identifier: str) -> str:
+    """``order_items`` → ``order item`` (singularized last word).
+
+    Uses noun-only singularization: a column named ``rating`` stays
+    ``rating`` (full lemmatization would strip its -ing).
+    """
+    from repro.nlp.lemmatizer import singularize
+
+    words = split_identifier(identifier)
+    if not words:
+        return identifier.lower()
+    words[-1] = singularize(words[-1])
+    return " ".join(words)
+
+
+def pluralize(noun: str) -> str:
+    """Plural surface form of a (possibly multi-word) noun."""
+    head = noun.split()[-1] if noun else noun
+    if head.endswith(("s", "x", "z", "ch", "sh")):
+        return noun + "es"
+    if head.endswith("y") and len(head) > 1 and head[-2] not in "aeiou":
+        return noun[:-1] + "ies"
+    return noun + "s"
+
+
+def build_ontology(database: Database, name: str = "") -> Tuple[Ontology, OntologyMapping]:
+    """Derive (ontology, mapping) from ``database``.
+
+    Junction tables are detected and folded into many-to-many relations;
+    all other foreign keys produce a functional relation from the
+    referencing concept to the referenced one, plus vocabulary taken from
+    declared schema synonyms.
+    """
+    ontology = Ontology(name or f"{database.name}-ontology")
+    mapping = OntologyMapping(ontology)
+
+    junctions = {t.name for t in database.tables if _is_junction(database, t.name)}
+
+    fk_columns: Dict[str, Set[str]] = {}
+    for fk in database.foreign_keys:
+        fk_columns.setdefault(fk.src_table.lower(), set()).add(fk.src_column.lower())
+
+    for table in database.tables:
+        if table.name in junctions:
+            continue
+        concept_name = humanize(table.name)
+        concept = ontology.add_concept(concept_name, synonyms=table.schema.synonyms)
+        mapping.map_concept(concept_name, table.name)
+        skip = fk_columns.get(table.name.lower(), set())
+        for column in table.schema:
+            if column.name.lower() in skip:
+                continue
+            prop_name = humanize(column.name)
+            ontology.add_property(
+                concept_name, prop_name, column.dtype, synonyms=column.synonyms
+            )
+            mapping.map_property(concept_name, prop_name, table.name, column.name)
+
+    # Direct FK relations between non-junction tables.
+    for fk in database.foreign_keys:
+        if fk.src_table in junctions or fk.dst_table in junctions:
+            continue
+        src_concept = humanize(fk.src_table)
+        dst_concept = humanize(fk.dst_table)
+        relation_name = _relation_name(fk, dst_concept)
+        ontology.add_relation(
+            relation_name, src_concept, dst_concept, functional=True
+        )
+        mapping.map_relation(relation_name, src_concept, dst_concept, (fk,))
+
+    # Junction tables: fold two FKs into one many-to-many relation.
+    for junction in junctions:
+        fks = [f for f in database.foreign_keys if f.src_table == junction]
+        if len(fks) != 2:
+            continue
+        left, right = fks
+        src_concept = humanize(left.dst_table)
+        dst_concept = humanize(right.dst_table)
+        relation_name = humanize(junction)
+        ontology.add_relation(relation_name, src_concept, dst_concept)
+        # Chain oriented src_concept -> junction -> dst_concept.
+        mapping.map_relation(
+            relation_name, src_concept, dst_concept, (left.reversed(), right)
+        )
+
+    return ontology, mapping
+
+
+def _is_junction(database: Database, table_name: str) -> bool:
+    """A junction table has exactly 2 FKs and *no* payload columns.
+
+    Tables with payload attributes (``order_lines.quantity``,
+    ``assignments.hours``) stay first-class concepts — users ask about
+    those attributes, so they must be reachable as ontology properties.
+    """
+    fks = [f for f in database.foreign_keys if f.src_table == table_name]
+    if len(fks) != 2:
+        return False
+    schema = database.schema(table_name)
+    fk_cols = {f.src_column.lower() for f in fks}
+    non_fk = [
+        c
+        for c in schema
+        if c.name.lower() not in fk_cols and not c.primary_key
+    ]
+    return len(non_fk) == 0
+
+
+def _relation_name(fk: ForeignKey, dst_concept: str) -> str:
+    """Derive a readable relation name from the FK column.
+
+    ``emp.dept_id -> dept.id`` names the relation "dept" (the column
+    stem) falling back to "has <dst>".
+    """
+    stem_words = split_identifier(fk.src_column)
+    if stem_words and stem_words[-1] in ("id", "key", "code", "fk", "no"):
+        stem_words = stem_words[:-1]
+    if stem_words:
+        return " ".join(stem_words)
+    return f"has {dst_concept}"

@@ -1,0 +1,147 @@
+"""External knowledge bases for query relaxation.
+
+Lei et al. [28] expand query answers on *medical* knowledge bases by
+bridging the gap between the precise terminology stored in the KB and the
+colloquial, imprecise terms users type.  The paper used real medical KBs
+(e.g. UMLS-derived); offline, we build a synthetic KB with the same
+*shape*: canonical terms, colloquial aliases, and an IS-A hierarchy whose
+siblings/parents drive relaxation.
+
+The substitution preserves the relevant behaviour because the relaxation
+algorithm only consumes the alias table and the hierarchy — both present
+here — not any property specific to the real ontologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass
+class KBEntry:
+    """One canonical KB term with colloquial aliases and a parent."""
+
+    canonical: str
+    aliases: Tuple[str, ...] = ()
+    parent: Optional[str] = None
+    category: str = "concept"
+
+
+class KnowledgeBase:
+    """Alias + hierarchy lookup over canonical terms."""
+
+    def __init__(self, name: str = "kb"):
+        self.name = name
+        self._entries: Dict[str, KBEntry] = {}
+        self._alias_index: Dict[str, str] = {}
+
+    def add(
+        self,
+        canonical: str,
+        aliases: Iterable[str] = (),
+        parent: Optional[str] = None,
+        category: str = "concept",
+    ) -> KBEntry:
+        """Register a canonical term with its aliases."""
+        entry = KBEntry(canonical.lower(), tuple(a.lower() for a in aliases), parent and parent.lower(), category)
+        self._entries[entry.canonical] = entry
+        self._alias_index[entry.canonical] = entry.canonical
+        for alias in entry.aliases:
+            self._alias_index[alias] = entry.canonical
+        return entry
+
+    def canonicalize(self, term: str) -> Optional[str]:
+        """Canonical form of ``term`` (alias-aware), or ``None``."""
+        return self._alias_index.get(term.lower())
+
+    def entry(self, term: str) -> Optional[KBEntry]:
+        """The entry owning ``term`` (canonical or alias)."""
+        canonical = self.canonicalize(term)
+        return self._entries.get(canonical) if canonical else None
+
+    def aliases(self, term: str) -> Set[str]:
+        """All surface forms of the term's canonical entry."""
+        entry = self.entry(term)
+        if entry is None:
+            return set()
+        return {entry.canonical, *entry.aliases}
+
+    def parent(self, term: str) -> Optional[str]:
+        """Canonical parent of ``term`` in the hierarchy."""
+        entry = self.entry(term)
+        return entry.parent if entry else None
+
+    def children(self, term: str) -> List[str]:
+        """Canonical children of ``term``."""
+        canonical = self.canonicalize(term)
+        if canonical is None:
+            return []
+        return sorted(
+            e.canonical for e in self._entries.values() if e.parent == canonical
+        )
+
+    def siblings(self, term: str) -> List[str]:
+        """Other children of the term's parent."""
+        entry = self.entry(term)
+        if entry is None or entry.parent is None:
+            return []
+        return [c for c in self.children(entry.parent) if c != entry.canonical]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def build_medical_kb() -> KnowledgeBase:
+    """A synthetic medical KB exercising the Lei et al. relaxation path.
+
+    Colloquial aliases ("heart attack") map to canonical clinical terms
+    ("myocardial infarction"); the IS-A hierarchy enables parent/sibling
+    relaxation when an exact lookup fails.
+    """
+    kb = KnowledgeBase("medical")
+    kb.add("cardiovascular disease", ["heart disease", "heart problems"], category="disease")
+    kb.add("myocardial infarction", ["heart attack", "mi", "cardiac arrest"], parent="cardiovascular disease", category="disease")
+    kb.add("hypertension", ["high blood pressure", "high bp"], parent="cardiovascular disease", category="disease")
+    kb.add("arrhythmia", ["irregular heartbeat"], parent="cardiovascular disease", category="disease")
+    kb.add("respiratory disease", ["lung disease", "breathing problems"], category="disease")
+    kb.add("asthma", ["wheezing disorder"], parent="respiratory disease", category="disease")
+    kb.add("pneumonia", ["lung infection"], parent="respiratory disease", category="disease")
+    kb.add("chronic obstructive pulmonary disease", ["copd", "smoker's lung"], parent="respiratory disease", category="disease")
+    kb.add("metabolic disorder", [], category="disease")
+    kb.add("diabetes mellitus", ["diabetes", "high blood sugar", "sugar disease"], parent="metabolic disorder", category="disease")
+    kb.add("hyperlipidemia", ["high cholesterol"], parent="metabolic disorder", category="disease")
+    kb.add("neurological disorder", ["brain disorder"], category="disease")
+    kb.add("cerebrovascular accident", ["stroke", "brain attack"], parent="neurological disorder", category="disease")
+    kb.add("migraine", ["severe headache"], parent="neurological disorder", category="disease")
+    kb.add("epilepsy", ["seizure disorder", "seizures"], parent="neurological disorder", category="disease")
+    kb.add("infectious disease", ["infection"], category="disease")
+    kb.add("influenza", ["flu", "the flu"], parent="infectious disease", category="disease")
+    kb.add("gastroenteritis", ["stomach flu", "stomach bug"], parent="infectious disease", category="disease")
+    kb.add("renal disease", ["kidney disease", "kidney problems"], category="disease")
+    kb.add("chronic kidney disease", ["kidney failure", "ckd"], parent="renal disease", category="disease")
+
+    kb.add("analgesic", ["painkiller", "pain reliever", "pain medication"], category="drug")
+    kb.add("acetaminophen", ["paracetamol", "tylenol"], parent="analgesic", category="drug")
+    kb.add("ibuprofen", ["advil", "nurofen"], parent="analgesic", category="drug")
+    kb.add("antibiotic", ["antibiotics", "anti-bacterial"], category="drug")
+    kb.add("amoxicillin", ["amoxil"], parent="antibiotic", category="drug")
+    kb.add("azithromycin", ["z-pack", "zithromax"], parent="antibiotic", category="drug")
+    kb.add("antihypertensive", ["blood pressure medication", "bp medication"], category="drug")
+    kb.add("lisinopril", ["prinivil", "zestril"], parent="antihypertensive", category="drug")
+    kb.add("amlodipine", ["norvasc"], parent="antihypertensive", category="drug")
+    kb.add("antidiabetic", ["diabetes medication", "sugar medication"], category="drug")
+    kb.add("metformin", ["glucophage"], parent="antidiabetic", category="drug")
+    kb.add("insulin", ["insulin injection"], parent="antidiabetic", category="drug")
+    kb.add("statin", ["cholesterol medication"], category="drug")
+    kb.add("atorvastatin", ["lipitor"], parent="statin", category="drug")
+    kb.add("simvastatin", ["zocor"], parent="statin", category="drug")
+
+    kb.add("cardiology", ["heart department", "heart unit"], category="specialty")
+    kb.add("neurology", ["brain department"], category="specialty")
+    kb.add("pulmonology", ["lung department"], category="specialty")
+    kb.add("endocrinology", ["hormone department"], category="specialty")
+    kb.add("nephrology", ["kidney department"], category="specialty")
+    kb.add("pediatrics", ["children's department", "kids department"], category="specialty")
+    kb.add("oncology", ["cancer department"], category="specialty")
+    return kb

@@ -1,0 +1,119 @@
+"""Mappings between ontology elements and database schema elements.
+
+ATHENA keeps the ontology abstract and maps it onto the physical schema;
+the same pattern appears in the tooling framework of Jammi et al. [24].
+An :class:`OntologyMapping` records, for each concept, property and
+relation, the table / column / foreign-key-path that realizes it, and is
+what the OQL→SQL translation consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.sqldb.schema import ForeignKey
+
+from .model import Ontology, OntologyError
+
+
+@dataclass
+class RelationMapping:
+    """How one ontology relation is realized: a chain of foreign keys.
+
+    For a direct FK the chain has one element; for a relation through a
+    junction table it has two.
+    """
+
+    relation_name: str
+    fk_chain: Tuple[ForeignKey, ...]
+
+
+class OntologyMapping:
+    """Bidirectional ontology ⇄ schema mapping."""
+
+    def __init__(self, ontology: Ontology):
+        self.ontology = ontology
+        self._concept_to_table: Dict[str, str] = {}
+        self._property_to_column: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        self._column_to_property: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        self._relation_mappings: Dict[Tuple[str, str, str], RelationMapping] = {}
+
+    # -- registration ------------------------------------------------------------
+
+    def map_concept(self, concept: str, table: str) -> None:
+        """Bind a concept to its backing table."""
+        name = self.ontology.concept(concept).name
+        self._concept_to_table[name.lower()] = table
+
+    def map_property(self, concept: str, prop: str, table: str, column: str) -> None:
+        """Bind a data property to a (table, column) pair."""
+        owner = self.ontology.concept(concept)
+        owner.property(prop)  # validates
+        self._property_to_column[(owner.name.lower(), prop.lower())] = (table, column)
+        self._column_to_property[(table.lower(), column.lower())] = (owner.name, prop)
+
+    def map_relation(
+        self, name: str, src: str, dst: str, fk_chain: Tuple[ForeignKey, ...]
+    ) -> None:
+        """Bind a relation to the FK chain that joins its endpoint tables."""
+        key = (name.lower(), src.lower(), dst.lower())
+        self._relation_mappings[key] = RelationMapping(name, fk_chain)
+
+    # -- lookup ---------------------------------------------------------------
+
+    def table_of(self, concept: str) -> str:
+        """The table backing ``concept`` (inheriting the parent's table
+        when the concept itself is unmapped)."""
+        name = self.ontology.concept(concept).name.lower()
+        if name in self._concept_to_table:
+            return self._concept_to_table[name]
+        for ancestor in self.ontology.ancestors(name):
+            mapped = self._concept_to_table.get(ancestor.lower())
+            if mapped:
+                return mapped
+        raise OntologyError(f"concept {concept!r} is not mapped to a table")
+
+    def column_of(self, concept: str, prop: str) -> Tuple[str, str]:
+        """The (table, column) backing ``concept.prop`` (inheritance-aware)."""
+        owner = self.ontology.concept(concept)
+        key = (owner.name.lower(), prop.lower())
+        if key in self._property_to_column:
+            return self._property_to_column[key]
+        for ancestor in self.ontology.ancestors(owner.name):
+            key = (ancestor.lower(), prop.lower())
+            if key in self._property_to_column:
+                return self._property_to_column[key]
+        raise OntologyError(f"property {concept}.{prop} is not mapped to a column")
+
+    def fk_chain_of(self, name: str, src: str, dst: str) -> Tuple[ForeignKey, ...]:
+        """FK chain realizing relation ``name`` from ``src`` to ``dst``.
+
+        Falls back to the reverse orientation with reversed FKs.
+        """
+        key = (name.lower(), src.lower(), dst.lower())
+        mapping = self._relation_mappings.get(key)
+        if mapping is not None:
+            return mapping.fk_chain
+        reverse_key = (name.lower(), dst.lower(), src.lower())
+        mapping = self._relation_mappings.get(reverse_key)
+        if mapping is not None:
+            return tuple(fk.reversed() for fk in reversed(mapping.fk_chain))
+        raise OntologyError(f"relation {name!r} ({src} -> {dst}) is not mapped")
+
+    def property_for_column(self, table: str, column: str) -> Optional[Tuple[str, str]]:
+        """Reverse lookup: the (concept, property) backed by a column.
+
+        Returns ``None`` for unmapped columns (foreign keys, junction
+        payloads) — callers treat such value hits as unusable evidence.
+        """
+        return self._column_to_property.get((table.lower(), column.lower()))
+
+    def concepts_on_table(self, table: str) -> List[str]:
+        """All concepts mapped to ``table``."""
+        t = table.lower()
+        return [
+            self.ontology.concept(c).name
+            for c, mapped in self._concept_to_table.items()
+            if mapped.lower() == t
+        ]

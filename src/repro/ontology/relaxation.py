@@ -1,0 +1,104 @@
+"""Query relaxation over external knowledge sources (Lei et al. [28]).
+
+When a question term fails to match any stored value — because the user
+typed the colloquial form ("heart attack") while the database stores the
+clinical form ("myocardial infarction") — the relaxer proposes
+substitutes in widening circles:
+
+1. **canonicalization** — alias → canonical form (confidence 0.95),
+2. **alias expansion** — all other aliases of the same entry (0.9),
+3. **child expansion** — more specific terms (0.75, the SODA-style
+   superclass/subclass extension §4.1),
+4. **sibling expansion** — same-parent terms (0.5),
+5. **parent expansion** — the broader term itself (0.6).
+
+Each proposal records its provenance so clarification dialogue can ask
+the user ("did you mean ...?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.nlp.thesaurus import DEFAULT_THESAURUS, Thesaurus
+
+from .kb import KnowledgeBase
+
+
+@dataclass(frozen=True)
+class RelaxedTerm:
+    """One relaxation proposal with provenance and confidence."""
+
+    original: str
+    term: str
+    source: str  # "canonical" | "alias" | "child" | "sibling" | "parent" | "synonym"
+    confidence: float
+
+    def describe(self) -> str:
+        """Readable provenance line for explanations and dialogs."""
+        return f"{self.original!r} -> {self.term!r} ({self.source}, {self.confidence:.2f})"
+
+
+class QueryRelaxer:
+    """Proposes alternative terms for unmatched question tokens."""
+
+    def __init__(
+        self,
+        kb: Optional[KnowledgeBase] = None,
+        thesaurus: Optional[Thesaurus] = None,
+        max_proposals: int = 8,
+    ):
+        self.kb = kb
+        self.thesaurus = thesaurus or DEFAULT_THESAURUS
+        self.max_proposals = max_proposals
+
+    def relax(self, term: str) -> List[RelaxedTerm]:
+        """All proposals for ``term``, best-confidence first."""
+        proposals: List[RelaxedTerm] = []
+        t = term.lower().strip()
+        if self.kb is not None:
+            canonical = self.kb.canonicalize(t)
+            if canonical and canonical != t:
+                proposals.append(RelaxedTerm(t, canonical, "canonical", 0.95))
+            if canonical:
+                for alias in sorted(self.kb.aliases(canonical)):
+                    if alias not in (t, canonical):
+                        proposals.append(RelaxedTerm(t, alias, "alias", 0.9))
+                for child in self.kb.children(canonical):
+                    proposals.append(RelaxedTerm(t, child, "child", 0.75))
+                parent = self.kb.parent(canonical)
+                if parent:
+                    proposals.append(RelaxedTerm(t, parent, "parent", 0.6))
+                for sibling in self.kb.siblings(canonical):
+                    proposals.append(RelaxedTerm(t, sibling, "sibling", 0.5))
+        for synonym in sorted(self.thesaurus.synonyms(t)):
+            if synonym != t and all(p.term != synonym for p in proposals):
+                proposals.append(RelaxedTerm(t, synonym, "synonym", 0.85))
+        proposals.sort(key=lambda p: (-p.confidence, p.term))
+        return proposals[: self.max_proposals]
+
+    def best_match(self, term: str, candidates: Sequence[str]) -> Optional[RelaxedTerm]:
+        """The highest-confidence proposal that appears in ``candidates``.
+
+        ``candidates`` is typically the set of values actually stored in
+        the database column being filtered; the result, if any, is the
+        value the relaxed query should use.
+        """
+        available = {c.lower() for c in candidates}
+        t = term.lower().strip()
+        if t in available:
+            return RelaxedTerm(t, t, "exact", 1.0)
+        for proposal in self.relax(t):
+            if proposal.term in available:
+                return proposal
+        return None
+
+    def expand_all(self, term: str) -> List[str]:
+        """Every alternative surface form, original first (for recall-
+        oriented value matching)."""
+        seen = [term.lower()]
+        for proposal in self.relax(term):
+            if proposal.term not in seen:
+                seen.append(proposal.term)
+        return seen

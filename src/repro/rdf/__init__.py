@@ -1,0 +1,18 @@
+"""RDF substrate: triple store, relational→RDF export, SPARQL engine.
+
+The survey spans both "generated SQL and SPARQL queries" (§1); this
+package is the SPARQL side: :mod:`~repro.rdf.triples` stores the graph,
+:mod:`~repro.rdf.export` lifts a relational database into it through the
+ontology mapping, and :mod:`~repro.rdf.sparql` executes the SPARQL
+subset the BELA-style system (:mod:`repro.systems.sparql_bela`) emits.
+"""
+
+from .export import class_uri, entity_uri, export_rdf, property_uri, relation_uri
+from .sparql import Filter, SparqlQuery, TriplePattern, Var, evaluate, parse_sparql
+from .triples import RDF_TYPE, RDFS_LABEL, Triple, TripleStore
+
+__all__ = [
+    "Triple", "TripleStore", "RDF_TYPE", "RDFS_LABEL",
+    "export_rdf", "class_uri", "property_uri", "relation_uri", "entity_uri",
+    "Var", "TriplePattern", "Filter", "SparqlQuery", "evaluate", "parse_sparql",
+]

@@ -1,0 +1,115 @@
+"""Relational → RDF export.
+
+The survey's RDF-side systems (BELA, QUICK, TR Discover) need a graph;
+real deployments lift relational data into RDF through an ontology-based
+mapping, and so do we: every row becomes an entity typed by its concept,
+every mapped data property a literal triple, every relation an object
+triple, and every text display value an ``rdfs:label`` (which is what
+BELA's inverted index is built from).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.pipeline import NLIDBContext
+from repro.sqldb.types import DataType
+
+from .triples import RDF_TYPE, RDFS_LABEL, TripleStore
+
+
+def class_uri(concept: str) -> str:
+    """URI of a concept class."""
+    return "class:" + concept.replace(" ", "_")
+
+
+def property_uri(concept: str, prop: str) -> str:
+    """URI of a data property."""
+    return f"prop:{concept.replace(' ', '_')}.{prop.replace(' ', '_')}"
+
+
+def relation_uri(name: str) -> str:
+    """URI of an object property (relation)."""
+    return "rel:" + name.replace(" ", "_")
+
+
+def entity_uri(table: str, row_index: int) -> str:
+    """URI of the entity for one table row."""
+    return f"ent:{table}/{row_index}"
+
+
+def export_rdf(context: NLIDBContext) -> TripleStore:
+    """Lift ``context``'s database into a :class:`TripleStore`.
+
+    Primary-key values anchor entity identity so foreign keys can be
+    resolved to object triples; the first text property of each concept
+    doubles as the entity's ``rdfs:label``.
+    """
+    store = TripleStore(context.database.name + "-rdf")
+    ontology, mapping = context.ontology, context.mapping
+
+    # entity URIs keyed by (table, primary-key value)
+    entity_ids: Dict[Tuple[str, Any], str] = {}
+    for concept in ontology.concepts.values():
+        table_name = mapping.table_of(concept.name)
+        table = context.database.table(table_name)
+        pk = table.schema.primary_key
+        pk_index = table.schema.column_index(pk[0].name) if pk else None
+        for row_index, row in enumerate(table.rows):
+            uri = entity_uri(table_name, row_index)
+            if pk_index is not None:
+                entity_ids[(table_name.lower(), row[pk_index])] = uri
+
+    for concept in ontology.concepts.values():
+        table_name = mapping.table_of(concept.name)
+        table = context.database.table(table_name)
+        label_done = False
+        for row_index, row in enumerate(table.rows):
+            uri = entity_uri(table_name, row_index)
+            store.add(uri, RDF_TYPE, class_uri(concept.name))
+            labeled = False
+            for prop in concept.properties.values():
+                _, column = mapping.column_of(concept.name, prop.name)
+                value = row[table.schema.column_index(column)]
+                if value is None:
+                    continue
+                if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+                    value = str(value)
+                store.add(uri, property_uri(concept.name, prop.name), value)
+                if not labeled and prop.dtype is DataType.TEXT:
+                    store.add(uri, RDFS_LABEL, str(value))
+                    labeled = True
+
+    for relation in ontology.relations:
+        try:
+            chain = mapping.fk_chain_of(relation.name, relation.src, relation.dst)
+        except Exception:
+            continue
+        if len(chain) == 1:
+            fk = chain[0]
+            src_table = context.database.table(fk.src_table)
+            fk_index = src_table.schema.column_index(fk.src_column)
+            for row_index, row in enumerate(src_table.rows):
+                target_key = row[fk_index]
+                if target_key is None:
+                    continue
+                target = entity_ids.get((fk.dst_table.lower(), target_key))
+                if target is None:
+                    continue
+                store.add(
+                    entity_uri(fk.src_table, row_index),
+                    relation_uri(relation.name),
+                    target,
+                )
+        elif len(chain) == 2:
+            # pure junction: src.key <- junction -> dst.key
+            first, second = chain
+            junction = context.database.table(second.src_table)
+            left_index = junction.schema.column_index(first.dst_column)
+            right_index = junction.schema.column_index(second.src_column)
+            for row in junction.rows:
+                src = entity_ids.get((first.src_table.lower(), row[left_index]))
+                dst = entity_ids.get((second.dst_table.lower(), row[right_index]))
+                if src and dst:
+                    store.add(src, relation_uri(relation.name), dst)
+    return store

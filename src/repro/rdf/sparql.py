@@ -1,0 +1,334 @@
+"""A minimal SPARQL engine: basic graph patterns, FILTER, COUNT.
+
+The RDF-side systems of §4.1 generate SPARQL; this module gives them a
+target language and an executor so their output is *runnable* (the same
+requirement the SQL systems meet through :mod:`repro.sqldb`).
+
+Supported shape::
+
+    SELECT [DISTINCT] ?x ?y | (COUNT(?x) AS ?n)
+    WHERE { ?x rdf:type class:movie . ?x prop:movie.year ?y .
+            FILTER(?y > 2000) }
+    [LIMIT n]
+
+Evaluation is a backtracking join over triple patterns, most-selective
+pattern first.  ``parse_sparql``/``to_sparql`` round-trip the textual
+form for exact-match metrics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.sqldb.relation import Relation
+
+from .triples import Triple, TripleStore
+
+
+@dataclass(frozen=True)
+class Var:
+    """A SPARQL variable (``?name``)."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"?{self.name}"
+
+
+Term = Union[Var, str, int, float, bool]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One pattern in the WHERE block; any slot may be a :class:`Var`."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def variables(self) -> List[str]:
+        """Names of variables used by this pattern."""
+        return [t.name for t in (self.subject, self.predicate, self.object) if isinstance(t, Var)]
+
+    def to_sparql(self) -> str:
+        return f"{_render(self.subject)} {_render(self.predicate)} {_render(self.object)} ."
+
+
+@dataclass(frozen=True)
+class Filter:
+    """A comparison filter: ``FILTER(?v op constant)``."""
+
+    var: Var
+    op: str  # = != < <= > >=
+    value: Any
+
+    def to_sparql(self) -> str:
+        return f"FILTER({_render(self.var)} {self.op} {_render(self.value)})"
+
+    def accepts(self, value: Any) -> bool:
+        """Whether a bound value passes this filter."""
+        other = self.value
+        try:
+            if self.op == "=":
+                return value == other
+            if self.op == "!=":
+                return value != other
+            if isinstance(value, bool) or isinstance(other, bool):
+                return False
+            if self.op == "<":
+                return value < other
+            if self.op == "<=":
+                return value <= other
+            if self.op == ">":
+                return value > other
+            if self.op == ">=":
+                return value >= other
+        except TypeError:
+            return False
+        raise ValueError(f"unknown filter op {self.op!r}")
+
+
+@dataclass(frozen=True)
+class SparqlQuery:
+    """A SELECT query over one graph."""
+
+    select: Tuple[Var, ...]
+    patterns: Tuple[TriplePattern, ...]
+    filters: Tuple[Filter, ...] = ()
+    distinct: bool = False
+    count: Optional[Var] = None  # SELECT (COUNT(?count) AS ?n)
+    limit: Optional[int] = None
+
+    def to_sparql(self) -> str:
+        if self.count is not None:
+            head = f"(COUNT({_render(self.count)}) AS ?n)"
+        else:
+            head = " ".join(_render(v) for v in self.select)
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(head)
+        body = " ".join(
+            [p.to_sparql() for p in self.patterns] + [f.to_sparql() for f in self.filters]
+        )
+        parts.append("WHERE { " + body + " }")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+def _render(term: Term) -> str:
+    if isinstance(term, Var):
+        return f"?{term.name}"
+    if isinstance(term, bool):
+        return "true" if term else "false"
+    if isinstance(term, (int, float)):
+        return repr(term)
+    text = str(term)
+    if re.match(r"^[A-Za-z_][\w.-]*:[\w./-]+$", text):
+        return text  # prefixed URI
+    escaped = text.replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+# --------------------------------------------------------------------------
+# Evaluation
+# --------------------------------------------------------------------------
+
+
+def evaluate(store: TripleStore, query: SparqlQuery) -> Relation:
+    """Run ``query`` against ``store``; returns a Relation whose columns
+    are the selected variable names (or ``n`` for COUNT)."""
+    bindings = _join(store, list(query.patterns), {}, list(query.filters))
+    rows: List[Tuple[Any, ...]] = []
+    if query.count is not None:
+        values = [b.get(query.count.name) for b in bindings]
+        present = [v for v in values if v is not None]
+        if query.distinct:
+            seen = []
+            for value in present:
+                if value not in seen:
+                    seen.append(value)
+            present = seen
+        return Relation(["n"], [(len(present),)])
+    for binding in bindings:
+        rows.append(tuple(binding.get(v.name) for v in query.select))
+    if query.distinct:
+        unique: List[Tuple[Any, ...]] = []
+        seen = set()
+        for row in rows:
+            key = tuple(str(type(v)) + str(v) for v in row)
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        rows = unique
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return Relation([v.name for v in query.select], rows)
+
+
+def _join(
+    store: TripleStore,
+    patterns: List[TriplePattern],
+    binding: Dict[str, Any],
+    filters: List[Filter],
+) -> List[Dict[str, Any]]:
+    ready_filters = [
+        f for f in filters if f.var.name in binding
+    ]
+    for filt in ready_filters:
+        if not filt.accepts(binding[filt.var.name]):
+            return []
+    remaining_filters = [f for f in filters if f.var.name not in binding]
+    if not patterns:
+        # unbound filter variables mean the query was malformed; treat as failed
+        return [] if remaining_filters else [dict(binding)]
+    # pick the most-bound pattern next (fewest free variables)
+    def free_count(pattern: TriplePattern) -> int:
+        return sum(1 for v in pattern.variables() if v not in binding)
+
+    patterns = sorted(patterns, key=free_count)
+    pattern, rest = patterns[0], patterns[1:]
+    subject = _resolve(pattern.subject, binding)
+    predicate = _resolve(pattern.predicate, binding)
+    obj = _resolve(pattern.object, binding)
+    obj_given = not isinstance(pattern.object, Var) or pattern.object.name in binding
+    results: List[Dict[str, Any]] = []
+    for triple in store.match(
+        subject if not isinstance(subject, Var) else None,
+        predicate if not isinstance(predicate, Var) else None,
+        obj if obj_given else None,
+        obj_given=obj_given,
+    ):
+        extended = dict(binding)
+        if not _bind(pattern.subject, triple.subject, extended):
+            continue
+        if not _bind(pattern.predicate, triple.predicate, extended):
+            continue
+        if not _bind(pattern.object, triple.object, extended):
+            continue
+        results.extend(_join(store, rest, extended, remaining_filters))
+    return results
+
+
+def _resolve(term: Term, binding: Dict[str, Any]):
+    if isinstance(term, Var):
+        if term.name in binding:
+            return binding[term.name]
+        return term
+    return term
+
+
+def _bind(term: Term, value: Any, binding: Dict[str, Any]) -> bool:
+    if isinstance(term, Var):
+        if term.name in binding:
+            return binding[term.name] == value
+        binding[term.name] = value
+        return True
+    return term == value
+
+
+# --------------------------------------------------------------------------
+# Parsing (round-trip of to_sparql output)
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""\?(?P<var>\w+)
+      | "(?P<string>(?:[^"\\]|\\.)*)"
+      | (?P<number>-?\d+(?:\.\d+)?)
+      | (?P<uri>[A-Za-z_][\w.-]*:[\w./-]+)
+      | (?P<word>[A-Za-z]+)
+      | (?P<punct>[{}().])
+      | (?P<op><=|>=|!=|=|<|>)
+    """,
+    re.VERBOSE,
+)
+
+
+def parse_sparql(text: str) -> SparqlQuery:
+    """Parse the subset produced by :meth:`SparqlQuery.to_sparql`."""
+    tokens = [
+        (m.lastgroup, m.group(m.lastgroup)) for m in _TOKEN_RE.finditer(text)
+    ]
+    pos = 0
+
+    def peek():
+        return tokens[pos] if pos < len(tokens) else ("eof", "")
+
+    def take(expected_kind=None, expected_value=None):
+        nonlocal pos
+        kind, value = peek()
+        if expected_kind and kind != expected_kind:
+            raise ValueError(f"expected {expected_kind}, got {kind}:{value}")
+        if expected_value and value.lower() != expected_value.lower():
+            raise ValueError(f"expected {expected_value!r}, got {value!r}")
+        pos += 1
+        return kind, value
+
+    take("word", "SELECT")
+    distinct = False
+    if peek() == ("word", "DISTINCT"):
+        take()
+        distinct = True
+    select: List[Var] = []
+    count: Optional[Var] = None
+    if peek()[1] == "(":
+        take("punct", "(")
+        take("word", "COUNT")
+        take("punct", "(")
+        count = Var(take("var")[1])
+        take("punct", ")")
+        take("word", "AS")
+        take("var")
+        take("punct", ")")
+    else:
+        while peek()[0] == "var":
+            select.append(Var(take("var")[1]))
+    take("word", "WHERE")
+    take("punct", "{")
+    patterns: List[TriplePattern] = []
+    filters: List[Filter] = []
+    while peek()[1] != "}":
+        kind, value = peek()
+        if kind == "word" and value.upper() == "FILTER":
+            take()
+            take("punct", "(")
+            var = Var(take("var")[1])
+            op = take("op")[1]
+            filters.append(Filter(var, op, _term_value(*take())))
+            take("punct", ")")
+            continue
+        terms = [_term(*take()) for _ in range(3)]
+        take("punct", ".")
+        patterns.append(TriplePattern(*terms))
+    take("punct", "}")
+    limit = None
+    if peek() == ("word", "LIMIT"):
+        take()
+        limit = int(take("number")[1])
+    return SparqlQuery(
+        select=tuple(select),
+        patterns=tuple(patterns),
+        filters=tuple(filters),
+        distinct=distinct,
+        count=count,
+        limit=limit,
+    )
+
+
+def _term(kind: str, value: str) -> Term:
+    if kind == "var":
+        return Var(value)
+    return _term_value(kind, value)
+
+
+def _term_value(kind: str, value: str) -> Any:
+    if kind == "string":
+        return value.replace('\\"', '"')
+    if kind == "number":
+        return float(value) if "." in value else int(value)
+    if kind == "word" and value in ("true", "false"):
+        return value == "true"
+    return value  # uri

@@ -1,0 +1,163 @@
+"""A minimal in-memory RDF triple store.
+
+Several systems the survey covers target RDF rather than relational data
+— BELA [53] over DBpedia, QUICK [66] over semantic-web data, TR Discover
+[49] over interlinked datasets.  This store is their substrate: triples
+``(subject, predicate, object)`` with the three classic permutation
+indexes (SPO / POS / OSP) so every single-wildcard lookup is a hash probe.
+
+Terms are plain Python values: URIs are strings (by convention prefixed
+``"<ns>:<local>"``), literals are str/int/float/bool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+#: well-known predicates
+RDF_TYPE = "rdf:type"
+RDFS_LABEL = "rdfs:label"
+
+
+@dataclass(frozen=True)
+class Triple:
+    """One RDF statement."""
+
+    subject: str
+    predicate: str
+    object: Any
+
+    def __iter__(self):
+        return iter((self.subject, self.predicate, self.object))
+
+
+class TripleStore:
+    """Indexed triple set with wildcard matching."""
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._triples: List[Triple] = []
+        self._spo: Dict[str, Dict[str, Set[int]]] = {}
+        self._pos: Dict[str, Dict[Any, Set[int]]] = {}
+        self._osp: Dict[Any, Dict[str, Set[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def add(self, subject: str, predicate: str, obj: Any) -> Triple:
+        """Insert one triple (duplicates are kept out)."""
+        triple = Triple(subject, predicate, obj)
+        existing = self._match_ids(subject, predicate, obj)
+        if existing:
+            return triple
+        idx = len(self._triples)
+        self._triples.append(triple)
+        self._spo.setdefault(subject, {}).setdefault(predicate, set()).add(idx)
+        self._pos.setdefault(predicate, {}).setdefault(_key(obj), set()).add(idx)
+        self._osp.setdefault(_key(obj), {}).setdefault(subject, set()).add(idx)
+        return triple
+
+    def extend(self, triples: Iterable[Tuple[str, str, Any]]) -> int:
+        """Insert many (s, p, o) tuples; returns how many were given."""
+        count = 0
+        for subject, predicate, obj in triples:
+            self.add(subject, predicate, obj)
+            count += 1
+        return count
+
+    # -- matching -----------------------------------------------------------------
+
+    def match(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        obj: Any = None,
+        obj_given: bool = False,
+    ) -> List[Triple]:
+        """Triples matching the given pattern (``None`` = wildcard).
+
+        Because ``None``-like objects could be literals, pass
+        ``obj_given=True`` to force the object slot to be a constraint.
+        """
+        ids = self._match_ids(subject, predicate, obj if (obj is not None or obj_given) else _WILD)
+        return [self._triples[i] for i in sorted(ids)]
+
+    def _match_ids(self, subject, predicate, obj) -> Set[int]:
+        candidates: Optional[Set[int]] = None
+        if subject is not None:
+            rows = self._spo.get(subject, {})
+            subject_ids: Set[int] = set()
+            if predicate is not None:
+                subject_ids = set(rows.get(predicate, set()))
+            else:
+                for ids in rows.values():
+                    subject_ids |= ids
+            candidates = subject_ids
+        if predicate is not None and candidates is None:
+            rows = self._pos.get(predicate, {})
+            predicate_ids: Set[int] = set()
+            if obj is not _WILD:
+                predicate_ids = set(rows.get(_key(obj), set()))
+            else:
+                for ids in rows.values():
+                    predicate_ids |= ids
+            candidates = predicate_ids
+        if candidates is None:
+            if obj is not _WILD:
+                rows = self._osp.get(_key(obj), {})
+                candidates = set()
+                for ids in rows.values():
+                    candidates |= ids
+            else:
+                return set(range(len(self._triples)))
+        # final filtering for constraints not used to seed the candidate set
+        out = set()
+        for i in candidates:
+            triple = self._triples[i]
+            if subject is not None and triple.subject != subject:
+                continue
+            if predicate is not None and triple.predicate != predicate:
+                continue
+            if obj is not _WILD and _key(triple.object) != _key(obj):
+                continue
+            out.add(i)
+        return out
+
+    # -- convenience -----------------------------------------------------------
+
+    def subjects_of_type(self, class_uri: str) -> List[str]:
+        """All subjects with ``rdf:type class_uri``."""
+        return [t.subject for t in self.match(None, RDF_TYPE, class_uri)]
+
+    def label_index(self) -> Dict[str, List[str]]:
+        """label (lower-cased) → subjects carrying it (BELA's inverted
+        index over entity names)."""
+        index: Dict[str, List[str]] = {}
+        for triple in self.match(None, RDFS_LABEL):
+            key = str(triple.object).lower()
+            index.setdefault(key, []).append(triple.subject)
+        return index
+
+    def predicates(self) -> List[str]:
+        """All distinct predicates."""
+        return sorted(self._pos)
+
+
+class _Wild:
+    __slots__ = ()
+
+
+_WILD = _Wild()
+
+
+def _key(obj: Any) -> Any:
+    """Hashable comparison key for object terms (bool ≠ int)."""
+    if isinstance(obj, bool):
+        return ("bool", obj)
+    if isinstance(obj, (int, float)):
+        return ("num", float(obj))
+    return (type(obj).__name__, obj)

@@ -1,0 +1,162 @@
+"""The Database: a named catalog of tables plus foreign-key metadata.
+
+Besides storage, the database exposes the two pieces of structural
+knowledge every NLIDB system in the survey leans on:
+
+- the *join graph* (tables as nodes, foreign keys as edges) used to infer
+  join paths between matched elements (NaLIR, ATHENA, TEMPLAR — §3), and
+- handles for building value/metadata inverted indexes
+  (:mod:`repro.sqldb.index`) used by keyword systems (SODA — §4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from .errors import SchemaError, UnknownTableError
+from .schema import Column, ForeignKey, TableSchema
+from .table import Table
+
+
+class Database:
+    """A collection of in-memory tables with foreign-key relationships."""
+
+    def __init__(self, name: str = "db"):
+        self.name = name
+        self._tables: Dict[str, Table] = {}
+        self.foreign_keys: List[ForeignKey] = []
+
+    # -- catalog ------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        """Register a new table; raises on duplicate names."""
+        key = schema.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[key] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table named ``name`` exists."""
+        return name.lower() in self._tables
+
+    @property
+    def tables(self) -> List[Table]:
+        """All tables in creation order."""
+        return list(self._tables.values())
+
+    @property
+    def table_names(self) -> List[str]:
+        """Original-case table names in creation order."""
+        return [t.name for t in self._tables.values()]
+
+    def schema(self, name: str) -> TableSchema:
+        """The schema of table ``name``."""
+        return self.table(name).schema
+
+    def add_foreign_key(
+        self, src_table: str, src_column: str, dst_table: str, dst_column: str
+    ) -> ForeignKey:
+        """Declare ``src_table.src_column`` references ``dst_table.dst_column``.
+
+        Both endpoints must exist; the FK is validated against the catalog.
+        """
+        src = self.table(src_table).schema
+        dst = self.table(dst_table).schema
+        src.column(src_column)  # raises if missing
+        dst.column(dst_column)
+        fk = ForeignKey(src.name, src.column(src_column).name, dst.name, dst.column(dst_column).name)
+        self.foreign_keys.append(fk)
+        return fk
+
+    def insert(self, table_name: str, values: Sequence[Any]) -> None:
+        """Insert one positional row into ``table_name``."""
+        self.table(table_name).insert(values)
+
+    def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many positional rows; returns the count inserted."""
+        return self.table(table_name).insert_many(rows)
+
+    # -- join graph -----------------------------------------------------------
+
+    def join_graph(self) -> nx.MultiGraph:
+        """Undirected multigraph of tables connected by foreign keys.
+
+        Edge data carries the :class:`~repro.sqldb.schema.ForeignKey`
+        under the key ``"fk"``.
+        """
+        graph = nx.MultiGraph()
+        graph.add_nodes_from(t.name for t in self.tables)
+        for fk in self.foreign_keys:
+            graph.add_edge(fk.src_table, fk.dst_table, fk=fk)
+        return graph
+
+    def join_path(self, start: str, goal: str) -> Optional[List[ForeignKey]]:
+        """Shortest foreign-key path between two tables.
+
+        Returns the list of FKs along the path oriented from ``start``
+        toward ``goal`` (each FK's ``src_table`` is the earlier table on
+        the path), or ``None`` when the tables are disconnected.
+        """
+        start_name = self.table(start).name
+        goal_name = self.table(goal).name
+        if start_name == goal_name:
+            return []
+        graph = self.join_graph()
+        try:
+            nodes = nx.shortest_path(graph, start_name, goal_name)
+        except nx.NetworkXNoPath:
+            return None
+        path: List[ForeignKey] = []
+        for a, b in zip(nodes, nodes[1:]):
+            edge_dict = graph.get_edge_data(a, b)
+            fk = next(iter(edge_dict.values()))["fk"]
+            if fk.src_table != a:
+                fk = fk.reversed()
+            path.append(fk)
+        return path
+
+    def foreign_keys_between(self, table_a: str, table_b: str) -> List[ForeignKey]:
+        """Direct FK edges between two tables (either direction)."""
+        a, b = self.table(table_a).name, self.table(table_b).name
+        out = []
+        for fk in self.foreign_keys:
+            if {fk.src_table, fk.dst_table} == {a, b}:
+                out.append(fk if fk.src_table == a else fk.reversed())
+        return out
+
+    # -- introspection ----------------------------------------------------------
+
+    def find_column(self, column_name: str) -> List[Tuple[str, Column]]:
+        """All (table, column) pairs whose column matches ``column_name``."""
+        out = []
+        for table in self.tables:
+            if column_name in table.schema:
+                out.append((table.name, table.schema.column(column_name)))
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        """Simple size statistics used by benchmark reporting."""
+        return {
+            "tables": len(self._tables),
+            "columns": sum(len(t.schema) for t in self.tables),
+            "rows": sum(len(t) for t in self.tables),
+            "foreign_keys": len(self.foreign_keys),
+        }
+
+    def ddl(self) -> str:
+        """Full ``CREATE TABLE`` script for every table."""
+        return "\n\n".join(t.schema.to_ddl() for t in self.tables)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Database({self.name!r}, tables={self.table_names})"

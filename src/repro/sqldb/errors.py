@@ -1,0 +1,60 @@
+"""Exception hierarchy for the in-memory SQL engine.
+
+Every error raised by :mod:`repro.sqldb` derives from :class:`SqlError`,
+so callers (e.g. the NLIDB evaluation harness, which must not crash when a
+system emits malformed SQL) can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all errors raised by the SQL engine."""
+
+
+class ParseError(SqlError):
+    """Raised when SQL text cannot be tokenized or parsed.
+
+    Carries the approximate character ``position`` in the input when known.
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class CatalogError(SqlError):
+    """Raised for schema-level problems: unknown tables or columns,
+    duplicate definitions, or invalid foreign keys."""
+
+
+class SchemaError(CatalogError):
+    """Raised when a schema definition itself is inconsistent
+    (e.g. duplicate column names, foreign key to a missing column)."""
+
+
+class TypeMismatchError(SqlError):
+    """Raised when a value cannot be coerced to a column's declared type,
+    or when an expression combines incompatible types."""
+
+
+class ExecutionError(SqlError):
+    """Raised when a structurally valid query fails during evaluation
+    (e.g. a scalar subquery returning multiple rows)."""
+
+
+class AmbiguousColumnError(CatalogError):
+    """Raised when an unqualified column name matches more than one table
+    in scope."""
+
+
+class UnknownColumnError(CatalogError):
+    """Raised when a column reference cannot be resolved in scope."""
+
+
+class UnknownTableError(CatalogError):
+    """Raised when a table name is not present in the database."""
+
+
+class UnknownFunctionError(SqlError):
+    """Raised when a query calls a function the engine does not define."""

@@ -1,0 +1,536 @@
+"""Query evaluation over :class:`~repro.sqldb.database.Database`.
+
+The executor interprets :class:`~repro.sqldb.ast.SelectStatement` trees
+directly (no physical plan — the datasets in this reproduction are small
+and the goal is *semantics*, which the NLIDB metrics depend on):
+
+- FROM/JOIN via nested-loop join with ON-condition filtering,
+- WHERE with full boolean expressions, LIKE, BETWEEN, IN lists,
+- nested sub-queries (scalar / IN / EXISTS), including correlated ones —
+  inner column references resolve through the enclosing row scope,
+- GROUP BY / HAVING with the five SQL aggregates,
+- ORDER BY (including by select alias) and LIMIT, DISTINCT.
+
+Deviations from full SQL, chosen to match NLIDB benchmark practice, are
+documented in :mod:`repro.sqldb.types` (NULL comparisons are false;
+``LIKE`` is case-insensitive, as in SQLite).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    SelectStatement,
+    Star,
+    SubqueryExpr,
+    UnaryOp,
+)
+from .database import Database
+from .errors import (
+    AmbiguousColumnError,
+    ExecutionError,
+    UnknownColumnError,
+    UnknownFunctionError,
+    UnknownTableError,
+)
+from .functions import AGGREGATE_FUNCTIONS, call_scalar
+from .relation import Relation
+from .schema import TableSchema
+from .types import sort_key, values_compare, values_equal
+
+
+class _Scope:
+    """One row's name-resolution scope: the bound tables of the current
+    block plus a link to the enclosing block's scope for correlated
+    sub-queries."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(
+        self,
+        bindings: List[Tuple[str, TableSchema, Tuple[Any, ...]]],
+        parent: Optional["_Scope"] = None,
+    ):
+        self.bindings = bindings  # (binding name lowered, schema, row)
+        self.parent = parent
+
+    def extended(self, binding: str, schema: TableSchema, row: Tuple[Any, ...]) -> "_Scope":
+        """A new scope with one more bound row."""
+        return _Scope(self.bindings + [(binding.lower(), schema, row)], self.parent)
+
+    def resolve(self, ref: ColumnRef) -> Any:
+        """Resolve a column reference, walking outward for correlation."""
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            found = scope._resolve_local(ref)
+            if found is not _MISSING:
+                return found
+            scope = scope.parent
+        raise UnknownColumnError(f"cannot resolve column {ref.to_sql()!r}")
+
+    def _resolve_local(self, ref: ColumnRef) -> Any:
+        if ref.table:
+            want = ref.table.lower()
+            for binding, schema, row in self.bindings:
+                if binding == want:
+                    if ref.column in schema:
+                        return row[schema.column_index(ref.column)]
+                    raise UnknownColumnError(
+                        f"table {ref.table!r} has no column {ref.column!r}"
+                    )
+            return _MISSING
+        matches = [
+            (schema, row)
+            for binding, schema, row in self.bindings
+            if ref.column in schema
+        ]
+        if len(matches) > 1:
+            raise AmbiguousColumnError(f"column {ref.column!r} is ambiguous")
+        if matches:
+            schema, row = matches[0]
+            return row[schema.column_index(ref.column)]
+        return _MISSING
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<missing>"
+
+
+_MISSING = _Missing()
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE)
+
+
+class Executor:
+    """Evaluates SELECT statements against one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, stmt: SelectStatement) -> Relation:
+        """Run ``stmt`` and return its result relation."""
+        return self._execute(stmt, parent=None)
+
+    def execute_sql(self, sql: str) -> Relation:
+        """Parse and run SQL text."""
+        from .parser import parse_select
+
+        return self._execute(parse_select(sql), parent=None)
+
+    # -- statement evaluation ----------------------------------------------------
+
+    def _execute(self, stmt: SelectStatement, parent: Optional[_Scope]) -> Relation:
+        scopes = self._build_from(stmt, parent)
+        if stmt.where is not None:
+            scopes = [s for s in scopes if self._truthy(self._eval(stmt.where, s))]
+
+        grouped = bool(stmt.group_by) or self._projects_aggregate(stmt)
+        if grouped:
+            rows, order_rows = self._project_grouped(stmt, scopes, parent)
+        else:
+            rows, order_rows = self._project_rows(stmt, scopes)
+
+        columns = self._output_columns(stmt, scopes)
+
+        if stmt.distinct:
+            seen = set()
+            kept_rows, kept_order = [], []
+            for row, okey in zip(rows, order_rows):
+                marker = tuple(row)
+                if marker in seen:
+                    continue
+                seen.add(marker)
+                kept_rows.append(row)
+                kept_order.append(okey)
+            rows, order_rows = kept_rows, kept_order
+
+        if stmt.order_by:
+            directions = [item.direction for item in stmt.order_by]
+            def key(pair):
+                _, okey = pair
+                return tuple(
+                    _DirectionKey(sort_key(v), direction == "desc")
+                    for v, direction in zip(okey, directions)
+                )
+            paired = sorted(zip(rows, order_rows), key=key)
+            rows = [row for row, _ in paired]
+
+        if stmt.limit is not None:
+            rows = rows[: stmt.limit]
+
+        return Relation(columns, rows)
+
+    def _build_from(self, stmt: SelectStatement, parent: Optional[_Scope]) -> List[_Scope]:
+        if stmt.from_table is None:
+            return [_Scope([], parent)]
+        base = self.database.table(stmt.from_table.table)
+        binding = stmt.from_table.binding
+        scopes = [
+            _Scope([(binding.lower(), base.schema, row)], parent) for row in base.rows
+        ]
+        for join in stmt.joins:
+            table = self.database.table(join.table.table)
+            joined: List[_Scope] = []
+            jbinding = join.table.binding
+            for scope in scopes:
+                for row in table.rows:
+                    candidate = scope.extended(jbinding, table.schema, row)
+                    if self._truthy(self._eval(join.condition, candidate)):
+                        joined.append(candidate)
+            scopes = joined
+        return scopes
+
+    def _projects_aggregate(self, stmt: SelectStatement) -> bool:
+        for item in stmt.select_items:
+            for node in item.expr.walk():
+                if isinstance(node, FuncCall) and node.is_aggregate:
+                    return True
+        if stmt.having is not None:
+            for node in stmt.having.walk():
+                if isinstance(node, FuncCall) and node.is_aggregate:
+                    return True
+        return False
+
+    def _output_columns(self, stmt: SelectStatement, scopes: List[_Scope]) -> List[str]:
+        columns: List[str] = []
+        for item in stmt.select_items:
+            if isinstance(item.expr, Star):
+                columns.extend(self._star_columns(stmt, item.expr))
+            else:
+                columns.append(item.output_name)
+        return columns
+
+    def _star_columns(self, stmt: SelectStatement, star: Star) -> List[str]:
+        refs: List[Tuple[str, TableSchema]] = []
+        if stmt.from_table is not None:
+            refs.append((stmt.from_table.binding, self.database.table(stmt.from_table.table).schema))
+        for join in stmt.joins:
+            refs.append((join.table.binding, self.database.table(join.table.table).schema))
+        if star.table:
+            want = star.table.lower()
+            refs = [r for r in refs if r[0].lower() == want]
+            if not refs:
+                raise UnknownTableError(f"no table bound as {star.table!r}")
+        out = []
+        for _, schema in refs:
+            out.extend(schema.column_names)
+        return out
+
+    def _star_values(self, stmt: SelectStatement, star: Star, scope: _Scope) -> List[Any]:
+        want = star.table.lower() if star.table else None
+        values: List[Any] = []
+        for binding, schema, row in scope.bindings:
+            if want is not None and binding != want:
+                continue
+            values.extend(row)
+        return values
+
+    def _project_rows(
+        self, stmt: SelectStatement, scopes: List[_Scope]
+    ) -> Tuple[List[Tuple[Any, ...]], List[Tuple[Any, ...]]]:
+        rows: List[Tuple[Any, ...]] = []
+        order_rows: List[Tuple[Any, ...]] = []
+        alias_map = self._alias_exprs(stmt)
+        for scope in scopes:
+            out: List[Any] = []
+            for item in stmt.select_items:
+                if isinstance(item.expr, Star):
+                    out.extend(self._star_values(stmt, item.expr, scope))
+                else:
+                    out.append(self._eval(item.expr, scope))
+            rows.append(tuple(out))
+            order_rows.append(
+                tuple(
+                    self._eval(self._substitute_alias(o.expr, alias_map), scope)
+                    for o in stmt.order_by
+                )
+            )
+        return rows, order_rows
+
+    def _project_grouped(
+        self, stmt: SelectStatement, scopes: List[_Scope], parent: Optional[_Scope]
+    ) -> Tuple[List[Tuple[Any, ...]], List[Tuple[Any, ...]]]:
+        groups: Dict[Tuple[Any, ...], List[_Scope]] = {}
+        order: List[Tuple[Any, ...]] = []
+        if stmt.group_by:
+            for scope in scopes:
+                key = tuple(
+                    _hashable(self._eval(expr, scope)) for expr in stmt.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(scope)
+        else:
+            # Aggregate over the whole input: exactly one group, possibly empty.
+            key = ()
+            groups[key] = list(scopes)
+            order.append(key)
+
+        alias_map = self._alias_exprs(stmt)
+        rows: List[Tuple[Any, ...]] = []
+        order_rows: List[Tuple[Any, ...]] = []
+        for key in order:
+            members = groups[key]
+            if stmt.having is not None and not self._truthy(
+                self._eval_group(stmt.having, members, parent)
+            ):
+                continue
+            out = []
+            for item in stmt.select_items:
+                if isinstance(item.expr, Star):
+                    raise ExecutionError("SELECT * is not valid in a grouped query")
+                out.append(self._eval_group(item.expr, members, parent))
+            rows.append(tuple(out))
+            order_rows.append(
+                tuple(
+                    self._eval_group(
+                        self._substitute_alias(o.expr, alias_map), members, parent
+                    )
+                    for o in stmt.order_by
+                )
+            )
+        return rows, order_rows
+
+    def _alias_exprs(self, stmt: SelectStatement) -> Dict[str, Expr]:
+        out: Dict[str, Expr] = {}
+        for item in stmt.select_items:
+            if item.alias:
+                out[item.alias.lower()] = item.expr
+        return out
+
+    def _substitute_alias(self, expr: Expr, alias_map: Dict[str, Expr]) -> Expr:
+        if isinstance(expr, ColumnRef) and expr.table is None:
+            replacement = alias_map.get(expr.column.lower())
+            if replacement is not None:
+                return replacement
+        return expr
+
+    # -- expression evaluation -----------------------------------------------
+
+    def _truthy(self, value: Any) -> bool:
+        return bool(value) and value is not None
+
+    def _eval(self, expr: Expr, scope: _Scope) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            return scope.resolve(expr)
+        if isinstance(expr, Star):
+            raise ExecutionError("'*' is only valid in SELECT or COUNT(*)")
+        if isinstance(expr, BinaryOp):
+            return self._eval_binary(expr, scope)
+        if isinstance(expr, UnaryOp):
+            if expr.op.upper() == "NOT":
+                return not self._truthy(self._eval(expr.operand, scope))
+            value = self._eval(expr.operand, scope)
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ExecutionError(f"unary '-' needs a number, got {value!r}")
+            return -value
+        if isinstance(expr, IsNull):
+            is_null = self._eval(expr.operand, scope) is None
+            return not is_null if expr.negated else is_null
+        if isinstance(expr, Between):
+            value = self._eval(expr.operand, scope)
+            low = self._eval(expr.low, scope)
+            high = self._eval(expr.high, scope)
+            cmp_low = values_compare(value, low)
+            cmp_high = values_compare(value, high)
+            if cmp_low is None or cmp_high is None:
+                result = False
+            else:
+                result = cmp_low >= 0 and cmp_high <= 0
+            return not result if expr.negated else result
+        if isinstance(expr, InList):
+            value = self._eval(expr.operand, scope)
+            if value is None:
+                return False
+            hit = any(values_equal(value, self._eval(item, scope)) for item in expr.items)
+            return not hit if expr.negated else hit
+        if isinstance(expr, FuncCall):
+            if expr.is_aggregate:
+                raise ExecutionError(
+                    f"aggregate {expr.name.upper()} used outside a grouped context"
+                )
+            args = [self._eval(arg, scope) for arg in expr.args]
+            return call_scalar(expr.name, args)
+        if isinstance(expr, SubqueryExpr):
+            return self._eval_subquery(expr, scope)
+        raise ExecutionError(f"cannot evaluate expression {expr!r}")  # pragma: no cover
+
+    def _eval_binary(self, expr: BinaryOp, scope: _Scope) -> Any:
+        op = expr.op
+        if op == "AND":
+            return self._truthy(self._eval(expr.left, scope)) and self._truthy(
+                self._eval(expr.right, scope)
+            )
+        if op == "OR":
+            return self._truthy(self._eval(expr.left, scope)) or self._truthy(
+                self._eval(expr.right, scope)
+            )
+        left = self._eval(expr.left, scope)
+        right = self._eval(expr.right, scope)
+        if op == "LIKE":
+            if left is None or right is None:
+                return False
+            if not isinstance(left, str) or not isinstance(right, str):
+                raise ExecutionError("LIKE requires text operands")
+            return bool(_like_to_regex(right).match(left))
+        if op == "=":
+            return values_equal(left, right)
+        if op == "!=":
+            if left is None or right is None:
+                return False
+            return not values_equal(left, right)
+        if op in ("<", "<=", ">", ">="):
+            cmp = values_compare(left, right)
+            if cmp is None:
+                return False
+            return {"<": cmp < 0, "<=": cmp <= 0, ">": cmp > 0, ">=": cmp >= 0}[op]
+        if op in ("+", "-", "*", "/"):
+            if left is None or right is None:
+                return None
+            for side in (left, right):
+                if isinstance(side, bool) or not isinstance(side, (int, float)):
+                    raise ExecutionError(f"arithmetic on non-number {side!r}")
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if right == 0:
+                raise ExecutionError("division by zero")
+            return left / right
+        raise ExecutionError(f"unknown operator {op!r}")  # pragma: no cover
+
+    def _eval_subquery(self, expr: SubqueryExpr, scope: _Scope) -> Any:
+        result = self._execute(expr.query, parent=scope)
+        if expr.kind == "scalar":
+            if len(result.rows) > 1:
+                raise ExecutionError("scalar subquery returned more than one row")
+            if len(result.columns) != 1:
+                raise ExecutionError("scalar subquery must return one column")
+            value = result.rows[0][0] if result.rows else None
+            if expr.operand is None or expr.op is None:
+                return value
+            outer = self._eval(expr.operand, scope)
+            comparison = BinaryOp(expr.op, Literal(outer), Literal(value))
+            return self._eval_binary(comparison, scope)
+        if expr.kind in ("in", "not_in"):
+            if len(result.columns) != 1:
+                raise ExecutionError("IN subquery must return one column")
+            outer = self._eval(expr.operand, scope) if expr.operand else None
+            if outer is None:
+                return False
+            hit = any(values_equal(outer, v) for v in result.first_column())
+            return not hit if expr.kind == "not_in" else hit
+        if expr.kind in ("exists", "not_exists"):
+            has_rows = bool(result.rows)
+            return not has_rows if expr.kind == "not_exists" else has_rows
+        raise ExecutionError(f"unknown subquery kind {expr.kind!r}")  # pragma: no cover
+
+    # -- grouped evaluation -------------------------------------------------------
+
+    def _eval_group(
+        self, expr: Expr, members: List[_Scope], parent: Optional[_Scope]
+    ) -> Any:
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            return self._eval_aggregate(expr, members)
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, BinaryOp):
+            if expr.op in ("AND", "OR"):
+                left = self._truthy(self._eval_group(expr.left, members, parent))
+                right_lazy = lambda: self._truthy(self._eval_group(expr.right, members, parent))
+                return (left and right_lazy()) if expr.op == "AND" else (left or right_lazy())
+            left = self._eval_group(expr.left, members, parent)
+            right = self._eval_group(expr.right, members, parent)
+            return self._eval_binary(
+                BinaryOp(expr.op, Literal(left), Literal(right)),
+                members[0] if members else _Scope([], parent),
+            )
+        if isinstance(expr, UnaryOp):
+            inner = self._eval_group(expr.operand, members, parent)
+            if expr.op.upper() == "NOT":
+                return not self._truthy(inner)
+            if inner is None:
+                return None
+            return -inner
+        if isinstance(expr, FuncCall):
+            args = [self._eval_group(a, members, parent) for a in expr.args]
+            return call_scalar(expr.name, args)
+        # Bare columns / other expressions: evaluate on a representative row
+        # of the group (valid for GROUP BY keys; pragmatic otherwise, as in
+        # SQLite).  The empty whole-table group (aggregate over zero rows)
+        # yields NULL for bare columns, as MySQL does.
+        if not members:
+            return None
+        return self._eval(expr, members[0])
+
+    def _eval_aggregate(self, call: FuncCall, members: List[_Scope]) -> Any:
+        func = AGGREGATE_FUNCTIONS.get(call.name.lower())
+        if func is None:  # pragma: no cover - guarded by is_aggregate
+            raise UnknownFunctionError(f"unknown aggregate {call.name!r}")
+        if call.name.lower() == "count" and len(call.args) == 1 and isinstance(call.args[0], Star):
+            return func([None] * len(members), star=True)
+        if not call.args:
+            raise ExecutionError(f"{call.name.upper()} requires an argument")
+        if len(call.args) != 1:
+            raise ExecutionError(f"{call.name.upper()} takes exactly one argument")
+        values = [self._eval(call.args[0], scope) for scope in members]
+        return func(values, distinct=call.distinct)
+
+
+class _DirectionKey:
+    """Sort key wrapper that reverses comparisons for DESC order."""
+
+    __slots__ = ("key", "reverse")
+
+    def __init__(self, key: tuple, reverse: bool):
+        self.key = key
+        self.reverse = reverse
+
+    def __lt__(self, other: "_DirectionKey") -> bool:
+        if self.reverse:
+            return other.key < self.key
+        return self.key < other.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _DirectionKey) and self.key == other.key
+
+
+def _hashable(value: Any) -> Any:
+    return value
+
+
+def execute_sql(database: Database, sql: str) -> Relation:
+    """Convenience one-shot: parse and execute ``sql`` on ``database``."""
+    return Executor(database).execute_sql(sql)

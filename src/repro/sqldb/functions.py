@@ -1,0 +1,182 @@
+"""Aggregate and scalar function implementations.
+
+Aggregates follow SQL semantics: NULL inputs are skipped; ``SUM``/``AVG``
+over an empty (or all-NULL) input yield NULL, while ``COUNT`` yields 0.
+``COUNT(*)`` counts rows including NULLs.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .errors import ExecutionError, TypeMismatchError, UnknownFunctionError
+
+
+def _non_null(values: Sequence[Any]) -> List[Any]:
+    return [v for v in values if v is not None]
+
+
+def _require_numeric(values: Sequence[Any], func: str) -> List[float]:
+    out = []
+    for v in values:
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            raise TypeMismatchError(f"{func.upper()} requires numeric input, got {v!r}")
+        out.append(v)
+    return out
+
+
+def agg_count(values: Sequence[Any], distinct: bool = False, star: bool = False) -> int:
+    """``COUNT(expr)`` / ``COUNT(DISTINCT expr)`` / ``COUNT(*)``."""
+    if star:
+        return len(values)
+    present = _non_null(values)
+    if distinct:
+        return len(set(present))
+    return len(present)
+
+
+def agg_sum(values: Sequence[Any], distinct: bool = False) -> Optional[float]:
+    """``SUM(expr)``; NULL on empty input."""
+    present = _require_numeric(_non_null(values), "sum")
+    if distinct:
+        present = list(set(present))
+    if not present:
+        return None
+    total = sum(present)
+    return total
+
+
+def agg_avg(values: Sequence[Any], distinct: bool = False) -> Optional[float]:
+    """``AVG(expr)``; NULL on empty input."""
+    present = _require_numeric(_non_null(values), "avg")
+    if distinct:
+        present = list(set(present))
+    if not present:
+        return None
+    return sum(present) / len(present)
+
+
+def agg_min(values: Sequence[Any], distinct: bool = False) -> Any:
+    """``MIN(expr)``; NULL on empty input.  Works on any ordered type."""
+    present = _non_null(values)
+    if not present:
+        return None
+    try:
+        return min(present)
+    except TypeError as exc:
+        raise TypeMismatchError(f"MIN over mixed types: {exc}") from exc
+
+
+def agg_max(values: Sequence[Any], distinct: bool = False) -> Any:
+    """``MAX(expr)``; NULL on empty input.  Works on any ordered type."""
+    present = _non_null(values)
+    if not present:
+        return None
+    try:
+        return max(present)
+    except TypeError as exc:
+        raise TypeMismatchError(f"MAX over mixed types: {exc}") from exc
+
+
+AGGREGATE_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "count": agg_count,
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+}
+
+
+# --------------------------------------------------------------------------
+# Scalar functions
+# --------------------------------------------------------------------------
+
+
+def _scalar_abs(value: Any) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeMismatchError(f"ABS requires a number, got {value!r}")
+    return abs(value)
+
+
+def _scalar_round(value: Any, digits: Any = 0) -> Any:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeMismatchError(f"ROUND requires a number, got {value!r}")
+    if not isinstance(digits, int):
+        raise TypeMismatchError("ROUND digits must be an integer")
+    return round(float(value), digits)
+
+
+def _scalar_lower(value: Any) -> Any:
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise TypeMismatchError(f"LOWER requires text, got {value!r}")
+    return value.lower()
+
+
+def _scalar_upper(value: Any) -> Any:
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise TypeMismatchError(f"UPPER requires text, got {value!r}")
+    return value.upper()
+
+
+def _scalar_length(value: Any) -> Any:
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise TypeMismatchError(f"LENGTH requires text, got {value!r}")
+    return len(value)
+
+
+def _require_date(value: Any, func: str) -> datetime.date:
+    if not isinstance(value, datetime.date):
+        raise TypeMismatchError(f"{func} requires a date, got {value!r}")
+    return value
+
+
+def _scalar_year(value: Any) -> Any:
+    if value is None:
+        return None
+    return _require_date(value, "YEAR").year
+
+
+def _scalar_month(value: Any) -> Any:
+    if value is None:
+        return None
+    return _require_date(value, "MONTH").month
+
+
+def _scalar_day(value: Any) -> Any:
+    if value is None:
+        return None
+    return _require_date(value, "DAY").day
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "abs": _scalar_abs,
+    "round": _scalar_round,
+    "lower": _scalar_lower,
+    "upper": _scalar_upper,
+    "length": _scalar_length,
+    "year": _scalar_year,
+    "month": _scalar_month,
+    "day": _scalar_day,
+}
+
+
+def call_scalar(name: str, args: Sequence[Any]) -> Any:
+    """Dispatch a scalar function by (case-insensitive) name."""
+    func = SCALAR_FUNCTIONS.get(name.lower())
+    if func is None:
+        raise UnknownFunctionError(f"unknown function {name!r}")
+    try:
+        return func(*args)
+    except TypeError as exc:
+        raise ExecutionError(f"bad arguments for {name.upper()}: {exc}") from exc

@@ -1,0 +1,190 @@
+"""Inverted indexes over database metadata and data values.
+
+SODA-style keyword systems (§4.1 of the survey) interpret a query by
+looking each keyword up in two indexes: one over *metadata* (table and
+column names plus declared synonyms) and one over *data* (the values
+stored in text columns).  Both indexes are also reused by NaLIR-style
+node mapping and by the dialogue entity recognizer.
+
+Index entries are :class:`IndexEntry` records that say what matched
+(``kind``), where (table/column), and how well (a score in ``(0, 1]``
+from exact vs. fuzzy matching).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from .database import Database
+from .types import DataType
+
+
+def _strip_punct(text: str) -> str:
+    return "".join(ch if (ch.isalnum() or ch.isspace()) else " " for ch in text)
+
+
+def normalize_token(text: str) -> str:
+    """Lower-case and strip a token for index lookup; splits on ``_``
+    happen at tokenization time, not here."""
+    return text.strip().lower()
+
+
+def split_identifier(name: str) -> List[str]:
+    """Split a schema identifier into word tokens.
+
+    Handles snake_case, camelCase and spaces: ``customerName`` →
+    ``["customer", "name"]``, ``order_date`` / ``order date`` →
+    ``["order", "date"]``.
+    """
+    pieces: List[str] = []
+    current = []
+    for ch in name:
+        if ch == "_" or ch == " ":
+            if current:
+                pieces.append("".join(current))
+                current = []
+            continue
+        if ch.isupper() and current and not current[-1].isupper():
+            pieces.append("".join(current))
+            current = [ch]
+        else:
+            current.append(ch)
+    if current:
+        pieces.append("".join(current))
+    return [normalize_token(p) for p in pieces if p]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One index hit.
+
+    ``kind`` is ``"table"``, ``"column"`` or ``"value"``; for values,
+    ``value`` holds the matched datum.
+    """
+
+    kind: str
+    table: str
+    column: Optional[str] = None
+    value: Any = None
+    score: float = 1.0
+
+    def describe(self) -> str:
+        """Human-readable form used in clarification dialogs."""
+        if self.kind == "table":
+            return f"table {self.table}"
+        if self.kind == "column":
+            return f"column {self.table}.{self.column}"
+        return f"value {self.value!r} in {self.table}.{self.column}"
+
+
+class MetadataIndex:
+    """Inverted index over table/column names and their synonyms."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._entries: Dict[str, List[IndexEntry]] = defaultdict(list)
+        self._build()
+
+    def _build(self) -> None:
+        for table in self.database.tables:
+            self._add_terms(
+                [table.name, *table.schema.synonyms],
+                IndexEntry("table", table.name),
+            )
+            for column in table.schema:
+                self._add_terms(
+                    [column.name, *column.synonyms],
+                    IndexEntry("column", table.name, column.name),
+                )
+
+    def _add_terms(self, names: Iterable[str], entry: IndexEntry) -> None:
+        for name in names:
+            tokens = split_identifier(name)
+            # Whole name (joined) and each word token index the entry;
+            # multi-word matches score higher at lookup time.
+            keys = {normalize_token(name), " ".join(tokens)}
+            keys.update(tokens)
+            for key in keys:
+                if key:
+                    self._entries[key].append(entry)
+
+    def lookup(self, term: str) -> List[IndexEntry]:
+        """Entries whose name or synonym contains ``term``."""
+        return list(self._entries.get(normalize_token(term), []))
+
+    def lookup_phrase(self, words: List[str]) -> List[IndexEntry]:
+        """Match a multi-word phrase (e.g. "order date") as a unit."""
+        return list(self._entries.get(" ".join(normalize_token(w) for w in words), []))
+
+    @property
+    def vocabulary(self) -> Set[str]:
+        """All indexed keys (used by tests and by paraphrase generation)."""
+        return set(self._entries)
+
+
+class ValueIndex:
+    """Inverted index over text-column data values (token-granular).
+
+    Numeric and date values are *not* indexed — keyword systems match them
+    via type heuristics at query time — but full text values and their
+    individual word tokens are.
+    """
+
+    def __init__(self, database: Database, max_values_per_column: int = 100000):
+        self.database = database
+        self._entries: Dict[str, List[IndexEntry]] = defaultdict(list)
+        self._build(max_values_per_column)
+
+    def _build(self, cap: int) -> None:
+        for table in self.database.tables:
+            for column in table.schema.text_columns():
+                for value in table.distinct_values(column.name)[:cap]:
+                    entry = IndexEntry("value", table.name, column.name, value)
+                    full = normalize_token(value)
+                    self._entries[full].append(entry)
+                    # Punctuation-stripped key so tokenized questions can
+                    # re-assemble values like "Dr. Emil Ito".
+                    stripped = " ".join(_strip_punct(full).split())
+                    if stripped and stripped != full:
+                        self._entries[stripped].append(
+                            IndexEntry("value", table.name, column.name, value, score=0.95)
+                        )
+                    words = stripped.split()
+                    if len(words) > 1:
+                        for word in words:
+                            # Token hits score lower than full-value hits.
+                            self._entries[word].append(
+                                IndexEntry("value", table.name, column.name, value, score=0.6)
+                            )
+
+    def lookup(self, term: str) -> List[IndexEntry]:
+        """Entries whose value (or a word of it) equals ``term``."""
+        return list(self._entries.get(normalize_token(term), []))
+
+    def lookup_phrase(self, words: List[str]) -> List[IndexEntry]:
+        """Match a multi-word phrase against full values."""
+        return self.lookup(" ".join(words))
+
+    @property
+    def vocabulary(self) -> Set[str]:
+        """All indexed value keys."""
+        return set(self._entries)
+
+
+class DatabaseIndex:
+    """Bundle of the two indexes, built once per database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.metadata = MetadataIndex(database)
+        self.values = ValueIndex(database)
+
+    def lookup(self, term: str) -> List[IndexEntry]:
+        """Union of metadata and value hits for one term."""
+        return self.metadata.lookup(term) + self.values.lookup(term)
+
+    def lookup_phrase(self, words: List[str]) -> List[IndexEntry]:
+        """Union of metadata and value hits for a phrase."""
+        return self.metadata.lookup_phrase(words) + self.values.lookup_phrase(words)

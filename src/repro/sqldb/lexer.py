@@ -1,0 +1,113 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects consumed by the
+recursive-descent parser in :mod:`repro.sqldb.parser`.  Keywords are
+case-insensitive; identifiers keep their original case.  String literals
+use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .errors import ParseError
+
+KEYWORDS = frozenset(
+    """
+    select distinct from where group by having order asc desc limit
+    join inner on as and or not in exists between like is null
+    true false
+    """.split()
+)
+
+# Multi-character operators first so the scanner is greedy.
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "*", "/", "(", ")", ",", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``keyword``, ``ident``, ``number``, ``string``,
+    ``op`` or ``eof``; ``value`` holds the normalized payload (lower-case
+    for keywords, numeric for numbers).
+    """
+
+    kind: str
+    value: object
+    text: str
+    position: int
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql`` into a list ending with an ``eof`` token.
+
+    Raises :class:`~repro.sqldb.errors.ParseError` on unterminated strings
+    or unexpected characters.
+    """
+    tokens: List[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while True:
+                if j >= n:
+                    raise ParseError("unterminated string literal", i)
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(sql[j])
+                j += 1
+            tokens.append(Token("string", "".join(buf), sql[i : j + 1], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    # A dot not followed by a digit terminates the number
+                    # (e.g. alias ``t1.`` after a count like ``1.``) —
+                    # benchmarks never produce that, but be safe.
+                    if j + 1 >= n or not sql[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            text = sql[i:j]
+            value = float(text) if "." in text else int(text)
+            tokens.append(Token("number", value, text, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            text = sql[i:j]
+            lowered = text.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, text, i))
+            else:
+                tokens.append(Token("ident", text, text, i))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                canonical = "!=" if op == "<>" else op
+                tokens.append(Token("op", canonical, op, i))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise ParseError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", None, "", n))
+    return tokens

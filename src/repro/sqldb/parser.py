@@ -1,0 +1,373 @@
+"""Recursive-descent parser for the engine's SQL dialect.
+
+Grammar (informal)::
+
+    select    := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
+                 [GROUP BY expr_list] [HAVING expr]
+                 [ORDER BY order_list] [LIMIT int]
+    items     := '*' | item (',' item)*
+    item      := expr [AS ident]
+    table_ref := ident [AS ident]
+    join      := [INNER] JOIN table_ref ON expr
+    expr      := or_expr
+    or_expr   := and_expr (OR and_expr)*
+    and_expr  := not_expr (AND not_expr)*
+    not_expr  := NOT not_expr | predicate
+    predicate := additive [comparison | IN | BETWEEN | LIKE | IS NULL]
+                 | EXISTS '(' select ')'
+    additive  := term (('+'|'-') term)*
+    term      := factor (('*'|'/') factor)*
+    factor    := literal | column | function | '(' expr-or-select ')' | '-'factor
+
+Every parse entry point returns :mod:`repro.sqldb.ast` nodes; round-trips
+through :meth:`~repro.sqldb.ast.SqlNode.to_sql` are tested property-style.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Join,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    SubqueryExpr,
+    TableRef,
+    UnaryOp,
+)
+from .errors import ParseError
+from .lexer import Token, tokenize
+
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse ``sql`` into a :class:`~repro.sqldb.ast.SelectStatement`.
+
+    Raises :class:`~repro.sqldb.errors.ParseError` with position info on
+    malformed input or trailing junk.
+    """
+    parser = _Parser(tokenize(sql))
+    stmt = parser.select()
+    parser.expect_eof()
+    return stmt
+
+
+def parse_expression(sql: str) -> Expr:
+    """Parse a standalone expression (used by tests and the IR compiler)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.expression()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    """Token-stream cursor with one-token lookahead."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.value in words
+
+    def _match_keyword(self, *words: str) -> Optional[str]:
+        if self._check_keyword(*words):
+            return self._advance().value  # type: ignore[return-value]
+        return None
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._advance()
+        if token.kind != "keyword" or token.value != word:
+            raise ParseError(f"expected {word.upper()!r}, got {token.text or 'EOF'!r}", token.position)
+
+    def _match_op(self, *ops: str) -> Optional[str]:
+        token = self._peek()
+        if token.kind == "op" and token.value in ops:
+            self._advance()
+            return token.value  # type: ignore[return-value]
+        return None
+
+    def _expect_op(self, op: str) -> None:
+        token = self._advance()
+        if token.kind != "op" or token.value != op:
+            raise ParseError(f"expected {op!r}, got {token.text or 'EOF'!r}", token.position)
+
+    def _expect_ident(self) -> str:
+        token = self._advance()
+        if token.kind != "ident":
+            raise ParseError(f"expected identifier, got {token.text or 'EOF'!r}", token.position)
+        return token.value  # type: ignore[return-value]
+
+    def expect_eof(self) -> None:
+        """Assert the whole input has been consumed."""
+        token = self._peek()
+        if token.kind != "eof":
+            raise ParseError(f"unexpected trailing input {token.text!r}", token.position)
+
+    # -- statement ----------------------------------------------------------
+
+    def select(self) -> SelectStatement:
+        """Parse one SELECT block (without enclosing parentheses)."""
+        self._expect_keyword("select")
+        distinct = self._match_keyword("distinct") is not None
+        items = self._select_items()
+        from_table: Optional[TableRef] = None
+        joins: List[Join] = []
+        where = group_by = having = None
+        order_by: List[OrderItem] = []
+        limit: Optional[int] = None
+        group_exprs: Tuple[Expr, ...] = ()
+        if self._match_keyword("from"):
+            from_table = self._table_ref()
+            while True:
+                if self._match_keyword("inner"):
+                    self._expect_keyword("join")
+                elif not self._match_keyword("join"):
+                    break
+                table = self._table_ref()
+                self._expect_keyword("on")
+                condition = self.expression()
+                joins.append(Join(table, condition))
+        if self._match_keyword("where"):
+            where = self.expression()
+        if self._match_keyword("group"):
+            self._expect_keyword("by")
+            exprs = [self.expression()]
+            while self._match_op(","):
+                exprs.append(self.expression())
+            group_exprs = tuple(exprs)
+        if self._match_keyword("having"):
+            having = self.expression()
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._order_item())
+            while self._match_op(","):
+                order_by.append(self._order_item())
+        if self._match_keyword("limit"):
+            token = self._advance()
+            if token.kind != "number" or not isinstance(token.value, int):
+                raise ParseError("LIMIT expects an integer", token.position)
+            limit = token.value
+        return SelectStatement(
+            select_items=tuple(items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=group_exprs,
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_items(self) -> List[SelectItem]:
+        items = [self._select_item()]
+        while self._match_op(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        if self._match_op("*"):
+            return SelectItem(Star())
+        expr = self.expression()
+        alias = None
+        if self._match_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().kind == "ident":
+            alias = self._expect_ident()
+        return SelectItem(expr, alias)
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect_ident()
+        alias = None
+        if self._match_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().kind == "ident":
+            alias = self._expect_ident()
+        return TableRef(name, alias)
+
+    def _order_item(self) -> OrderItem:
+        expr = self.expression()
+        direction = "asc"
+        word = self._match_keyword("asc", "desc")
+        if word:
+            direction = word
+        return OrderItem(expr, direction)
+
+    # -- expressions ----------------------------------------------------------
+
+    def expression(self) -> Expr:
+        """Parse a boolean expression (entry point for WHERE/HAVING/ON)."""
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._match_keyword("or"):
+            left = BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._match_keyword("and"):
+            left = BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._match_keyword("not"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> Expr:
+        if self._check_keyword("exists"):
+            self._advance()
+            self._expect_op("(")
+            sub = self.select()
+            self._expect_op(")")
+            return SubqueryExpr("exists", sub)
+        left = self._additive()
+        op = self._match_op(*_COMPARISONS)
+        if op:
+            if self._peek().kind == "op" and self._peek().value == "(" and self._is_select_ahead():
+                self._expect_op("(")
+                sub = self.select()
+                self._expect_op(")")
+                return SubqueryExpr("scalar", sub, operand=left, op=op)
+            return BinaryOp(op, left, self._additive())
+        negated = False
+        if self._check_keyword("not"):
+            # Lookahead: NOT IN / NOT BETWEEN / NOT LIKE
+            nxt = self._tokens[self._pos + 1]
+            if nxt.kind == "keyword" and nxt.value in ("in", "between", "like"):
+                self._advance()
+                negated = True
+        if self._match_keyword("in"):
+            self._expect_op("(")
+            if self._is_select_here():
+                sub = self.select()
+                self._expect_op(")")
+                return SubqueryExpr("not_in" if negated else "in", sub, operand=left)
+            items = [self._additive()]
+            while self._match_op(","):
+                items.append(self._additive())
+            self._expect_op(")")
+            return InList(left, tuple(items), negated=negated)
+        if self._match_keyword("between"):
+            low = self._additive()
+            self._expect_keyword("and")
+            high = self._additive()
+            return Between(left, low, high, negated=negated)
+        if self._match_keyword("like"):
+            return (
+                UnaryOp("NOT", BinaryOp("LIKE", left, self._additive()))
+                if negated
+                else BinaryOp("LIKE", left, self._additive())
+            )
+        if self._match_keyword("is"):
+            neg = self._match_keyword("not") is not None
+            token = self._advance()
+            if token.kind != "keyword" or token.value != "null":
+                raise ParseError("expected NULL after IS", token.position)
+            return IsNull(left, negated=neg)
+        return left
+
+    def _is_select_here(self) -> bool:
+        return self._check_keyword("select")
+
+    def _is_select_ahead(self) -> bool:
+        token = self._tokens[self._pos + 1]
+        return token.kind == "keyword" and token.value == "select"
+
+    def _additive(self) -> Expr:
+        left = self._term()
+        while True:
+            op = self._match_op("+", "-")
+            if not op:
+                return left
+            left = BinaryOp(op, left, self._term())
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while True:
+            op = self._match_op("*", "/")
+            if not op:
+                return left
+            left = BinaryOp(op, left, self._factor())
+
+    def _factor(self) -> Expr:
+        token = self._peek()
+        if token.kind == "op" and token.value == "-":
+            self._advance()
+            operand = self._factor()
+            # fold "-5" into a negative literal so ASTs round-trip
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return UnaryOp("-", operand)
+        if token.kind == "op" and token.value == "(":
+            self._advance()
+            if self._is_select_here():
+                sub = self.select()
+                self._expect_op(")")
+                return SubqueryExpr("scalar", sub)
+            expr = self.expression()
+            self._expect_op(")")
+            return expr
+        if token.kind == "number":
+            self._advance()
+            return Literal(token.value)
+        if token.kind == "string":
+            self._advance()
+            return Literal(token.value)
+        if token.kind == "keyword" and token.value in ("true", "false"):
+            self._advance()
+            return Literal(token.value == "true")
+        if token.kind == "keyword" and token.value == "null":
+            self._advance()
+            return Literal(None)
+        if token.kind == "ident":
+            return self._identifier_expr()
+        raise ParseError(f"unexpected token {token.text or 'EOF'!r}", token.position)
+
+    def _identifier_expr(self) -> Expr:
+        name = self._expect_ident()
+        if self._peek().kind == "op" and self._peek().value == "(":
+            self._advance()
+            distinct = self._match_keyword("distinct") is not None
+            if self._match_op("*"):
+                self._expect_op(")")
+                return FuncCall(name.lower(), (Star(),), distinct=distinct)
+            if self._match_op(")"):
+                return FuncCall(name.lower(), (), distinct=distinct)
+            args = [self.expression()]
+            while self._match_op(","):
+                args.append(self.expression())
+            self._expect_op(")")
+            return FuncCall(name.lower(), tuple(args), distinct=distinct)
+        if self._match_op("."):
+            if self._match_op("*"):
+                return Star(table=name)
+            column = self._expect_ident()
+            return ColumnRef(column, table=name)
+        return ColumnRef(name)

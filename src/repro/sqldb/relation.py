@@ -1,0 +1,102 @@
+"""Query result container.
+
+A :class:`Relation` is the output of the executor: named columns plus row
+tuples.  It also provides the multiset comparison used by the
+execution-accuracy metric (the primary metric of the WikiSQL / Spider
+benchmark family that the survey discusses in §6).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Iterator, List, Sequence, Tuple
+
+
+def _canonical(value: Any) -> Any:
+    """Normalize a value for result comparison: ints and equal floats
+    compare equal, everything else by type+value."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        f = float(value)
+        return ("num", round(f, 9))
+    return (type(value).__name__, value)
+
+
+class Relation:
+    """An ordered bag of rows with named columns."""
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Tuple[Any, ...]]):
+        self.columns: List[str] = list(columns)
+        self.rows: List[Tuple[Any, ...]] = [tuple(r) for r in rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """Values of one output column, by (case-insensitive) name."""
+        lowered = [c.lower() for c in self.columns]
+        try:
+            idx = lowered.index(name.lower())
+        except ValueError:
+            raise KeyError(f"no output column {name!r}; have {self.columns}") from None
+        return [row[idx] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a 1×1 result; raises otherwise."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ValueError(
+                f"scalar() needs a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def first_column(self) -> List[Any]:
+        """Values of the first output column (subquery IN-lists)."""
+        return [row[0] for row in self.rows]
+
+    # -- comparison -----------------------------------------------------------
+
+    def _multiset(self) -> Counter:
+        return Counter(tuple(_canonical(v) for v in row) for row in self.rows)
+
+    def equals_unordered(self, other: "Relation") -> bool:
+        """Multiset equality ignoring row order (execution accuracy)."""
+        if len(self.columns) != len(other.columns):
+            return False
+        return self._multiset() == other._multiset()
+
+    def equals_ordered(self, other: "Relation") -> bool:
+        """Row-order-sensitive equality (for ORDER BY queries)."""
+        if len(self.columns) != len(other.columns):
+            return False
+        if len(self.rows) != len(other.rows):
+            return False
+        return all(
+            tuple(_canonical(v) for v in a) == tuple(_canonical(v) for v in b)
+            for a, b in zip(self.rows, other.rows)
+        )
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """ASCII rendering for examples and debugging."""
+        widths = [len(c) for c in self.columns]
+        shown = self.rows[:max_rows]
+        rendered = [[("NULL" if v is None else str(v)) for v in row] for row in shown]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+        lines = [fmt(self.columns), "-+-".join("-" * w for w in widths)]
+        lines.extend(fmt(row) for row in rendered)
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation(columns={self.columns}, rows={len(self.rows)})"

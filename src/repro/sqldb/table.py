@@ -1,0 +1,94 @@
+"""Row storage for one table, with typed inserts.
+
+Rows are stored as plain tuples in declaration order; the schema drives
+coercion and nullability checks at insert time so the executor can assume
+well-typed data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .errors import SchemaError, TypeMismatchError
+from .schema import TableSchema
+from .types import coerce
+
+
+class Table:
+    """An in-memory table: a :class:`TableSchema` plus a list of row tuples."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.rows: List[Tuple[Any, ...]] = []
+
+    @property
+    def name(self) -> str:
+        """The table name, taken from the schema."""
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def insert(self, values: Sequence[Any]) -> None:
+        """Insert one row given positionally, coercing each value.
+
+        Raises :class:`TypeMismatchError` for wrong arity, bad types, or a
+        NULL in a NOT NULL column.
+        """
+        cols = self.schema.columns
+        if len(values) != len(cols):
+            raise TypeMismatchError(
+                f"table {self.name!r} expects {len(cols)} values, got {len(values)}"
+            )
+        row = []
+        for col, value in zip(cols, values):
+            converted = coerce(value, col.dtype)
+            if converted is None and not col.nullable:
+                raise TypeMismatchError(f"column {self.name}.{col.name} is NOT NULL")
+            row.append(converted)
+        self.rows.append(tuple(row))
+
+    def insert_dict(self, record: Dict[str, Any]) -> None:
+        """Insert one row given as a ``{column: value}`` mapping.
+
+        Missing columns default to NULL; unknown keys raise
+        :class:`SchemaError`.
+        """
+        known = {c.name.lower() for c in self.schema.columns}
+        for key in record:
+            if key.lower() not in known:
+                raise SchemaError(f"table {self.name!r} has no column {key!r}")
+        lowered = {k.lower(): v for k, v in record.items()}
+        self.insert([lowered.get(c.name.lower()) for c in self.schema.columns])
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many positional rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of ``column`` in row order (including NULLs)."""
+        idx = self.schema.column_index(column)
+        return [row[idx] for row in self.rows]
+
+    def distinct_values(self, column: str) -> List[Any]:
+        """Distinct non-NULL values of ``column`` in first-seen order."""
+        idx = self.schema.column_index(column)
+        seen = set()
+        out: List[Any] = []
+        for row in self.rows:
+            value = row[idx]
+            if value is None or value in seen:
+                continue
+            seen.add(value)
+            out.append(value)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.name!r}, {len(self.rows)} rows)"

@@ -1,0 +1,216 @@
+"""Value types and coercion rules for the in-memory SQL engine.
+
+The engine supports five scalar types — ``INTEGER``, ``FLOAT``, ``TEXT``,
+``BOOLEAN`` and ``DATE`` — plus SQL ``NULL``, represented as Python
+``None``.  Dates are :class:`datetime.date` instances; literals in SQL
+text use the ISO ``'YYYY-MM-DD'`` form.
+
+NULL semantics: the engine follows the pragmatic subset used by NLIDB
+benchmarks rather than full three-valued logic — any comparison involving
+NULL is false, ``IS NULL`` / ``IS NOT NULL`` test for it explicitly, and
+aggregates skip NULLs (``COUNT(*)`` counts rows regardless).
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+import math
+from typing import Any, Optional
+
+from .errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """Declared type of a table column."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type participate in arithmetic."""
+        return self in (DataType.INTEGER, DataType.FLOAT)
+
+
+_DATE_FORMAT = "%Y-%m-%d"
+
+
+def parse_date(text: str) -> datetime.date:
+    """Parse an ISO ``YYYY-MM-DD`` string into a :class:`datetime.date`.
+
+    Raises :class:`TypeMismatchError` on malformed input.
+    """
+    try:
+        return datetime.datetime.strptime(text, _DATE_FORMAT).date()
+    except ValueError as exc:
+        raise TypeMismatchError(f"invalid date literal {text!r}: {exc}") from exc
+
+
+def coerce(value: Any, dtype: DataType) -> Any:
+    """Coerce ``value`` to ``dtype``, returning the converted value.
+
+    ``None`` passes through unchanged (NULL is valid for any type unless
+    the column forbids it).  Raises :class:`TypeMismatchError` when the
+    value cannot represent the target type.
+    """
+    if value is None:
+        return None
+    if dtype is DataType.INTEGER:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"cannot store boolean {value!r} in INTEGER column")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float):
+            if value.is_integer():
+                return int(value)
+            raise TypeMismatchError(f"cannot store non-integral {value!r} in INTEGER column")
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError:
+                raise TypeMismatchError(f"cannot parse {value!r} as INTEGER") from None
+        raise TypeMismatchError(f"cannot store {type(value).__name__} in INTEGER column")
+    if dtype is DataType.FLOAT:
+        if isinstance(value, bool):
+            raise TypeMismatchError(f"cannot store boolean {value!r} in FLOAT column")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError:
+                raise TypeMismatchError(f"cannot parse {value!r} as FLOAT") from None
+        raise TypeMismatchError(f"cannot store {type(value).__name__} in FLOAT column")
+    if dtype is DataType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise TypeMismatchError(f"cannot store {type(value).__name__} in TEXT column")
+    if dtype is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        raise TypeMismatchError(f"cannot store {type(value).__name__} in BOOLEAN column")
+    if dtype is DataType.DATE:
+        if isinstance(value, datetime.date) and not isinstance(value, datetime.datetime):
+            return value
+        if isinstance(value, str):
+            return parse_date(value)
+        raise TypeMismatchError(f"cannot store {type(value).__name__} in DATE column")
+    raise TypeMismatchError(f"unknown data type {dtype!r}")  # pragma: no cover
+
+
+def infer_type(value: Any) -> Optional[DataType]:
+    """Infer the :class:`DataType` of a Python value, or ``None`` for NULL."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return DataType.BOOLEAN
+    if isinstance(value, int):
+        return DataType.INTEGER
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, datetime.date):
+        return DataType.DATE
+    if isinstance(value, str):
+        return DataType.TEXT
+    raise TypeMismatchError(f"unsupported Python type {type(value).__name__}")
+
+
+_DATE_LITERAL_RE = None
+
+
+def _coerce_date_operands(left: Any, right: Any) -> tuple:
+    """Implicitly parse an ISO-date string compared against a DATE value."""
+    import re
+
+    global _DATE_LITERAL_RE
+    if _DATE_LITERAL_RE is None:
+        _DATE_LITERAL_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+    if isinstance(left, datetime.date) and isinstance(right, str) and _DATE_LITERAL_RE.match(right):
+        try:
+            return left, parse_date(right)
+        except TypeMismatchError:
+            return left, right
+    if isinstance(right, datetime.date) and isinstance(left, str) and _DATE_LITERAL_RE.match(left):
+        try:
+            return parse_date(left), right
+        except TypeMismatchError:
+            return left, right
+    return left, right
+
+
+def values_equal(left: Any, right: Any) -> bool:
+    """SQL equality: NULL never equals anything; numerics compare by value."""
+    if left is None or right is None:
+        return False
+    left, right = _coerce_date_operands(left, right)
+    if isinstance(left, bool) != isinstance(right, bool):
+        return False
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        if isinstance(left, float) and math.isnan(left):
+            return False
+        if isinstance(right, float) and math.isnan(right):
+            return False
+        return float(left) == float(right)
+    if type(left) is not type(right):
+        return False
+    return left == right
+
+
+def values_compare(left: Any, right: Any) -> Optional[int]:
+    """Three-way comparison used by ``<``, ``>`` etc. and by ORDER BY.
+
+    Returns ``-1``, ``0`` or ``1``, or ``None`` when either side is NULL
+    or the types are incomparable (the caller treats ``None`` as
+    "comparison is false").
+    """
+    if left is None or right is None:
+        return None
+    left, right = _coerce_date_operands(left, right)
+    if isinstance(left, bool) or isinstance(right, bool):
+        if isinstance(left, bool) and isinstance(right, bool):
+            return (left > right) - (left < right)
+        return None
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        lf, rf = float(left), float(right)
+        return (lf > rf) - (lf < rf)
+    if isinstance(left, datetime.date) and isinstance(right, datetime.date):
+        return (left > right) - (left < right)
+    if isinstance(left, str) and isinstance(right, str):
+        return (left > right) - (left < right)
+    return None
+
+
+def sort_key(value: Any) -> tuple:
+    """Total-order key for ORDER BY: NULLs first, then by type group."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, float(value))
+    if isinstance(value, datetime.date):
+        return (3, value.toordinal())
+    return (4, str(value))
+
+
+def format_value(value: Any) -> str:
+    """Render a value as a SQL literal (used by the AST pretty printer)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, datetime.date):
+        return f"'{value.isoformat()}'"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

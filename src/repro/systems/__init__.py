@@ -1,0 +1,51 @@
+"""The surveyed NLIDB systems, one working representative per family.
+
+Entity-based (§4.1): :class:`~repro.systems.keyword_soda.SodaSystem`,
+:class:`~repro.systems.pattern_sqak.SqakSystem`,
+:class:`~repro.systems.parse_nalir.NalirSystem`,
+:class:`~repro.systems.ontology_athena.AthenaSystem` (and its no-BI
+ablation), :class:`~repro.systems.templar.TemplarSystem`.
+
+ML-based (§4.2): :mod:`repro.systems.neural` (Seq2SQL, SQLNet, TypeSQL,
+DBPal) behind :class:`~repro.systems.neural.NeuralSketchSystem`.
+
+Hybrid (§4.3): :class:`~repro.systems.hybrid_quest.QuestSystem`,
+:class:`~repro.systems.hybrid.HybridSystem`.
+
+RDF-side (§4.1 over :mod:`repro.rdf`):
+:class:`~repro.systems.sparql_bela.BelaSystem` (layered SPARQL
+templates) and :class:`~repro.systems.trdiscover.TRDiscoverCompleter`
+(grammar-guided auto-completion ranked by RDF-graph centrality).
+
+The shared machinery — evidence annotation and the OQL-building semantic
+interpreter — lives in :mod:`~repro.systems.base` and
+:mod:`~repro.systems.interpreter`.
+"""
+
+from .base import AnnotatedQuestion, EntityAnnotator
+from .hybrid import HybridSystem
+from .hybrid_quest import ElementHMM, QuestSystem
+from .interpreter import InterpreterConfig, SemanticInterpreter
+from .keyword_soda import SodaSystem
+from .ontology_athena import AthenaNoBISystem, AthenaSystem
+from .parse_nalir import NalirSystem
+from .pattern_sqak import SqakSystem
+from .precis import DNFClause, PrecisAnswer, PrecisSystem, to_dnf
+from .quick import QuickSystem
+from .sparql_bela import BelaSystem, SparqlInterpretation
+from .templar import QueryLog, TemplarSystem
+from .trdiscover import Suggestion, TRDiscoverCompleter
+
+__all__ = [
+    "AnnotatedQuestion", "EntityAnnotator",
+    "InterpreterConfig", "SemanticInterpreter",
+    "SodaSystem", "SqakSystem", "NalirSystem",
+    "AthenaSystem", "AthenaNoBISystem",
+    "TemplarSystem", "QueryLog",
+    "QuestSystem", "ElementHMM",
+    "HybridSystem",
+    "BelaSystem", "SparqlInterpretation",
+    "TRDiscoverCompleter", "Suggestion",
+    "QuickSystem",
+    "PrecisSystem", "PrecisAnswer", "DNFClause", "to_dnf",
+]

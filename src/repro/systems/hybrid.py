@@ -1,0 +1,61 @@
+"""Generic precision/recall hybrid combiner (§6 "Hybrid Approach").
+
+The survey's open challenge: "the entity-based approaches provide better
+accuracy while the machine learning-based approaches offer greater
+flexibility (recall) ... more research is needed on hybrid approach that
+leverages the best from both worlds."
+
+:class:`HybridSystem` is the straightforward instantiation: run the
+entity-based system first and keep its answer when it is confident;
+otherwise fall back to the ML system (which always answers).  Experiment
+E5 measures whether this combination dominates both components.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.interpretation import Interpretation
+from repro.core.pipeline import NLIDBContext, NLIDBSystem
+
+
+class HybridSystem(NLIDBSystem):
+    """Entity-first cascade with an ML fallback."""
+
+    family = "hybrid"
+
+    def __init__(
+        self,
+        entity_system: NLIDBSystem,
+        ml_system: NLIDBSystem,
+        confidence_threshold: float = 0.85,
+        name: str = "hybrid",
+    ):
+        self.entity_system = entity_system
+        self.ml_system = ml_system
+        self.confidence_threshold = confidence_threshold
+        self.name = name
+        #: how often each arm answered (inspection/ablation)
+        self.entity_answers = 0
+        self.ml_answers = 0
+
+    def interpret(self, question: str, context: NLIDBContext) -> List[Interpretation]:
+        try:
+            entity = self.entity_system.interpret(question, context)
+        except Exception:
+            entity = []
+        if entity and max(i.confidence for i in entity) >= self.confidence_threshold:
+            self.entity_answers += 1
+            return entity
+        try:
+            fallback = self.ml_system.interpret(question, context)
+        except Exception:
+            fallback = []
+        if fallback:
+            self.ml_answers += 1
+            return fallback
+        if entity:
+            # low-confidence entity answer still beats silence for recall
+            self.entity_answers += 1
+            return entity
+        return []

@@ -1,0 +1,749 @@
+"""From annotated question to OQL: the shared semantic interpreter.
+
+This module turns an :class:`~repro.systems.base.AnnotatedQuestion` into
+:class:`~repro.core.intermediate.OQLQuery` candidates.  A
+:class:`InterpreterConfig` gates which constructs a system may emit —
+that gating *is* the survey's §3 capability story:
+
+- SODA-style keyword systems: value/metadata equality only,
+- SQAK-style pattern systems: + aggregation / GROUP BY / ORDER BY,
+- NaLIR-style parse systems: + multi-table joins,
+- ATHENA-BI: + nested sub-queries (scalar-average comparisons,
+  relationship IN/NOT IN sub-queries).
+
+The construction rules implement the recurring devices of the
+entity-based literature: adjacency between a property mention and a value
+marks a condition; comparison cues bind the nearest numeric property to
+the nearest number; "above the average X" becomes a scalar sub-query;
+"have no <concept>" becomes an anti-join; join structure is delegated to
+the ontology reasoner (Steiner trees / FK chains).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.evidence import EvidenceAnnotation
+from repro.core.intermediate import (
+    OQLCondition,
+    OQLHasCondition,
+    OQLItem,
+    OQLOrder,
+    OQLQuery,
+    PropertyRef,
+)
+from repro.core.interpretation import Interpretation
+from repro.core.pipeline import NLIDBContext
+from repro.core.ranking import rank
+from repro.nlp.patterns import PatternMatch
+from repro.sqldb.types import DataType
+
+from .base import AnnotatedQuestion
+
+
+@dataclass(frozen=True)
+class InterpreterConfig:
+    """Capability gates for the shared interpreter."""
+
+    allow_aggregation: bool = True
+    allow_group_by: bool = True
+    allow_order_limit: bool = True
+    allow_join: bool = True
+    allow_nested: bool = True
+    abstain_on_cross_concept: bool = False
+    require_full_coverage: bool = False
+    max_interpretations: int = 3
+
+    @classmethod
+    def keyword(cls) -> "InterpreterConfig":
+        """SODA-tier: simple selection only (§3 'keyword-based').
+
+        Keyword systems must ground *every* content keyword in an index
+        hit — an unmatched keyword means the interpretation would
+        silently drop part of the question, so they abstain instead
+        (the high-precision / low-coverage profile of §4.1/§6).
+        """
+        return cls(
+            allow_aggregation=False,
+            allow_group_by=False,
+            allow_order_limit=False,
+            allow_join=False,
+            allow_nested=False,
+            abstain_on_cross_concept=True,
+            require_full_coverage=True,
+        )
+
+    @classmethod
+    def pattern(cls) -> "InterpreterConfig":
+        """SQAK-tier: + aggregation patterns, still single-table."""
+        return cls(
+            allow_join=False,
+            allow_nested=False,
+            abstain_on_cross_concept=True,
+            require_full_coverage=True,
+        )
+
+    @classmethod
+    def parsing(cls) -> "InterpreterConfig":
+        """NaLIR-tier: + joins, no nesting."""
+        return cls(allow_nested=False)
+
+    @classmethod
+    def full(cls) -> "InterpreterConfig":
+        """ATHENA-BI tier: everything."""
+        return cls()
+
+
+class _BuildState:
+    """Accumulates clauses for one interpretation, then assembles OQL."""
+
+    def __init__(self, annotated: AnnotatedQuestion, context: NLIDBContext):
+        self.annotated = annotated
+        self.context = context
+        self.conditions: List[Any] = []
+        self.agg_items: List[OQLItem] = []
+        self.group_refs: List[PropertyRef] = []
+        self.order_by: List[OQLOrder] = []
+        self.limit: Optional[int] = None
+        self.count_requested = False
+        self.count_concept: Optional[str] = None
+        self.nested_required = False
+        self.has_no_targets: List[Tuple[str, EvidenceAnnotation]] = []
+        self.consumed_patterns: Set[int] = set()
+        self.consumed_annotations: Set[int] = set()
+        self.suppressed_annotations: Set[int] = set()
+        self.extra_covered: Set[int] = set()
+        self._evidence: List[EvidenceAnnotation] = []
+
+    # -- lookup helpers ----------------------------------------------------------
+
+    @property
+    def patterns(self) -> List[PatternMatch]:
+        return self.annotated.patterns
+
+    def pattern_indices(self, kind: str) -> List[int]:
+        return [
+            i
+            for i, p in enumerate(self.patterns)
+            if p.kind == kind and i not in self.consumed_patterns
+        ]
+
+    def annotation_indices(self, kind: str) -> List[int]:
+        return [
+            i
+            for i, a in enumerate(self.annotated.annotations)
+            if a.kind == kind and i not in self.consumed_annotations
+        ]
+
+    def prop_dtype(self, ref: PropertyRef) -> DataType:
+        return self.context.ontology.concept(ref.concept).property(ref.prop).dtype
+
+    def is_numeric(self, ref: PropertyRef) -> bool:
+        return self.prop_dtype(ref).is_numeric
+
+    def nearest_property(
+        self,
+        position: int,
+        before: bool,
+        window: int,
+        numeric: Optional[bool] = None,
+        skip_consumed: bool = True,
+        dtype: Optional[DataType] = None,
+    ) -> Optional[int]:
+        """Index of the nearest property annotation around ``position``."""
+        best: Optional[Tuple[int, int]] = None  # (distance, index)
+        for i, ann in enumerate(self.annotated.annotations):
+            if ann.kind != "property":
+                continue
+            if skip_consumed and i in self.consumed_annotations:
+                continue
+            ref: PropertyRef = ann.payload
+            if dtype is not None and self.prop_dtype(ref) is not dtype:
+                continue
+            if numeric is True and not self.is_numeric(ref):
+                continue
+            if numeric is False and self.is_numeric(ref):
+                continue
+            if before:
+                if ann.end > position:
+                    continue
+                distance = position - ann.end
+            else:
+                if ann.start < position:
+                    continue
+                distance = ann.start - position
+            if distance > window:
+                continue
+            if best is None or distance < best[0]:
+                best = (distance, i)
+        return best[1] if best else None
+
+    def number_after(self, position: int, window: int = 5):
+        """First number/date token at or after ``position``."""
+        tokens = self.annotated.tokens
+        for i in range(position, min(position + window, len(tokens))):
+            token = tokens[i]
+            if token.is_number:
+                return i, float(token.numeric_value)
+            if token.kind == "date":
+                return i, token.norm
+        return None
+
+    def mark_used(self, annotation_index: int) -> EvidenceAnnotation:
+        self.consumed_annotations.add(annotation_index)
+        ann = self.annotated.annotations[annotation_index]
+        self._evidence.append(ann)
+        return ann
+
+    def add_pattern_evidence(self, pattern_index: int) -> None:
+        self.consumed_patterns.add(pattern_index)
+        pattern = self.patterns[pattern_index]
+        self._evidence.append(
+            EvidenceAnnotation(
+                pattern.start,
+                pattern.end,
+                "pattern",
+                f"{pattern.kind}={pattern.value}",
+                0.95,
+            )
+        )
+
+    def used_evidence(self) -> List[EvidenceAnnotation]:
+        return list(self._evidence)
+
+    # -- evidence queries ----------------------------------------------------------
+
+    def mentioned_concepts(self) -> List[str]:
+        seen: List[str] = []
+        for i, ann in enumerate(self.annotated.annotations):
+            if i in self.suppressed_annotations:
+                continue
+            concept = _concept_of(ann)
+            if concept is not None and concept not in seen:
+                seen.append(concept)
+        return seen
+
+    def primary_concept(self) -> Optional[str]:
+        for kind in ("concept", "property", "value"):
+            for ann in self.annotated.annotations:
+                if ann.kind == kind:
+                    return _concept_of(ann)
+        return None
+
+    def spans_multiple_concepts(self, primary: str) -> bool:
+        return any(c != primary for c in self.mentioned_concepts())
+
+    def drop_foreign_evidence(self, primary: str) -> None:
+        for i, ann in enumerate(self.annotated.annotations):
+            concept = _concept_of(ann)
+            if ann.kind != "concept" and concept is not None and concept != primary:
+                self.consumed_annotations.add(i)
+        self.conditions = [
+            c
+            for c in self.conditions
+            if isinstance(c, OQLHasCondition)
+            or c.ref is None
+            or c.ref.concept == primary
+        ]
+
+    def has_any_evidence(self) -> bool:
+        return bool(
+            self.conditions
+            or self.agg_items
+            or self.count_requested
+            or self.group_refs
+            or self.order_by
+            or self.limit is not None
+        )
+
+    def sole_measure(self) -> Optional[PropertyRef]:
+        """The unique numeric property of the primary concept, if unique."""
+        primary = self.primary_concept()
+        if primary is None:
+            return None
+        measures = [
+            PropertyRef(p.concept, p.name)
+            for p in self.context.ontology.inherited_properties(primary)
+            if p.dtype.is_numeric and p.name.lower() != "id"
+        ]
+        if len(measures) == 1:
+            return measures[0]
+        return None
+
+    def sole_property_of_type(self, dtype: DataType) -> Optional[PropertyRef]:
+        """The unique property of ``dtype`` on the primary concept
+        ("hired after <date>" needs no explicit column mention when the
+        concept has exactly one date attribute)."""
+        primary = self.primary_concept()
+        if primary is None:
+            return None
+        matching = [
+            PropertyRef(p.concept, p.name)
+            for p in self.context.ontology.inherited_properties(primary)
+            if p.dtype is dtype
+        ]
+        if len(matching) == 1:
+            return matching[0]
+        return None
+
+    # -- assembly -----------------------------------------------------------------
+
+    def assemble(self, primary: str, config: InterpreterConfig) -> Optional[OQLQuery]:
+        for target, evidence in self.has_no_targets:
+            if target == primary:
+                continue
+            try:
+                self.context.reasoner.relation_path(primary, target)
+            except Exception:
+                continue
+            self.conditions.append(OQLHasCondition(target, negated=True))
+            self._evidence.append(evidence)
+
+        if config.allow_nested:
+            self._subquery_rewrite(primary)
+
+        select: List[OQLItem] = []
+        if self.count_requested:
+            select.append(OQLItem(count_all=True, concept=self.count_concept))
+        select.extend(self.agg_items)
+        for ref in self.group_refs:
+            if all(item.ref != ref for item in select):
+                select.insert(0, OQLItem(ref=ref))
+        if not select:
+            select.extend(self._projection_properties())
+        if not select:
+            display = self._default_display(primary)
+            if display is None:
+                return None
+            select.append(OQLItem(ref=display))
+
+        distinct = self._needs_distinct(primary, select)
+        return OQLQuery(
+            select=tuple(select),
+            conditions=tuple(self.conditions),
+            group_by=tuple(self.group_refs),
+            order_by=tuple(self.order_by),
+            limit=self.limit,
+            distinct=distinct,
+        )
+
+    def _projection_properties(self) -> List[OQLItem]:
+        items: List[OQLItem] = []
+        for i in self.annotation_indices("property"):
+            ann = self.annotated.annotations[i]
+            ref: PropertyRef = ann.payload
+            if ref in self.group_refs:
+                continue
+            self.mark_used(i)
+            items.append(OQLItem(ref=ref))
+        return items
+
+    def _default_display(self, concept: str) -> Optional[PropertyRef]:
+        props = self.context.ontology.inherited_properties(concept)
+        for prop in props:
+            if prop.dtype is DataType.TEXT:
+                return PropertyRef(prop.concept, prop.name)
+        if props:
+            return PropertyRef(props[0].concept, props[0].name)
+        return None
+
+    def _needs_distinct(self, primary: str, select: List[OQLItem]) -> bool:
+        if self.count_requested or self.agg_items or self.group_refs:
+            return False
+        # relationship sub-queries project one row per primary entity;
+        # DISTINCT makes the answer a set of display values, matching the
+        # fan-out join reading of the same question
+        if any(isinstance(c, OQLHasCondition) for c in self.conditions):
+            return True
+        touched: Set[str] = set()
+        for cond in self.conditions:
+            if isinstance(cond, OQLCondition) and cond.ref is not None:
+                touched.add(cond.ref.concept)
+        projection_concepts = {i.ref.concept for i in select if i.ref is not None}
+        for concept in touched:
+            if concept in projection_concepts:
+                continue
+            try:
+                if self.context.reasoner.fans_out(primary, concept):
+                    return True
+            except Exception:
+                continue
+        return False
+
+    def _subquery_rewrite(self, primary: str) -> None:
+        """Rewrite fan-out cross-concept conditions into IN sub-queries.
+
+        A condition on a "many"-side concept (orders, when asking about
+        customers) duplicates primary rows under a join; expressing it as
+        ``key IN (SELECT fk FROM many WHERE ...)`` keeps one row per
+        primary entity — ATHENA-BI's nesting behaviour [46].
+        """
+        blocked = {item.ref.concept for item in self.agg_items if item.ref}
+        blocked.update(ref.concept for ref in self.group_refs)
+        blocked.update(o.item.ref.concept for o in self.order_by if o.item.ref)
+        grouped: Dict[str, List[OQLCondition]] = {}
+        kept: List[Any] = []
+        for cond in self.conditions:
+            if (
+                isinstance(cond, OQLCondition)
+                and cond.ref is not None
+                and cond.ref.concept != primary
+                and cond.ref.concept not in blocked
+                and cond.subquery is None
+            ):
+                try:
+                    fans = self.context.reasoner.fans_out(primary, cond.ref.concept)
+                except Exception:
+                    fans = False
+                if fans:
+                    grouped.setdefault(cond.ref.concept, []).append(cond)
+                    continue
+            kept.append(cond)
+        for concept, conds in grouped.items():
+            kept.append(OQLHasCondition(concept, conditions=tuple(conds)))
+        self.conditions = kept
+
+
+def _concept_of(ann: EvidenceAnnotation) -> Optional[str]:
+    if ann.kind == "concept":
+        return ann.payload
+    if ann.kind == "property":
+        return ann.payload.concept
+    if ann.kind == "value":
+        return ann.payload[0].concept
+    return None
+
+
+class SemanticInterpreter:
+    """Builds ranked OQL interpretations from annotations."""
+
+    def __init__(self, config: InterpreterConfig, system_name: str = "interpreter"):
+        self.config = config
+        self.system_name = system_name
+
+    # -- public API ------------------------------------------------------------
+
+    def interpret(
+        self, annotated: AnnotatedQuestion, context: NLIDBContext
+    ) -> List[Interpretation]:
+        """Ranked interpretations (empty when the gates forbid the
+        constructs the question needs, or nothing matched)."""
+        base = self._build(annotated, context)
+        interpretations = [base] if base else []
+        for variant in self._ambiguity_variants(annotated, context):
+            if len(interpretations) >= self.config.max_interpretations:
+                break
+            interpretations.append(variant)
+        return rank(interpretations, annotated.tokens)
+
+    # -- construction ------------------------------------------------------------
+
+    def _build(
+        self, annotated: AnnotatedQuestion, context: NLIDBContext
+    ) -> Optional[Interpretation]:
+        state = _BuildState(annotated, context)
+
+        if self.config.allow_nested:
+            self._detect_nested_average(state)
+        self._collect_value_conditions(state)
+        self._collect_comparisons(state)
+        if self.config.allow_nested:
+            self._detect_has_no(state)
+        if self.config.allow_aggregation:
+            self._collect_aggregations(state)
+        if self.config.allow_group_by:
+            self._collect_group_by(state)
+        if self.config.allow_order_limit:
+            self._collect_order_limit(state)
+
+        primary = state.primary_concept()
+        if primary is None:
+            return None
+
+        # Concept mentions are evidence too — they anchor the primary
+        # concept and contribute to question coverage in ranking.
+        for i in state.annotation_indices("concept"):
+            state.mark_used(i)
+
+        if not self.config.allow_join and state.spans_multiple_concepts(primary):
+            if self.config.abstain_on_cross_concept:
+                return None
+            state.drop_foreign_evidence(primary)
+            if not state.has_any_evidence():
+                return None
+
+        if not self.config.allow_nested and state.nested_required:
+            return None
+
+        # Keyword/pattern systems have no parse to justify a bare-concept
+        # listing: without any condition, aggregate or explicit attribute
+        # evidence they abstain (the high-precision profile of §4.1/§6).
+        if self.config.abstain_on_cross_concept:
+            has_projection_evidence = bool(state.annotation_indices("property"))
+            if not (state.has_any_evidence() or has_projection_evidence):
+                return None
+
+        query = state.assemble(primary, self.config)
+        if query is None:
+            return None
+
+        if self.config.require_full_coverage and not self._fully_covered(state):
+            return None
+
+        return Interpretation(
+            self.system_name,
+            0.0,
+            oql=query,
+            evidence=state.used_evidence(),
+            explanation=f"primary concept: {primary}",
+        )
+
+    def _fully_covered(self, state: _BuildState) -> bool:
+        """Whether every content token is grounded in used evidence or a
+        consumed pattern span."""
+        from repro.core.ranking import content_indices
+
+        covered = set()
+        for evidence in state.used_evidence():
+            covered.update(range(evidence.start, evidence.end))
+        for pi in state.consumed_patterns:
+            pattern = state.patterns[pi]
+            covered.update(range(pattern.start, pattern.end))
+        covered |= state.extra_covered
+        return all(i in covered for i in content_indices(state.annotated.tokens))
+
+    def _ambiguity_variants(
+        self, annotated: AnnotatedQuestion, context: NLIDBContext
+    ) -> List[Interpretation]:
+        """Alternative readings obtained by swapping the most ambiguous
+        annotation for its runner-up candidate."""
+        variants: List[Interpretation] = []
+        for annotation in annotated.annotations:
+            if annotation.kind not in ("property", "value", "concept"):
+                continue
+            for alternative in annotated.alternatives_for(annotation)[:1]:
+                swapped = annotated.replace(annotation, alternative)
+                built = self._build(swapped, context)
+                if built is not None:
+                    built.explanation += f" (alternative for span {annotation.span})"
+                    variants.append(built)
+        return variants
+
+    # -- clause collectors -----------------------------------------------------------
+
+    def _detect_nested_average(self, state: _BuildState) -> None:
+        """"... X above the average X" → scalar AVG sub-query."""
+        for ci in state.pattern_indices("comparison"):
+            comparison = state.patterns[ci]
+            if comparison.value not in (">", "<", ">=", "<="):
+                continue
+            for ai in state.pattern_indices("aggregation"):
+                agg = state.patterns[ai]
+                if agg.value not in ("avg", "max", "min", "sum"):
+                    continue
+                if not (0 <= agg.start - comparison.end <= 2):
+                    continue
+                lhs_i = state.nearest_property(
+                    comparison.start, before=True, window=4, numeric=True
+                )
+                rhs_i = state.nearest_property(
+                    agg.end, before=False, window=4, numeric=True
+                )
+                if lhs_i is None or rhs_i is None:
+                    continue
+                lhs = state.annotated.annotations[lhs_i].payload
+                rhs = state.annotated.annotations[rhs_i].payload
+                subquery = OQLQuery(select=(OQLItem(ref=rhs, aggregate=agg.value),))
+                state.conditions.append(
+                    OQLCondition(lhs, comparison.value, subquery=subquery)
+                )
+                state.nested_required = True
+                state.mark_used(lhs_i)
+                state.mark_used(rhs_i)
+                state.add_pattern_evidence(ci)
+                state.add_pattern_evidence(ai)
+                for oi in state.pattern_indices("order"):
+                    if state.patterns[oi].start == agg.start:
+                        state.consumed_patterns.add(oi)
+                return
+
+    def _collect_value_conditions(self, state: _BuildState) -> None:
+        negations = [state.patterns[i] for i in state.pattern_indices("negation")]
+        for i in state.annotation_indices("value"):
+            ann = state.annotated.annotations[i]
+            ref, value = ann.payload
+            negated = any(0 <= ann.start - n.end <= 2 for n in negations)
+            condition = OQLCondition(ref, "=", value, negated=negated)
+            if condition not in state.conditions:
+                state.conditions.append(condition)
+            state.mark_used(i)
+            # A property mention naming the value's column right before it
+            # belongs to the same condition, not to the projection.
+            prop_i = state.nearest_property(ann.start, before=True, window=2)
+            if prop_i is not None:
+                prop_ref = state.annotated.annotations[prop_i].payload
+                if prop_ref == ref:
+                    state.mark_used(prop_i)
+
+    def _collect_comparisons(self, state: _BuildState) -> None:
+        for ci in state.pattern_indices("comparison"):
+            comparison = state.patterns[ci]
+            if comparison.value == "between":
+                self._collect_between(state, ci)
+                continue
+            if comparison.value == "!=":
+                continue  # handled through negation + value conditions
+            number = state.number_after(comparison.end)
+            if number is None:
+                continue
+            # a date literal binds to a DATE property, a number to a
+            # numeric one ("hired after 2020-01-01" must not hit salary)
+            is_date = isinstance(number[1], str)
+            kwargs = (
+                {"dtype": DataType.DATE} if is_date else {"numeric": True}
+            )
+            prop_i = state.nearest_property(
+                comparison.start, before=True, window=5, **kwargs
+            )
+            if prop_i is None:
+                prop_i = state.nearest_property(
+                    number[0] + 1, before=False, window=4, **kwargs
+                )
+            if prop_i is not None:
+                ref = state.annotated.annotations[prop_i].payload
+                state.mark_used(prop_i)
+            elif is_date:
+                ref = state.sole_property_of_type(DataType.DATE)
+                if ref is None:
+                    continue
+            else:
+                ref = state.sole_measure()
+                if ref is None:
+                    continue
+            state.conditions.append(OQLCondition(ref, comparison.value, number[1]))
+            state.extra_covered.add(number[0])
+            state.add_pattern_evidence(ci)
+
+    def _collect_between(self, state: _BuildState, ci: int) -> None:
+        comparison = state.patterns[ci]
+        first = state.number_after(comparison.end)
+        if first is None:
+            return
+        second = state.number_after(first[0] + 1)
+        if second is None:
+            return
+        prop_i = state.nearest_property(
+            comparison.start, before=True, window=5, numeric=True
+        )
+        if prop_i is None:
+            return
+        ref = state.annotated.annotations[prop_i].payload
+        state.mark_used(prop_i)
+        state.conditions.append(OQLCondition(ref, "between", first[1], second[1]))
+        state.extra_covered.update((first[0], second[0]))
+        state.add_pattern_evidence(ci)
+
+    def _detect_has_no(self, state: _BuildState) -> None:
+        for ni in state.pattern_indices("negation"):
+            negation = state.patterns[ni]
+            if state.annotated.tokens[negation.start].norm not in ("no", "without"):
+                continue
+            for i in state.annotation_indices("concept"):
+                ann = state.annotated.annotations[i]
+                if 0 <= ann.start - negation.end <= 1:
+                    state.has_no_targets.append((ann.payload, ann))
+                    state.consumed_annotations.add(i)
+                    state.add_pattern_evidence(ni)
+                    state.nested_required = True
+                    break
+
+    def _collect_aggregations(self, state: _BuildState) -> None:
+        for ci in state.pattern_indices("count"):
+            state.count_requested = True
+            count = state.patterns[ci]
+            # the concept mentioned right after the cue is what is counted
+            for i in state.annotation_indices("concept"):
+                ann = state.annotated.annotations[i]
+                if 0 <= ann.start - count.end <= 3:
+                    state.count_concept = ann.payload
+                    break
+            state.add_pattern_evidence(ci)
+        if state.count_requested:
+            return
+        for ai in state.pattern_indices("aggregation"):
+            agg = state.patterns[ai]
+            prop_i = state.nearest_property(agg.end, before=False, window=4, numeric=True)
+            if prop_i is None:
+                # The cue word may itself be (part of) a property mention
+                # ("total", the orders column) — then it is no aggregate.
+                overlapping = [
+                    i
+                    for i in state.annotation_indices("property")
+                    if state.annotated.annotations[i].start
+                    <= agg.start
+                    < state.annotated.annotations[i].end
+                ]
+                if overlapping:
+                    continue
+                prop_i = state.nearest_property(
+                    agg.start, before=True, window=3, numeric=True
+                )
+            if prop_i is None:
+                continue
+            ref = state.annotated.annotations[prop_i].payload
+            state.mark_used(prop_i)
+            item = OQLItem(ref=ref, aggregate=agg.value)
+            if item not in state.agg_items:
+                state.agg_items.append(item)
+            state.add_pattern_evidence(ai)
+            # a property annotation sitting on the cue token itself was a
+            # misreading of the cue ("total" as orders.total): retire it
+            for pi in state.annotation_indices("property"):
+                ann = state.annotated.annotations[pi]
+                if ann.start <= agg.start < ann.end and pi != prop_i:
+                    state.consumed_annotations.add(pi)
+                    state.suppressed_annotations.add(pi)
+                    state.extra_covered.update(range(ann.start, ann.end))
+            for oi in state.pattern_indices("order"):
+                if state.patterns[oi].start == agg.start:
+                    state.consumed_patterns.add(oi)
+
+    def _collect_group_by(self, state: _BuildState) -> None:
+        has_limit = bool(state.pattern_indices("limit"))
+        for gi in state.pattern_indices("group_by"):
+            if has_limit:
+                continue  # "top 3 X by Y" orders rather than groups
+            group = state.patterns[gi]
+            prop_i = state.nearest_property(group.end, before=False, window=4)
+            if prop_i is None:
+                continue
+            ref = state.annotated.annotations[prop_i].payload
+            if any(ref == existing for existing in state.group_refs):
+                continue
+            if state.is_numeric(ref) and not state.count_requested and not state.agg_items:
+                continue  # "increased by 40"-style false positive
+            state.group_refs.append(ref)
+            state.mark_used(prop_i)
+            state.add_pattern_evidence(gi)
+
+    def _collect_order_limit(self, state: _BuildState) -> None:
+        for li in state.pattern_indices("limit"):
+            limit = state.patterns[li]
+            count_text, direction = limit.value.split(":")
+            state.limit = int(count_text)
+            prop_i = state.nearest_property(
+                limit.end, before=False, window=6, numeric=True
+            )
+            if prop_i is not None:
+                ref = state.annotated.annotations[prop_i].payload
+                state.mark_used(prop_i)
+                state.order_by.append(OQLOrder(OQLItem(ref=ref), direction))
+                for gi in state.pattern_indices("group_by"):
+                    if 0 <= state.patterns[gi].end - limit.end <= 6:
+                        state.consumed_patterns.add(gi)
+            state.add_pattern_evidence(li)
+            for oi in state.pattern_indices("order"):
+                if state.patterns[oi].start == limit.start:
+                    state.consumed_patterns.add(oi)
+            break  # one limit per question

@@ -1,0 +1,29 @@
+"""Machine-learning-based NLIDB systems (§4.2), in pure numpy.
+
+- :mod:`~repro.systems.neural.sketch` — the WikiSQL query shape.
+- :mod:`~repro.systems.neural.nn` — MLP classifier/scorer + Adam.
+- :mod:`~repro.systems.neural.features` — shared featurization (column
+  attention, type features, condition candidates).
+- :mod:`~repro.systems.neural.models` — Seq2SQL [69], SQLNet [59],
+  TypeSQL [62].
+- :mod:`~repro.systems.neural.dbpal` — DBPal-style synthetic training
+  data generation + model [9, 56].
+- :mod:`~repro.systems.neural.adapters` — NLIDBSystem wrapper with
+  table selection.
+"""
+
+from .adapters import NeuralSketchSystem
+from .dbpal import DBPalModel, generate_training_set
+from .features import ConditionCandidate, Featurizer
+from .models import BaseSketchModel, Seq2SQLModel, SQLNetModel, TrainReport, TypeSQLModel
+from .nn import AdamState, BinaryScorer, MLPClassifier, sigmoid, softmax
+from .sketch import AGGREGATES, Condition, QuerySketch
+
+__all__ = [
+    "QuerySketch", "Condition", "AGGREGATES",
+    "MLPClassifier", "BinaryScorer", "AdamState", "softmax", "sigmoid",
+    "Featurizer", "ConditionCandidate",
+    "BaseSketchModel", "Seq2SQLModel", "SQLNetModel", "TypeSQLModel", "TrainReport",
+    "DBPalModel", "generate_training_set",
+    "NeuralSketchSystem",
+]

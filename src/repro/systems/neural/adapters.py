@@ -1,0 +1,96 @@
+"""NLIDBSystem adapters for the neural sketch models.
+
+Wraps a trained sketch model as a :class:`~repro.core.pipeline.NLIDBSystem`
+so the harness can compare it with the entity-based systems.  Because the
+§4.2 models are single-table by construction ("demonstrated to work on
+simple single-table queries without joins"), the adapter must first pick
+*which* table to query — a soft column-overlap vote — and its predictions
+on join/nested questions are structurally wrong, which is exactly the
+limitation experiments E1/E3 quantify.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.interpretation import Interpretation
+from repro.core.pipeline import NLIDBContext, NLIDBSystem
+from repro.nlp.embeddings import cosine
+from repro.sqldb.table import Table
+
+from .models import BaseSketchModel
+
+
+class NeuralSketchSystem(NLIDBSystem):
+    """A trained sketch model behind the common system interface."""
+
+    family = "ml"
+
+    def __init__(self, model: BaseSketchModel, name: Optional[str] = None):
+        self.model = model
+        self.name = name or model.name
+
+    def interpret(self, question: str, context: NLIDBContext) -> List[Interpretation]:
+        table = self._choose_table(question, context)
+        if table is None:
+            return []
+        try:
+            sketch = self.model.predict(question, table)
+        except Exception:
+            return []
+        if sketch is None:
+            return []
+        try:
+            stmt = sketch.to_select()
+        except Exception:
+            return []
+        confidence = self._confidence(question, table)
+        return [
+            Interpretation(
+                self.name,
+                confidence,
+                sql=stmt,
+                explanation=f"single-table sketch over {table.name}",
+            )
+        ]
+
+    # -- table selection ----------------------------------------------------------
+
+    def _choose_table(self, question: str, context: NLIDBContext) -> Optional[Table]:
+        tables = [t for t in context.database.tables if len(t.schema) > 0]
+        if not tables:
+            return None
+        if len(tables) == 1:
+            return tables[0]
+        tokens = self.model.featurizer.question_tokens(question)
+        best: Optional[Table] = None
+        best_score = -1.0
+        for table in tables:
+            score = self._table_score(tokens, table)
+            if score > best_score:
+                best, best_score = table, score
+        return best
+
+    def _table_score(self, tokens, table: Table) -> float:
+        featurizer = self.model.featurizer
+        emb = featurizer.embeddings
+        from repro.sqldb.index import split_identifier
+
+        name_words = split_identifier(table.name)
+        name_vec = emb.sentence_vector(name_words + [s for s in table.schema.synonyms])
+        tok_vecs = [emb.vector(t.norm) for t in tokens] or [np.zeros(featurizer.dim)]
+        name_sim = max(cosine(v, name_vec) for v in tok_vecs)
+        col_sims = []
+        for column in table.schema:
+            col_vec = emb.sentence_vector(split_identifier(column.name))
+            col_sims.append(max(cosine(v, col_vec) for v in tok_vecs))
+        col_sims.sort(reverse=True)
+        top = col_sims[:3] or [0.0]
+        return 0.6 * name_sim + 0.4 * float(np.mean(top))
+
+    def _confidence(self, question: str, table: Table) -> float:
+        # ML systems always answer; confidence reflects table-match only.
+        tokens = self.model.featurizer.question_tokens(question)
+        return 0.5 + 0.5 * max(0.0, min(1.0, self._table_score(tokens, table)))

@@ -1,0 +1,371 @@
+"""Neural text-to-SQL models: Seq2SQL, SQLNet, TypeSQL (numpy).
+
+The three §4.2 single-table systems, translated to the candidate-scoring
+formulation of :mod:`repro.systems.neural.features`:
+
+- :class:`Seq2SQLModel` [69] — decodes the WHERE clause *sequentially*
+  (a classifier per decoding step, conditioned on the previous pick),
+  optionally fine-tuned with execution-reward sampling (the paper's
+  reinforcement-learning component).  Sequential decoding ties question
+  position to decoding step, so permuted condition mentions and greedy
+  error propagation hurt it.
+- :class:`SQLNetModel` [59] — "avoids the sequence-to-sequence structure
+  when ordering does not matter": each candidate is scored independently
+  (set prediction) with column attention.  Type features are zeroed.
+- :class:`TypeSQLModel` [62] — SQLNet plus type features ("utilizing
+  types extracted from ... table content to help model better understand
+  entities and numbers").
+
+All three share the aggregate classifier and the select-column scorer;
+they differ exactly where the papers differ — in the WHERE clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sqldb.database import Database
+from repro.sqldb.table import Table
+from repro.sqldb.types import DataType
+
+from .features import (
+    CONDITION_BASE_FEATURES,
+    CONDITION_TYPE_FEATURES,
+    ConditionCandidate,
+    Featurizer,
+)
+from .nn import BinaryScorer, MLPClassifier
+from .sketch import AGGREGATES, Condition, QuerySketch
+
+_MAX_CONDITIONS = 3
+
+
+@dataclass
+class TrainReport:
+    """Summary of one training run (sizes and final losses)."""
+
+    examples: int
+    agg_loss: float
+    select_loss: float
+    where_loss: float
+
+
+class BaseSketchModel:
+    """Shared skeleton: aggregate head + select head + a WHERE strategy."""
+
+    #: model name used in benchmark tables
+    name = "base"
+    #: whether type features are visible to the WHERE scorer
+    use_type_features = False
+
+    def __init__(self, dim: int = 32, seed: int = 0, hidden: int = 32, epochs: int = 25):
+        self.featurizer = Featurizer(dim)
+        self.seed = seed
+        self.epochs = epochs
+        self.hidden = hidden
+        self.agg_head = MLPClassifier(2 * dim, len(AGGREGATES), hidden=hidden, seed=seed)
+        from .features import COLUMN_FEATURES
+
+        self.select_head = BinaryScorer(COLUMN_FEATURES, hidden=hidden, seed=seed + 1)
+        self._where_dim = (
+            CONDITION_BASE_FEATURES + CONDITION_TYPE_FEATURES + self._extra_where_dims()
+        )
+        self.where_head = BinaryScorer(self._where_dim, hidden=hidden, seed=seed + 2)
+        self.trained = False
+
+    def _extra_where_dims(self) -> int:
+        return 0
+
+    # -- featurization --------------------------------------------------------
+
+    def _where_features(
+        self, candidate: ConditionCandidate, step: int, prev: Optional[ConditionCandidate]
+    ) -> np.ndarray:
+        type_part = (
+            candidate.type_features
+            if self.use_type_features
+            else np.zeros(CONDITION_TYPE_FEATURES)
+        )
+        return np.concatenate([candidate.base_features, type_part, self._step_features(candidate, step, prev)])
+
+    def _step_features(self, candidate, step, prev) -> np.ndarray:
+        return np.zeros(0)
+
+    # -- training ----------------------------------------------------------------
+
+    def fit(self, examples: Sequence, database: Database) -> TrainReport:
+        """Train all heads on (question, sketch) pairs."""
+        agg_x, agg_y = [], []
+        sel_x, sel_y = [], []
+        for example in examples:
+            tokens = self.featurizer.question_tokens(example.question)
+            agg_x.append(self.featurizer.question_features(tokens))
+            agg_y.append(AGGREGATES.index(example.sketch.aggregate))
+            table = database.table(example.sketch.table)
+            for column in table.schema:
+                sel_x.append(self.featurizer.column_features(tokens, column, table.schema))
+                sel_y.append(
+                    1 if column.name.lower() == example.sketch.select_column.lower() else 0
+                )
+        agg_hist = self.agg_head.fit(
+            np.array(agg_x), np.array(agg_y), epochs=self.epochs, seed=self.seed
+        ) if agg_x else [0.0]
+        sel_hist = self.select_head.fit(
+            np.array(sel_x), np.array(sel_y), epochs=self.epochs, seed=self.seed
+        ) if sel_x else [0.0]
+        where_loss = self._fit_where(examples, database)
+        self.trained = True
+        return TrainReport(
+            examples=len(examples),
+            agg_loss=agg_hist[-1] if agg_hist else 0.0,
+            select_loss=sel_hist[-1] if sel_hist else 0.0,
+            where_loss=where_loss,
+        )
+
+    def _fit_where(self, examples: Sequence, database: Database) -> float:
+        raise NotImplementedError
+
+    # -- prediction ------------------------------------------------------------------
+
+    def predict(self, question: str, table: Table) -> Optional[QuerySketch]:
+        """Predict a sketch for ``question`` over ``table``."""
+        if not self.trained:
+            raise RuntimeError("call fit() before predict()")
+        tokens = self.featurizer.question_tokens(question)
+        qf = self.featurizer.question_features(tokens)
+        aggregate = AGGREGATES[int(self.agg_head.predict(qf)[0])]
+        select_column = self._predict_select(tokens, table, aggregate)
+        if select_column is None:
+            return None
+        conditions = self._predict_where(tokens, table)
+        return QuerySketch(
+            table=table.name,
+            select_column=select_column,
+            aggregate=aggregate,
+            conditions=tuple(conditions),
+        )
+
+    def _predict_select(self, tokens, table: Table, aggregate: str) -> Optional[str]:
+        columns = list(table.schema)
+        if aggregate in ("sum", "avg", "min", "max"):
+            numeric = [c for c in columns if c.dtype.is_numeric]
+            columns = numeric or columns
+        if not columns:
+            return None
+        feats = np.stack(
+            [self.featurizer.column_features(tokens, c, table.schema) for c in columns]
+        )
+        scores = self.select_head.score(feats)
+        return columns[int(np.argmax(scores))].name
+
+    def _predict_where(self, tokens, table: Table) -> List[Condition]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _dedupe(conditions: List[Tuple[float, ConditionCandidate]]) -> List[Condition]:
+        """Keep the best-scoring candidate per (column, op) pair."""
+        best: Dict[Tuple[str, str], Tuple[float, ConditionCandidate]] = {}
+        for score, cand in conditions:
+            key = (cand.column.lower(), cand.op)
+            if key not in best or score > best[key][0]:
+                best[key] = (score, cand)
+        ranked = sorted(best.values(), key=lambda p: -p[0])[:_MAX_CONDITIONS]
+        return [cand.as_condition() for _, cand in ranked]
+
+
+class SQLNetModel(BaseSketchModel):
+    """Set-based slot filling with column attention [59].
+
+    Faithful to the SQLNet sketch, the WHERE clause is predicted as
+    (a) the *number* of conditions from the question, then (b) the top-k
+    independently scored candidates — no sequential decoding anywhere.
+    """
+
+    name = "sqlnet"
+    use_type_features = False
+
+    def __init__(self, dim: int = 32, seed: int = 0, hidden: int = 32, epochs: int = 25):
+        super().__init__(dim=dim, seed=seed, hidden=hidden, epochs=epochs)
+        self.count_head = MLPClassifier(
+            2 * dim, _MAX_CONDITIONS + 1, hidden=hidden, seed=seed + 3
+        )
+
+    def _fit_where(self, examples: Sequence, database: Database) -> float:
+        xs, ys = [], []
+        count_x, count_y = [], []
+        for example in examples:
+            tokens = self.featurizer.question_tokens(example.question)
+            table = database.table(example.sketch.table)
+            count_x.append(self.featurizer.question_features(tokens))
+            count_y.append(min(len(example.sketch.conditions), _MAX_CONDITIONS))
+            for cand in self.featurizer.condition_candidates(tokens, table):
+                xs.append(self._where_features(cand, 0, None))
+                ys.append(1 if cand.matches_gold(example.sketch.conditions) else 0)
+        if count_x:
+            self.count_head.fit(
+                np.array(count_x), np.array(count_y), epochs=self.epochs, seed=self.seed
+            )
+        if not xs:
+            return 0.0
+        history = self.where_head.fit(
+            np.array(xs), np.array(ys), epochs=self.epochs, seed=self.seed
+        )
+        return history[-1]
+
+    def _predict_where(self, tokens, table: Table) -> List[Condition]:
+        candidates = self.featurizer.condition_candidates(tokens, table)
+        if not candidates:
+            return []
+        qf = self.featurizer.question_features(tokens)
+        n_conditions = int(self.count_head.predict(qf)[0])
+        if n_conditions == 0:
+            return []
+        feats = np.stack([self._where_features(c, 0, None) for c in candidates])
+        scores = self.where_head.score(feats)
+        scored = sorted(zip(scores, candidates), key=lambda p: -p[0])
+        best: Dict[Tuple[str, str], Tuple[float, ConditionCandidate]] = {}
+        for score, cand in scored:
+            key = (cand.column.lower(), cand.op)
+            if key not in best or score > best[key][0]:
+                best[key] = (float(score), cand)
+        ranked = sorted(best.values(), key=lambda p: -p[0])[:n_conditions]
+        return [cand.as_condition() for _, cand in ranked]
+
+
+class TypeSQLModel(SQLNetModel):
+    """SQLNet + type features [62]."""
+
+    name = "typesql"
+    use_type_features = True
+
+
+class Seq2SQLModel(BaseSketchModel):
+    """Sequential WHERE decoding with optional execution-reward tuning [69]."""
+
+    name = "seq2sql"
+    use_type_features = False
+
+    def __init__(self, *args, rl_rounds: int = 2, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.rl_rounds = rl_rounds
+        self._rl_rng = np.random.default_rng(self.seed + 7)
+
+    def _extra_where_dims(self) -> int:
+        # decoding-step one-hot + previous-pick summary (position, same-col)
+        return _MAX_CONDITIONS + 2
+
+    def _step_features(self, candidate, step, prev) -> np.ndarray:
+        step_onehot = np.zeros(_MAX_CONDITIONS)
+        step_onehot[min(step, _MAX_CONDITIONS - 1)] = 1.0
+        prev_pos = prev.position / 20.0 if prev is not None else -1.0
+        same_col = 1.0 if prev is not None and prev.column == candidate.column else 0.0
+        return np.concatenate([step_onehot, [prev_pos, same_col]])
+
+    def _fit_where(self, examples: Sequence, database: Database) -> float:
+        xs, ys = [], []
+        for example in examples:
+            tokens = self.featurizer.question_tokens(example.question)
+            table = database.table(example.sketch.table)
+            candidates = self.featurizer.condition_candidates(tokens, table)
+            gold = list(example.sketch.conditions)
+            prev: Optional[ConditionCandidate] = None
+            for step, gold_cond in enumerate(gold[:_MAX_CONDITIONS]):
+                for cand in candidates:
+                    label = 1 if cand.matches_gold([gold_cond]) else 0
+                    xs.append(self._where_features(cand, step, prev))
+                    ys.append(label)
+                    if label and prev is None:
+                        prev = cand
+                # teacher forcing: previous pick is the gold candidate
+                matches = [c for c in candidates if c.matches_gold([gold_cond])]
+                prev = matches[0] if matches else prev
+        if not xs:
+            return 0.0
+        history = self.where_head.fit(
+            np.array(xs), np.array(ys), epochs=self.epochs, seed=self.seed
+        )
+        loss = history[-1]
+        if self.rl_rounds:
+            self._execution_tune(examples, database)
+        return loss
+
+    def _execution_tune(self, examples: Sequence, database: Database) -> None:
+        """REINFORCE-flavoured fine-tuning on execution reward.
+
+        Predictions are sampled from the current policy; picks from
+        correctly-executing samples are reinforced as positives, picks
+        from failing samples as negatives — the "learning from execution"
+        signal Seq2SQL's RL stage adds.
+        """
+        from repro.bench.wikisql import execution_accuracy
+
+        for _ in range(self.rl_rounds):
+            xs, ys = [], []
+            for example in examples:
+                tokens = self.featurizer.question_tokens(example.question)
+                table = database.table(example.sketch.table)
+                picks = self._sample_where(tokens, table)
+                sketch = QuerySketch(
+                    table=table.name,
+                    select_column=example.sketch.select_column,
+                    aggregate=example.sketch.aggregate,
+                    conditions=tuple(p[1].as_condition() for p in picks),
+                )
+                reward = 1 if execution_accuracy(database, sketch, example.sketch) else 0
+                for step, (features, cand) in enumerate(picks):
+                    xs.append(features)
+                    ys.append(reward)
+            if xs:
+                self.where_head.fit(
+                    np.array(xs), np.array(ys), epochs=2, seed=self.seed + 11
+                )
+
+    def _sample_where(self, tokens, table: Table):
+        candidates = self.featurizer.condition_candidates(tokens, table)
+        picks = []
+        prev: Optional[ConditionCandidate] = None
+        used = set()
+        for step in range(_MAX_CONDITIONS):
+            scored = []
+            for cand in candidates:
+                if id(cand) in used:
+                    continue
+                features = self._where_features(cand, step, prev)
+                scored.append((features, cand, float(self.where_head.score(features)[0])))
+            if not scored:
+                break
+            probs = np.array([s for _, _, s in scored])
+            if probs.max() < 0.35:
+                break
+            probs = probs / probs.sum()
+            idx = int(self._rl_rng.choice(len(scored), p=probs))
+            features, cand, _ = scored[idx]
+            picks.append((features, cand))
+            used.add(id(cand))
+            prev = cand
+        return picks
+
+    def _predict_where(self, tokens, table: Table) -> List[Condition]:
+        candidates = self.featurizer.condition_candidates(tokens, table)
+        out: List[Tuple[float, ConditionCandidate]] = []
+        prev: Optional[ConditionCandidate] = None
+        used = set()
+        for step in range(_MAX_CONDITIONS):
+            best: Optional[Tuple[float, ConditionCandidate]] = None
+            for cand in candidates:
+                if id(cand) in used:
+                    continue
+                score = float(
+                    self.where_head.score(self._where_features(cand, step, prev))[0]
+                )
+                if best is None or score > best[0]:
+                    best = (score, cand)
+            if best is None or best[0] < 0.5:
+                break
+            out.append(best)
+            used.add(id(best[1]))
+            prev = best[1]
+        return self._dedupe(out)

@@ -1,0 +1,145 @@
+"""Query sketches: the WikiSQL-style structured output space.
+
+WikiSQL [69] queries have a fixed shape — ``SELECT [agg] col FROM t WHERE
+col op val (AND ...)`` — and the neural systems of §4.2 all predict that
+shape rather than free SQL: Seq2SQL decodes it as a sequence, SQLNet
+fills its slots ("sketch-based method ... generates SQL as a slot-filling
+task").  :class:`QuerySketch` is that shape, with lossless conversion to
+and from the engine's SQL AST for training labels and execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.sqldb.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    Literal,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sqldb.schema import TableSchema
+
+AGGREGATES = ("", "count", "sum", "avg", "min", "max")
+CONDITION_OPS = ("=", ">", "<")
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One WHERE slot: ``column op value``."""
+
+    column: str
+    op: str
+    value: Any
+
+    def normalized(self) -> Tuple[str, str, Any]:
+        """Comparison key (lower-cased column, op, canonical value)."""
+        value = self.value
+        if isinstance(value, float) and value.is_integer():
+            value = int(value)
+        if isinstance(value, str):
+            value = value.lower()
+        return (self.column.lower(), self.op, value)
+
+
+@dataclass(frozen=True)
+class QuerySketch:
+    """A single-table query: aggregate, selected column, conditions.
+
+    ``aggregate`` is ``""`` for none or one of count/sum/avg/min/max
+    (count aggregates the selected column, as in WikiSQL).
+    """
+
+    table: str
+    select_column: str
+    aggregate: str = ""
+    conditions: Tuple[Condition, ...] = ()
+
+    def to_select(self) -> SelectStatement:
+        """Lower to the engine's AST."""
+        base: Expr = ColumnRef(self.select_column)
+        if self.aggregate:
+            base = FuncCall(self.aggregate, (base,))
+        where: Optional[Expr] = None
+        for cond in self.conditions:
+            predicate = BinaryOp(cond.op, ColumnRef(cond.column), Literal(cond.value))
+            where = predicate if where is None else BinaryOp("AND", where, predicate)
+        return SelectStatement(
+            select_items=(SelectItem(base),),
+            from_table=TableRef(self.table),
+            where=where,
+        )
+
+    def to_sql(self) -> str:
+        """SQL text of the sketch."""
+        return self.to_select().to_sql()
+
+    def matches(self, other: "QuerySketch") -> bool:
+        """Logical-form match: same agg/column and same condition *set*
+        (order-insensitive, as the WikiSQL metric specifies)."""
+        if self.table.lower() != other.table.lower():
+            return False
+        if self.aggregate != other.aggregate:
+            return False
+        if self.select_column.lower() != other.select_column.lower():
+            return False
+        mine = sorted(str(c.normalized()) for c in self.conditions)
+        theirs = sorted(str(c.normalized()) for c in other.conditions)
+        return mine == theirs
+
+    @classmethod
+    def from_select(cls, stmt: SelectStatement) -> "QuerySketch":
+        """Recover a sketch from a sketch-shaped AST (raises ValueError
+        for SQL outside the WikiSQL shape)."""
+        if (
+            stmt.from_table is None
+            or stmt.joins
+            or stmt.group_by
+            or stmt.order_by
+            or stmt.limit is not None
+            or stmt.distinct
+            or stmt.subqueries()
+        ):
+            raise ValueError("statement is not WikiSQL-shaped")
+        if len(stmt.select_items) != 1:
+            raise ValueError("sketches have exactly one projection")
+        expr = stmt.select_items[0].expr
+        aggregate = ""
+        if isinstance(expr, FuncCall):
+            aggregate = expr.name.lower()
+            if aggregate not in AGGREGATES or not expr.args:
+                raise ValueError(f"unsupported aggregate {aggregate!r}")
+            expr = expr.args[0]
+        if not isinstance(expr, ColumnRef):
+            raise ValueError("projection must be a column")
+        conditions: List[Condition] = []
+        _collect_conditions(stmt.where, conditions)
+        return cls(
+            table=stmt.from_table.table,
+            select_column=expr.column,
+            aggregate=aggregate,
+            conditions=tuple(conditions),
+        )
+
+
+def _collect_conditions(expr: Optional[Expr], out: List[Condition]) -> None:
+    if expr is None:
+        return
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        _collect_conditions(expr.left, out)
+        _collect_conditions(expr.right, out)
+        return
+    if (
+        isinstance(expr, BinaryOp)
+        and expr.op in CONDITION_OPS
+        and isinstance(expr.left, ColumnRef)
+        and isinstance(expr.right, Literal)
+    ):
+        out.append(Condition(expr.left.column, expr.op, expr.right.value))
+        return
+    raise ValueError(f"condition outside the sketch shape: {expr!r}")

@@ -1,0 +1,462 @@
+"""BELA-style layered question answering over RDF [53] (§4.1).
+
+BELA "uses a lexical tree adjoining grammar to parse the input queries
+... This parsing results in a set of SPARQL query templates, each
+corresponding to a possible interpretation of the given query.  For
+filling the unknown slots in the SPARQL queries, an inverted index,
+built from DBpedia entity names, is consulted" — and, per its title, it
+is an "evaluation of a *layered* approach": each layer applies a more
+permissive matcher and the system stops at the first layer that yields
+an answer.
+
+Faithful ingredients:
+
+- a fixed template inventory (class lookup/count, property filter,
+  property-of-entity, relation traversal) standing in for the grammar's
+  parse templates,
+- slot filling against an inverted label index over the RDF graph,
+- three matching layers: (1) exact lexical, (2) + synonyms/lemmas,
+  (3) + fuzzy string similarity — the system answers at the shallowest
+  layer that succeeds, trading precision for recall layer by layer
+  (ablated by ``max_layer``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import NLIDBContext
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.matching import term_similarity
+from repro.nlp.similarity import string_similarity
+from repro.nlp.stopwords import is_stopword
+from repro.nlp.tokenizer import tokenize
+from repro.rdf import (
+    RDF_TYPE,
+    RDFS_LABEL,
+    Filter,
+    SparqlQuery,
+    TriplePattern,
+    Var,
+    class_uri,
+    evaluate,
+    export_rdf,
+    property_uri,
+    relation_uri,
+)
+from repro.rdf.triples import TripleStore
+from repro.sqldb.relation import Relation
+
+
+@dataclass
+class SparqlInterpretation:
+    """One BELA reading: the SPARQL query, its confidence, and the layer
+    that produced it (1 = exact ... 3 = fuzzy).
+
+    ``consumed`` lists the question words the reading accounted for —
+    the layered loop only accepts a reading that covers (most of) the
+    question, otherwise it descends to a more permissive layer (BELA's
+    per-layer acceptance threshold).
+    """
+
+    query: SparqlQuery
+    confidence: float
+    layer: int
+    explanation: str = ""
+    consumed: Tuple[str, ...] = ()
+
+
+class BelaSystem:
+    """Template + layered-slot-filling SPARQL generator."""
+
+    name = "bela"
+    family = "entity"
+
+    def __init__(self, context: NLIDBContext, max_layer: int = 3):
+        self.context = context
+        self.max_layer = max_layer
+        self.store: TripleStore = export_rdf(context)
+        self._labels = self.store.label_index()
+
+    # -- public API -----------------------------------------------------------
+
+    #: minimum coverage-scaled confidence for a layer to be accepted
+    acceptance_threshold = 0.7
+
+    def interpret_sparql(self, question: str) -> List[SparqlInterpretation]:
+        """Layered interpretation.
+
+        Each reading's confidence is scaled by how much of the question
+        it accounts for; the loop returns at the shallowest layer whose
+        best reading clears the acceptance threshold, falling back to
+        the overall best reading otherwise.
+        """
+        content = [
+            t.norm
+            for t in tokenize(question)
+            if t.kind != "punct" and not is_stopword(t.norm)
+        ]
+        best: List[SparqlInterpretation] = []
+        for layer in range(1, self.max_layer + 1):
+            readings = self._interpret_at(question, layer)
+            for i, reading in enumerate(readings):
+                readings[i] = SparqlInterpretation(
+                    reading.query,
+                    reading.confidence * self._coverage(content, reading.consumed),
+                    reading.layer,
+                    reading.explanation,
+                    reading.consumed,
+                )
+            readings.sort(key=lambda r: -r.confidence)
+            if readings and readings[0].confidence >= self.acceptance_threshold:
+                return readings
+            if readings and (not best or readings[0].confidence > best[0].confidence):
+                best = readings
+        return best
+
+    @staticmethod
+    def _coverage(content: List[str], consumed: Sequence[str]) -> float:
+        if not content:
+            return 1.0
+        consumed_words = set()
+        for chunk in consumed:
+            consumed_words.update(str(chunk).lower().split())
+        covered = sum(1 for w in content if w in consumed_words)
+        return covered / len(content)
+
+    def answer(self, question: str) -> Optional[Relation]:
+        """Interpret and execute the best reading."""
+        readings = self.interpret_sparql(question)
+        if not readings:
+            return None
+        return evaluate(self.store, readings[0].query)
+
+    # -- layered slot matchers -------------------------------------------------
+
+    def _match_concept(self, word: str, layer: int) -> Optional[Tuple[str, float]]:
+        best: Optional[Tuple[str, float]] = None
+        for concept in self.context.ontology.concepts.values():
+            for form in concept.surface_forms():
+                score = self._term_score(word, form, layer)
+                if score is not None and (best is None or score > best[1]):
+                    best = (concept.name, score)
+        return best
+
+    def _match_property(
+        self, word: str, concept: Optional[str], layer: int
+    ) -> Optional[Tuple[str, str, float]]:
+        best: Optional[Tuple[str, str, float]] = None
+        concepts = (
+            [self.context.ontology.concept(concept)]
+            if concept
+            else list(self.context.ontology.concepts.values())
+        )
+        for owner in concepts:
+            for prop in owner.properties.values():
+                for form in prop.surface_forms():
+                    score = self._term_score(word, form, layer)
+                    if score is not None and (best is None or score > best[2]):
+                        best = (owner.name, prop.name, score)
+        return best
+
+    def _match_relation(
+        self, word: str, concept: Optional[str], layer: int
+    ) -> Optional[Tuple[str, str, float]]:
+        best: Optional[Tuple[str, str, float]] = None
+        for relation in self.context.ontology.relations:
+            if concept and relation.src != concept and relation.dst != concept:
+                continue
+            for form in relation.surface_forms():
+                score = self._term_score(word, form, layer)
+                if score is not None and (best is None or score > best[2]):
+                    best = (relation.name, relation.src, score)
+        return best
+
+    def _match_label(self, phrase: str, layer: int) -> Optional[Tuple[str, float]]:
+        key = phrase.lower()
+        if key in self._labels:
+            return key, 1.0
+        if layer >= 3:
+            best: Optional[Tuple[str, float]] = None
+            for label in self._labels:
+                if abs(len(label) - len(key)) > 3 or label[:1] != key[:1]:
+                    continue
+                score = string_similarity(key, label)
+                if score >= 0.74 and (best is None or score > best[1]):
+                    best = (label, score)
+            return best
+        return None
+
+    def _term_score(self, word: str, form: str, layer: int) -> Optional[float]:
+        w, f = word.lower(), form.lower()
+        if w == f or lemmatize(w) == lemmatize(f):
+            return 1.0
+        if layer >= 2:
+            score = term_similarity(w, f, self.context.thesaurus)
+            if score >= 0.95:
+                return score
+        if layer >= 3:
+            score = string_similarity(w, f)
+            if score >= 0.74:
+                return score * 0.9
+        return None
+
+    # -- templates --------------------------------------------------------------
+
+    def _interpret_at(self, question: str, layer: int) -> List[SparqlInterpretation]:
+        tokens = [t for t in tokenize(question) if t.kind != "punct"]
+        words = [t.norm for t in tokens]
+        readings: List[SparqlInterpretation] = []
+        readings.extend(self._template_count(words, layer))
+        readings.extend(self._template_property_filter(tokens, layer))
+        readings.extend(self._template_property_of_entity(tokens, layer))
+        readings.extend(self._template_relation_traversal(tokens, layer))
+        readings.extend(self._template_class_listing(words, layer))
+        return readings
+
+    def _find_concept(self, words: Sequence[str], layer: int):
+        for i, word in enumerate(words):
+            if is_stopword(word):
+                continue
+            match = self._match_concept(word, layer)
+            if match:
+                return i, match
+        return None
+
+    def _template_count(self, words, layer) -> List[SparqlInterpretation]:
+        if not (
+            ("how" in words and "many" in words)
+            or ("number" in words and "of" in words)
+        ):
+            return []
+        found = self._find_concept(words, layer)
+        if not found:
+            return []
+        concept_pos, (concept, score) = found
+        entity = Var("x")
+        patterns = [TriplePattern(entity, RDF_TYPE, class_uri(concept))]
+        filters, extra_score, consumed = self._value_filters(words, concept, entity, layer)
+        consumed = [words[concept_pos], "how", "many", "number", "there", *consumed]
+        query = SparqlQuery(
+            select=(), patterns=tuple(patterns + filters[0]), filters=tuple(filters[1]),
+            count=entity,
+        )
+        return [
+            SparqlInterpretation(
+                query, score * extra_score, layer, f"count of {concept}",
+                tuple(consumed),
+            )
+        ]
+
+    def _value_filters(self, words, concept, entity, layer):
+        """Detect one '<prop> <value>' or label-value condition.
+
+        Returns ``((patterns, filters), score, consumed_words)``.
+        """
+        patterns: List[TriplePattern] = []
+        filters: List[Filter] = []
+        score = 1.0
+        consumed: List[str] = []
+        # property + literal value ("with genre drama")
+        for i, word in enumerate(words[:-1]):
+            if is_stopword(word):
+                continue
+            prop = self._match_property(word, concept, layer)
+            if not prop or prop[0] != concept:
+                continue
+            value_token = words[i + 1]
+            if is_stopword(value_token):
+                continue
+            value: Any = value_token
+            try:
+                value = float(value_token)
+                if value.is_integer():
+                    value = int(value)
+            except ValueError:
+                pass
+            var = Var("v0")
+            patterns.append(TriplePattern(entity, property_uri(concept, prop[1]), var))
+            filters.append(Filter(var, "=", value))
+            score = prop[2]
+            consumed = [word, value_token]
+            break
+        return (patterns, filters), score, consumed
+
+    def _template_class_listing(self, words, layer) -> List[SparqlInterpretation]:
+        found = self._find_concept(words, layer)
+        if not found:
+            return []
+        concept_pos, (concept, score) = found
+        entity, label = Var("x"), Var("label")
+        (extra_patterns, extra_filters), extra_score, consumed = self._value_filters(
+            words, concept, entity, layer
+        )
+        if not extra_patterns:
+            return []  # bare listings are not questions
+        patterns = [
+            TriplePattern(entity, RDF_TYPE, class_uri(concept)),
+            TriplePattern(entity, RDFS_LABEL, label),
+            *extra_patterns,
+        ]
+        query = SparqlQuery(
+            select=(label,), patterns=tuple(patterns), filters=tuple(extra_filters)
+        )
+        return [
+            SparqlInterpretation(
+                query, 0.9 * score * extra_score, layer, f"listing of {concept}",
+                tuple([words[concept_pos], "show", "list", *consumed]),
+            )
+        ]
+
+    def _template_property_filter(self, tokens, layer) -> List[SparqlInterpretation]:
+        # "<class> with <prop> (over|under)? <number>"
+        words = [t.norm for t in tokens]
+        found = self._find_concept(words, layer)
+        if not found:
+            return []
+        _, (concept, concept_score) = found
+        for i, token in enumerate(tokens):
+            if not token.is_number:
+                continue
+            op = "="
+            if i > 0 and words[i - 1] in ("over", "above", "than", "exceeding"):
+                op = ">"
+            elif i > 0 and words[i - 1] in ("under", "below", "fewer"):
+                op = "<"
+            prop = None
+            for j in range(max(0, i - 3), i):
+                if is_stopword(words[j]):
+                    continue
+                candidate = self._match_property(words[j], concept, layer)
+                if candidate and candidate[0] == concept:
+                    prop = candidate
+            if prop is None:
+                continue
+            entity, label, value_var = Var("x"), Var("label"), Var("v")
+            number = float(token.numeric_value)
+            query = SparqlQuery(
+                select=(label,),
+                patterns=(
+                    TriplePattern(entity, RDF_TYPE, class_uri(concept)),
+                    TriplePattern(entity, RDFS_LABEL, label),
+                    TriplePattern(entity, property_uri(concept, prop[1]), value_var),
+                ),
+                filters=(Filter(value_var, op, number),),
+            )
+            consumed = [w for w in words if not is_stopword(w)]
+            return [
+                SparqlInterpretation(
+                    query,
+                    concept_score * prop[2],
+                    layer,
+                    f"{concept} filtered by {prop[1]} {op} {number:g}",
+                    tuple(consumed),
+                )
+            ]
+        return []
+
+    def _template_property_of_entity(self, tokens, layer) -> List[SparqlInterpretation]:
+        # "what is the <prop> of <entity label>"
+        words = [t.norm for t in tokens]
+        if "of" not in words:
+            return []
+        split = words.index("of")
+        head, tail_tokens = words[:split], tokens[split + 1 :]
+        tail_words = [t.norm for t in tail_tokens if not is_stopword(t.norm)]
+        if not tail_words:
+            return []
+        label_match = None
+        for length in range(min(4, len(tail_words)), 0, -1):
+            phrase = " ".join(tail_words[:length])
+            label_match = self._match_label(phrase, layer)
+            if label_match:
+                break
+        if not label_match:
+            return []
+        prop = None
+        for word in head:
+            if is_stopword(word):
+                continue
+            prop = self._match_property(word, None, layer) or prop
+        if prop is None:
+            return []
+        entity, value = Var("e"), Var("v")
+        original_label = self._original_label(label_match[0])
+        query = SparqlQuery(
+            select=(value,),
+            patterns=(
+                TriplePattern(entity, RDFS_LABEL, original_label),
+                TriplePattern(entity, property_uri(prop[0], prop[1]), value),
+            ),
+        )
+        return [
+            SparqlInterpretation(
+                query,
+                prop[2] * label_match[1],
+                layer,
+                f"{prop[0]}.{prop[1]} of {original_label!r}",
+                tuple([*head, *label_match[0].split()]),
+            )
+        ]
+
+    def _template_relation_traversal(self, tokens, layer) -> List[SparqlInterpretation]:
+        # "<classA> whose <relation> is <entity label>"
+        words = [t.norm for t in tokens]
+        found = self._find_concept(words, layer)
+        if not found:
+            return []
+        concept_pos, (concept, concept_score) = found
+        relation = None
+        for word in words[concept_pos + 1 :]:
+            if is_stopword(word):
+                continue
+            relation = self._match_relation(word, concept, layer)
+            if relation:
+                break
+        if relation is None:
+            return []
+        tail = [w for w in words[concept_pos + 1 :] if not is_stopword(w)]
+        label_match = None
+        for start in range(len(tail)):
+            for length in range(min(4, len(tail) - start), 0, -1):
+                phrase = " ".join(tail[start : start + length])
+                label_match = self._match_label(phrase, layer)
+                if label_match:
+                    break
+            if label_match:
+                break
+        if not label_match:
+            return []
+        entity, target, label = Var("x"), Var("t"), Var("label")
+        original_label = self._original_label(label_match[0])
+        query = SparqlQuery(
+            select=(label,),
+            patterns=(
+                TriplePattern(entity, RDF_TYPE, class_uri(concept)),
+                TriplePattern(entity, RDFS_LABEL, label),
+                TriplePattern(entity, relation_uri(relation[0]), target),
+                TriplePattern(target, RDFS_LABEL, original_label),
+            ),
+        )
+        return [
+            SparqlInterpretation(
+                query,
+                concept_score * relation[2] * label_match[1],
+                layer,
+                f"{concept} via {relation[0]} to {original_label!r}",
+                tuple(
+                    [words[concept_pos], "whose", "is"]
+                    + [w for w in tail if relation is not None]
+                    + label_match[0].split()
+                ),
+            )
+        ]
+
+    def _original_label(self, lowered: str) -> str:
+        subjects = self._labels.get(lowered, [])
+        if subjects:
+            for triple in self.store.match(subjects[0], RDFS_LABEL):
+                if str(triple.object).lower() == lowered:
+                    return str(triple.object)
+        return lowered

@@ -1,0 +1,332 @@
+"""TR Discover-style guided query construction [49] (§4.1).
+
+TR Discover "uses a feature-based context-free grammar for parsing
+natural language queries, also providing query auto-completion.  When a
+user starts typing a query segment and selects one of the suggested
+lexical entries ... TR Discover suggests the next lexical entries that
+are reachable from the selected query part, based on the rules of the
+context-free grammar.  The ranking of these suggestions is based on the
+nodes centrality in an RDF graph."
+
+Faithful ingredients:
+
+- a small feature-based grammar over ontology vocabulary::
+
+      Q      -> CLASS | CLASS COND
+      COND   -> "with" PROP VALUE | "with" PROP CMP NUMBER
+              | "whose" REL "is" LABEL
+      CMP    -> "over" | "under"
+
+- completion: given a typed prefix, the next grammar-reachable lexical
+  entries, ranked by PageRank centrality of the corresponding node in
+  the exported RDF graph (frequently-connected entities and properties
+  surface first),
+- guaranteed interpretability: any fully-derived sentence maps to an
+  executable OQL query (`parse_completed`) — the property that makes
+  guided construction attractive for precision-critical deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.intermediate import OQLCondition, OQLItem, OQLQuery, PropertyRef
+from repro.core.pipeline import NLIDBContext
+from repro.nlp.lemmatizer import singularize
+from repro.ontology.builder import pluralize
+from repro.rdf import RDF_TYPE, export_rdf
+from repro.sqldb.types import DataType
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One completion proposal."""
+
+    text: str
+    kind: str  # "class" | "keyword" | "property" | "relation" | "value" | "label"
+    score: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.text
+
+
+class TRDiscoverCompleter:
+    """Grammar-guided auto-completion over one database's vocabulary."""
+
+    def __init__(self, context: NLIDBContext, max_suggestions: int = 8):
+        self.context = context
+        self.max_suggestions = max_suggestions
+        self._centrality = self._compute_centrality()
+
+    # -- centrality -----------------------------------------------------------
+
+    def _compute_centrality(self) -> Dict[str, float]:
+        """PageRank over the exported RDF graph, folded onto lexical
+        entries (class/property/relation URIs and value literals)."""
+        store = export_rdf(self.context)
+        graph = nx.DiGraph()
+        for triple in store:
+            obj = str(triple.object)
+            graph.add_edge(triple.subject, obj)
+            # predicate participates as a node so properties earn rank
+            graph.add_edge(triple.subject, triple.predicate)
+        if graph.number_of_nodes() == 0:
+            return {}
+        rank = nx.pagerank(graph, alpha=0.85)
+        folded: Dict[str, float] = {}
+        for node, score in rank.items():
+            folded[node] = folded.get(node, 0.0) + score
+        return folded
+
+    def _rank_of(self, key: str) -> float:
+        return self._centrality.get(key, 0.0)
+
+    # -- completion --------------------------------------------------------------
+
+    def complete(self, prefix: str) -> List[Suggestion]:
+        """Next lexical entries reachable from ``prefix``."""
+        words = prefix.lower().split()
+        state, payload = self._grammar_state(words)
+        if state == "start":
+            return self._class_suggestions()
+        if state == "after_class":
+            return [
+                Suggestion("with", "keyword", 1.0),
+                Suggestion("whose", "keyword", 0.9),
+            ]
+        if state == "expect_property":
+            return self._property_suggestions(payload)
+        if state == "expect_value":
+            return self._value_suggestions(payload)
+        if state == "expect_relation":
+            return self._relation_suggestions(payload)
+        if state == "expect_is":
+            return [Suggestion("is", "keyword", 1.0)]
+        if state == "expect_label":
+            return self._label_suggestions(payload)
+        return []
+
+    def _grammar_state(self, words: List[str]):
+        if not words:
+            return "start", None
+        concept = self._resolve_class(words[0])
+        if concept is None:
+            return "start", None
+        rest = words[1:]
+        if not rest:
+            return "after_class", concept
+        if rest[0] == "with":
+            body = rest[1:]
+            if not body:
+                return "expect_property", concept
+            prop = self._resolve_property(concept, body)
+            if prop is None:
+                return "expect_property", concept
+            after = body[len(prop.split()):]
+            if not after or after[0] in ("over", "under"):
+                return "expect_value", (concept, prop)
+            return "complete", None
+        if rest[0] == "whose":
+            body = rest[1:]
+            if not body:
+                return "expect_relation", concept
+            relation = self._resolve_relation(concept, body)
+            if relation is None:
+                return "expect_relation", concept
+            after = body[len(relation.split()):]
+            if not after:
+                return "expect_is", (concept, relation)
+            if after[0] == "is" and len(after) == 1:
+                return "expect_label", (concept, relation)
+            return "complete", None
+        return "after_class", concept
+
+    # -- suggestion producers ---------------------------------------------------------
+
+    def _class_suggestions(self) -> List[Suggestion]:
+        from repro.rdf import class_uri
+
+        out = [
+            Suggestion(
+                pluralize(c.name), "class", self._rank_of(class_uri(c.name))
+            )
+            for c in self.context.ontology.concepts.values()
+        ]
+        out.sort(key=lambda s: (-s.score, s.text))
+        return out[: self.max_suggestions]
+
+    def _property_suggestions(self, concept: str) -> List[Suggestion]:
+        from repro.rdf import property_uri
+
+        out = [
+            Suggestion(
+                p.name, "property", self._rank_of(property_uri(concept, p.name))
+            )
+            for p in self.context.ontology.concept(concept).properties.values()
+            if p.name != "id"
+        ]
+        out.sort(key=lambda s: (-s.score, s.text))
+        return out[: self.max_suggestions]
+
+    def _relation_suggestions(self, concept: str) -> List[Suggestion]:
+        from repro.rdf import relation_uri
+
+        out = [
+            Suggestion(r.name, "relation", self._rank_of(relation_uri(r.name)))
+            for r in self.context.ontology.relations
+            if r.src == concept or r.dst == concept
+        ]
+        out.sort(key=lambda s: (-s.score, s.text))
+        return out[: self.max_suggestions]
+
+    def _value_suggestions(self, payload) -> List[Suggestion]:
+        concept, prop_name = payload
+        prop = self.context.ontology.concept(concept).property(prop_name)
+        if prop.dtype.is_numeric:
+            return [
+                Suggestion("over", "keyword", 1.0),
+                Suggestion("under", "keyword", 0.9),
+            ]
+        table, column = self.context.mapping.column_of(concept, prop_name)
+        values = self.context.database.table(table).distinct_values(column)
+        out = [
+            Suggestion(str(v), "value", self._rank_of(str(v))) for v in values
+        ]
+        out.sort(key=lambda s: (-s.score, s.text))
+        return out[: self.max_suggestions]
+
+    def _label_suggestions(self, payload) -> List[Suggestion]:
+        concept, relation_name = payload
+        relation = next(
+            r for r in self.context.ontology.relations if r.name == relation_name
+        )
+        other = relation.dst if relation.src == concept else relation.src
+        display = next(
+            (
+                p
+                for p in self.context.ontology.concept(other).properties.values()
+                if p.dtype is DataType.TEXT
+            ),
+            None,
+        )
+        if display is None:
+            return []
+        table, column = self.context.mapping.column_of(other, display.name)
+        labels = self.context.database.table(table).distinct_values(column)
+        out = [Suggestion(str(v), "label", self._rank_of(str(v))) for v in labels]
+        out.sort(key=lambda s: (-s.score, s.text))
+        return out[: self.max_suggestions]
+
+    # -- resolution helpers -------------------------------------------------------------
+
+    def _resolve_class(self, word: str) -> Optional[str]:
+        single = singularize(word)
+        for concept in self.context.ontology.concepts.values():
+            if single in {singularize(f) for f in concept.surface_forms()}:
+                return concept.name
+        return None
+
+    def _resolve_property(self, concept: str, words: List[str]) -> Optional[str]:
+        props = self.context.ontology.concept(concept).properties
+        for length in range(min(3, len(words)), 0, -1):
+            phrase = " ".join(words[:length])
+            if phrase in props:
+                return props[phrase].name
+        return None
+
+    def _resolve_relation(self, concept: str, words: List[str]) -> Optional[str]:
+        names = {
+            r.name
+            for r in self.context.ontology.relations
+            if r.src == concept or r.dst == concept
+        }
+        for length in range(min(3, len(words)), 0, -1):
+            phrase = " ".join(words[:length])
+            if phrase in names:
+                return phrase
+        return None
+
+    # -- guaranteed interpretation ---------------------------------------------------
+
+    def parse_completed(self, sentence: str) -> Optional[OQLQuery]:
+        """OQL for a grammar-derived sentence; ``None`` off-grammar."""
+        words = sentence.lower().split()
+        if not words:
+            return None
+        concept = self._resolve_class(words[0])
+        if concept is None:
+            return None
+        display = self._display_ref(concept)
+        if display is None:
+            return None
+        select = (OQLItem(ref=display),)
+        rest = words[1:]
+        if not rest:
+            return OQLQuery(select=select)
+        if rest[0] == "with":
+            body = rest[1:]
+            prop = self._resolve_property(concept, body)
+            if prop is None:
+                return None
+            after = body[len(prop.split()):]
+            ref = PropertyRef(concept, prop)
+            if not after:
+                return None
+            if after[0] in ("over", "under") and len(after) >= 2:
+                try:
+                    number = float(after[1])
+                except ValueError:
+                    return None
+                op = ">" if after[0] == "over" else "<"
+                return OQLQuery(select=select, conditions=(OQLCondition(ref, op, number),))
+            value = " ".join(after)
+            typed_value = self._type_value(concept, prop, value)
+            return OQLQuery(select=select, conditions=(OQLCondition(ref, "=", typed_value),))
+        if rest[0] == "whose":
+            body = rest[1:]
+            relation = self._resolve_relation(concept, body)
+            if relation is None:
+                return None
+            after = body[len(relation.split()):]
+            if not after or after[0] != "is" or len(after) < 2:
+                return None
+            label = " ".join(after[1:])
+            rel = next(r for r in self.context.ontology.relations if r.name == relation)
+            other = rel.dst if rel.src == concept else rel.src
+            other_display = self._display_ref(other)
+            if other_display is None:
+                return None
+            original = self._original_value(other_display, label)
+            return OQLQuery(
+                select=select,
+                conditions=(OQLCondition(other_display, "=", original),),
+            )
+        return None
+
+    def _display_ref(self, concept: str) -> Optional[PropertyRef]:
+        for prop in self.context.ontology.concept(concept).properties.values():
+            if prop.dtype is DataType.TEXT:
+                return PropertyRef(concept, prop.name)
+        props = list(self.context.ontology.concept(concept).properties.values())
+        if props:
+            return PropertyRef(concept, props[0].name)
+        return None
+
+    def _type_value(self, concept: str, prop: str, value: str):
+        dtype = self.context.ontology.concept(concept).property(prop).dtype
+        if dtype.is_numeric:
+            try:
+                return float(value)
+            except ValueError:
+                return value
+        return self._original_value(PropertyRef(concept, prop), value)
+
+    def _original_value(self, ref: PropertyRef, lowered: str):
+        table, column = self.context.mapping.column_of(ref.concept, ref.prop)
+        for value in self.context.database.table(table).distinct_values(column):
+            if str(value).lower() == lowered:
+                return value
+        return lowered

@@ -1,0 +1,130 @@
+"""Shared fixtures: small, hand-checked databases used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NLIDBContext
+from repro.sqldb import Column, Database, DataType, TableSchema
+
+
+@pytest.fixture
+def emp_db() -> Database:
+    """Two-table employees/departments database with known contents."""
+    db = Database("empdb")
+    db.create_table(
+        TableSchema(
+            "emp",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("dept_id", DataType.INTEGER),
+                Column("salary", DataType.FLOAT, synonyms=("pay", "wage")),
+                Column("hired", DataType.DATE),
+            ],
+            synonyms=("employee", "worker"),
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "dept",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("dname", DataType.TEXT, synonyms=("department",)),
+                Column("budget", DataType.FLOAT),
+            ],
+            synonyms=("department",),
+        )
+    )
+    db.add_foreign_key("emp", "dept_id", "dept", "id")
+    db.insert_many(
+        "emp",
+        [
+            [1, "Ada", 1, 120.0, "2019-01-02"],
+            [2, "Bob", 1, 90.0, "2020-05-10"],
+            [3, "Cyd", 2, 150.0, "2018-03-04"],
+            [4, "Dee", 2, None, "2021-07-21"],
+            [5, "Eli", None, 60.0, "2022-02-14"],
+        ],
+    )
+    db.insert_many("dept", [[1, "Engineering", 1000.0], [2, "Sales", 500.0]])
+    return db
+
+
+@pytest.fixture
+def shop_db() -> Database:
+    """Three-entity shop database with a junction table."""
+    db = Database("shop")
+    db.create_table(
+        TableSchema(
+            "customers",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("city", DataType.TEXT),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "orders",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("customer_id", DataType.INTEGER),
+                Column("order_date", DataType.DATE),
+                Column("total", DataType.FLOAT, synonyms=("amount",)),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "products",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("pname", DataType.TEXT),
+                Column("price", DataType.FLOAT),
+            ],
+        )
+    )
+    db.create_table(
+        TableSchema(
+            "order_items",
+            [
+                Column("order_id", DataType.INTEGER),
+                Column("product_id", DataType.INTEGER),
+                Column("qty", DataType.INTEGER),
+            ],
+        )
+    )
+    db.add_foreign_key("orders", "customer_id", "customers", "id")
+    db.add_foreign_key("order_items", "order_id", "orders", "id")
+    db.add_foreign_key("order_items", "product_id", "products", "id")
+    db.insert_many(
+        "customers",
+        [[1, "Ada", "Berlin"], [2, "Bob", "Paris"], [3, "Cyd", "Berlin"]],
+    )
+    db.insert_many(
+        "orders",
+        [
+            [1, 1, "2023-01-05", 50.0],
+            [2, 1, "2023-02-11", 70.0],
+            [3, 2, "2023-03-20", 20.0],
+        ],
+    )
+    db.insert_many(
+        "products", [[1, "Widget", 10.0], [2, "Gadget", 25.0], [3, "Gizmo", 5.0]]
+    )
+    db.insert_many("order_items", [[1, 1, 2], [1, 2, 1], [2, 3, 4], [3, 1, 1]])
+    return db
+
+
+@pytest.fixture
+def emp_ctx(emp_db) -> NLIDBContext:
+    """Interpretation context over the employees database."""
+    return NLIDBContext(emp_db)
+
+
+@pytest.fixture
+def shop_ctx(shop_db) -> NLIDBContext:
+    """Interpretation context over the shop database."""
+    return NLIDBContext(shop_db)

@@ -1,0 +1,250 @@
+"""Tests for the benchmark substrate: workloads, paraphrase, datasets,
+metrics, harness, query logs."""
+
+import pytest
+
+from repro.bench import (
+    Paraphraser,
+    QueryExample,
+    SparcGenerator,
+    WikiSQLGenerator,
+    WorkloadGenerator,
+    benchmark_statistics,
+    build_domain,
+    build_spider_like,
+    component_f1,
+    compare_systems,
+    evaluate_system,
+    exact_match,
+    execution_match,
+    format_table,
+    summarize,
+    synthesize_log,
+)
+from repro.bench.cosql import CoSQLGenerator
+from repro.bench.metrics import ExampleOutcome, by_tier
+from repro.core import NLIDBContext
+from repro.core.complexity import ComplexityTier, classify
+from repro.sqldb import execute_sql
+
+
+@pytest.fixture(scope="module")
+def hr_db():
+    return build_domain("hr")
+
+
+@pytest.fixture(scope="module")
+def hr_ctx(hr_db):
+    return NLIDBContext(hr_db)
+
+
+class TestWorkloadGenerator:
+    @pytest.mark.parametrize("tier", list(ComplexityTier))
+    def test_examples_match_tier_and_execute(self, hr_db, tier):
+        examples = WorkloadGenerator(hr_db, seed=1).generate(tier, 5)
+        assert examples
+        for example in examples:
+            assert classify(example.sql) is tier
+            result = execute_sql(hr_db, example.sql)
+            assert len(result) > 0
+
+    def test_deterministic(self, hr_db):
+        a = WorkloadGenerator(hr_db, seed=9).generate_mixed(3)
+        b = WorkloadGenerator(hr_db, seed=9).generate_mixed(3)
+        assert [(e.question, e.sql) for e in a] == [(e.question, e.sql) for e in b]
+
+    def test_questions_unique(self, hr_db):
+        examples = WorkloadGenerator(hr_db, seed=1).generate_mixed(6)
+        questions = [e.question for e in examples]
+        assert len(questions) == len(set(questions))
+
+    def test_all_domains_yield_all_tiers(self):
+        from repro.bench import domain_names
+
+        for name in domain_names():
+            database = build_domain(name)
+            generator = WorkloadGenerator(database, seed=2)
+            for tier in (ComplexityTier.SELECTION, ComplexityTier.AGGREGATION):
+                assert generator.generate(tier, 2), (name, tier)
+
+
+class TestParaphraser:
+    def test_level_zero_is_identity(self):
+        p = Paraphraser(seed=1)
+        assert p.paraphrase("show the employees", 0) == "show the employees"
+
+    def test_deterministic(self):
+        q = "show the employees with salary greater than 100"
+        assert Paraphraser(seed=4).paraphrase(q, 2) == Paraphraser(seed=4).paraphrase(q, 2)
+
+    def test_levels_change_surface(self):
+        q = "show the employees with salary greater than 100"
+        p = Paraphraser(seed=4)
+        assert p.paraphrase(q, 2) != q
+
+    def test_gold_sql_untouched(self, hr_db):
+        example = WorkloadGenerator(hr_db, seed=1).generate(
+            ComplexityTier.SELECTION, 1
+        )[0]
+        paraphrased = Paraphraser(seed=1).paraphrase_example(example, 3)
+        assert paraphrased.sql == example.sql
+        assert paraphrased.metadata["paraphrase_level"] == 3
+
+    def test_protected_words_survive(self):
+        p = Paraphraser(seed=2)
+        out = p.paraphrase("employees not in Berlin", 3)
+        assert "not" in out.split()
+
+
+class TestWikiSQLDataset:
+    def test_split_by_table_holds_out_tables(self):
+        ds = WikiSQLGenerator(seed=2).generate(80, 30, split="by-table")
+        train_tables = {e.table for e in ds.train}
+        test_tables = {e.table for e in ds.test}
+        assert not train_tables & test_tables
+
+    def test_iid_split_shares_tables(self):
+        ds = WikiSQLGenerator(seed=2).generate(80, 30, split="iid")
+        assert {e.table for e in ds.train} & {e.table for e in ds.test}
+
+    def test_gold_answerable(self):
+        ds = WikiSQLGenerator(seed=2).generate(40, 10)
+        from repro.sqldb.executor import Executor
+
+        for example in ds.train:
+            result = Executor(ds.database).execute(example.sketch.to_select())
+            assert result.rows
+
+    def test_unknown_split_rejected(self):
+        with pytest.raises(ValueError):
+            WikiSQLGenerator(seed=0).generate(5, 5, split="weird")
+
+
+class TestSparcAndCosql:
+    def test_sparc_gold_sql_executes(self, hr_ctx):
+        sequences = SparcGenerator(hr_ctx, seed=3).generate(4)
+        for sequence in sequences:
+            assert len(sequence) >= 2
+            for turn in sequence.turns:
+                assert len(execute_sql(hr_ctx.database, turn.gold_sql)) > 0
+
+    def test_sparc_first_turn_is_fresh(self, hr_ctx):
+        sequences = SparcGenerator(hr_ctx, seed=3).generate(4)
+        for sequence in sequences:
+            assert sequence.turns[0].move == "new_query"
+
+    def test_cosql_targets_are_genuinely_ambiguous(self, hr_ctx):
+        generator = CoSQLGenerator(hr_ctx, seed=5)
+        for name, owners in generator.ambiguous_properties():
+            assert len(owners) > 1
+
+    def test_cosql_gold_executes(self, hr_ctx):
+        for example in CoSQLGenerator(hr_ctx, seed=5).generate(6):
+            execute_sql(hr_ctx.database, example.gold_sql)
+
+    def test_cosql_dialogue_shape(self, hr_ctx):
+        dialogues = CoSQLGenerator(hr_ctx, seed=5).dialogues(3)
+        for dialogue in dialogues:
+            assert dialogue.turns[0].startswith("USER:")
+            assert dialogue.turns[1].startswith("SYSTEM:")
+
+
+class TestMetrics:
+    def test_execution_match_ignores_order_without_orderby(self, hr_db):
+        assert execution_match(
+            hr_db,
+            "SELECT name FROM employees",
+            "SELECT name FROM employees",
+        )
+
+    def test_execution_match_order_sensitive_with_orderby(self, hr_db):
+        assert not execution_match(
+            hr_db,
+            "SELECT name FROM employees ORDER BY salary ASC",
+            "SELECT name FROM employees ORDER BY salary DESC",
+        )
+
+    def test_execution_match_bad_sql_is_miss(self, hr_db):
+        assert not execution_match(hr_db, "SELECT nope FROM nowhere", "SELECT 1")
+
+    def test_exact_match_whitespace_insensitive(self):
+        assert exact_match("select  a from t", "SELECT a FROM t")
+        assert not exact_match("SELECT a FROM t", "SELECT b FROM t")
+
+    def test_component_f1(self):
+        full = component_f1(
+            "SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 1"
+        )
+        partial = component_f1("SELECT a FROM t", "SELECT a FROM t WHERE x = 1")
+        assert full == 1.0 and 0 < partial < 1.0
+
+    def test_summary_properties(self):
+        outcomes = [
+            ExampleOutcome("q1", "g", "p", answered=True, correct=True, exact=False),
+            ExampleOutcome("q2", "g", "p", answered=True, correct=False, exact=False),
+            ExampleOutcome("q3", "g", None, answered=False, correct=False, exact=False),
+        ]
+        summary = summarize(outcomes)
+        assert summary.accuracy == pytest.approx(1 / 3)
+        assert summary.precision == pytest.approx(1 / 2)
+        assert summary.answer_rate == pytest.approx(2 / 3)
+        assert 0 < summary.f1 < 1
+
+    def test_by_tier_buckets(self):
+        outcomes = [
+            ExampleOutcome("q", "g", "p", True, True, False, tier=ComplexityTier.SELECTION),
+            ExampleOutcome("q", "g", "p", True, False, False, tier=ComplexityTier.JOIN),
+        ]
+        buckets = by_tier(outcomes)
+        assert set(buckets) == {ComplexityTier.SELECTION, ComplexityTier.JOIN}
+
+
+class TestHarness:
+    def test_evaluate_system_counts(self, hr_ctx):
+        from repro.systems import AthenaSystem
+
+        examples = WorkloadGenerator(hr_ctx.database, seed=1).generate(
+            ComplexityTier.SELECTION, 3
+        )
+        outcomes = evaluate_system(AthenaSystem(), hr_ctx, examples)
+        assert len(outcomes) == 3
+        assert all(o.predicted_sql for o in outcomes)
+
+    def test_compare_systems_rows(self, hr_ctx):
+        from repro.systems import SodaSystem
+
+        examples = WorkloadGenerator(hr_ctx.database, seed=1).generate(
+            ComplexityTier.SELECTION, 3
+        )
+        rows = compare_systems([SodaSystem()], hr_ctx, examples)
+        assert any(r.scope == "all" for r in rows)
+
+    def test_format_table_alignment(self):
+        text = format_table(
+            [{"a": 1, "bee": "xx"}, {"a": 222, "bee": "y"}], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(set(len(l) for l in lines[1:])) == 1  # aligned
+
+
+class TestQueryLogAndDatasets:
+    def test_synthesize_log_parses(self, hr_db):
+        from repro.systems import QueryLog
+
+        entries = synthesize_log(hr_db, 30, seed=1)
+        assert len(entries) == 30
+        log = QueryLog()
+        assert log.extend(entries) == 30
+
+    def test_spider_like_stats(self):
+        dataset = build_spider_like(seed=0, per_tier=2, domains=["hr", "geo"])
+        stats = dataset.stats()
+        assert stats["databases"] == 2
+        assert stats["questions"] > 0
+
+    def test_benchmark_statistics_rows(self):
+        rows = benchmark_statistics(seed=0)
+        assert {r["benchmark"] for r in rows} == {
+            "WikiSQL-like", "Spider-like", "SParC-like", "CoSQL-like",
+        }

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAsk:
+    def test_simple_question(self, capsys):
+        code = main(["ask", "show the customers with city Berlin", "--domain", "retail"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SQL:" in out and "Berlin" in out
+
+    def test_explain_shows_evidence(self, capsys):
+        code = main(
+            [
+                "ask",
+                "average price of products",
+                "--domain",
+                "retail",
+                "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "OQL:" in out and "confidence" in out
+
+    def test_system_selection(self, capsys):
+        code = main(
+            ["ask", "customers with city Berlin", "--domain", "retail", "--system", "soda"]
+        )
+        assert code == 0
+
+    def test_abstention_exit_code(self, capsys):
+        code = main(
+            ["ask", "flibber the frobnicator", "--domain", "retail", "--system", "soda"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1 and "abstained" in out
+
+    def test_rows_flag_limits_output(self, capsys):
+        main(["ask", "show the customers with city Berlin", "--domain", "retail", "--rows", "1"])
+        out = capsys.readouterr().out
+        assert "more rows" in out or out.count("\n") < 12
+
+
+class TestComplete:
+    def test_suggestions(self, capsys):
+        code = main(["complete", "movies with", "--domain", "movies"])
+        out = capsys.readouterr().out
+        assert code == 0 and "[property]" in out
+
+    def test_full_sentence_executes(self, capsys):
+        code = main(["complete", "movies with genre drama", "--domain", "movies"])
+        out = capsys.readouterr().out
+        assert code == 0 and "SQL:" in out
+
+
+class TestSystems:
+    def test_lists_registry_and_domains(self, capsys):
+        code = main(["systems"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "athena" in out and "retail" in out
+
+
+class TestChat:
+    def test_scripted_session(self, capsys, monkeypatch):
+        lines = iter(["show the customers with city Berlin", "what about Paris", ""])
+        monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+        code = main(["chat", "--domain", "retail"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Berlin" in out and "Paris" in out

@@ -1,0 +1,338 @@
+"""Unit tests for the core framework: OQL, complexity, evidence, ranking."""
+
+import pytest
+
+from repro.core import (
+    ClarificationOption,
+    ClarificationRequest,
+    ComplexityTier,
+    CompilationError,
+    EvidenceAnnotation,
+    FirstOptionUser,
+    Interpretation,
+    OQLCondition,
+    OQLItem,
+    OQLOrder,
+    OQLQuery,
+    PropertyRef,
+    ScriptedUser,
+    SimulatedOracle,
+    available,
+    classify,
+    compile_oql,
+    coverage,
+    create,
+    evidence_score,
+    rank,
+    register,
+    resolve_overlaps,
+    score_interpretation,
+)
+from repro.nlp import tokenize
+from repro.sqldb import parse_select
+
+
+class TestComplexity:
+    @pytest.mark.parametrize(
+        "sql,tier",
+        [
+            ("SELECT name FROM emp WHERE salary > 10", ComplexityTier.SELECTION),
+            ("SELECT COUNT(*) FROM emp", ComplexityTier.AGGREGATION),
+            ("SELECT name FROM emp ORDER BY salary DESC LIMIT 1", ComplexityTier.AGGREGATION),
+            ("SELECT dept, AVG(s) FROM emp GROUP BY dept", ComplexityTier.AGGREGATION),
+            (
+                "SELECT e.name FROM emp e JOIN dept d ON e.did = d.id",
+                ComplexityTier.JOIN,
+            ),
+            (
+                "SELECT name FROM emp WHERE s > (SELECT AVG(s) FROM emp)",
+                ComplexityTier.NESTED,
+            ),
+            (
+                "SELECT e.n FROM emp e JOIN d ON e.x = d.y WHERE e.s IN (SELECT s FROM emp)",
+                ComplexityTier.NESTED,
+            ),
+        ],
+    )
+    def test_classify(self, sql, tier):
+        assert classify(sql) is tier
+
+    def test_tier_ordering(self):
+        assert ComplexityTier.SELECTION < ComplexityTier.NESTED
+
+    def test_labels(self):
+        assert "nested" in ComplexityTier.NESTED.label
+
+
+class TestOQLCompilation:
+    def test_single_concept(self, shop_ctx):
+        q = OQLQuery(select=(OQLItem(ref=PropertyRef("customer", "name")),))
+        sql = compile_oql(q, shop_ctx.ontology, shop_ctx.mapping).to_sql()
+        assert sql == "SELECT customers.name FROM customers"
+
+    def test_condition_lowering(self, shop_ctx):
+        q = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(OQLCondition(PropertyRef("customer", "city"), "=", "Berlin"),),
+        )
+        stmt = compile_oql(q, shop_ctx.ontology, shop_ctx.mapping)
+        result = shop_ctx.executor.execute(stmt)
+        assert {r[0] for r in result.rows} == {"Ada", "Cyd"}
+
+    def test_join_inference(self, shop_ctx):
+        q = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(OQLCondition(PropertyRef("order", "total"), ">", 60.0),),
+        )
+        stmt = compile_oql(q, shop_ctx.ontology, shop_ctx.mapping)
+        assert "JOIN orders" in stmt.to_sql()
+        assert shop_ctx.executor.execute(stmt).rows == [("Ada",)]
+
+    def test_junction_join_inference(self, shop_ctx):
+        q = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name"),),),
+            conditions=(OQLCondition(PropertyRef("product", "pname"), "=", "Gizmo"),),
+            distinct=True,
+        )
+        stmt = compile_oql(q, shop_ctx.ontology, shop_ctx.mapping)
+        sql = stmt.to_sql()
+        assert "order_items" in sql
+        assert shop_ctx.executor.execute(stmt).rows == [("Ada",)]
+
+    def test_aggregate_group_order_limit(self, shop_ctx):
+        q = OQLQuery(
+            select=(
+                OQLItem(ref=PropertyRef("customer", "city")),
+                OQLItem(ref=PropertyRef("order", "total"), aggregate="sum", alias="s"),
+            ),
+            group_by=(PropertyRef("customer", "city"),),
+            order_by=(OQLOrder(OQLItem(ref=PropertyRef("order", "total"), aggregate="sum"), "desc"),),
+            limit=1,
+        )
+        stmt = compile_oql(q, shop_ctx.ontology, shop_ctx.mapping)
+        assert shop_ctx.executor.execute(stmt).rows == [("Berlin", 120.0)]
+
+    def test_count_all_with_condition(self, shop_ctx):
+        q = OQLQuery(
+            select=(OQLItem(count_all=True),),
+            conditions=(OQLCondition(PropertyRef("customer", "city"), "=", "Berlin"),),
+        )
+        stmt = compile_oql(q, shop_ctx.ontology, shop_ctx.mapping)
+        assert shop_ctx.executor.execute(stmt).scalar() == 2
+
+    def test_no_concepts_rejected(self, shop_ctx):
+        q = OQLQuery(select=(OQLItem(count_all=True),))
+        with pytest.raises(CompilationError):
+            compile_oql(q, shop_ctx.ontology, shop_ctx.mapping)
+
+    def test_nested_subquery(self, shop_ctx):
+        inner = OQLQuery(select=(OQLItem(ref=PropertyRef("order", "total"), aggregate="avg"),))
+        q = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("order", "id")),),
+            conditions=(OQLCondition(PropertyRef("order", "total"), ">", subquery=inner),),
+        )
+        stmt = compile_oql(q, shop_ctx.ontology, shop_ctx.mapping)
+        assert classify(stmt) is ComplexityTier.NESTED
+        assert {r[0] for r in shop_ctx.executor.execute(stmt).rows} == {1, 2}
+
+    def test_between_and_like(self, shop_ctx):
+        q = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("product", "pname")),),
+            conditions=(
+                OQLCondition(PropertyRef("product", "price"), "between", 6.0, 30.0),
+            ),
+        )
+        stmt = compile_oql(q, shop_ctx.ontology, shop_ctx.mapping)
+        assert {r[0] for r in shop_ctx.executor.execute(stmt).rows} == {"Widget", "Gadget"}
+
+    def test_describe_readable(self):
+        q = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("a", "b"), aggregate="sum"),),
+            conditions=(OQLCondition(PropertyRef("a", "c"), "=", 1),),
+            limit=3,
+        )
+        text = q.describe()
+        assert "sum(a.b)" in text and "limit 3" in text
+
+
+class TestEvidence:
+    def test_overlap_detection(self):
+        a = EvidenceAnnotation(0, 2, "column", "x")
+        b = EvidenceAnnotation(1, 3, "value", "y")
+        c = EvidenceAnnotation(2, 4, "value", "z")
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_resolve_overlaps_prefers_longer_when_quality_holds(self):
+        short = EvidenceAnnotation(0, 1, "column", "short", score=0.97)
+        long = EvidenceAnnotation(0, 2, "column", "long", score=0.95)
+        kept = resolve_overlaps([short, long])
+        assert kept == [long]  # 0.95 + length bonus beats 0.97
+
+    def test_resolve_overlaps_strong_word_beats_weak_phrase(self):
+        word = EvidenceAnnotation(1, 2, "column", "word", score=1.0)
+        phrase = EvidenceAnnotation(0, 2, "column", "phrase", score=0.7)
+        assert resolve_overlaps([word, phrase]) == [word]
+
+    def test_resolve_overlaps_score_tiebreak(self):
+        a = EvidenceAnnotation(0, 1, "column", "a", score=0.5)
+        b = EvidenceAnnotation(0, 1, "column", "b", score=0.9)
+        assert resolve_overlaps([a, b]) == [b]
+
+    def test_coverage(self):
+        anns = [EvidenceAnnotation(0, 1, "c", "x"), EvidenceAnnotation(2, 3, "v", "y")]
+        assert coverage(anns, [0, 1, 2]) == pytest.approx(2 / 3)
+        assert coverage([], []) == 1.0
+
+
+class TestRanking:
+    def test_evidence_score_geometric(self):
+        anns = [
+            EvidenceAnnotation(0, 1, "c", "x", score=1.0),
+            EvidenceAnnotation(1, 2, "c", "y", score=0.25),
+        ]
+        assert evidence_score(anns) == pytest.approx(0.5)
+
+    def test_weak_link_punished(self):
+        strong = [EvidenceAnnotation(0, 1, "c", "x", 0.9), EvidenceAnnotation(1, 2, "c", "y", 0.9)]
+        weak = [EvidenceAnnotation(0, 1, "c", "x", 1.0), EvidenceAnnotation(1, 2, "c", "y", 0.3)]
+        assert evidence_score(strong) > evidence_score(weak)
+
+    def test_rank_orders_by_composite(self, shop_ctx):
+        tokens = tokenize("customers in Berlin")
+        full = Interpretation(
+            "a", 0.0,
+            oql=OQLQuery(select=(OQLItem(ref=PropertyRef("customer", "name")),)),
+            evidence=[
+                EvidenceAnnotation(0, 1, "concept", "customer", 0.9),
+                EvidenceAnnotation(2, 3, "value", "Berlin", 0.9),
+            ],
+        )
+        partial = Interpretation(
+            "b", 0.0,
+            oql=OQLQuery(select=(OQLItem(ref=PropertyRef("customer", "name")),)),
+            evidence=[EvidenceAnnotation(0, 1, "concept", "customer", 0.9)],
+        )
+        ranked = rank([partial, full], tokens)
+        assert ranked[0] is full
+
+
+class TestInterpretation:
+    def test_requires_exactly_one_body(self):
+        with pytest.raises(ValueError):
+            Interpretation("s", 1.0)
+        with pytest.raises(ValueError):
+            Interpretation(
+                "s", 1.0,
+                oql=OQLQuery(select=(OQLItem(count_all=True),)),
+                sql=parse_select("SELECT 1"),
+            )
+
+    def test_sql_passthrough(self):
+        stmt = parse_select("SELECT 1")
+        interp = Interpretation("s", 1.0, sql=stmt)
+        assert interp.to_sql() is stmt
+
+    def test_oql_needs_context(self):
+        interp = Interpretation(
+            "s", 1.0, oql=OQLQuery(select=(OQLItem(ref=PropertyRef("customer", "name")),))
+        )
+        with pytest.raises(CompilationError):
+            interp.to_sql()
+
+    def test_describe(self, shop_ctx):
+        interp = Interpretation(
+            "s", 0.8, oql=OQLQuery(select=(OQLItem(ref=PropertyRef("customer", "name")),))
+        )
+        interp.to_sql(shop_ctx.ontology, shop_ctx.mapping)
+        text = interp.describe()
+        assert "SQL:" in text and "confidence" in text
+
+
+class TestFeedback:
+    def make_request(self):
+        return ClarificationRequest(
+            "Which 'rating'?",
+            [
+                ClarificationOption("movie rating", payload="movies.rating"),
+                ClarificationOption("user rating", payload="users.rating"),
+            ],
+        )
+
+    def test_first_option_user(self):
+        assert FirstOptionUser().choose(self.make_request()) == 0
+
+    def test_scripted_user(self):
+        user = ScriptedUser([1, 0])
+        assert user.choose(self.make_request()) == 1
+        assert user.choose(self.make_request()) == 0
+        assert user.choose(self.make_request()) == 0  # exhausted -> default
+
+    def test_oracle_picks_best(self):
+        oracle = SimulatedOracle(lambda p: 1.0 if p == "users.rating" else 0.0)
+        assert oracle.choose(self.make_request()) == 1
+        assert oracle.questions_asked == 1
+
+
+class TestRegistry:
+    def test_register_and_create(self):
+        from repro.core import NLIDBSystem
+
+        class Dummy(NLIDBSystem):
+            name = "dummy"
+
+            def interpret(self, question, context):
+                return []
+
+        register("dummy-test", Dummy)
+        assert "dummy-test" in available()
+        assert isinstance(create("dummy-test"), Dummy)
+
+    def test_unknown_system(self):
+        with pytest.raises(KeyError):
+            create("no-such-system")
+
+
+class TestContext:
+    def test_schema_synonyms_reach_thesaurus(self, emp_ctx):
+        assert emp_ctx.thesaurus.are_synonyms("wage", "salary")
+
+    def test_execute_interpretation(self, shop_ctx):
+        interp = Interpretation(
+            "s", 1.0,
+            oql=OQLQuery(select=(OQLItem(ref=PropertyRef("customer", "name")),)),
+        )
+        result = shop_ctx.execute(interp)
+        assert len(result) == 3
+
+
+class TestSpiderHardness:
+    from repro.core import spider_hardness as _sh
+
+    @pytest.mark.parametrize(
+        "sql,label",
+        [
+            ("SELECT name FROM emp WHERE x = 1", "easy"),
+            ("SELECT COUNT(*) FROM emp", "medium"),
+            ("SELECT name FROM emp ORDER BY s DESC LIMIT 3", "hard"),
+            ("SELECT a FROM t JOIN u ON t.x = u.y", "hard"),
+            ("SELECT g, SUM(v) FROM t GROUP BY g ORDER BY SUM(v)", "hard"),
+            (
+                "SELECT a FROM t JOIN u ON t.x = u.y WHERE a IN (SELECT b FROM v)",
+                "extra",
+            ),
+            ("SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)", "extra"),
+        ],
+    )
+    def test_labels(self, sql, label):
+        from repro.core import spider_hardness
+
+        assert spider_hardness(sql) == label
+
+    def test_workload_spread(self, shop_ctx):
+        from repro.bench.workloads import WorkloadGenerator
+        from repro.core import spider_hardness
+
+        examples = WorkloadGenerator(shop_ctx.database, seed=3).generate_mixed(5)
+        labels = {spider_hardness(e.sql) for e in examples}
+        assert {"easy", "extra"} <= labels

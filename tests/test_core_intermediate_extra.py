@@ -1,0 +1,162 @@
+"""Additional coverage for the OQL intermediate language and compiler."""
+
+import pytest
+
+from repro.core import (
+    CompilationError,
+    NLIDBContext,
+    OQLCondition,
+    OQLHasCondition,
+    OQLItem,
+    OQLOrder,
+    OQLQuery,
+    PropertyRef,
+    compile_oql,
+)
+from repro.bench.domains import build_domain
+
+
+@pytest.fixture(scope="module")
+def retail_ctx():
+    return NLIDBContext(build_domain("retail"))
+
+
+class TestDescribe:
+    def test_item_descriptions(self):
+        assert OQLItem(count_all=True).describe() == "count(*)"
+        assert OQLItem(count_all=True, concept="order").describe() == "count(order)"
+        assert (
+            OQLItem(ref=PropertyRef("a", "b"), aggregate="sum", distinct=True).describe()
+            == "sum(distinct a.b)"
+        )
+
+    def test_condition_descriptions(self):
+        cond = OQLCondition(PropertyRef("a", "b"), "between", 1, 2)
+        assert "between 1 and 2" in cond.describe()
+        sub = OQLQuery(select=(OQLItem(ref=PropertyRef("a", "b"), aggregate="avg"),))
+        nested = OQLCondition(PropertyRef("a", "b"), ">", subquery=sub)
+        assert "<subquery>" in nested.describe()
+
+    def test_has_condition_description(self):
+        has = OQLHasCondition("order", negated=True)
+        assert has.describe() == "has no order"
+        with_conds = OQLHasCondition(
+            "order", conditions=(OQLCondition(PropertyRef("order", "total"), ">", 5),)
+        )
+        assert "has order with" in with_conds.describe()
+
+    def test_query_description_sections(self):
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("a", "b")),),
+            conditions=(OQLCondition(PropertyRef("a", "c"), "=", "x"),),
+            group_by=(PropertyRef("a", "b"),),
+            order_by=(OQLOrder(OQLItem(ref=PropertyRef("a", "b")), "desc"),),
+            limit=2,
+        )
+        text = query.describe()
+        for fragment in ("select", "where", "group by", "order by", "limit 2"):
+            assert fragment in text
+
+
+class TestCompilerErrors:
+    def test_unmapped_property(self, retail_ctx):
+        query = OQLQuery(select=(OQLItem(ref=PropertyRef("customer", "ghost")),))
+        with pytest.raises(Exception):
+            compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+
+    def test_missing_projection_ref(self, retail_ctx):
+        query = OQLQuery(
+            select=(OQLItem(),),
+            conditions=(OQLCondition(PropertyRef("customer", "city"), "=", "Berlin"),),
+        )
+        with pytest.raises(CompilationError):
+            compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+
+    def test_exists_requires_subquery(self, retail_ctx):
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(OQLCondition(None, "exists"),),
+        )
+        with pytest.raises(CompilationError):
+            compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+
+    def test_has_condition_on_unrelated_concepts(self, retail_ctx):
+        # geo concepts are not in the retail ontology
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(OQLHasCondition("river"),),
+        )
+        with pytest.raises(Exception):
+            compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+
+
+class TestCompilerFeatures:
+    def test_in_list_lowering(self, retail_ctx):
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(
+                OQLCondition(PropertyRef("customer", "city"), "in", ["Berlin", "Paris"]),
+            ),
+        )
+        stmt = compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+        assert "IN ('Berlin', 'Paris')" in stmt.to_sql()
+        retail_ctx.executor.execute(stmt)
+
+    def test_not_in_list(self, retail_ctx):
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(
+                OQLCondition(
+                    PropertyRef("customer", "city"), "not_in", ["Berlin"]
+                ),
+            ),
+        )
+        stmt = compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+        assert "NOT IN" in stmt.to_sql()
+
+    def test_like_lowering(self, retail_ctx):
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(OQLCondition(PropertyRef("customer", "name"), "like", "A%"),),
+        )
+        stmt = compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+        assert "LIKE 'A%'" in stmt.to_sql()
+
+    def test_negated_equality_becomes_neq(self, retail_ctx):
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(
+                OQLCondition(PropertyRef("customer", "city"), "=", "Berlin", negated=True),
+            ),
+        )
+        stmt = compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+        assert "!=" in stmt.to_sql()
+
+    def test_exists_subquery_lowering(self, retail_ctx):
+        inner = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("order", "id")),),
+            conditions=(OQLCondition(PropertyRef("order", "total"), ">", 100.0),),
+        )
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("order", "id")),),
+            conditions=(OQLCondition(None, "exists", subquery=inner),),
+        )
+        stmt = compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+        assert "EXISTS (SELECT" in stmt.to_sql()
+        retail_ctx.executor.execute(stmt)
+
+    def test_order_by_aggregate_alias(self, retail_ctx):
+        query = OQLQuery(
+            select=(
+                OQLItem(ref=PropertyRef("customer", "city")),
+                OQLItem(ref=PropertyRef("customer", "id"), aggregate="count", alias="n"),
+            ),
+            group_by=(PropertyRef("customer", "city"),),
+            order_by=(
+                OQLOrder(OQLItem(ref=PropertyRef("customer", "id"), aggregate="count"), "desc"),
+            ),
+        )
+        stmt = compile_oql(query, retail_ctx.ontology, retail_ctx.mapping)
+        result = retail_ctx.executor.execute(stmt)
+        counts = [row[1] for row in result.rows]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,320 @@
+"""Tests for the dialogue layer: state, follow-ups, intents, managers,
+clarification, bootstrap and the assembled conversational system."""
+
+import numpy as np
+import pytest
+
+from repro.bench.domains import build_domain
+from repro.core import NLIDBContext, ScriptedUser, SimulatedOracle
+from repro.core.intermediate import (
+    OQLCondition,
+    OQLItem,
+    OQLQuery,
+    PropertyRef,
+    compile_oql,
+)
+from repro.dialogue import (
+    AgentManager,
+    ClarifyingSystem,
+    ConversationalNLIDB,
+    DialogueAction,
+    DialogueState,
+    FiniteStateManager,
+    FollowupResolver,
+    FrameManager,
+    FrameSlot,
+    Intent,
+    IntentClassifier,
+    Turn,
+    bootstrap_artifacts,
+)
+from repro.systems import AthenaSystem
+
+
+@pytest.fixture(scope="module")
+def retail_ctx():
+    return NLIDBContext(build_domain("retail"))
+
+
+@pytest.fixture
+def base_query():
+    return OQLQuery(
+        select=(OQLItem(ref=PropertyRef("customer", "name")),),
+        conditions=(OQLCondition(PropertyRef("customer", "city"), "=", "Berlin"),),
+    )
+
+
+class TestDialogueState:
+    def test_record_updates_focus(self, base_query):
+        state = DialogueState()
+        state.record(Turn("q", query=base_query))
+        assert state.focus_concept == "customer"
+        assert state.last_query() is base_query
+
+    def test_reset(self, base_query):
+        state = DialogueState()
+        state.record(Turn("q", query=base_query))
+        state.reset()
+        assert state.turn_count == 0 and state.last_query() is None
+
+    def test_remember_entity_replaces(self):
+        state = DialogueState()
+        ref = PropertyRef("customer", "city")
+        state.remember_entity(ref, "Berlin")
+        state.remember_entity(ref, "Paris")
+        assert state.focus_entities == [(ref, "Paris")]
+
+
+class TestFollowupResolver:
+    @pytest.fixture
+    def resolver(self):
+        return FollowupResolver()
+
+    def test_fresh_question_detected(self, resolver, retail_ctx, base_query):
+        edited, move = resolver.resolve(
+            "show all products", base_query, retail_ctx
+        )
+        assert edited is None and move == "new_query"
+
+    def test_change_value(self, resolver, retail_ctx, base_query):
+        edited, move = resolver.resolve("what about Paris", base_query, retail_ctx)
+        assert move == "change_value"
+        conds = [c for c in edited.conditions if isinstance(c, OQLCondition)]
+        assert conds[0].value == "Paris"
+
+    def test_add_numeric_filter(self, resolver, retail_ctx):
+        previous = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("product", "name")),),
+        )
+        edited, move = resolver.resolve(
+            "only those with price over 50", previous, retail_ctx
+        )
+        assert move == "add_filter"
+        conds = [c for c in edited.conditions if isinstance(c, OQLCondition)]
+        assert conds and conds[0].op == ">" and conds[0].value == 50.0
+
+    def test_group_swap_adds_count(self, resolver, retail_ctx, base_query):
+        edited, move = resolver.resolve(
+            "break that down by segment", base_query, retail_ctx
+        )
+        assert move == "group_swap"
+        assert edited.group_by and edited.group_by[0].prop == "segment"
+        assert any(i.count_all for i in edited.select)
+
+    def test_agg_change(self, resolver, retail_ctx):
+        previous = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("order", "total"), aggregate="sum"),),
+        )
+        edited, move = resolver.resolve("make that the average", previous, retail_ctx)
+        assert move == "agg_change"
+        assert edited.select[0].aggregate == "avg"
+
+    def test_top_k(self, resolver, retail_ctx):
+        previous = OQLQuery(
+            select=(
+                OQLItem(ref=PropertyRef("customer", "name")),
+                OQLItem(ref=PropertyRef("order", "total"), aggregate="sum"),
+            ),
+            group_by=(PropertyRef("customer", "name"),),
+        )
+        edited, move = resolver.resolve("just the top 3", previous, retail_ctx)
+        assert move == "top_k" and edited.limit == 3 and edited.order_by
+
+    def test_context_disambiguates_property(self, resolver, retail_ctx):
+        previous = OQLQuery(
+            select=(OQLItem(count_all=True, concept="product"),),
+        )
+        edited, move = resolver.resolve("group it by name", previous, retail_ctx)
+        assert move == "group_swap"
+        assert edited.group_by[0].concept == "product"
+
+    def test_compiled_edits_execute(self, resolver, retail_ctx, base_query):
+        edited, _ = resolver.resolve("what about Paris", base_query, retail_ctx)
+        stmt = compile_oql(edited, retail_ctx.ontology, retail_ctx.mapping)
+        retail_ctx.executor.execute(stmt)  # must not raise
+
+    def test_no_previous_means_new_query(self, resolver, retail_ctx):
+        edited, move = resolver.resolve("what about Paris", None, retail_ctx)
+        assert edited is None and move == "new_query"
+
+
+class TestIntentClassifier:
+    def make_intents(self):
+        greet = Intent("greet", ["hello there", "hi bot", "good morning"])
+        count = Intent("count", ["how many rows", "count the items", "number of things"])
+        return [greet, count]
+
+    def test_classifies_training_examples(self):
+        clf = IntentClassifier(seed=0).fit(self.make_intents())
+        assert clf.classify("hello there")[0] == "greet"
+        assert clf.classify("count the items")[0] == "count"
+
+    def test_threshold_rejects_garbage(self):
+        clf = IntentClassifier(seed=0, threshold=0.9).fit(self.make_intents())
+        name, _ = clf.classify("quantum flux capacitor telemetry")
+        assert name is None
+
+    def test_accuracy_helper(self):
+        clf = IntentClassifier(seed=0).fit(self.make_intents())
+        labeled = [("hi bot", "greet"), ("how many rows", "count")]
+        assert clf.accuracy(labeled) == 1.0
+
+    def test_fit_requires_examples(self):
+        with pytest.raises(ValueError):
+            IntentClassifier().fit([Intent("empty")])
+
+
+class TestManagers:
+    def test_fsm_follows_keywords(self):
+        fsm = FiniteStateManager(start="start")
+        fsm.add_transition("start", "picked", ["sales"], DialogueAction("answer"))
+        state = DialogueState()
+        assert fsm.decide(state, "show me sales please").kind == "answer"
+        assert fsm.state_name == "picked"
+
+    def test_fsm_rejects_offscript(self):
+        fsm = FiniteStateManager(start="start")
+        fsm.add_transition("start", "picked", ["sales"], DialogueAction("answer"))
+        assert fsm.decide(DialogueState(), "tell me a joke").kind == "reject"
+
+    def test_frame_over_answering(self):
+        def extract_city(text):
+            return "Berlin" if "berlin" in text.lower() else None
+
+        def extract_year(text):
+            for word in text.split():
+                if word.isdigit():
+                    return word
+            return None
+
+        frame = FrameManager(
+            [
+                FrameSlot("city", "Which city?", extract_city),
+                FrameSlot("year", "Which year?", extract_year),
+            ]
+        )
+        # one utterance fills BOTH slots (over-answering)
+        action = frame.decide(DialogueState(), "Berlin in 2022")
+        assert action.kind == "answer"
+        assert frame.values() == {"city": "Berlin", "year": "2022"}
+
+    def test_frame_asks_for_missing_slot(self):
+        frame = FrameManager(
+            [FrameSlot("city", "Which city?", lambda t: None)]
+        )
+        action = frame.decide(DialogueState(), "anything")
+        assert action.kind == "ask_slot" and action.payload == "city"
+
+    def test_agent_learns_policy(self):
+        manager = AgentManager(seed=0)
+        corpus = []
+        state = DialogueState()
+        for _ in range(30):
+            corpus.append((AgentManager.featurize(state, "start over please"), "reset"))
+            corpus.append((AgentManager.featurize(state, "show me the revenue by region"), "answer"))
+        manager.fit(corpus)
+        assert manager.decide(state, "start over please").kind == "reset"
+        assert manager.decide(state, "show me the revenue by region").kind == "answer"
+
+
+class TestClarifyingSystem:
+    def test_requires_entity_pipeline(self):
+        class NotEntity:
+            name = "x"
+
+            def interpret(self, q, c):
+                return []
+
+        with pytest.raises(TypeError):
+            ClarifyingSystem(NotEntity())
+
+    def test_oracle_fixes_ambiguity(self):
+        # 'budget' is on departments and projects; the user means projects
+        context = NLIDBContext(build_domain("hr"))
+        judge = lambda payload: (
+            1.0 if "project" in (getattr(payload, "target", "") or "") else 0.0
+        )
+        system = ClarifyingSystem(
+            AthenaSystem(), user=SimulatedOracle(judge), max_rounds=2
+        )
+        interps = system.interpret("what is the average budget", context)
+        sql = max(interps, key=lambda i: i.confidence).to_sql(
+            context.ontology, context.mapping
+        ).to_sql()
+        assert "projects.budget" in sql
+        assert system.questions_asked >= 1
+
+    def test_round_budget_respected(self, retail_ctx):
+        system = ClarifyingSystem(
+            AthenaSystem(), user=ScriptedUser([0] * 10), max_rounds=1
+        )
+        system.interpret("how many have city Berlin", retail_ctx)
+        assert system.questions_asked <= 1
+
+
+class TestBootstrap:
+    def test_generates_expected_intent_families(self, retail_ctx):
+        artifacts = bootstrap_artifacts(retail_ctx)
+        names = {i.name for i in artifacts.intents}
+        assert "lookup_customer" in names
+        assert "count_order" in names
+        assert any(n.startswith("aggregate_") for n in names)
+        assert any(n.startswith("relate_") for n in names)
+
+    def test_entities_hold_data_values(self, retail_ctx):
+        artifacts = bootstrap_artifacts(retail_ctx)
+        assert "customer" in artifacts.entities
+        assert artifacts.entities["customer"]
+
+    def test_synonym_ablation_reduces_examples(self, retail_ctx):
+        full = bootstrap_artifacts(retail_ctx, use_synonyms=True)
+        bare = bootstrap_artifacts(retail_ctx, use_synonyms=False)
+        assert full.training_examples > bare.training_examples
+
+
+class TestConversationalNLIDB:
+    @pytest.fixture(scope="class")
+    def bot(self):
+        context = NLIDBContext(build_domain("retail"))
+        return ConversationalNLIDB(context)
+
+    def test_fresh_question(self, bot):
+        bot.reset()
+        turn = bot.ask("show the customers with city Berlin")
+        assert turn.sql and "Berlin" in turn.sql
+        assert turn.result_rows >= 0
+
+    def test_followup_edits_previous(self, bot):
+        bot.reset()
+        bot.ask("show the customers with city Berlin")
+        turn = bot.ask("what about Paris")
+        assert "Paris" in turn.sql and "Berlin" not in turn.sql
+        assert turn.intent == "change_value"
+
+    def test_topk_followup(self, bot):
+        bot.reset()
+        bot.ask("total total of orders by customer name")
+        turn = bot.ask("just the top 3")
+        assert "LIMIT 3" in turn.sql and turn.result_rows == 3
+
+    def test_unparseable_input_apologizes(self, bot):
+        bot.reset()
+        turn = bot.ask("flibber jabber wocky")
+        assert "rephrase" in turn.response
+
+    def test_state_accumulates_turns(self, bot):
+        bot.reset()
+        bot.ask("how many orders are there")
+        bot.ask("break that down by region")
+        assert bot.state.turn_count == 2
+
+    def test_clarifying_conversation(self):
+        context = NLIDBContext(build_domain("hr"))
+        judge = lambda payload: (
+            1.0 if "project" in (getattr(payload, "target", "") or "") else 0.0
+        )
+        bot = ConversationalNLIDB(
+            context, use_intents=False, clarify_user=SimulatedOracle(judge)
+        )
+        turn = bot.ask("what is the average budget")
+        assert "projects.budget" in turn.sql

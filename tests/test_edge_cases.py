@@ -1,0 +1,163 @@
+"""Edge-case and failure-injection tests across the stack."""
+
+import pytest
+
+from repro.core import NLIDBContext
+from repro.ontology import build_ontology
+from repro.sqldb import (
+    Column,
+    Database,
+    DataType,
+    ExecutionError,
+    TableSchema,
+    execute_sql,
+)
+from repro.systems import AthenaSystem, EntityAnnotator, SodaSystem
+
+
+def single_table_db(rows):
+    db = Database("edge")
+    db.create_table(
+        TableSchema(
+            "things",
+            [
+                Column("id", DataType.INTEGER, primary_key=True),
+                Column("name", DataType.TEXT),
+                Column("score", DataType.FLOAT),
+            ],
+        )
+    )
+    db.insert_many("things", rows)
+    return db
+
+
+class TestEmptyAndNullData:
+    def test_empty_table_queries(self):
+        db = single_table_db([])
+        assert execute_sql(db, "SELECT name FROM things").rows == []
+        assert execute_sql(db, "SELECT COUNT(*) FROM things").scalar() == 0
+        assert execute_sql(db, "SELECT SUM(score) FROM things").scalar() is None
+        assert execute_sql(db, "SELECT name, SUM(score) FROM things").rows == [
+            (None, None)
+        ]
+
+    def test_all_null_column(self):
+        db = single_table_db([[1, None, None], [2, None, None]])
+        assert execute_sql(db, "SELECT AVG(score) FROM things").scalar() is None
+        assert execute_sql(db, "SELECT COUNT(name) FROM things").scalar() == 0
+
+    def test_context_over_empty_table(self):
+        db = single_table_db([])
+        context = NLIDBContext(db)  # must not crash building indexes
+        assert context.ontology.has_concept("thing")
+
+    def test_athena_on_empty_data(self):
+        db = single_table_db([])
+        context = NLIDBContext(db)
+        interps = AthenaSystem().interpret("how many things are there", context)
+        assert interps
+        result = context.execute(interps[0])
+        assert result.scalar() == 0
+
+    def test_ontology_from_single_column_tables(self):
+        db = Database("mini")
+        db.create_table(TableSchema("solo", [Column("v", DataType.TEXT)]))
+        ontology, mapping = build_ontology(db)
+        assert ontology.has_concept("solo")
+        assert mapping.table_of("solo") == "solo"
+
+
+class TestUnicodeAndOddValues:
+    def test_unicode_values_roundtrip(self):
+        db = single_table_db([[1, "Zürich Café", 1.0], [2, "naïve — test", 2.0]])
+        result = execute_sql(db, "SELECT name FROM things WHERE name = 'Zürich Café'")
+        assert result.rows == [("Zürich Café",)]
+
+    def test_quote_escaping_in_values(self):
+        db = single_table_db([[1, "O'Hara", 1.0]])
+        result = execute_sql(db, "SELECT name FROM things WHERE name = 'O''Hara'")
+        assert result.rows == [("O'Hara",)]
+
+    def test_annotator_handles_unicode_question(self):
+        db = single_table_db([[1, "Zürich", 1.0]])
+        context = NLIDBContext(db)
+        annotated = EntityAnnotator().annotate("things in Zürich", context)
+        values = [a.payload for a in annotated.annotations if a.kind == "value"]
+        assert any(v[1] == "Zürich" for v in values)
+
+    def test_very_long_question_does_not_crash(self):
+        db = single_table_db([[1, "alpha", 1.0]])
+        context = NLIDBContext(db)
+        question = "show me the things " + "really " * 80 + "with name alpha"
+        AthenaSystem().interpret(question, context)
+
+    def test_empty_question(self):
+        db = single_table_db([[1, "alpha", 1.0]])
+        context = NLIDBContext(db)
+        assert AthenaSystem().interpret("", context) == []
+        assert SodaSystem().interpret("   ", context) == []
+
+
+class TestFailureIsolation:
+    def test_harness_survives_crashing_system(self):
+        from repro.bench.harness import evaluate_system
+        from repro.bench.workloads import QueryExample
+        from repro.core.complexity import ComplexityTier
+        from repro.core.pipeline import NLIDBSystem
+
+        class Crasher(NLIDBSystem):
+            name = "crasher"
+
+            def interpret(self, question, context):
+                raise RuntimeError("boom")
+
+        db = single_table_db([[1, "a", 1.0]])
+        context = NLIDBContext(db)
+        example = QueryExample(
+            "q", "SELECT name FROM things", ComplexityTier.SELECTION, "edge", "t"
+        )
+        outcomes = evaluate_system(Crasher(), context, [example])
+        assert outcomes[0].answered is False and outcomes[0].correct is False
+
+    def test_answer_swallows_execution_errors(self):
+        from repro.core.interpretation import Interpretation
+        from repro.core.pipeline import NLIDBSystem
+        from repro.sqldb import parse_select
+
+        class BadSql(NLIDBSystem):
+            name = "badsql"
+
+            def interpret(self, question, context):
+                return [
+                    Interpretation(
+                        "badsql", 1.0, sql=parse_select("SELECT missing FROM nowhere")
+                    )
+                ]
+
+        db = single_table_db([[1, "a", 1.0]])
+        context = NLIDBContext(db)
+        assert BadSql().answer("anything", context) is None
+
+    def test_division_by_zero_is_execution_error(self):
+        db = single_table_db([[1, "a", 0.0]])
+        with pytest.raises(ExecutionError):
+            execute_sql(db, "SELECT 1 / score FROM things")
+
+    def test_self_fk_rejected_gracefully(self):
+        # a self-referential FK must not break ontology construction
+        db = Database("selfref")
+        db.create_table(
+            TableSchema(
+                "emp",
+                [
+                    Column("id", DataType.INTEGER, primary_key=True),
+                    Column("name", DataType.TEXT),
+                    Column("manager_id", DataType.INTEGER),
+                ],
+            )
+        )
+        db.add_foreign_key("emp", "manager_id", "emp", "id")
+        db.insert_many("emp", [[1, "root", None], [2, "leaf", 1]])
+        context = NLIDBContext(db)
+        interps = AthenaSystem().interpret("how many emps are there", context)
+        assert interps and context.execute(interps[0]).scalar() == 2

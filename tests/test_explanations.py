@@ -1,0 +1,131 @@
+"""Tests for NL explanations, date conditions, and conversational reset."""
+
+import pytest
+
+from repro.bench.domains import build_domain
+from repro.core import NLIDBContext
+from repro.core.complexity import ComplexityTier
+from repro.core.intermediate import (
+    OQLCondition,
+    OQLHasCondition,
+    OQLItem,
+    OQLOrder,
+    OQLQuery,
+    PropertyRef,
+)
+from repro.dialogue import ConversationalNLIDB
+from repro.systems import AthenaSystem
+
+
+@pytest.fixture(scope="module")
+def retail_ctx():
+    return NLIDBContext(build_domain("retail"))
+
+
+@pytest.fixture(scope="module")
+def hr_ctx():
+    return NLIDBContext(build_domain("hr"))
+
+
+class TestToEnglish:
+    def test_selection(self):
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(OQLCondition(PropertyRef("customer", "city"), "=", "Berlin"),),
+        )
+        text = query.to_english()
+        assert "the name of each customer" in text
+        assert "customer's city is 'Berlin'" in text
+
+    def test_aggregate_and_group(self):
+        query = OQLQuery(
+            select=(
+                OQLItem(ref=PropertyRef("customer", "city")),
+                OQLItem(ref=PropertyRef("order", "total"), aggregate="sum"),
+            ),
+            group_by=(PropertyRef("customer", "city"),),
+        )
+        text = query.to_english()
+        assert "the total total of each order" in text
+        assert "grouped by city" in text
+
+    def test_has_no(self):
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("customer", "name")),),
+            conditions=(OQLHasCondition("order", negated=True),),
+        )
+        assert "it has no order" in query.to_english()
+
+    def test_topk(self):
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("product", "name")),),
+            order_by=(OQLOrder(OQLItem(ref=PropertyRef("product", "price")), "desc"),),
+            limit=3,
+        )
+        text = query.to_english()
+        assert "descending" in text and "top 3" in text
+
+    def test_nested_subquery(self):
+        inner = OQLQuery(select=(OQLItem(ref=PropertyRef("product", "price"), aggregate="avg"),))
+        query = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("product", "name")),),
+            conditions=(OQLCondition(PropertyRef("product", "price"), ">", subquery=inner),),
+        )
+        text = query.to_english()
+        assert "is greater than (find the average price" in text
+
+    def test_count_all(self):
+        query = OQLQuery(select=(OQLItem(count_all=True, concept="order"),))
+        assert "how many order(s)" in query.to_english()
+
+
+class TestDateConditions:
+    def test_explicit_date_property(self, hr_ctx):
+        interps = AthenaSystem().interpret(
+            "employees with hire date after 2020-01-01", hr_ctx
+        )
+        sql = interps[0].to_sql(hr_ctx.ontology, hr_ctx.mapping).to_sql()
+        assert "hire_date > '2020-01-01'" in sql
+
+    def test_sole_date_fallback(self, hr_ctx):
+        interps = AthenaSystem().interpret("employees hired before 2019-06-01", hr_ctx)
+        sql = interps[0].to_sql(hr_ctx.ontology, hr_ctx.mapping).to_sql()
+        assert "hire_date < '2019-06-01'" in sql
+
+    def test_number_still_binds_numeric(self, hr_ctx):
+        interps = AthenaSystem().interpret(
+            "employees with salary over 100000", hr_ctx
+        )
+        sql = interps[0].to_sql(hr_ctx.ontology, hr_ctx.mapping).to_sql()
+        assert "salary > 100000" in sql
+
+    def test_workload_date_template(self, hr_ctx):
+        from repro.bench.workloads import WorkloadGenerator
+
+        generator = WorkloadGenerator(hr_ctx.database, seed=11)
+        examples = generator.generate(ComplexityTier.SELECTION, 20)
+        date_examples = [e for e in examples if e.template == "select-date"]
+        assert date_examples  # the template fires
+        system = AthenaSystem()
+        from repro.bench.harness import evaluate_system
+
+        outcomes = evaluate_system(system, hr_ctx, date_examples)
+        assert all(o.correct for o in outcomes)
+
+
+class TestConversationReset:
+    def test_reset_phrase_clears_state(self, retail_ctx):
+        bot = ConversationalNLIDB(retail_ctx, use_intents=False)
+        bot.ask("show the customers with city Berlin")
+        assert bot.state.last_query() is not None
+        turn = bot.ask("start over")
+        assert turn.intent == "reset"
+        assert bot.state.last_query() is None
+
+    def test_followup_after_reset_is_fresh(self, retail_ctx):
+        bot = ConversationalNLIDB(retail_ctx, use_intents=False)
+        bot.ask("show the customers with city Berlin")
+        bot.ask("never mind")
+        turn = bot.ask("what about Paris")
+        # no context left: "what about Paris" cannot be resolved as edit
+        assert "Berlin" not in (turn.sql or "")

@@ -1,0 +1,89 @@
+"""Cross-cutting integration tests: every system × every domain, plus
+fuzzing the interpretation stack with arbitrary questions."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bench.domains import build_domain, domain_names
+from repro.bench.workloads import WorkloadGenerator
+from repro.core import NLIDBContext, available, create
+from repro.core.complexity import ComplexityTier
+
+_CONTEXTS = {name: NLIDBContext(build_domain(name)) for name in domain_names()}
+
+
+class TestSystemDomainMatrix:
+    @pytest.mark.parametrize("domain", domain_names())
+    @pytest.mark.parametrize("system_name", ["soda", "sqak", "nalir", "athena", "quick", "templar", "quest"])
+    def test_interpret_never_crashes(self, domain, system_name):
+        context = _CONTEXTS[domain]
+        system = create(system_name)
+        examples = WorkloadGenerator(context.database, seed=41).generate(
+            ComplexityTier.SELECTION, 2
+        )
+        for example in examples:
+            interpretations = system.interpret(example.question, context)
+            for interpretation in interpretations:
+                # compiling the interpretation must never raise
+                interpretation.to_sql(context.ontology, context.mapping)
+
+
+class TestInterpretationFuzz:
+    question_strategy = st.lists(
+        st.one_of(
+            st.sampled_from(
+                "show the of with over under average total how many top by"
+                " employees salary name berlin engineer 5 100 what which and"
+                " not no between".split()
+            ),
+            st.text(alphabet="abcdefg", min_size=1, max_size=8),
+            st.integers(0, 9999).map(str),
+        ),
+        min_size=1,
+        max_size=12,
+    ).map(" ".join)
+
+    @given(question_strategy)
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_athena_never_crashes_on_word_salad(self, question):
+        context = _CONTEXTS["hr"]
+        system = create("athena")
+        for interpretation in system.interpret(question, context):
+            stmt = interpretation.to_sql(context.ontology, context.mapping)
+            # whatever was produced must execute
+            context.executor.execute(stmt)
+
+    @given(question_strategy)
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_followup_resolver_never_crashes(self, question):
+        from repro.core.intermediate import OQLItem, OQLQuery, PropertyRef
+        from repro.dialogue import FollowupResolver
+
+        context = _CONTEXTS["hr"]
+        previous = OQLQuery(
+            select=(OQLItem(ref=PropertyRef("employee", "name")),),
+        )
+        resolver = FollowupResolver()
+        edited, move = resolver.resolve(question, previous, context)
+        if edited is not None:
+            from repro.core.intermediate import compile_oql
+
+            stmt = compile_oql(edited, context.ontology, context.mapping)
+            context.executor.execute(stmt)
+
+    @given(question_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_bela_never_crashes(self, question):
+        from repro.systems import BelaSystem
+
+        system = BelaSystem(_CONTEXTS["movies"])
+        system.answer(question)

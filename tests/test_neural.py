@@ -1,0 +1,251 @@
+"""Tests for the neural substrate: sketches, nn, features, models, DBPal."""
+
+import numpy as np
+import pytest
+
+from repro.bench.domains import build_domain
+from repro.bench.wikisql import WikiSQLGenerator, execution_accuracy
+from repro.core import NLIDBContext
+from repro.sqldb import parse_select
+from repro.systems.neural import (
+    AGGREGATES,
+    BinaryScorer,
+    Condition,
+    DBPalModel,
+    Featurizer,
+    MLPClassifier,
+    NeuralSketchSystem,
+    QuerySketch,
+    Seq2SQLModel,
+    SQLNetModel,
+    TypeSQLModel,
+    generate_training_set,
+)
+
+
+class TestQuerySketch:
+    def make(self):
+        return QuerySketch(
+            "emp", "name", "count", (Condition("salary", ">", 100.0),)
+        )
+
+    def test_to_sql(self):
+        sql = self.make().to_sql()
+        assert sql == "SELECT COUNT(name) FROM emp WHERE salary > 100.0"
+
+    def test_roundtrip_via_ast(self):
+        sketch = self.make()
+        recovered = QuerySketch.from_select(sketch.to_select())
+        assert recovered.matches(sketch)
+
+    def test_from_select_rejects_joins(self):
+        stmt = parse_select("SELECT a FROM t JOIN u ON t.x = u.y")
+        with pytest.raises(ValueError):
+            QuerySketch.from_select(stmt)
+
+    def test_from_select_rejects_nested(self):
+        stmt = parse_select("SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)")
+        with pytest.raises(ValueError):
+            QuerySketch.from_select(stmt)
+
+    def test_matches_order_insensitive(self):
+        a = QuerySketch("t", "x", "", (Condition("a", "=", "p"), Condition("b", ">", 1.0)))
+        b = QuerySketch("t", "x", "", (Condition("b", ">", 1.0), Condition("a", "=", "p")))
+        assert a.matches(b)
+
+    def test_matches_value_normalization(self):
+        a = QuerySketch("t", "x", "", (Condition("a", "=", 5.0),))
+        b = QuerySketch("t", "x", "", (Condition("a", "=", 5),))
+        assert a.matches(b)
+
+    def test_mismatch_on_aggregate(self):
+        a = QuerySketch("t", "x", "sum")
+        b = QuerySketch("t", "x", "avg")
+        assert not a.matches(b)
+
+
+class TestNN:
+    def test_mlp_learns_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 4))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        clf = MLPClassifier(4, 2, hidden=16, seed=0)
+        clf.fit(x, y, epochs=60)
+        accuracy = (clf.predict(x) == y).mean()
+        assert accuracy > 0.95
+
+    def test_mlp_learns_xor(self):
+        x = np.array([[0, 0], [0, 1], [1, 0], [1, 1]], dtype=float)
+        y = np.array([0, 1, 1, 0])
+        clf = MLPClassifier(2, 2, hidden=16, seed=1, lr=2e-2)
+        clf.fit(np.tile(x, (50, 1)), np.tile(y, 50), epochs=120)
+        assert (clf.predict(x) == y).all()
+
+    def test_binary_scorer_probability_range(self):
+        scorer = BinaryScorer(3, seed=0)
+        scores = scorer.score(np.zeros((5, 3)))
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 6))
+        y = (x[:, 0] > 0).astype(int)
+        clf = MLPClassifier(6, 2, seed=0)
+        history = clf.fit(x, y, epochs=25)
+        assert history[-1] < history[0]
+
+    def test_deterministic_training(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(50, 4))
+        y = (x[:, 1] > 0).astype(int)
+        a = MLPClassifier(4, 2, seed=7)
+        b = MLPClassifier(4, 2, seed=7)
+        a.fit(x, y, epochs=5, seed=1)
+        b.fit(x, y, epochs=5, seed=1)
+        assert np.allclose(a.w1, b.w1)
+
+
+class TestFeaturizer:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        database = build_domain("hr")
+        return Featurizer(dim=16), database.table("employees")
+
+    def test_question_features_shape(self, setup):
+        featurizer, _ = setup
+        tokens = featurizer.question_tokens("average salary of employees")
+        assert featurizer.question_features(tokens).shape == (32,)
+
+    def test_column_features_shape(self, setup):
+        featurizer, table = setup
+        from repro.systems.neural.features import COLUMN_FEATURES
+
+        tokens = featurizer.question_tokens("average salary")
+        feats = featurizer.column_features(tokens, table.schema.column("salary"), table.schema)
+        assert feats.shape == (COLUMN_FEATURES,)
+
+    def test_mentioned_column_scores_higher(self, setup):
+        featurizer, table = setup
+        tokens = featurizer.question_tokens("what is the salary of Ada")
+        salary = featurizer.column_features(tokens, table.schema.column("salary"), table.schema)
+        title = featurizer.column_features(tokens, table.schema.column("title"), table.schema)
+        assert salary[0] > title[0]  # max token similarity
+
+    def test_numeric_candidates_with_operator(self, setup):
+        featurizer, table = setup
+        tokens = featurizer.question_tokens("employees with salary over 100000")
+        candidates = featurizer.condition_candidates(tokens, table)
+        assert any(
+            c.column == "salary" and c.op == ">" and c.value == 100000.0
+            for c in candidates
+        )
+
+    def test_text_candidates_from_values(self, setup):
+        featurizer, table = setup
+        tokens = featurizer.question_tokens("employees with title engineer")
+        candidates = featurizer.condition_candidates(tokens, table)
+        assert any(
+            c.column == "title" and c.op == "=" and c.value == "engineer"
+            for c in candidates
+        )
+
+    def test_candidate_gold_matching(self, setup):
+        featurizer, table = setup
+        tokens = featurizer.question_tokens("employees with title engineer")
+        candidates = featurizer.condition_candidates(tokens, table)
+        gold = [Condition("title", "=", "engineer")]
+        assert any(c.matches_gold(gold) for c in candidates)
+
+
+class TestModels:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return WikiSQLGenerator(seed=5).generate(150, 40)
+
+    @pytest.mark.parametrize("model_cls", [Seq2SQLModel, SQLNetModel, TypeSQLModel])
+    def test_model_learns_something(self, dataset, model_cls):
+        model = model_cls(seed=0, epochs=20)
+        report = model.fit(dataset.train, dataset.database)
+        assert report.examples == len(dataset.train)
+        correct = sum(
+            execution_accuracy(
+                dataset.database,
+                model.predict(e.question, dataset.database.table(e.table)),
+                e.sketch,
+            )
+            for e in dataset.test
+        )
+        assert correct / len(dataset.test) > 0.4
+
+    def test_predict_before_fit_raises(self, dataset):
+        model = SQLNetModel()
+        with pytest.raises(RuntimeError):
+            model.predict("anything", dataset.database.tables[0])
+
+    def test_numeric_aggregate_masks_select(self, dataset):
+        model = SQLNetModel(seed=0, epochs=10)
+        model.fit(dataset.train, dataset.database)
+        table = dataset.database.table("products")
+        sketch = model.predict("what is the total price of products", table)
+        if sketch and sketch.aggregate in ("sum", "avg", "min", "max"):
+            column = table.schema.column(sketch.select_column)
+            assert column.dtype.is_numeric
+
+
+class TestDBPal:
+    def test_training_set_size_and_validity(self):
+        database = build_domain("movies")
+        examples = generate_training_set(database, 120, seed=0)
+        assert len(examples) == 120
+        for example in examples[:30]:
+            # every synthetic pair is executable on its database
+            from repro.sqldb.executor import Executor
+
+            Executor(database).execute(example.sketch.to_select())
+
+    def test_augmentation_changes_surface_not_sketch(self):
+        database = build_domain("movies")
+        plain = generate_training_set(database, 60, seed=0, augment=False)
+        augmented = generate_training_set(database, 60, seed=0, augment=True)
+        plain_questions = {e.question for e in plain}
+        assert any(e.question not in plain_questions for e in augmented)
+
+    def test_fit_from_schema(self):
+        database = build_domain("hr")
+        model = DBPalModel(seed=0, epochs=10)
+        report = model.fit_from_schema(database, size=120, seed=0)
+        assert report.examples == 120
+        assert model.trained
+
+
+class TestAdapter:
+    @pytest.fixture(scope="class")
+    def system(self):
+        database = build_domain("hr")
+        context = NLIDBContext(database)
+        model = DBPalModel(seed=0, epochs=15)
+        model.fit_from_schema(database, size=200, seed=0)
+        return NeuralSketchSystem(model, "neural"), context
+
+    def test_family_is_ml(self, system):
+        adapter, _ = system
+        assert adapter.family == "ml"
+
+    def test_chooses_right_table(self, system):
+        adapter, context = system
+        table = adapter._choose_table("average salary of employees", context)
+        assert table.name == "employees"
+
+    def test_interpret_returns_sql_interpretation(self, system):
+        adapter, context = system
+        interps = adapter.interpret("how many employees are there", context)
+        assert interps and interps[0].sql is not None
+
+    def test_single_table_even_for_join_questions(self, system):
+        adapter, context = system
+        interps = adapter.interpret(
+            "average salary of employees per department name", context
+        )
+        if interps:
+            sql = interps[0].to_sql().to_sql()
+            assert "JOIN" not in sql

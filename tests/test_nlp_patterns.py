@@ -1,0 +1,162 @@
+"""Unit tests for NL pattern detection and embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.nlp import (
+    CooccurrenceEmbeddings,
+    HashedEmbeddings,
+    aggregation_of,
+    cosine,
+    detect_text,
+    has_group_by,
+)
+
+
+def kinds(text):
+    return {(m.kind, m.value) for m in detect_text(text)}
+
+
+class TestAggregationCues:
+    def test_total_is_sum(self):
+        assert ("aggregation", "sum") in kinds("total revenue")
+
+    def test_average(self):
+        assert ("aggregation", "avg") in kinds("average salary of employees")
+
+    def test_highest_max(self):
+        assert ("aggregation", "max") in kinds("the highest price")
+
+    def test_how_many_count(self):
+        assert ("count", "count") in kinds("how many orders were placed")
+
+    def test_number_of_count(self):
+        assert ("count", "count") in kinds("the number of customers")
+
+    def test_count_beats_aggregation(self):
+        matches = detect_text("how many orders")
+        assert aggregation_of(matches) == "count"
+
+    def test_plain_question_no_agg(self):
+        assert aggregation_of(detect_text("show the customers in Berlin")) is None
+
+
+class TestGroupByCues:
+    def test_by(self):
+        assert has_group_by(detect_text("revenue by region"))
+
+    def test_per(self):
+        assert has_group_by(detect_text("orders per customer"))
+
+    def test_for_each(self):
+        assert has_group_by(detect_text("count of employees for each department"))
+
+    def test_by_number_not_groupby(self):
+        assert not has_group_by(detect_text("increased by 5"))
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "text,op",
+        [
+            ("more than 10", ">"),
+            ("greater than 5", ">"),
+            ("over 100", ">"),
+            ("at least 3", ">="),
+            ("less than 7", "<"),
+            ("under 50", "<"),
+            ("at most 2", "<="),
+            ("other than Berlin", "!="),
+        ],
+    )
+    def test_operator_detection(self, text, op):
+        assert ("comparison", op) in kinds(text)
+
+    def test_between(self):
+        assert ("comparison", "between") in kinds("between 10 and 20")
+
+    def test_negation(self):
+        assert ("negation", "not") in kinds("customers not from Berlin")
+
+
+class TestLimits:
+    def test_top_n(self):
+        matches = [m for m in detect_text("top 5 products") if m.kind == "limit"]
+        assert matches[0].value == "5:desc"
+
+    def test_top_word_number(self):
+        matches = [m for m in detect_text("top five products") if m.kind == "limit"]
+        assert matches[0].value == "5:desc"
+
+    def test_bare_top(self):
+        matches = [m for m in detect_text("the top product") if m.kind == "limit"]
+        assert matches[0].value == "1:desc"
+
+    def test_bottom_asc(self):
+        matches = [m for m in detect_text("bottom 3 sellers") if m.kind == "limit"]
+        assert matches[0].value == "3:asc"
+
+
+class TestOrderCues:
+    def test_desc(self):
+        assert ("order", "desc") in kinds("sorted by price descending")
+
+    def test_asc(self):
+        assert ("order", "asc") in kinds("in increasing order of age")
+
+
+class TestHashedEmbeddings:
+    def test_deterministic(self):
+        a = HashedEmbeddings().vector("salary")
+        b = HashedEmbeddings().vector("salary")
+        assert np.allclose(a, b)
+
+    def test_unit_norm(self):
+        vec = HashedEmbeddings().vector("anything")
+        assert np.linalg.norm(vec) == pytest.approx(1.0, abs=1e-6)
+
+    def test_synonyms_close_strangers_far(self):
+        emb = HashedEmbeddings()
+        assert emb.similarity("salary", "pay") > 0.5
+        assert emb.similarity("salary", "zebra") < 0.5
+
+    def test_sentence_vector_empty(self):
+        assert np.allclose(HashedEmbeddings(dim=16).sentence_vector([]), 0)
+
+
+class TestCooccurrenceEmbeddings:
+    CORPUS = [
+        ["the", "cat", "chased", "the", "mouse"],
+        ["the", "dog", "chased", "the", "cat"],
+        ["a", "mouse", "ran", "from", "the", "cat"],
+        ["the", "dog", "ran", "home"],
+    ]
+
+    def test_fit_and_query(self):
+        emb = CooccurrenceEmbeddings(dim=8).fit(self.CORPUS)
+        assert emb.vector("cat").shape == (8,)
+
+    def test_shared_context_similarity(self):
+        emb = CooccurrenceEmbeddings(dim=8).fit(self.CORPUS)
+        assert emb.similarity("cat", "dog") > emb.similarity("cat", "home")
+
+    def test_oov_is_zero_vector(self):
+        emb = CooccurrenceEmbeddings(dim=8).fit(self.CORPUS)
+        assert np.allclose(emb.vector("unknown"), 0)
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            CooccurrenceEmbeddings().vector("cat")
+
+    def test_empty_corpus(self):
+        emb = CooccurrenceEmbeddings(dim=4).fit([])
+        assert np.allclose(emb.sentence_vector(["x"]), 0)
+
+
+class TestCosine:
+    def test_zero_vector_safe(self):
+        assert cosine(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_identical(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine(v, v) == pytest.approx(1.0)

@@ -1,0 +1,103 @@
+"""Unit tests for tokenization, stopwords and number parsing."""
+
+from repro.nlp import (
+    content_words,
+    detokenize,
+    is_stopword,
+    ordinal_to_number,
+    parse_number,
+    tokenize,
+    word_to_number,
+    words,
+)
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        tokens = tokenize("show all employees")
+        assert [t.norm for t in tokens] == ["show", "all", "employees"]
+
+    def test_spans_cover_input(self):
+        text = "salary > 100"
+        tokens = tokenize(text)
+        for token in tokens:
+            assert text[token.start : token.end].strip('"\'') == token.text
+
+    def test_quoted_phrase_single_token(self):
+        tokens = tokenize('customers in "new york"')
+        assert tokens[-1].kind == "quoted"
+        assert tokens[-1].norm == "new york"
+
+    def test_single_quotes(self):
+        tokens = tokenize("city 'San Jose'")
+        assert tokens[-1].kind == "quoted" and tokens[-1].text == "San Jose"
+
+    def test_numbers_and_decimals(self):
+        tokens = tokenize("rating above 4.5 with 3 reviews")
+        nums = [t for t in tokens if t.is_number]
+        assert [t.numeric_value for t in nums] == [4.5, 3.0]
+
+    def test_iso_date_token(self):
+        tokens = tokenize("hired after 2020-01-15")
+        assert tokens[-1].kind == "date"
+
+    def test_punctuation_isolated(self):
+        tokens = tokenize("who's there?")
+        kinds = [t.kind for t in tokens]
+        assert "punct" in kinds
+
+    def test_hyphenated_word_kept(self):
+        tokens = tokenize("vice-president")
+        assert tokens[0].text == "vice-president"
+
+    def test_words_helper_drops_punct(self):
+        assert words("hello, world!") == ["hello", "world"]
+
+    def test_detokenize(self):
+        assert detokenize(tokenize("a b c")) == "a b c"
+
+    def test_empty_input(self):
+        assert tokenize("") == []
+
+
+class TestStopwords:
+    def test_common_stopwords(self):
+        assert is_stopword("the")
+        assert is_stopword("of")
+
+    def test_semantic_keepwords_not_stopped(self):
+        for word in ("by", "most", "than", "not", "between", "top", "per"):
+            assert not is_stopword(word), word
+
+    def test_content_words(self):
+        assert content_words(["show", "the", "salary", "by", "dept"]) == [
+            "salary",
+            "by",
+            "dept",
+        ]
+
+
+class TestNumbers:
+    def test_word_to_number(self):
+        assert word_to_number("five") == 5
+        assert word_to_number("ninety") == 90
+        assert word_to_number("banana") is None
+
+    def test_ordinals(self):
+        assert ordinal_to_number("third") == 3
+        assert ordinal_to_number("21st") == 21
+        assert ordinal_to_number("word") is None
+
+    def test_parse_number_digits(self):
+        assert parse_number("42") == 42.0
+        assert parse_number("3.14") == 3.14
+        assert parse_number("1,000") == 1000.0
+
+    def test_parse_number_words(self):
+        assert parse_number("twenty five") == 25.0
+        assert parse_number("one hundred") == 100.0
+        assert parse_number("2 million") == 2_000_000.0
+
+    def test_parse_number_rejects_text(self):
+        assert parse_number("hello") is None
+        assert parse_number("") is None

@@ -1,0 +1,298 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants: SQL round-trips, executor laws, NLP function properties."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.complexity import ComplexityTier, classify
+from repro.nlp import (
+    lemmatize,
+    levenshtein,
+    parse_number,
+    string_similarity,
+    tokenize,
+)
+from repro.sqldb import (
+    Column,
+    Database,
+    DataType,
+    TableSchema,
+    execute_sql,
+    parse_select,
+)
+from repro.sqldb.ast import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.systems.neural.sketch import Condition, QuerySketch
+
+# -- strategies ---------------------------------------------------------------
+
+_COLUMNS = ["id", "name", "dept_id", "salary"]
+_NUMERIC = ["id", "dept_id", "salary"]
+
+column_ref = st.sampled_from(_COLUMNS).map(ColumnRef)
+numeric_ref = st.sampled_from(_NUMERIC).map(ColumnRef)
+number_literal = st.integers(min_value=-1000, max_value=1000).map(Literal)
+text_literal = st.sampled_from(["Ada", "Bob", "Cyd", "zzz"]).map(Literal)
+comparison_op = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def predicates(draw):
+    op = draw(comparison_op)
+    left = draw(numeric_ref)
+    right = draw(number_literal)
+    expr = BinaryOp(op, left, right)
+    if draw(st.booleans()):
+        other = BinaryOp(draw(comparison_op), draw(numeric_ref), draw(number_literal))
+        expr = BinaryOp(draw(st.sampled_from(["AND", "OR"])), expr, other)
+    return expr
+
+
+@st.composite
+def select_statements(draw):
+    n_items = draw(st.integers(min_value=1, max_value=3))
+    items = tuple(
+        SelectItem(draw(column_ref)) for _ in range(n_items)
+    )
+    where = draw(st.one_of(st.none(), predicates()))
+    order = ()
+    if draw(st.booleans()):
+        order = (OrderItem(draw(column_ref), draw(st.sampled_from(["asc", "desc"]))),)
+    limit = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=10)))
+    return SelectStatement(
+        select_items=items,
+        from_table=TableRef("emp"),
+        where=where,
+        order_by=order,
+        limit=limit,
+        distinct=draw(st.booleans()),
+    )
+
+
+def _emp_db() -> Database:
+    db = Database("prop")
+    db.create_table(
+        TableSchema(
+            "emp",
+            [
+                Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                Column("name", DataType.TEXT),
+                Column("dept_id", DataType.INTEGER),
+                Column("salary", DataType.FLOAT),
+            ],
+        )
+    )
+    db.insert_many(
+        "emp",
+        [
+            [1, "Ada", 1, 120.0],
+            [2, "Bob", 1, 90.0],
+            [3, "Cyd", 2, 150.0],
+            [4, "Ada", 2, None],
+            [5, "Eli", None, 60.0],
+        ],
+    )
+    return db
+
+
+_DB = _emp_db()
+
+
+# -- SQL round-trips -------------------------------------------------------------
+
+
+class TestSqlRoundTrip:
+    @given(select_statements())
+    @settings(max_examples=120, deadline=None)
+    def test_to_sql_reparses_to_same_ast(self, stmt):
+        assert parse_select(stmt.to_sql()) == stmt
+
+    @given(select_statements())
+    @settings(max_examples=80, deadline=None)
+    def test_rendered_sql_executes_identically(self, stmt):
+        direct = execute_sql(_DB, stmt.to_sql())
+        from repro.sqldb.executor import Executor
+
+        via_ast = Executor(_DB).execute(stmt)
+        assert direct.equals_ordered(via_ast)
+
+
+class TestExecutorLaws:
+    @given(select_statements())
+    @settings(max_examples=80, deadline=None)
+    def test_limit_bounds_rows(self, stmt):
+        result = execute_sql(_DB, stmt.to_sql())
+        if stmt.limit is not None:
+            assert len(result) <= stmt.limit
+
+    @given(select_statements())
+    @settings(max_examples=80, deadline=None)
+    def test_distinct_rows_unique(self, stmt):
+        if not stmt.distinct:
+            return
+        result = execute_sql(_DB, stmt.to_sql())
+        assert len(result.rows) == len(set(result.rows))
+
+    @given(predicates())
+    @settings(max_examples=80, deadline=None)
+    def test_where_filters_subset(self, predicate):
+        base = execute_sql(_DB, "SELECT id FROM emp")
+        filtered = execute_sql(
+            _DB, f"SELECT id FROM emp WHERE {predicate.to_sql()}"
+        )
+        assert set(filtered.first_column()) <= set(base.first_column())
+
+    @given(st.sampled_from(_NUMERIC), st.sampled_from(["asc", "desc"]))
+    @settings(max_examples=30, deadline=None)
+    def test_order_by_sorts(self, column, direction):
+        result = execute_sql(
+            _DB, f"SELECT {column} FROM emp ORDER BY {column} {direction.upper()}"
+        )
+        values = [v for v in result.first_column() if v is not None]
+        ordered = sorted(values, reverse=(direction == "desc"))
+        assert values == ordered
+
+    @given(predicates())
+    @settings(max_examples=50, deadline=None)
+    def test_count_consistent_with_rows(self, predicate):
+        rows = execute_sql(
+            _DB, f"SELECT id FROM emp WHERE {predicate.to_sql()}"
+        )
+        count = execute_sql(
+            _DB, f"SELECT COUNT(*) FROM emp WHERE {predicate.to_sql()}"
+        ).scalar()
+        assert count == len(rows)
+
+
+class TestComplexityProperties:
+    @given(select_statements())
+    @settings(max_examples=60, deadline=None)
+    def test_generated_single_table_never_join_or_nested(self, stmt):
+        tier = classify(stmt)
+        assert tier in (ComplexityTier.SELECTION, ComplexityTier.AGGREGATION)
+
+
+# -- NLP properties ------------------------------------------------------------------
+
+word_strategy = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestNlpProperties:
+    @given(word_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_lemmatize_near_idempotent(self, word):
+        # Exact idempotence does not hold for rule cascades (a stripped
+        # "-ed" can expose a plural "-s": "aaased" -> "aaas" -> "aaa"),
+        # so the property is: a second pass only ever applies one more
+        # suffix rule, never invents characters.
+        once = lemmatize(word)
+        twice = lemmatize(once)
+        assert twice == once or (len(twice) < len(once) and once.startswith(twice[:2]))
+
+    @given(word_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_lemmatize_lowercase_nonempty(self, word):
+        lemma = lemmatize(word)
+        assert lemma and lemma == lemma.lower()
+
+    @given(word_strategy, word_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_similarity_symmetric_and_bounded(self, a, b):
+        s1, s2 = string_similarity(a, b), string_similarity(b, a)
+        assert s1 == pytest.approx(s2)
+        assert 0.0 <= s1 <= 1.0
+
+    @given(word_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_similarity_identity(self, word):
+        assert string_similarity(word, word) == 1.0
+
+    @given(word_strategy, word_strategy, word_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_levenshtein_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_parse_number_digits_roundtrip(self, n):
+        assert parse_number(str(n)) == float(n)
+
+    @given(
+        st.text(
+            alphabet=st.characters(
+                whitelist_categories=("Ll", "Lu", "Nd", "Zs"),
+                max_codepoint=0x7F,
+            ),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_tokenize_spans_monotone(self, text):
+        tokens = tokenize(text)
+        for previous, current in zip(tokens, tokens[1:]):
+            assert previous.end <= current.start
+        for token in tokens:
+            assert 0 <= token.start < token.end <= len(text)
+
+
+# -- sketch properties --------------------------------------------------------------
+
+condition_strategy = st.builds(
+    Condition,
+    column=st.sampled_from(_COLUMNS),
+    op=st.sampled_from(["=", ">", "<"]),
+    value=st.one_of(
+        st.integers(min_value=-99, max_value=99).map(float),
+        st.sampled_from(["Ada", "Bob"]),
+    ),
+)
+
+sketch_strategy = st.builds(
+    QuerySketch,
+    table=st.just("emp"),
+    select_column=st.sampled_from(_COLUMNS),
+    aggregate=st.sampled_from(["", "count", "sum", "avg", "min", "max"]),
+    conditions=st.lists(condition_strategy, max_size=3).map(tuple),
+)
+
+
+class TestSketchProperties:
+    @given(sketch_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_sketch_ast_roundtrip(self, sketch):
+        recovered = QuerySketch.from_select(sketch.to_select())
+        assert recovered.matches(sketch)
+
+    @given(sketch_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_sketch_sql_reparses(self, sketch):
+        stmt = parse_select(sketch.to_sql())
+        assert QuerySketch.from_select(stmt).matches(sketch)
+
+    @given(sketch_strategy)
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    def test_matches_is_condition_order_invariant(self, sketch):
+        reordered = QuerySketch(
+            sketch.table,
+            sketch.select_column,
+            sketch.aggregate,
+            tuple(reversed(sketch.conditions)),
+        )
+        assert sketch.matches(reordered)

@@ -1,0 +1,173 @@
+"""Property-based tests for OQL compilation and SPARQL round-trips."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.bench.domains import build_domain
+from repro.core import NLIDBContext
+from repro.core.intermediate import (
+    OQLCondition,
+    OQLHasCondition,
+    OQLItem,
+    OQLOrder,
+    OQLQuery,
+    PropertyRef,
+    compile_oql,
+)
+from repro.rdf import Filter, SparqlQuery, TriplePattern, Var, parse_sparql
+from repro.sqldb import parse_select
+
+_CTX = NLIDBContext(build_domain("retail"))
+
+# (concept, property, numeric?) triples available in the retail ontology
+_PROPS = []
+for _concept in _CTX.ontology.concepts.values():
+    for _prop in _concept.properties.values():
+        _PROPS.append((_concept.name, _prop.name, _prop.dtype.is_numeric))
+
+prop_refs = st.sampled_from(_PROPS).map(lambda t: PropertyRef(t[0], t[1]))
+numeric_refs = st.sampled_from([p for p in _PROPS if p[2]]).map(
+    lambda t: PropertyRef(t[0], t[1])
+)
+text_refs = st.sampled_from([p for p in _PROPS if not p[2]]).map(
+    lambda t: PropertyRef(t[0], t[1])
+)
+
+
+@st.composite
+def oql_conditions(draw):
+    if draw(st.booleans()):
+        ref = draw(numeric_refs)
+        op = draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="]))
+        return OQLCondition(ref, op, float(draw(st.integers(-100, 100))))
+    ref = draw(text_refs)
+    return OQLCondition(ref, "=", draw(st.sampled_from(["Berlin", "Paris", "x"])))
+
+
+@st.composite
+def oql_queries(draw):
+    n_items = draw(st.integers(1, 2))
+    select = []
+    for _ in range(n_items):
+        if draw(st.booleans()):
+            select.append(OQLItem(ref=draw(prop_refs)))
+        else:
+            select.append(
+                OQLItem(ref=draw(numeric_refs), aggregate=draw(st.sampled_from(["sum", "avg", "min", "max"])))
+            )
+    conditions = tuple(draw(st.lists(oql_conditions(), max_size=2)))
+    group_by = ()
+    if any(i.aggregate for i in select) and draw(st.booleans()):
+        plain = [i.ref for i in select if i.ref and not i.aggregate]
+        if plain:
+            group_by = (plain[0],)
+    limit = draw(st.one_of(st.none(), st.integers(1, 5)))
+    return OQLQuery(
+        select=tuple(select),
+        conditions=conditions,
+        group_by=group_by,
+        limit=limit,
+        distinct=draw(st.booleans()) and not any(i.aggregate for i in select),
+    )
+
+
+class TestOQLCompilerProperties:
+    @given(oql_queries())
+    @settings(max_examples=100, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_compiled_sql_parses_and_executes(self, query):
+        stmt = compile_oql(query, _CTX.ontology, _CTX.mapping)
+        # the rendered SQL reparses to the same AST
+        assert parse_select(stmt.to_sql()) == stmt
+        # grouped or not, the executor accepts it (ungrouped plain columns
+        # mixed with aggregates are evaluated on a representative row —
+        # documented engine behaviour)
+        result = _CTX.executor.execute(stmt)
+        if query.limit is not None:
+            assert len(result) <= query.limit
+
+    @given(oql_queries())
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_concepts_all_joined(self, query):
+        stmt = compile_oql(query, _CTX.ontology, _CTX.mapping)
+        tables = {t.lower() for t in stmt.referenced_tables()}
+        for concept in query.concepts():
+            assert _CTX.mapping.table_of(concept).lower() in tables
+
+    @given(st.sampled_from([p for p in _PROPS if p[2]]))
+    @settings(max_examples=30, deadline=None)
+    def test_has_condition_always_subquery(self, prop):
+        concept, prop_name, _ = prop
+        # pick a different concept connected to this one, if any
+        for other in _CTX.ontology.concepts.values():
+            if other.name == concept:
+                continue
+            try:
+                _CTX.reasoner.relation_path(other.name, concept)
+            except Exception:
+                continue
+            display = next(iter(other.properties.values()))
+            query = OQLQuery(
+                select=(OQLItem(ref=PropertyRef(other.name, display.name)),),
+                conditions=(
+                    OQLHasCondition(
+                        concept,
+                        conditions=(
+                            OQLCondition(PropertyRef(concept, prop_name), ">", 0.0),
+                        ),
+                    ),
+                ),
+            )
+            stmt = compile_oql(query, _CTX.ontology, _CTX.mapping)
+            assert "IN (SELECT" in stmt.to_sql()
+            _CTX.executor.execute(stmt)
+            return
+
+
+# -- SPARQL round-trip properties ------------------------------------------------
+
+sparql_terms = st.one_of(
+    st.builds(Var, st.sampled_from(["x", "y", "z"])),
+    st.sampled_from(["class:movie", "prop:movie.year", "rel:director"]),
+    st.text(alphabet="abc XYZ'\"", min_size=1, max_size=10),
+    st.integers(-99, 99),
+)
+
+
+@st.composite
+def sparql_queries(draw):
+    n_patterns = draw(st.integers(1, 3))
+    patterns = tuple(
+        TriplePattern(
+            draw(st.builds(Var, st.sampled_from(["a", "b", "c"]))),
+            draw(st.sampled_from(["rdf:type", "prop:movie.year", "rdfs:label"])),
+            draw(sparql_terms),
+        )
+        for _ in range(n_patterns)
+    )
+    filters = ()
+    if draw(st.booleans()):
+        filters = (
+            Filter(
+                Var(draw(st.sampled_from(["a", "b"]))),
+                draw(st.sampled_from(["=", "!=", "<", "<=", ">", ">="])),
+                draw(st.integers(-99, 99)),
+            ),
+        )
+    count = Var("a") if draw(st.booleans()) else None
+    select = () if count else (Var("a"),)
+    return SparqlQuery(
+        select=select,
+        patterns=patterns,
+        filters=filters,
+        distinct=draw(st.booleans()),
+        count=count,
+        limit=draw(st.one_of(st.none(), st.integers(0, 9))),
+    )
+
+
+class TestSparqlProperties:
+    @given(sparql_queries())
+    @settings(max_examples=150, deadline=None)
+    def test_render_parse_roundtrip(self, query):
+        assert parse_sparql(query.to_sparql()) == query

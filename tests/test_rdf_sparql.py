@@ -1,0 +1,322 @@
+"""Tests for the RDF substrate, SPARQL engine, BELA and TR Discover."""
+
+import pytest
+
+from repro.bench.domains import build_domain
+from repro.core import NLIDBContext
+from repro.core.intermediate import compile_oql
+from repro.rdf import (
+    RDF_TYPE,
+    RDFS_LABEL,
+    Filter,
+    SparqlQuery,
+    TriplePattern,
+    TripleStore,
+    Var,
+    class_uri,
+    evaluate,
+    export_rdf,
+    parse_sparql,
+    property_uri,
+    relation_uri,
+)
+from repro.sqldb import execute_sql
+from repro.systems.sparql_bela import BelaSystem
+from repro.systems.trdiscover import TRDiscoverCompleter
+
+
+@pytest.fixture(scope="module")
+def movie_ctx():
+    return NLIDBContext(build_domain("movies"))
+
+
+@pytest.fixture(scope="module")
+def movie_store(movie_ctx):
+    return export_rdf(movie_ctx)
+
+
+class TestTripleStore:
+    def make(self):
+        store = TripleStore()
+        store.add("e:1", RDF_TYPE, "class:person")
+        store.add("e:1", RDFS_LABEL, "Ada")
+        store.add("e:1", "prop:age", 30)
+        store.add("e:2", RDF_TYPE, "class:person")
+        store.add("e:2", RDFS_LABEL, "Bob")
+        return store
+
+    def test_dedup(self):
+        store = self.make()
+        before = len(store)
+        store.add("e:1", RDFS_LABEL, "Ada")
+        assert len(store) == before
+
+    def test_match_by_subject(self):
+        store = self.make()
+        assert len(store.match("e:1")) == 3
+
+    def test_match_by_predicate_object(self):
+        store = self.make()
+        triples = store.match(None, RDF_TYPE, "class:person")
+        assert {t.subject for t in triples} == {"e:1", "e:2"}
+
+    def test_match_object_only(self):
+        store = self.make()
+        assert store.match(None, None, 30, obj_given=True)[0].subject == "e:1"
+
+    def test_full_wildcard(self):
+        store = self.make()
+        assert len(store.match()) == len(store)
+
+    def test_bool_int_distinct(self):
+        store = TripleStore()
+        store.add("e:1", "p", True)
+        store.add("e:2", "p", 1)
+        assert len(store.match(None, "p", True)) == 1
+
+    def test_subjects_of_type(self):
+        assert set(self.make().subjects_of_type("class:person")) == {"e:1", "e:2"}
+
+    def test_label_index(self):
+        index = self.make().label_index()
+        assert index["ada"] == ["e:1"]
+
+
+class TestExport:
+    def test_every_row_typed(self, movie_ctx, movie_store):
+        movies = movie_store.subjects_of_type(class_uri("movie"))
+        assert len(movies) == len(movie_ctx.database.table("movies"))
+
+    def test_properties_exported(self, movie_ctx, movie_store):
+        triples = movie_store.match(None, property_uri("movie", "year"))
+        assert len(triples) == len(movie_ctx.database.table("movies"))
+
+    def test_relations_exported(self, movie_store):
+        assert movie_store.match(None, relation_uri("director"))
+
+    def test_labels_exported(self, movie_ctx, movie_store):
+        title = movie_ctx.database.table("movies").rows[0][1]
+        assert movie_store.match(None, RDFS_LABEL, title)
+
+
+class TestSparqlEngine:
+    def test_type_listing_matches_sql(self, movie_ctx, movie_store):
+        query = SparqlQuery(
+            select=(Var("label"),),
+            patterns=(
+                TriplePattern(Var("m"), RDF_TYPE, class_uri("movie")),
+                TriplePattern(Var("m"), RDFS_LABEL, Var("label")),
+            ),
+        )
+        result = evaluate(movie_store, query)
+        sql = execute_sql(movie_ctx.database, "SELECT title FROM movies")
+        assert result.equals_unordered(sql)
+
+    def test_filter_matches_sql(self, movie_ctx, movie_store):
+        query = SparqlQuery(
+            select=(Var("label"),),
+            patterns=(
+                TriplePattern(Var("m"), RDF_TYPE, class_uri("movie")),
+                TriplePattern(Var("m"), RDFS_LABEL, Var("label")),
+                TriplePattern(Var("m"), property_uri("movie", "year"), Var("y")),
+            ),
+            filters=(Filter(Var("y"), ">", 2015),),
+        )
+        result = evaluate(movie_store, query)
+        sql = execute_sql(movie_ctx.database, "SELECT title FROM movies WHERE year > 2015")
+        assert result.equals_unordered(sql)
+
+    def test_join_traversal_matches_sql(self, movie_ctx, movie_store):
+        director = movie_ctx.database.table("directors").rows[0][1]
+        query = SparqlQuery(
+            select=(Var("label"),),
+            patterns=(
+                TriplePattern(Var("m"), RDF_TYPE, class_uri("movie")),
+                TriplePattern(Var("m"), RDFS_LABEL, Var("label")),
+                TriplePattern(Var("m"), relation_uri("director"), Var("d")),
+                TriplePattern(Var("d"), RDFS_LABEL, director),
+            ),
+        )
+        result = evaluate(movie_store, query)
+        sql = execute_sql(
+            movie_ctx.database,
+            "SELECT title FROM movies JOIN directors ON movies.director_id = directors.id "
+            f"WHERE directors.name = '{director}'",
+        )
+        assert result.equals_unordered(sql)
+
+    def test_count(self, movie_ctx, movie_store):
+        query = SparqlQuery(
+            select=(),
+            patterns=(TriplePattern(Var("m"), RDF_TYPE, class_uri("movie")),),
+            count=Var("m"),
+        )
+        assert evaluate(movie_store, query).scalar() == len(
+            movie_ctx.database.table("movies")
+        )
+
+    def test_limit_and_distinct(self, movie_store):
+        query = SparqlQuery(
+            select=(Var("g"),),
+            patterns=(TriplePattern(Var("m"), property_uri("movie", "genre"), Var("g")),),
+            distinct=True,
+            limit=3,
+        )
+        result = evaluate(movie_store, query)
+        assert len(result) <= 3
+        assert len(set(result.rows)) == len(result.rows)
+
+    def test_unsatisfiable_pattern_empty(self, movie_store):
+        query = SparqlQuery(
+            select=(Var("x"),),
+            patterns=(TriplePattern(Var("x"), RDF_TYPE, "class:unicorn"),),
+        )
+        assert len(evaluate(movie_store, query)) == 0
+
+
+class TestSparqlRoundTrip:
+    CASES = [
+        SparqlQuery(
+            select=(Var("x"),),
+            patterns=(TriplePattern(Var("x"), RDF_TYPE, class_uri("movie")),),
+        ),
+        SparqlQuery(
+            select=(Var("x"), Var("y")),
+            patterns=(
+                TriplePattern(Var("x"), property_uri("movie", "year"), Var("y")),
+            ),
+            filters=(Filter(Var("y"), ">=", 2000),),
+            distinct=True,
+            limit=5,
+        ),
+        SparqlQuery(
+            select=(),
+            patterns=(TriplePattern(Var("m"), RDFS_LABEL, "It's \"quoted\""),),
+            count=Var("m"),
+        ),
+    ]
+
+    @pytest.mark.parametrize("query", CASES)
+    def test_roundtrip(self, query):
+        assert parse_sparql(query.to_sparql()) == query
+
+
+class TestBela:
+    @pytest.fixture(scope="class")
+    def bela(self, movie_ctx):
+        return BelaSystem(movie_ctx)
+
+    def test_count_template(self, movie_ctx, bela):
+        result = bela.answer("how many movies are there")
+        assert result.scalar() == len(movie_ctx.database.table("movies"))
+
+    def test_count_with_condition(self, movie_ctx, bela):
+        result = bela.answer("how many movies with genre drama")
+        gold = execute_sql(
+            movie_ctx.database, "SELECT COUNT(*) FROM movies WHERE genre = 'drama'"
+        )
+        assert result.scalar() == gold.scalar()
+
+    def test_property_of_entity(self, movie_ctx, bela):
+        title = movie_ctx.database.table("movies").rows[0][1]
+        result = bela.answer(f"what is the year of {title}")
+        gold = execute_sql(
+            movie_ctx.database, f"SELECT year FROM movies WHERE title = '{title}'"
+        )
+        assert result.equals_unordered(gold)
+
+    def test_relation_traversal(self, movie_ctx, bela):
+        director = movie_ctx.database.table("directors").rows[0][1]
+        result = bela.answer(f"movies whose director is {director}")
+        gold = execute_sql(
+            movie_ctx.database,
+            "SELECT title FROM movies JOIN directors ON movies.director_id = directors.id "
+            f"WHERE directors.name = '{director}'",
+        )
+        assert result.equals_unordered(gold)
+
+    def test_layer1_for_exact_phrasing(self, bela):
+        readings = bela.interpret_sparql("how many movies with genre drama")
+        assert readings[0].layer == 1
+
+    def test_layer2_for_synonyms(self, movie_ctx):
+        # schema synonyms ('category') are layer-1 vocabulary; a
+        # thesaurus-only synonym ('class' ~ 'genre') needs layer 2
+        bela = BelaSystem(movie_ctx)
+        readings = bela.interpret_sparql("how many movies with class drama")
+        assert readings and readings[0].layer == 2
+        assert any(f.value == "drama" for f in readings[0].query.filters)
+
+    def test_layer_cap_blocks_deeper_layers(self, movie_ctx):
+        shallow = BelaSystem(movie_ctx, max_layer=1)
+        readings = shallow.interpret_sparql("how many movies with class drama")
+        # layer 1 cannot resolve 'class' -> genre: no drama filter appears
+        assert all(
+            not any(f.value == "drama" for f in r.query.filters) for r in readings
+        )
+
+    def test_no_reading_for_garbage(self, bela):
+        assert bela.interpret_sparql("flibber the wug") == []
+
+
+class TestTRDiscover:
+    @pytest.fixture(scope="class")
+    def completer(self, movie_ctx):
+        return TRDiscoverCompleter(movie_ctx)
+
+    def test_start_suggests_classes(self, completer):
+        texts = {s.text for s in completer.complete("")}
+        assert "movies" in texts
+
+    def test_after_class_suggests_connectives(self, completer):
+        texts = [s.text for s in completer.complete("movies")]
+        assert texts == ["with", "whose"]
+
+    def test_property_suggestions(self, completer):
+        texts = {s.text for s in completer.complete("movies with")}
+        assert "genre" in texts and "id" not in texts
+
+    def test_value_suggestions_for_text_property(self, completer):
+        texts = {s.text for s in completer.complete("movies with genre")}
+        assert "drama" in texts
+
+    def test_numeric_property_suggests_comparators(self, completer):
+        texts = [s.text for s in completer.complete("movies with rating")]
+        assert texts == ["over", "under"]
+
+    def test_relation_then_labels(self, completer, movie_ctx):
+        assert "is" in [s.text for s in completer.complete("movies whose director")]
+        labels = {s.text for s in completer.complete("movies whose director is")}
+        assert movie_ctx.database.table("directors").rows[0][1] in labels or labels
+
+    def test_centrality_ranking_is_sorted(self, completer):
+        suggestions = completer.complete("movies whose director is")
+        scores = [s.score for s in suggestions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_completed_sentences_always_interpretable(self, completer, movie_ctx):
+        for sentence in (
+            "movies with genre drama",
+            "movies with rating over 8",
+            "movies whose director is sam chen",
+        ):
+            query = completer.parse_completed(sentence)
+            assert query is not None
+            stmt = compile_oql(query, movie_ctx.ontology, movie_ctx.mapping)
+            movie_ctx.executor.execute(stmt)
+
+    def test_off_grammar_returns_none(self, completer):
+        assert completer.parse_completed("bananas frobnicate wildly") is None
+
+
+class TestExportAllDomains:
+    @pytest.mark.parametrize("domain", ["hr", "retail", "finance", "geo", "university", "healthcare"])
+    def test_every_domain_exports_consistently(self, domain):
+        context = NLIDBContext(build_domain(domain))
+        store = export_rdf(context)
+        assert len(store) > 0
+        # every concept's entity count equals its table's row count
+        for concept in context.ontology.concepts.values():
+            table = context.mapping.table_of(concept.name)
+            entities = store.subjects_of_type(class_uri(concept.name))
+            assert len(entities) == len(context.database.table(table))

@@ -1,0 +1,301 @@
+"""Unit tests for the SQL executor against hand-checked databases."""
+
+import datetime
+
+import pytest
+
+from repro.sqldb import (
+    AmbiguousColumnError,
+    ExecutionError,
+    UnknownColumnError,
+    execute_sql,
+)
+
+
+def rows(db, sql):
+    return execute_sql(db, sql).rows
+
+
+class TestSelection:
+    def test_project_columns(self, emp_db):
+        result = execute_sql(emp_db, "SELECT name, salary FROM emp")
+        assert result.columns == ["name", "salary"]
+        assert len(result) == 5
+
+    def test_where_filters(self, emp_db):
+        assert rows(emp_db, "SELECT name FROM emp WHERE salary > 100") == [
+            ("Ada",),
+            ("Cyd",),
+        ]
+
+    def test_null_comparison_is_false(self, emp_db):
+        # Dee has NULL salary: excluded from both > and <= filters.
+        high = rows(emp_db, "SELECT name FROM emp WHERE salary > 0")
+        low = rows(emp_db, "SELECT name FROM emp WHERE salary <= 0")
+        names = {r[0] for r in high} | {r[0] for r in low}
+        assert "Dee" not in names
+
+    def test_is_null(self, emp_db):
+        assert rows(emp_db, "SELECT name FROM emp WHERE salary IS NULL") == [("Dee",)]
+
+    def test_is_not_null_count(self, emp_db):
+        assert rows(emp_db, "SELECT COUNT(*) FROM emp WHERE salary IS NOT NULL") == [(4,)]
+
+    def test_like_case_insensitive(self, emp_db):
+        assert rows(emp_db, "SELECT dname FROM dept WHERE dname LIKE 'eng%'") == [
+            ("Engineering",)
+        ]
+
+    def test_like_underscore(self, emp_db):
+        assert rows(emp_db, "SELECT name FROM emp WHERE name LIKE '_ob'") == [("Bob",)]
+
+    def test_between_inclusive(self, emp_db):
+        assert rows(emp_db, "SELECT name FROM emp WHERE salary BETWEEN 90 AND 120") == [
+            ("Ada",),
+            ("Bob",),
+        ]
+
+    def test_in_list(self, emp_db):
+        assert rows(emp_db, "SELECT name FROM emp WHERE id IN (1, 3)") == [
+            ("Ada",),
+            ("Cyd",),
+        ]
+
+    def test_date_comparison(self, emp_db):
+        result = rows(emp_db, "SELECT name FROM emp WHERE hired < '2020-01-01'")
+        assert {r[0] for r in result} == {"Ada", "Cyd"}
+
+    def test_select_star(self, emp_db):
+        result = execute_sql(emp_db, "SELECT * FROM dept")
+        assert result.columns == ["id", "dname", "budget"]
+
+    def test_select_constant_no_from(self, emp_db):
+        assert rows(emp_db, "SELECT 1") == [(1,)]
+
+    def test_arithmetic_projection(self, emp_db):
+        result = execute_sql(emp_db, "SELECT salary * 2 AS double FROM emp WHERE id = 1")
+        assert result.rows == [(240.0,)]
+
+    def test_division_by_zero(self, emp_db):
+        with pytest.raises(ExecutionError):
+            execute_sql(emp_db, "SELECT 1 / 0")
+
+
+class TestAggregation:
+    def test_count_star_counts_nulls(self, emp_db):
+        assert rows(emp_db, "SELECT COUNT(*) FROM emp") == [(5,)]
+
+    def test_count_column_skips_nulls(self, emp_db):
+        assert rows(emp_db, "SELECT COUNT(salary) FROM emp") == [(4,)]
+
+    def test_count_distinct(self, emp_db):
+        assert rows(emp_db, "SELECT COUNT(DISTINCT dept_id) FROM emp") == [(2,)]
+
+    def test_sum_avg_skip_nulls(self, emp_db):
+        assert rows(emp_db, "SELECT SUM(salary) FROM emp") == [(420.0,)]
+        assert rows(emp_db, "SELECT AVG(salary) FROM emp") == [(105.0,)]
+
+    def test_min_max(self, emp_db):
+        assert rows(emp_db, "SELECT MIN(salary), MAX(salary) FROM emp") == [(60.0, 150.0)]
+
+    def test_aggregate_empty_input(self, emp_db):
+        assert rows(emp_db, "SELECT SUM(salary) FROM emp WHERE id > 99") == [(None,)]
+        assert rows(emp_db, "SELECT COUNT(*) FROM emp WHERE id > 99") == [(0,)]
+
+    def test_group_by_counts(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT dept_id, COUNT(*) FROM emp WHERE dept_id IS NOT NULL "
+            "GROUP BY dept_id ORDER BY dept_id",
+        )
+        assert result == [(1, 2), (2, 2)]
+
+    def test_group_by_null_group(self, emp_db):
+        result = rows(emp_db, "SELECT dept_id, COUNT(*) FROM emp GROUP BY dept_id")
+        assert (None, 1) in result
+
+    def test_having(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT dept_id FROM emp GROUP BY dept_id HAVING AVG(salary) > 120",
+        )
+        assert result == [(2,)]
+
+    def test_aggregate_outside_group_context(self, emp_db):
+        with pytest.raises(ExecutionError):
+            execute_sql(emp_db, "SELECT name FROM emp WHERE SUM(salary) > 10")
+
+    def test_star_invalid_in_grouped(self, emp_db):
+        with pytest.raises(ExecutionError):
+            execute_sql(emp_db, "SELECT * FROM emp GROUP BY dept_id")
+
+
+class TestJoins:
+    def test_inner_join(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT name, dname FROM emp JOIN dept ON emp.dept_id = dept.id ORDER BY name",
+        )
+        assert result == [
+            ("Ada", "Engineering"),
+            ("Bob", "Engineering"),
+            ("Cyd", "Sales"),
+            ("Dee", "Sales"),
+        ]
+
+    def test_join_drops_unmatched(self, emp_db):
+        # Eli has NULL dept_id and joins nothing.
+        result = rows(emp_db, "SELECT name FROM emp JOIN dept ON emp.dept_id = dept.id")
+        assert ("Eli",) not in result
+
+    def test_three_way_join(self, shop_db):
+        result = rows(
+            shop_db,
+            "SELECT DISTINCT customers.name FROM customers "
+            "JOIN orders ON customers.id = orders.customer_id "
+            "JOIN order_items ON orders.id = order_items.order_id "
+            "WHERE order_items.qty > 2",
+        )
+        assert result == [("Ada",)]
+
+    def test_alias_join(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept_id = d.id WHERE d.dname = 'Sales'",
+        )
+        assert {r[0] for r in result} == {"Cyd", "Dee"}
+
+    def test_ambiguous_column_raises(self, emp_db):
+        with pytest.raises(AmbiguousColumnError):
+            execute_sql(emp_db, "SELECT id FROM emp JOIN dept ON emp.dept_id = dept.id")
+
+    def test_unknown_column_raises(self, emp_db):
+        with pytest.raises(UnknownColumnError):
+            execute_sql(emp_db, "SELECT bogus FROM emp")
+
+
+class TestSubqueries:
+    def test_scalar_subquery(self, emp_db):
+        result = rows(
+            emp_db, "SELECT name FROM emp WHERE salary > (SELECT AVG(salary) FROM emp)"
+        )
+        assert {r[0] for r in result} == {"Ada", "Cyd"}
+
+    def test_scalar_subquery_multirow_fails(self, emp_db):
+        with pytest.raises(ExecutionError):
+            execute_sql(
+                emp_db, "SELECT name FROM emp WHERE salary > (SELECT salary FROM emp)"
+            )
+
+    def test_in_subquery(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT name FROM emp WHERE dept_id IN "
+            "(SELECT id FROM dept WHERE budget > 600)",
+        )
+        assert {r[0] for r in result} == {"Ada", "Bob"}
+
+    def test_not_in_subquery(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT name FROM emp WHERE dept_id NOT IN "
+            "(SELECT id FROM dept WHERE budget > 600)",
+        )
+        # NULL dept_id row is excluded (NULL semantics)
+        assert {r[0] for r in result} == {"Cyd", "Dee"}
+
+    def test_correlated_exists(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT dname FROM dept WHERE EXISTS "
+            "(SELECT 1 FROM emp WHERE emp.dept_id = dept.id AND emp.salary > 140)",
+        )
+        assert result == [("Sales",)]
+
+    def test_correlated_scalar(self, shop_db):
+        result = rows(
+            shop_db,
+            "SELECT name FROM customers c WHERE "
+            "(SELECT COUNT(*) FROM orders o WHERE o.customer_id = c.id) > 1",
+        )
+        assert result == [("Ada",)]
+
+    def test_nested_two_levels(self, shop_db):
+        result = rows(
+            shop_db,
+            "SELECT name FROM customers WHERE id IN ("
+            "SELECT customer_id FROM orders WHERE total > ("
+            "SELECT AVG(total) FROM orders))",
+        )
+        assert result == [("Ada",)]
+
+
+class TestOrderingAndLimit:
+    def test_order_desc(self, emp_db):
+        result = rows(emp_db, "SELECT name FROM emp WHERE salary IS NOT NULL ORDER BY salary DESC")
+        assert result == [("Cyd",), ("Ada",), ("Bob",), ("Eli",)]
+
+    def test_order_nulls_first_asc(self, emp_db):
+        result = rows(emp_db, "SELECT name FROM emp ORDER BY salary")
+        assert result[0] == ("Dee",)
+
+    def test_order_by_alias(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT name, salary * 2 AS d FROM emp WHERE salary IS NOT NULL ORDER BY d DESC LIMIT 1",
+        )
+        assert result == [("Cyd", 300.0)]
+
+    def test_order_by_aggregate(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT dept_id FROM emp WHERE dept_id IS NOT NULL "
+            "GROUP BY dept_id ORDER BY AVG(salary) DESC",
+        )
+        assert result == [(2,), (1,)]
+
+    def test_limit(self, emp_db):
+        assert len(rows(emp_db, "SELECT name FROM emp LIMIT 2")) == 2
+
+    def test_limit_zero(self, emp_db):
+        assert rows(emp_db, "SELECT name FROM emp LIMIT 0") == []
+
+    def test_distinct(self, emp_db):
+        result = rows(emp_db, "SELECT DISTINCT dept_id FROM emp ORDER BY dept_id")
+        assert result == [(None,), (1,), (2,)]
+
+    def test_multi_key_order(self, emp_db):
+        result = rows(
+            emp_db,
+            "SELECT dept_id, name FROM emp WHERE dept_id IS NOT NULL "
+            "ORDER BY dept_id ASC, name DESC",
+        )
+        assert result == [(1, "Bob"), (1, "Ada"), (2, "Dee"), (2, "Cyd")]
+
+
+class TestRelation:
+    def test_equals_unordered(self, emp_db):
+        a = execute_sql(emp_db, "SELECT name FROM emp ORDER BY name")
+        b = execute_sql(emp_db, "SELECT name FROM emp ORDER BY salary")
+        assert a.equals_unordered(b)
+        assert not a.equals_ordered(b)
+
+    def test_numeric_canonicalization(self, emp_db):
+        a = execute_sql(emp_db, "SELECT 1")
+        b = execute_sql(emp_db, "SELECT 1.0")
+        assert a.equals_unordered(b)
+
+    def test_column_accessor(self, emp_db):
+        result = execute_sql(emp_db, "SELECT name, salary FROM emp WHERE id = 1")
+        assert result.column("salary") == [120.0]
+
+    def test_scalar_accessor(self, emp_db):
+        assert execute_sql(emp_db, "SELECT COUNT(*) FROM dept").scalar() == 2
+
+    def test_scalar_rejects_multirow(self, emp_db):
+        with pytest.raises(ValueError):
+            execute_sql(emp_db, "SELECT name FROM emp").scalar()
+
+    def test_to_text_contains_header(self, emp_db):
+        text = execute_sql(emp_db, "SELECT dname FROM dept").to_text()
+        assert "dname" in text and "Engineering" in text

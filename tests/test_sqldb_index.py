@@ -1,0 +1,120 @@
+"""Unit tests for the inverted metadata/value indexes."""
+
+import pytest
+
+from repro.sqldb import (
+    Column,
+    Database,
+    DatabaseIndex,
+    DataType,
+    MetadataIndex,
+    TableSchema,
+    ValueIndex,
+    split_identifier,
+)
+
+
+@pytest.fixture
+def indexed_db():
+    db = Database("idx")
+    db.create_table(
+        TableSchema(
+            "orders",
+            [
+                Column("id", DataType.INTEGER, primary_key=True),
+                Column("order_date", DataType.DATE),
+                Column("customerName", DataType.TEXT, synonyms=("buyer",)),
+                Column("total", DataType.FLOAT),
+            ],
+            synonyms=("purchase",),
+        )
+    )
+    db.insert_many(
+        "orders",
+        [
+            [1, "2023-01-01", "Ada Lovelace", 10.0],
+            [2, "2023-02-02", "Grace Hopper", 20.0],
+            [3, "2023-03-03", "Ada Lovelace", 30.0],
+        ],
+    )
+    return db
+
+
+class TestSplitIdentifier:
+    @pytest.mark.parametrize(
+        "identifier,expected",
+        [
+            ("order_date", ["order", "date"]),
+            ("customerName", ["customer", "name"]),
+            ("order date", ["order", "date"]),
+            ("ALLCAPS", ["allcaps"]),
+            ("simple", ["simple"]),
+            ("a_b_c", ["a", "b", "c"]),
+        ],
+    )
+    def test_splitting(self, identifier, expected):
+        assert split_identifier(identifier) == expected
+
+
+class TestMetadataIndex:
+    def test_table_name_lookup(self, indexed_db):
+        index = MetadataIndex(indexed_db)
+        hits = index.lookup("orders")
+        assert any(h.kind == "table" for h in hits)
+
+    def test_table_synonym_lookup(self, indexed_db):
+        index = MetadataIndex(indexed_db)
+        assert any(h.kind == "table" for h in index.lookup("purchase"))
+
+    def test_column_word_lookup(self, indexed_db):
+        index = MetadataIndex(indexed_db)
+        hits = index.lookup("date")
+        assert any(h.kind == "column" and h.column == "order_date" for h in hits)
+
+    def test_column_phrase_lookup(self, indexed_db):
+        index = MetadataIndex(indexed_db)
+        hits = index.lookup_phrase(["order", "date"])
+        assert any(h.column == "order_date" for h in hits)
+
+    def test_column_synonym(self, indexed_db):
+        index = MetadataIndex(indexed_db)
+        assert any(h.column == "customerName" for h in index.lookup("buyer"))
+
+    def test_miss(self, indexed_db):
+        assert MetadataIndex(indexed_db).lookup("zebra") == []
+
+
+class TestValueIndex:
+    def test_full_value_lookup(self, indexed_db):
+        index = ValueIndex(indexed_db)
+        hits = index.lookup("ada lovelace")
+        assert hits and hits[0].value == "Ada Lovelace" and hits[0].score == 1.0
+
+    def test_token_lookup_scores_lower(self, indexed_db):
+        index = ValueIndex(indexed_db)
+        hits = index.lookup("ada")
+        assert hits and all(h.score < 1.0 for h in hits)
+
+    def test_numeric_values_not_indexed(self, indexed_db):
+        index = ValueIndex(indexed_db)
+        assert index.lookup("10.0") == []
+
+    def test_phrase_lookup(self, indexed_db):
+        index = ValueIndex(indexed_db)
+        assert index.lookup_phrase(["grace", "hopper"])
+
+    def test_describe(self, indexed_db):
+        entry = ValueIndex(indexed_db).lookup("ada lovelace")[0]
+        assert "Ada Lovelace" in entry.describe()
+
+
+class TestDatabaseIndex:
+    def test_union_lookup(self, indexed_db):
+        index = DatabaseIndex(indexed_db)
+        hits = index.lookup("orders")
+        kinds = {h.kind for h in hits}
+        assert "table" in kinds
+
+    def test_phrase_union(self, indexed_db):
+        index = DatabaseIndex(indexed_db)
+        assert index.lookup_phrase(["ada", "lovelace"])

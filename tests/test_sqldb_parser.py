@@ -1,0 +1,201 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sqldb import ParseError, parse_expression, parse_select
+from repro.sqldb.ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    Star,
+    SubqueryExpr,
+    UnaryOp,
+)
+from repro.sqldb.lexer import tokenize
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt FrOm")
+        assert [t.value for t in tokens[:-1]] == ["select", "from"]
+
+    def test_string_escaping(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 10")
+        assert [t.value for t in tokens[:-1]] == [1, 2.5, 10]
+
+    def test_operators_greedy(self):
+        tokens = tokenize("a<=b<>c")
+        ops = [t.value for t in tokens if t.kind == "op"]
+        assert ops == ["<=", "!="]
+
+    def test_unexpected_char(self):
+        with pytest.raises(ParseError):
+            tokenize("a # b")
+
+
+class TestParseExpression:
+    def test_precedence_and_or(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "OR"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+    def test_parenthesized(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "*"
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 5")
+        assert isinstance(expr, Between) and not expr.negated
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 5")
+        assert isinstance(expr, Between) and expr.negated
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, InList) and len(expr.items) == 3
+
+    def test_not_in_list(self):
+        expr = parse_expression("x NOT IN ('a')")
+        assert isinstance(expr, InList) and expr.negated
+
+    def test_is_null_forms(self):
+        assert isinstance(parse_expression("x IS NULL"), IsNull)
+        expr = parse_expression("x IS NOT NULL")
+        assert isinstance(expr, IsNull) and expr.negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'A%'")
+        assert isinstance(expr, BinaryOp) and expr.op == "LIKE"
+
+    def test_qualified_column(self):
+        expr = parse_expression("t.col")
+        assert expr == ColumnRef("col", table="t")
+
+    def test_function_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert isinstance(expr, FuncCall) and isinstance(expr.args[0], Star)
+
+    def test_count_distinct(self):
+        expr = parse_expression("COUNT(DISTINCT city)")
+        assert isinstance(expr, FuncCall) and expr.distinct
+
+    def test_unary_minus_folds_into_literal(self):
+        assert parse_expression("-5") == Literal(-5)
+
+    def test_unary_minus_on_column_stays_unary(self):
+        expr = parse_expression("-salary")
+        assert isinstance(expr, UnaryOp) and expr.op == "-"
+
+    def test_boolean_literals(self):
+        assert parse_expression("TRUE") == Literal(True)
+        assert parse_expression("NULL") == Literal(None)
+
+
+class TestParseSelect:
+    def test_minimal(self):
+        stmt = parse_select("SELECT 1")
+        assert stmt.from_table is None
+        assert stmt.select_items[0].expr == Literal(1)
+
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert isinstance(stmt.select_items[0].expr, Star)
+
+    def test_alias_with_and_without_as(self):
+        stmt = parse_select("SELECT a AS x, b y FROM t")
+        assert stmt.select_items[0].alias == "x"
+        assert stmt.select_items[1].alias == "y"
+
+    def test_table_alias(self):
+        stmt = parse_select("SELECT e.name FROM emp e")
+        assert stmt.from_table.alias == "e"
+
+    def test_join_on(self):
+        stmt = parse_select("SELECT 1 FROM a JOIN b ON a.x = b.y")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].table.table == "b"
+
+    def test_inner_join_keyword(self):
+        stmt = parse_select("SELECT 1 FROM a INNER JOIN b ON a.x = b.y")
+        assert len(stmt.joins) == 1
+
+    def test_group_by_having(self):
+        stmt = parse_select(
+            "SELECT city, COUNT(*) FROM t GROUP BY city HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a DESC, b")
+        assert stmt.order_by[0].direction == "desc"
+        assert stmt.order_by[1].direction == "asc"
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM t LIMIT 2.5")
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_scalar_subquery(self):
+        stmt = parse_select("SELECT a FROM t WHERE a > (SELECT AVG(a) FROM t)")
+        subs = stmt.subqueries()
+        assert len(subs) == 1
+
+    def test_in_subquery(self):
+        stmt = parse_select("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        expr = stmt.where
+        assert isinstance(expr, SubqueryExpr) and expr.kind == "in"
+
+    def test_exists_subquery(self):
+        stmt = parse_select("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        assert isinstance(stmt.where, SubqueryExpr)
+        assert stmt.where.kind == "exists"
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT a FROM t garbage !")
+
+    def test_missing_from_item(self):
+        with pytest.raises(ParseError):
+            parse_select("SELECT FROM t")
+
+
+class TestRoundTrip:
+    CASES = [
+        "SELECT a FROM t",
+        "SELECT DISTINCT a, b AS x FROM t WHERE a > 1 AND b = 'z'",
+        "SELECT COUNT(*) FROM t WHERE name LIKE 'A%'",
+        "SELECT city, SUM(pop) FROM t GROUP BY city HAVING SUM(pop) > 10 ORDER BY city ASC LIMIT 3",
+        "SELECT a FROM t JOIN u ON t.id = u.tid WHERE u.v BETWEEN 1 AND 2",
+        "SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE b IS NOT NULL)",
+        "SELECT a FROM t WHERE NOT (a = 1) OR b NOT IN (1, 2)",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_to_sql_reparses_identically(self, sql):
+        first = parse_select(sql)
+        second = parse_select(first.to_sql())
+        assert first == second

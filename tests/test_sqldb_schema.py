@@ -1,0 +1,145 @@
+"""Unit tests for schema, table storage and the database catalog."""
+
+import pytest
+
+from repro.sqldb import (
+    Column,
+    Database,
+    DataType,
+    SchemaError,
+    TableSchema,
+    TypeMismatchError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+
+
+def make_schema():
+    return TableSchema(
+        "t",
+        [
+            Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+            Column("name", DataType.TEXT),
+            Column("score", DataType.FLOAT),
+        ],
+    )
+
+
+class TestTableSchema:
+    def test_column_lookup_case_insensitive(self):
+        schema = make_schema()
+        assert schema.column("NAME").name == "name"
+        assert schema.column_index("Score") == 2
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            make_schema().column("missing")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.TEXT), Column("A", DataType.TEXT)])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_primary_key_listing(self):
+        assert [c.name for c in make_schema().primary_key] == ["id"]
+
+    def test_numeric_and_text_columns(self):
+        schema = make_schema()
+        assert [c.name for c in schema.numeric_columns()] == ["id", "score"]
+        assert [c.name for c in schema.text_columns()] == ["name"]
+
+    def test_ddl_render(self):
+        ddl = make_schema().to_ddl()
+        assert "CREATE TABLE t" in ddl
+        assert "id INTEGER PRIMARY KEY NOT NULL" in ddl
+
+
+class TestTable:
+    def test_insert_and_len(self):
+        db = Database()
+        table = db.create_table(make_schema())
+        table.insert([1, "a", 2.5])
+        assert len(table) == 1
+
+    def test_insert_coerces(self):
+        db = Database()
+        table = db.create_table(make_schema())
+        table.insert(["7", "a", 3])
+        assert table.rows[0] == (7, "a", 3.0)
+
+    def test_arity_mismatch(self):
+        db = Database()
+        table = db.create_table(make_schema())
+        with pytest.raises(TypeMismatchError):
+            table.insert([1, "a"])
+
+    def test_not_null_enforced(self):
+        db = Database()
+        table = db.create_table(make_schema())
+        with pytest.raises(TypeMismatchError):
+            table.insert([None, "a", 1.0])
+
+    def test_insert_dict_defaults_null(self):
+        db = Database()
+        table = db.create_table(make_schema())
+        table.insert_dict({"id": 1, "name": "x"})
+        assert table.rows[0] == (1, "x", None)
+
+    def test_insert_dict_unknown_key(self):
+        db = Database()
+        table = db.create_table(make_schema())
+        with pytest.raises(SchemaError):
+            table.insert_dict({"id": 1, "bogus": 2})
+
+    def test_distinct_values_order_and_null_skip(self):
+        db = Database()
+        table = db.create_table(make_schema())
+        table.insert_many([[1, "b", None], [2, "a", None], [3, "b", None]])
+        assert table.distinct_values("name") == ["b", "a"]
+
+
+class TestDatabase:
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table(make_schema())
+        with pytest.raises(SchemaError):
+            db.create_table(make_schema())
+
+    def test_unknown_table(self):
+        with pytest.raises(UnknownTableError):
+            Database().table("nope")
+
+    def test_fk_validation(self, emp_db):
+        with pytest.raises(UnknownColumnError):
+            emp_db.add_foreign_key("emp", "missing", "dept", "id")
+
+    def test_join_path_direct(self, emp_db):
+        path = emp_db.join_path("emp", "dept")
+        assert len(path) == 1
+        assert (path[0].src_table, path[0].dst_table) == ("emp", "dept")
+
+    def test_join_path_oriented_from_start(self, shop_db):
+        path = shop_db.join_path("customers", "products")
+        assert [fk.src_table for fk in path] == ["customers", "orders", "order_items"]
+
+    def test_join_path_same_table(self, emp_db):
+        assert emp_db.join_path("emp", "emp") == []
+
+    def test_join_path_disconnected(self):
+        db = Database()
+        db.create_table(TableSchema("a", [Column("x", DataType.INTEGER)]))
+        db.create_table(TableSchema("b", [Column("y", DataType.INTEGER)]))
+        assert db.join_path("a", "b") is None
+
+    def test_find_column_across_tables(self, emp_db):
+        hits = emp_db.find_column("id")
+        assert {t for t, _ in hits} == {"emp", "dept"}
+
+    def test_stats(self, shop_db):
+        stats = shop_db.stats()
+        assert stats["tables"] == 4
+        assert stats["foreign_keys"] == 3
+        assert stats["rows"] == 3 + 3 + 3 + 4

@@ -1,0 +1,144 @@
+"""Unit tests for value types, coercion and comparison semantics."""
+
+import datetime
+
+import pytest
+
+from repro.sqldb import DataType, TypeMismatchError, parse_date
+from repro.sqldb.types import (
+    coerce,
+    format_value,
+    infer_type,
+    sort_key,
+    values_compare,
+    values_equal,
+)
+
+
+class TestCoerce:
+    def test_integer_accepts_int(self):
+        assert coerce(5, DataType.INTEGER) == 5
+
+    def test_integer_accepts_integral_float(self):
+        assert coerce(5.0, DataType.INTEGER) == 5
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(5.5, DataType.INTEGER)
+
+    def test_integer_parses_string(self):
+        assert coerce("42", DataType.INTEGER) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, DataType.INTEGER)
+
+    def test_float_widens_int(self):
+        value = coerce(3, DataType.FLOAT)
+        assert value == 3.0 and isinstance(value, float)
+
+    def test_float_rejects_text(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("abc", DataType.FLOAT)
+
+    def test_text_accepts_str_only(self):
+        assert coerce("hi", DataType.TEXT) == "hi"
+        with pytest.raises(TypeMismatchError):
+            coerce(3, DataType.TEXT)
+
+    def test_boolean_strict(self):
+        assert coerce(True, DataType.BOOLEAN) is True
+        with pytest.raises(TypeMismatchError):
+            coerce(1, DataType.BOOLEAN)
+
+    def test_date_from_iso_string(self):
+        assert coerce("2021-03-04", DataType.DATE) == datetime.date(2021, 3, 4)
+
+    def test_date_rejects_malformed(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("2021-13-40", DataType.DATE)
+
+    def test_null_passes_any_type(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+
+
+class TestParseDate:
+    def test_roundtrip(self):
+        assert parse_date("1999-12-31") == datetime.date(1999, 12, 31)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            parse_date("not-a-date")
+
+
+class TestInferType:
+    def test_basic_inference(self):
+        assert infer_type(1) is DataType.INTEGER
+        assert infer_type(1.5) is DataType.FLOAT
+        assert infer_type("x") is DataType.TEXT
+        assert infer_type(False) is DataType.BOOLEAN
+        assert infer_type(datetime.date(2020, 1, 1)) is DataType.DATE
+        assert infer_type(None) is None
+
+
+class TestValuesEqual:
+    def test_null_never_equals(self):
+        assert not values_equal(None, None)
+        assert not values_equal(None, 1)
+
+    def test_numeric_cross_type(self):
+        assert values_equal(1, 1.0)
+
+    def test_bool_not_numeric(self):
+        assert not values_equal(True, 1)
+
+    def test_text(self):
+        assert values_equal("a", "a")
+        assert not values_equal("a", "A")
+
+
+class TestValuesCompare:
+    def test_numbers(self):
+        assert values_compare(1, 2) == -1
+        assert values_compare(2.5, 2.5) == 0
+        assert values_compare(3, 2) == 1
+
+    def test_null_incomparable(self):
+        assert values_compare(None, 1) is None
+
+    def test_mixed_types_incomparable(self):
+        assert values_compare("a", 1) is None
+
+    def test_dates(self):
+        a, b = datetime.date(2020, 1, 1), datetime.date(2021, 1, 1)
+        assert values_compare(a, b) == -1
+
+    def test_strings(self):
+        assert values_compare("apple", "banana") == -1
+
+
+class TestSortKey:
+    def test_nulls_sort_first(self):
+        values = [3, None, 1]
+        assert sorted(values, key=sort_key) == [None, 1, 3]
+
+    def test_mixed_types_total_order(self):
+        values = ["b", 2, None, datetime.date(2020, 1, 1), 1, "a"]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+        assert ordered[1:3] == [1, 2]
+
+
+class TestFormatValue:
+    def test_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_string_escaping(self):
+        assert format_value("O'Hara") == "'O''Hara'"
+
+    def test_date(self):
+        assert format_value(datetime.date(2020, 2, 3)) == "'2020-02-03'"
+
+    def test_bool(self):
+        assert format_value(True) == "TRUE"

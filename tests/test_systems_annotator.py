@@ -1,0 +1,151 @@
+"""Unit tests for the shared entity annotator."""
+
+import pytest
+
+from repro.core import NLIDBContext
+from repro.ontology import QueryRelaxer, build_medical_kb
+from repro.systems import EntityAnnotator
+
+
+@pytest.fixture
+def annotator():
+    return EntityAnnotator(similarity_threshold=0.75)
+
+
+def kinds_targets(annotated):
+    return [(a.kind, a.target) for a in annotated.annotations]
+
+
+class TestConceptAnnotation:
+    def test_plural_concept_mention(self, shop_ctx, annotator):
+        annotated = annotator.annotate("show all customers", shop_ctx)
+        assert any(
+            a.kind == "concept" and a.payload == "customer"
+            for a in annotated.annotations
+        )
+
+    def test_synonym_concept_mention(self, emp_ctx, annotator):
+        # schema synonym: emp table declares "worker"
+        annotated = annotator.annotate("list the workers", emp_ctx)
+        assert any(a.kind == "concept" for a in annotated.annotations)
+
+    def test_unrelated_words_not_annotated(self, shop_ctx, annotator):
+        annotated = annotator.annotate("zebra xylophone", shop_ctx)
+        assert annotated.annotations == []
+
+
+class TestPropertyAnnotation:
+    def test_direct_property(self, shop_ctx, annotator):
+        annotated = annotator.annotate("the price of products", shop_ctx)
+        props = [a.payload for a in annotated.annotations if a.kind == "property"]
+        assert any(p.prop == "price" for p in props)
+
+    def test_multiword_property_phrase(self, shop_ctx, annotator):
+        annotated = annotator.annotate("the order date of orders", shop_ctx)
+        props = [a.payload for a in annotated.annotations if a.kind == "property"]
+        assert any(p.prop == "order date" for p in props)
+
+    def test_concept_proximity_disambiguates(self, emp_ctx, annotator):
+        # "id" exists on both tables; "dept" right before it wins
+        annotated = annotator.annotate("the dept id", emp_ctx)
+        props = [a.payload for a in annotated.annotations if a.kind == "property"]
+        assert any(p.concept == "dept" for p in props)
+
+    def test_aggregation_cue_not_swallowed(self, emp_ctx, annotator):
+        # "minimum salary" must keep 'minimum' free for the agg detector
+        annotated = annotator.annotate("the minimum salary of workers", emp_ctx)
+        salary = [a for a in annotated.annotations if a.kind == "property"]
+        assert salary and all(a.end - a.start == 1 for a in salary)
+
+
+class TestValueAnnotation:
+    def test_exact_value(self, shop_ctx, annotator):
+        annotated = annotator.annotate("customers in Berlin", shop_ctx)
+        values = [a.payload for a in annotated.annotations if a.kind == "value"]
+        assert any(v[1] == "Berlin" for v in values)
+
+    def test_multiword_value(self, emp_ctx, annotator):
+        annotated = annotator.annotate("the Engineering department", emp_ctx)
+        values = [a.payload for a in annotated.annotations if a.kind == "value"]
+        assert any(v[1] == "Engineering" for v in values)
+
+    def test_quoted_value(self, shop_ctx, annotator):
+        annotated = annotator.annotate('products named "Widget"', shop_ctx)
+        values = [a.payload for a in annotated.annotations if a.kind == "value"]
+        assert any(v[1] == "Widget" for v in values)
+
+    def test_fuzzy_value_typo(self, shop_ctx):
+        fuzzy = EntityAnnotator(fuzzy_values=True)
+        annotated = fuzzy.annotate("customers in Berlni", shop_ctx)
+        values = [a.payload for a in annotated.annotations if a.kind == "value"]
+        assert any(v[1] == "Berlin" for v in values)
+
+    def test_no_fuzzy_when_disabled(self, shop_ctx):
+        strict = EntityAnnotator(fuzzy_values=False)
+        annotated = strict.annotate("customers in Berlni", shop_ctx)
+        values = [a for a in annotated.annotations if a.kind == "value"]
+        assert not values
+
+    def test_value_concept_boost(self, shop_ctx, annotator):
+        # "Berlin" is only in customers.city here; with "customers"
+        # mentioned the payload must be the customer property
+        annotated = annotator.annotate("customers from Berlin", shop_ctx)
+        values = [a.payload for a in annotated.annotations if a.kind == "value"]
+        assert values and values[0][0].concept == "customer"
+
+
+class TestAlternativesAndRelaxation:
+    def test_alternatives_for_ambiguous_span(self, emp_ctx, annotator):
+        annotated = annotator.annotate("what is the id", emp_ctx)
+        kept = [a for a in annotated.annotations if a.kind == "property"]
+        assert kept
+        alternatives = annotated.alternatives_for(kept[0])
+        assert alternatives  # the other table's id
+
+    def test_replace_swaps_annotation(self, emp_ctx, annotator):
+        annotated = annotator.annotate("what is the id", emp_ctx)
+        kept = [a for a in annotated.annotations if a.kind == "property"][0]
+        alt = annotated.alternatives_for(kept)[0]
+        swapped = annotated.replace(kept, alt)
+        assert alt in swapped.annotations and kept not in swapped.annotations
+
+    def test_relaxed_value_through_kb(self):
+        from repro.bench.domains import build_domain
+
+        context = NLIDBContext(build_domain("healthcare"))
+        relaxer = QueryRelaxer(build_medical_kb())
+        annotator = EntityAnnotator(relaxer=relaxer, fuzzy_values=False)
+        annotated = annotator.annotate(
+            "visits with diagnosis heart attack", context
+        )
+        values = [a.payload for a in annotated.annotations if a.kind == "value"]
+        assert any(v[1] == "myocardial infarction" for v in values)
+
+    def test_no_relaxation_without_relaxer(self):
+        from repro.bench.domains import build_domain
+
+        context = NLIDBContext(build_domain("healthcare"))
+        annotator = EntityAnnotator(fuzzy_values=False)
+        annotated = annotator.annotate(
+            "visits with diagnosis heart attack", context
+        )
+        values = [a.payload for a in annotated.annotations if a.kind == "value"]
+        assert not any(v[1] == "myocardial infarction" for v in values)
+
+
+class TestSpanRules:
+    def test_punctuated_value_span(self):
+        from repro.bench.domains import build_domain
+
+        context = NLIDBContext(build_domain("healthcare"))
+        annotator = EntityAnnotator()
+        doctor = context.database.table("doctors").rows[0][1]  # "Dr. X Y"
+        annotated = annotator.annotate(f"visits of doctor {doctor}", context)
+        values = [a.payload for a in annotated.annotations if a.kind == "value"]
+        assert any(v[1] == doctor for v in values)
+
+    def test_metadata_spans_are_stopword_free(self, emp_ctx, annotator):
+        annotated = annotator.annotate("list the salary", emp_ctx)
+        for a in annotated.annotations:
+            if a.kind in ("concept", "property"):
+                assert a.end - a.start == 1

@@ -1,0 +1,214 @@
+"""Tests for the individual surveyed systems (SODA/SQAK/NaLIR/ATHENA/
+TEMPLAR/QUEST/Hybrid)."""
+
+import pytest
+
+from repro.core import NLIDBContext, ScriptedUser
+from repro.core.complexity import ComplexityTier
+from repro.bench.domains import build_domain
+from repro.bench.metrics import execution_match
+from repro.bench.workloads import WorkloadGenerator
+from repro.systems import (
+    AthenaNoBISystem,
+    AthenaSystem,
+    HybridSystem,
+    NalirSystem,
+    QueryLog,
+    QuestSystem,
+    SodaSystem,
+    SqakSystem,
+    TemplarSystem,
+)
+
+
+@pytest.fixture(scope="module")
+def hr_ctx():
+    return NLIDBContext(build_domain("hr"))
+
+
+def top_sql(system, question, ctx):
+    interps = system.interpret(question, ctx)
+    if not interps:
+        return None
+    top = max(interps, key=lambda i: i.confidence)
+    return top.to_sql(ctx.ontology, ctx.mapping).to_sql()
+
+
+class TestSoda:
+    def test_simple_selection(self, hr_ctx):
+        sql = top_sql(SodaSystem(), "employees with title engineer", hr_ctx)
+        assert sql is not None and "title = 'engineer'" in sql
+
+    def test_no_aggregation_capability(self, hr_ctx):
+        sql = top_sql(SodaSystem(), "average salary of employees", hr_ctx)
+        assert sql is None or "AVG" not in sql
+
+    def test_abstains_on_join_question(self, hr_ctx):
+        assert (
+            top_sql(SodaSystem(), "employees whose department city is Berlin", hr_ctx)
+            is None
+        )
+
+    def test_abstains_on_unknown_keyword(self, hr_ctx):
+        assert top_sql(SodaSystem(), "employees with flurbs", hr_ctx) is None
+
+    def test_family_label(self):
+        assert SodaSystem().family == "entity"
+
+
+class TestSqak:
+    def test_aggregation_pattern(self, hr_ctx):
+        sql = top_sql(SqakSystem(), "average salary of employees", hr_ctx)
+        assert "AVG(employees.salary)" in sql
+
+    def test_group_by_pattern(self, hr_ctx):
+        sql = top_sql(SqakSystem(), "count the employees by title", hr_ctx)
+        assert "GROUP BY employees.title" in sql
+
+    def test_top_k_pattern(self, hr_ctx):
+        sql = top_sql(SqakSystem(), "top 2 employees by salary", hr_ctx)
+        assert "LIMIT 2" in sql and "DESC" in sql
+
+    def test_still_single_table(self, hr_ctx):
+        sql = top_sql(SqakSystem(), "average salary per department name", hr_ctx)
+        assert sql is None or "JOIN" not in sql
+
+
+class TestNalir:
+    def test_join_capability(self, hr_ctx):
+        sql = top_sql(
+            NalirSystem(), "show the name of employees whose department name is Sales", hr_ctx
+        )
+        assert sql is not None and "JOIN" in sql
+
+    def test_counts_clarifications(self, hr_ctx):
+        system = NalirSystem(user=ScriptedUser([0, 0, 0, 0]))
+        system.interpret("what is the id", hr_ctx)
+        assert system.clarifications_asked >= 1
+
+    def test_clarification_can_flip_mapping(self, hr_ctx):
+        # option 1 (the runner-up mapping) instead of option 0
+        flip = NalirSystem(user=ScriptedUser([1]))
+        keep = NalirSystem(user=ScriptedUser([0]))
+        sql_flip = top_sql(flip, "what is the budget", hr_ctx)
+        sql_keep = top_sql(keep, "what is the budget", hr_ctx)
+        assert sql_flip != sql_keep
+
+    def test_clarify_off_asks_nothing(self, hr_ctx):
+        system = NalirSystem(clarify=False)
+        system.interpret("what is the id", hr_ctx)
+        assert system.clarifications_asked == 0
+
+
+class TestAthena:
+    def test_nested_average(self, hr_ctx):
+        sql = top_sql(
+            AthenaSystem(), "which employees have salary above the average salary", hr_ctx
+        )
+        assert "(SELECT AVG(employees.salary) FROM employees)" in sql
+
+    def test_anti_join(self, hr_ctx):
+        sql = top_sql(AthenaSystem(), "departments that have no projects", hr_ctx)
+        assert "NOT IN" in sql
+
+    def test_nobi_ablation_no_nesting(self, hr_ctx):
+        sql = top_sql(
+            AthenaNoBISystem(),
+            "which employees have salary above the average salary",
+            hr_ctx,
+        )
+        # it answers (wrongly) with a flat aggregate — but never nests
+        assert sql is None or "(SELECT" not in sql
+
+    def test_executes_end_to_end(self, hr_ctx):
+        result = AthenaSystem().answer("how many employees are there", hr_ctx)
+        assert result is not None and result.scalar() == len(
+            hr_ctx.database.table("employees")
+        )
+
+
+class TestTemplar:
+    def test_log_ingestion(self):
+        log = QueryLog()
+        assert log.add("SELECT AVG(budget) FROM projects")
+        assert not log.add("NOT SQL AT ALL !!!")
+        assert log.size == 1
+        assert log.column_frequency("projects", "budget") == 1.0
+
+    def test_log_counts_joins(self):
+        log = QueryLog()
+        log.add("SELECT e.name FROM employees e JOIN departments d ON e.department_id = d.id")
+        assert log.join_pairs[frozenset(("employees", "departments"))] == 1
+
+    def test_empty_log_equals_baseline(self, hr_ctx):
+        baseline = top_sql(TemplarSystem(), "what is the average budget", hr_ctx)
+        assert baseline is not None
+
+    def test_log_steers_ambiguous_mapping(self, hr_ctx):
+        log = QueryLog()
+        for _ in range(5):
+            log.add("SELECT AVG(budget) FROM projects")
+        steered = top_sql(TemplarSystem(log=log), "what is the average budget", hr_ctx)
+        assert "projects.budget" in steered
+        other_log = QueryLog()
+        for _ in range(5):
+            other_log.add("SELECT AVG(budget) FROM departments")
+        other = top_sql(
+            TemplarSystem(log=other_log), "what is the average budget", hr_ctx
+        )
+        assert "departments.budget" in other
+
+
+class TestQuest:
+    def test_fit_counts_sequences(self, hr_ctx):
+        history = WorkloadGenerator(hr_ctx.database, seed=3).generate_mixed(4)
+        system = QuestSystem()
+        trained = system.fit(history, hr_ctx)
+        assert trained > 0
+        assert system.hmm.trained_pairs >= 0
+
+    def test_interprets_after_training(self, hr_ctx):
+        history = WorkloadGenerator(hr_ctx.database, seed=3).generate_mixed(4)
+        system = QuestSystem()
+        system.fit(history, hr_ctx)
+        sql = top_sql(system, "employees with title engineer", hr_ctx)
+        assert sql is not None and "engineer" in sql
+
+    def test_hmm_transition_smoothing(self):
+        from repro.systems import ElementHMM
+
+        hmm = ElementHMM()
+        hmm.observe_sequence(["a", "b"])
+        seen = hmm.log_transition("a", "b")
+        unseen = hmm.log_transition("a", "zzz")
+        assert seen > unseen
+
+    def test_family_label(self):
+        assert QuestSystem().family == "hybrid"
+
+
+class TestHybrid:
+    class _Abstainer:
+        name = "abstainer"
+        family = "entity"
+
+        def interpret(self, question, context):
+            return []
+
+    def test_falls_back_to_ml(self, hr_ctx):
+        fallback = AthenaSystem()
+        hybrid = HybridSystem(self._Abstainer(), fallback)
+        interps = hybrid.interpret("employees with title engineer", hr_ctx)
+        assert interps and hybrid.ml_answers == 1
+
+    def test_prefers_confident_entity(self, hr_ctx):
+        hybrid = HybridSystem(AthenaSystem(), self._Abstainer())
+        interps = hybrid.interpret("employees with title engineer", hr_ctx)
+        assert interps and hybrid.entity_answers == 1
+
+    def test_low_confidence_entity_kept_as_last_resort(self, hr_ctx):
+        hybrid = HybridSystem(
+            AthenaSystem(), self._Abstainer(), confidence_threshold=2.0
+        )
+        interps = hybrid.interpret("employees with title engineer", hr_ctx)
+        assert interps  # entity answer reused despite being 'low confidence'

@@ -1,0 +1,251 @@
+"""Unit tests for the semantic interpreter (annotation → OQL)."""
+
+import pytest
+
+from repro.core import ComplexityTier, NLIDBContext, classify
+from repro.core.intermediate import OQLCondition, OQLHasCondition
+from repro.systems import EntityAnnotator, InterpreterConfig, SemanticInterpreter
+
+
+@pytest.fixture
+def full_interpreter():
+    return SemanticInterpreter(InterpreterConfig.full(), "test")
+
+
+@pytest.fixture
+def annotator():
+    return EntityAnnotator()
+
+
+def interpret(interpreter, annotator, question, ctx):
+    annotated = annotator.annotate(question, ctx)
+    return interpreter.interpret(annotated, ctx)
+
+
+def top_sql(interpreter, annotator, question, ctx):
+    interps = interpret(interpreter, annotator, question, ctx)
+    assert interps, f"no interpretation for {question!r}"
+    return interps[0].to_sql(ctx.ontology, ctx.mapping).to_sql()
+
+
+class TestValueConditions:
+    def test_equality_condition(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(full_interpreter, annotator, "customers in Berlin", shop_ctx)
+        assert "customers.city = 'Berlin'" in sql
+
+    def test_negated_condition(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(full_interpreter, annotator, "customers not in Berlin", shop_ctx)
+        assert "!=" in sql or "NOT" in sql
+
+    def test_condition_property_not_projected(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "customers with city Berlin", shop_ctx
+        )
+        # projection is the display property, not the condition column twice
+        assert sql.count("customers.city") == 1
+
+    def test_duplicate_conditions_deduped(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(full_interpreter, annotator, "customers in Berlin Berlin", shop_ctx)
+        assert sql.count("'Berlin'") == 1
+
+
+class TestComparisons:
+    def test_greater_than(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "products with price over 20", shop_ctx
+        )
+        assert "products.price > 20" in sql
+
+    def test_less_than(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "products with price under 10", shop_ctx
+        )
+        assert "products.price < 10" in sql
+
+    def test_at_least(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "products with price at least 10", shop_ctx
+        )
+        assert ">= 10" in sql
+
+    def test_between(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter,
+            annotator,
+            "products with price between 5 and 20",
+            shop_ctx,
+        )
+        assert "BETWEEN 5" in sql and "AND 20" in sql
+
+    def test_sole_measure_fallback(self, emp_ctx, full_interpreter, annotator):
+        # dept has one non-id measure (budget): "departments over 600"
+        sql = top_sql(full_interpreter, annotator, "departments over 600", emp_ctx)
+        assert "budget > 600" in sql
+
+
+class TestAggregation:
+    def test_count(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "how many customers are in Berlin", shop_ctx
+        )
+        assert sql.startswith("SELECT COUNT(*)")
+
+    def test_avg(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "average price of products", shop_ctx
+        )
+        assert "AVG(products.price)" in sql
+
+    def test_sum_cue_word_is_property_when_alone(self, shop_ctx, full_interpreter, annotator):
+        # "total of orders" — 'total' is the orders column, not SUM
+        sql = top_sql(full_interpreter, annotator, "the total of orders", shop_ctx)
+        assert "orders.total" in sql and "SUM" not in sql
+
+    def test_sum_cue_before_other_measure(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "total price of products", shop_ctx
+        )
+        assert "SUM(products.price)" in sql
+
+    def test_count_concept_joins(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "number of orders per customer name", shop_ctx
+        )
+        assert "COUNT(*)" in sql and "JOIN" in sql and "GROUP BY" in sql
+
+
+class TestGroupByAndTopK:
+    @pytest.fixture
+    def retail_ctx(self):
+        from repro.bench.domains import build_domain
+
+        return NLIDBContext(build_domain("retail"))
+
+    def test_group_by(self, retail_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "count the products by category", retail_ctx
+        )
+        assert "GROUP BY products.category" in sql
+
+    def test_group_key_projected_first(self, retail_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter,
+            annotator,
+            "average price of products by category",
+            retail_ctx,
+        )
+        assert sql.startswith("SELECT products.category, AVG(products.price)")
+
+    def test_top_k(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(full_interpreter, annotator, "top 3 products by price", shop_ctx)
+        assert "ORDER BY products.price DESC" in sql and "LIMIT 3" in sql
+
+    def test_top_word_number(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(full_interpreter, annotator, "top five products by price", shop_ctx)
+        assert "LIMIT 5" in sql
+
+
+class TestNested:
+    def test_above_average(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter,
+            annotator,
+            "which products have price above the average price",
+            shop_ctx,
+        )
+        assert "(SELECT AVG(products.price) FROM products)" in sql
+        assert classify(sql) is ComplexityTier.NESTED
+
+    def test_below_average(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter,
+            annotator,
+            "products with price below the average price",
+            shop_ctx,
+        )
+        assert "<" in sql and "AVG" in sql
+
+    def test_has_no(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter, annotator, "customers that have no orders", shop_ctx
+        )
+        assert "NOT IN" in sql
+
+    def test_fanout_condition_becomes_in_subquery(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter,
+            annotator,
+            "customers that have orders with total over 60",
+            shop_ctx,
+        )
+        assert "IN (SELECT orders.customer_id FROM orders" in sql
+
+    def test_n_to_one_condition_stays_join(self, shop_ctx, full_interpreter, annotator):
+        sql = top_sql(
+            full_interpreter,
+            annotator,
+            "show the total of orders whose customer city is Berlin",
+            shop_ctx,
+        )
+        assert "JOIN" in sql and "IN (SELECT" not in sql
+
+
+class TestConfigGating:
+    def test_keyword_rejects_aggregation(self, shop_ctx, annotator):
+        keyword = SemanticInterpreter(InterpreterConfig.keyword(), "kw")
+        interps = interpret(keyword, annotator, "average price of products", shop_ctx)
+        assert all(
+            "AVG" not in i.to_sql(shop_ctx.ontology, shop_ctx.mapping).to_sql()
+            for i in interps
+        )
+
+    def test_keyword_abstains_cross_concept(self, shop_ctx, annotator):
+        keyword = SemanticInterpreter(InterpreterConfig.keyword(), "kw")
+        interps = interpret(
+            keyword, annotator, "customers with orders over 60", shop_ctx
+        )
+        assert interps == []
+
+    def test_keyword_abstains_on_uncovered_keyword(self, shop_ctx, annotator):
+        keyword = SemanticInterpreter(InterpreterConfig.keyword(), "kw")
+        interps = interpret(
+            keyword, annotator, "customers in Berlin frobnicate", shop_ctx
+        )
+        assert interps == []
+
+    def test_parsing_cannot_express_antijoin(self, shop_ctx, annotator):
+        # a parse-tier system answers — but without the NOT IN anti-join
+        # only the BI extension can produce (it gets the answer wrong,
+        # which is what E1 measures)
+        parsing = SemanticInterpreter(InterpreterConfig.parsing(), "parse")
+        interps = interpret(
+            parsing, annotator, "customers that have no orders", shop_ctx
+        )
+        for interp in interps:
+            sql = interp.to_sql(shop_ctx.ontology, shop_ctx.mapping).to_sql()
+            assert "NOT IN" not in sql
+
+    def test_full_allows_everything(self, shop_ctx, annotator):
+        full = SemanticInterpreter(InterpreterConfig.full(), "full")
+        interps = interpret(
+            full, annotator, "customers that have no orders", shop_ctx
+        )
+        assert interps
+
+
+class TestRankingBehavior:
+    def test_interpretations_sorted_by_confidence(self, emp_ctx, full_interpreter, annotator):
+        interps = interpret(full_interpreter, annotator, "what is the id", emp_ctx)
+        confidences = [i.confidence for i in interps]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_evidence_recorded(self, shop_ctx, full_interpreter, annotator):
+        interps = interpret(full_interpreter, annotator, "customers in Berlin", shop_ctx)
+        assert interps[0].evidence
+
+    def test_max_interpretations_cap(self, emp_ctx, annotator):
+        capped = SemanticInterpreter(
+            InterpreterConfig(max_interpretations=1), "capped"
+        )
+        interps = interpret(capped, annotator, "what is the id", emp_ctx)
+        assert len(interps) <= 1

@@ -1,0 +1,120 @@
+"""Tests for the QUICK and Précis systems."""
+
+import pytest
+
+from repro.bench.domains import build_domain
+from repro.core import NLIDBContext, ScriptedUser, SimulatedOracle
+from repro.systems.precis import DNFClause, PrecisSystem, to_dnf
+from repro.systems.quick import QuickSystem
+
+
+@pytest.fixture(scope="module")
+def retail_ctx():
+    return NLIDBContext(build_domain("retail"))
+
+
+@pytest.fixture(scope="module")
+def hr_ctx():
+    return NLIDBContext(build_domain("hr"))
+
+
+class TestDNF:
+    def test_conjunction(self):
+        clauses = to_dnf("berlin corporate")
+        assert clauses == [DNFClause(frozenset({"berlin", "corporate"}))]
+
+    def test_disjunction_splits(self):
+        clauses = to_dnf("berlin OR paris")
+        assert len(clauses) == 2
+
+    def test_negation(self):
+        clause = to_dnf("berlin NOT consumer")[0]
+        assert clause.positive == {"berlin"}
+        assert clause.negative == {"consumer"}
+
+    def test_stopwords_dropped(self):
+        clause = to_dnf("the customers in berlin")[0]
+        assert "the" not in clause.positive and "in" not in clause.positive
+
+    def test_empty_query(self):
+        assert to_dnf("") == []
+        assert to_dnf("the of and") == []
+
+    def test_describe(self):
+        clause = to_dnf("apple NOT banana")[0]
+        assert clause.describe() == "apple AND NOT banana"
+
+
+class TestPrecis:
+    def test_answer_contains_matching_rows(self, retail_ctx):
+        answer = PrecisSystem().answer("Berlin", retail_ctx)
+        assert answer is not None
+        customers = answer.rows.get("customers", [])
+        assert customers and all("Berlin" in row for row in customers)
+
+    def test_answer_expands_through_fks(self, retail_ctx):
+        answer = PrecisSystem().answer("Berlin", retail_ctx)
+        # customers in Berlin pull in their orders (the "essence")
+        assert "orders" in answer.rows
+
+    def test_conjunction_narrows(self, retail_ctx):
+        broad = PrecisSystem().answer("Berlin", retail_ctx)
+        narrow = PrecisSystem().answer("Berlin corporate", retail_ctx)
+        if narrow is not None:
+            assert len(narrow.rows.get("customers", [])) <= len(
+                broad.rows.get("customers", [])
+            )
+
+    def test_negation_excludes(self, retail_ctx):
+        answer = PrecisSystem().answer("Berlin NOT corporate", retail_ctx)
+        if answer is not None:
+            for row in answer.rows.get("customers", []):
+                assert "corporate" not in row
+
+    def test_disjunction_unions(self, retail_ctx):
+        berlin = PrecisSystem().answer("Berlin", retail_ctx)
+        both = PrecisSystem().answer("Berlin OR Paris", retail_ctx)
+        assert both.row_count() >= berlin.row_count()
+
+    def test_unknown_keyword_returns_none(self, retail_ctx):
+        assert PrecisSystem().answer("xyzzy", retail_ctx) is None
+
+    def test_to_text(self, retail_ctx):
+        answer = PrecisSystem().answer("Berlin", retail_ctx)
+        text = answer.to_text(max_rows=1)
+        assert "[customers]" in text
+
+
+class TestQuick:
+    def test_single_candidate_needs_no_interaction(self, retail_ctx):
+        system = QuickSystem(user=ScriptedUser([0]))
+        system.interpret("customers with city Berlin", retail_ctx)
+        # unambiguous question: at most the single interpretation
+        assert system.selections_asked <= 1
+
+    def test_user_choice_wins(self, hr_ctx):
+        pick_second = QuickSystem(user=ScriptedUser([1]))
+        pick_first = QuickSystem(user=ScriptedUser([0]))
+        second = pick_second.interpret("what is the budget", hr_ctx)
+        first = pick_first.interpret("what is the budget", hr_ctx)
+        assert second and first
+        sql_second = second[0].to_sql(hr_ctx.ontology, hr_ctx.mapping).to_sql()
+        sql_first = first[0].to_sql(hr_ctx.ontology, hr_ctx.mapping).to_sql()
+        assert sql_second != sql_first
+
+    def test_oracle_finds_intended_reading(self, hr_ctx):
+        oracle = SimulatedOracle(
+            lambda payload: 1.0
+            if payload is not None
+            and "projects" in payload.to_sql(hr_ctx.ontology, hr_ctx.mapping).to_sql()
+            else 0.0
+        )
+        system = QuickSystem(user=oracle)
+        interps = system.interpret("what is the budget", hr_ctx)
+        sql = interps[0].to_sql(hr_ctx.ontology, hr_ctx.mapping).to_sql()
+        assert "projects.budget" in sql
+
+    def test_registered(self):
+        from repro.core import create
+
+        assert isinstance(create("quick"), QuickSystem)
