@@ -1,12 +1,18 @@
 """Command-line interface.
 
-Three subcommands exercise the library end to end::
+Subcommands exercising the library end to end::
 
     python -m repro ask "top 3 products by price" --domain retail
-    python -m repro ask "..." --system soda --explain
+    python -m repro ask "..." --system soda --explain --stats
     python -m repro chat --domain retail            # multi-turn REPL
     python -m repro complete "movies with" --domain movies
+    python -m repro sql "SELECT ..." --domain retail --explain
     python -m repro systems                         # list registered systems
+
+``sql`` runs raw SQL against a domain database; ``--explain`` prints the
+planner's EXPLAIN-style report (hash join vs nested loop, index scan vs
+full scan), ``--no-planner`` forces the naive interpreter, and
+``--stats`` dumps the per-query ExecutionStats counters.
 
 Domains are the built-in benchmark databases
 (:mod:`repro.bench.domains`); systems are resolved through the registry
@@ -51,6 +57,41 @@ def cmd_ask(args: argparse.Namespace) -> int:
         print(top.describe())
         print()
     print(result.to_text(max_rows=args.rows))
+    if args.stats:
+        print()
+        _print_stats(context.executor.last_stats)
+    return 0
+
+
+def _print_stats(stats) -> None:
+    print("execution stats:")
+    for key, value in stats.as_dict().items():
+        if value:
+            print(f"  {key:24s} {value}")
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    """Run raw SQL against a domain database through the planner."""
+    from repro.sqldb.executor import Executor
+
+    database = build_domain(args.domain, seed=args.seed)
+    executor = Executor(database, use_planner=not args.no_planner)
+    if args.explain:
+        try:
+            print(executor.explain_sql(args.sql))
+        except Exception as exc:
+            print(f"cannot plan: {exc}")
+            return 1
+        print()
+    try:
+        result = executor.execute_sql(args.sql)
+    except Exception as exc:
+        print(f"execution failed: {exc}")
+        return 1
+    print(result.to_text(max_rows=args.rows))
+    if args.stats:
+        print()
+        _print_stats(executor.last_stats)
     return 0
 
 
@@ -120,7 +161,26 @@ def build_parser() -> argparse.ArgumentParser:
     ask.add_argument("--seed", type=int, default=0)
     ask.add_argument("--rows", type=int, default=10)
     ask.add_argument("--explain", action="store_true", help="show the evidence trail")
+    ask.add_argument(
+        "--stats", action="store_true", help="show ExecutionStats counters"
+    )
     ask.set_defaults(func=cmd_ask)
+
+    sql = sub.add_parser("sql", help="run raw SQL against a domain database")
+    sql.add_argument("sql")
+    sql.add_argument("--domain", default="retail", choices=domain_names())
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument("--rows", type=int, default=10)
+    sql.add_argument(
+        "--explain", action="store_true", help="print the EXPLAIN-style plan"
+    )
+    sql.add_argument(
+        "--no-planner", action="store_true", help="use the naive interpreter"
+    )
+    sql.add_argument(
+        "--stats", action="store_true", help="show ExecutionStats counters"
+    )
+    sql.set_defaults(func=cmd_sql)
 
     chat = sub.add_parser("chat", help="interactive multi-turn session")
     chat.add_argument("--domain", default="retail", choices=domain_names())

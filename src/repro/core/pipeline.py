@@ -41,6 +41,7 @@ class NLIDBContext:
         ontology: Optional[Ontology] = None,
         mapping: Optional[OntologyMapping] = None,
         thesaurus: Optional[Thesaurus] = None,
+        use_planner: bool = True,
     ):
         self.database = database
         self.index = DatabaseIndex(database)
@@ -50,7 +51,9 @@ class NLIDBContext:
         self.mapping = mapping
         self.reasoner = Reasoner(ontology, mapping)
         self.thesaurus = thesaurus or DEFAULT_THESAURUS
-        self.executor = Executor(database)
+        self.executor = Executor(database, use_planner=use_planner)
+        #: per-query ExecutionStats of the most recent execute() call
+        self.last_stats = None
         self._register_schema_synonyms()
 
     def _register_schema_synonyms(self) -> None:
@@ -64,9 +67,20 @@ class NLIDBContext:
                     self.thesaurus.add_synonyms([column.name, *column.synonyms])
 
     def execute(self, interpretation: Interpretation) -> Relation:
-        """Compile (if needed) and run an interpretation."""
+        """Compile (if needed) and run an interpretation.
+
+        The executed query's counters land in ``self.last_stats``
+        (:class:`~repro.sqldb.planner.ExecutionStats`).
+        """
         stmt = interpretation.to_sql(self.ontology, self.mapping)
-        return self.executor.execute(stmt)
+        result = self.executor.execute(stmt)
+        self.last_stats = self.executor.last_stats
+        return result
+
+    def explain(self, interpretation: Interpretation) -> str:
+        """EXPLAIN-style plan description for an interpretation's SQL."""
+        stmt = interpretation.to_sql(self.ontology, self.mapping)
+        return self.executor.explain(stmt)
 
 
 class NLIDBSystem(abc.ABC):

@@ -5,8 +5,10 @@ typed catalog (:mod:`~repro.sqldb.schema`), row storage
 (:mod:`~repro.sqldb.table`), a SQL AST with pretty printer
 (:mod:`~repro.sqldb.ast`), a SQL parser (:mod:`~repro.sqldb.parser`), an
 interpreting executor supporting joins, grouping, ordering and nested
-sub-queries (:mod:`~repro.sqldb.executor`), and inverted indexes over
-metadata and data (:mod:`~repro.sqldb.index`).
+sub-queries (:mod:`~repro.sqldb.executor`), a cost-aware planner with
+hash joins, predicate pushdown, secondary-index scans and per-query
+execution statistics (:mod:`~repro.sqldb.planner`), and inverted indexes
+over metadata and data (:mod:`~repro.sqldb.index`).
 
 Quick example::
 
@@ -56,6 +58,7 @@ from .errors import (
 from .executor import Executor, execute_sql
 from .index import DatabaseIndex, IndexEntry, MetadataIndex, ValueIndex, split_identifier
 from .parser import parse_expression, parse_select
+from .planner import ExecutionStats, JoinPlan, Planner, QueryPlan, ScanPlan
 from .relation import Relation
 from .schema import Column, ForeignKey, TableSchema
 from .table import Table
@@ -69,6 +72,7 @@ __all__ = [
     "Column", "ForeignKey", "TableSchema", "DataType", "parse_date",
     "DatabaseIndex", "IndexEntry", "MetadataIndex", "ValueIndex", "split_identifier",
     "parse_select", "parse_expression",
+    "ExecutionStats", "Planner", "QueryPlan", "ScanPlan", "JoinPlan",
     "SqlError", "ParseError", "CatalogError", "SchemaError", "TypeMismatchError",
     "ExecutionError", "AmbiguousColumnError", "UnknownColumnError",
     "UnknownFunctionError", "UnknownTableError",

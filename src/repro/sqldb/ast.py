@@ -241,6 +241,21 @@ class SubqueryExpr(Expr):
         raise ValueError(f"unknown subquery kind {self.kind!r}")  # pragma: no cover
 
 
+def split_conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Flatten a top-level ``AND`` tree into its conjuncts, in evaluation
+    order.
+
+    ``a AND (b AND c)`` → ``[a, b, c]``; any non-AND expression (including
+    a top-level ``OR``) is returned as a single conjunct.  Used by the
+    planner to push single-table predicates below joins.
+    """
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
 # --------------------------------------------------------------------------
 # Statement structure
 # --------------------------------------------------------------------------

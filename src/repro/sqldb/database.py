@@ -27,6 +27,9 @@ class Database:
         self.name = name
         self._tables: Dict[str, Table] = {}
         self.foreign_keys: List[ForeignKey] = []
+        #: bumped on catalog changes (new tables); plan caches key off it.
+        self.catalog_version: int = 0
+        self._default_executor = None
 
     # -- catalog ------------------------------------------------------------
 
@@ -37,6 +40,7 @@ class Database:
             raise SchemaError(f"table {schema.name!r} already exists")
         table = Table(schema)
         self._tables[key] = table
+        self.catalog_version += 1
         return table
 
     def table(self, name: str) -> Table:
@@ -86,6 +90,45 @@ class Database:
     def insert_many(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
         """Insert many positional rows; returns the count inserted."""
         return self.table(table_name).insert_many(rows)
+
+    # -- SQL execution ----------------------------------------------------------
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic version covering catalog shape and row contents.
+
+        Changes whenever a table is created or a row inserted; the
+        inverted indexes (:mod:`repro.sqldb.index`) and per-table
+        secondary indexes use it to detect staleness.
+        """
+        return self.catalog_version + sum(t.version for t in self._tables.values())
+
+    @property
+    def executor(self):
+        """The database's shared planning executor (created lazily), so
+        ad-hoc SQL benefits from the statement and plan caches."""
+        if self._default_executor is None:
+            from .executor import Executor
+
+            self._default_executor = Executor(self)
+        return self._default_executor
+
+    def execute_sql(self, sql: str):
+        """Parse (cached) and execute SQL text through the shared executor."""
+        return self.executor.execute_sql(sql)
+
+    def explain_sql(self, sql: str) -> str:
+        """EXPLAIN-style plan description for SQL text (not executed)."""
+        return self.executor.explain_sql(sql)
+
+    @property
+    def last_stats(self):
+        """The shared executor's most recent per-query
+        :class:`~repro.sqldb.planner.ExecutionStats` (``None`` before the
+        first query)."""
+        if self._default_executor is None:
+            return None
+        return self._default_executor.last_stats
 
     # -- join graph -----------------------------------------------------------
 

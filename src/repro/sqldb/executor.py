@@ -1,24 +1,36 @@
 """Query evaluation over :class:`~repro.sqldb.database.Database`.
 
-The executor interprets :class:`~repro.sqldb.ast.SelectStatement` trees
-directly (no physical plan — the datasets in this reproduction are small
-and the goal is *semantics*, which the NLIDB metrics depend on):
+The executor interprets :class:`~repro.sqldb.ast.SelectStatement` trees:
 
-- FROM/JOIN via nested-loop join with ON-condition filtering,
+- FROM/JOIN via the :mod:`~repro.sqldb.planner` physical plan — hash
+  equi-joins, predicate pushdown and secondary-index scans — with the
+  original nested-loop interpreter kept as the ``use_planner=False``
+  escape hatch (and as the reference path for differential testing),
 - WHERE with full boolean expressions, LIKE, BETWEEN, IN lists,
 - nested sub-queries (scalar / IN / EXISTS), including correlated ones —
   inner column references resolve through the enclosing row scope,
 - GROUP BY / HAVING with the five SQL aggregates,
 - ORDER BY (including by select alias) and LIMIT, DISTINCT.
 
+Repeated statements are served from a parsed-statement LRU cache keyed
+by SQL text (parsing is pure, so the cache never goes stale — results
+are always recomputed from current table rows), and compiled ``LIKE``
+regexes are memoized.  Per-query counters land in ``executor.last_stats``
+(:class:`~repro.sqldb.planner.ExecutionStats`).
+
 Deviations from full SQL, chosen to match NLIDB benchmark practice, are
 documented in :mod:`repro.sqldb.types` (NULL comparisons are false;
-``LIKE`` is case-insensitive, as in SQLite).
+``LIKE`` is case-insensitive, as in SQLite).  The planner preserves
+result semantics exactly; the one sanctioned deviation is *error
+timing* — a predicate pushed below a join may raise (or skip raising) a
+type error that the naive path would reach in a different order.
 """
 
 from __future__ import annotations
 
+import functools
 import re
+from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .ast import (
@@ -44,9 +56,10 @@ from .errors import (
     UnknownTableError,
 )
 from .functions import AGGREGATE_FUNCTIONS, call_scalar
+from .planner import ExecutionStats, JoinPlan, Planner, QueryPlan, ScanPlan
 from .relation import Relation
 from .schema import TableSchema
-from .types import sort_key, values_compare, values_equal
+from .types import hash_key, sort_key, values_compare, values_equal
 
 
 class _Scope:
@@ -112,7 +125,10 @@ class _Missing:
 _MISSING = _Missing()
 
 
+@functools.lru_cache(maxsize=512)
 def _like_to_regex(pattern: str) -> "re.Pattern[str]":
+    # Memoized: LIKE re-evaluates per row, and benchmark workloads reuse a
+    # small set of patterns across thousands of rows.
     out = []
     for ch in pattern:
         if ch == "%":
@@ -124,30 +140,153 @@ def _like_to_regex(pattern: str) -> "re.Pattern[str]":
     return re.compile("^" + "".join(out) + "$", re.IGNORECASE)
 
 
-class Executor:
-    """Evaluates SELECT statements against one database."""
+class _LRUCache:
+    """Tiny ordered-dict LRU used for the parsed-statement cache."""
 
-    def __init__(self, database: Database):
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any) -> Any:
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            return None
+        self._data[key] = value
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if self.maxsize <= 0:
+            return
+        self._data.pop(key, None)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class Executor:
+    """Evaluates SELECT statements against one database.
+
+    ``use_planner`` selects the physical-plan path (hash joins, predicate
+    pushdown, index scans); ``use_planner=False`` is the naive reference
+    interpreter.  ``statement_cache_size=0`` disables the parsed-statement
+    LRU.  After every query, ``last_stats`` holds that query's
+    :class:`~repro.sqldb.planner.ExecutionStats` and ``total_stats``
+    accumulates across the executor's lifetime.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        use_planner: bool = True,
+        statement_cache_size: int = 256,
+    ):
         self.database = database
+        self.use_planner = use_planner
+        self.last_stats = ExecutionStats()
+        self.total_stats = ExecutionStats()
+        self._stats = self.last_stats
+        self._planner = Planner(database)
+        self._statement_cache = _LRUCache(statement_cache_size)
+        self._plan_cache: Dict[int, Tuple[SelectStatement, QueryPlan]] = {}
+        self._plan_catalog_version = database.catalog_version
 
     # -- public API -----------------------------------------------------------
 
     def execute(self, stmt: SelectStatement) -> Relation:
         """Run ``stmt`` and return its result relation."""
-        return self._execute(stmt, parent=None)
+        self._begin_query()
+        return self._run(stmt)
 
     def execute_sql(self, sql: str) -> Relation:
-        """Parse and run SQL text."""
+        """Parse (through the statement cache) and run SQL text."""
+        self._begin_query()
+        return self._run(self._parse_cached(sql, count=True))
+
+    def explain(self, stmt: SelectStatement) -> str:
+        """EXPLAIN-style description of the plan chosen for ``stmt``."""
+        return self._planner.plan(stmt).describe()
+
+    def explain_sql(self, sql: str) -> str:
+        """Parse SQL text and describe its plan without executing it."""
+        return self.explain(self._parse_cached(sql, count=False))
+
+    def clear_caches(self) -> None:
+        """Drop the parsed-statement and plan caches (never required for
+        correctness — both caches hold only parse-/schema-derived state)."""
+        self._statement_cache.clear()
+        self._plan_cache.clear()
+
+    # -- query lifecycle -------------------------------------------------------
+
+    def _begin_query(self) -> None:
+        self.last_stats = ExecutionStats()
+        self._stats = self.last_stats
+
+    def _run(self, stmt: SelectStatement) -> Relation:
+        result = self._execute(stmt, parent=None)
+        self._stats.rows_output += len(result.rows)
+        if not self.use_planner and not self._stats.strategy:
+            self._stats.strategy = "naive"
+        self.total_stats.merge(self._stats)
+        return result
+
+    def _parse_cached(self, sql: str, count: bool) -> SelectStatement:
         from .parser import parse_select
 
-        return self._execute(parse_select(sql), parent=None)
+        stmt = self._statement_cache.get(sql)
+        if stmt is None:
+            stmt = parse_select(sql)
+            self._statement_cache.put(sql, stmt)
+            if count:
+                self._stats.statement_cache_misses += 1
+        elif count:
+            self._stats.statement_cache_hits += 1
+        return stmt
+
+    def _plan_for(self, stmt: SelectStatement) -> QueryPlan:
+        if self.database.catalog_version != self._plan_catalog_version:
+            # New tables can change unqualified-column resolution.
+            self._plan_cache.clear()
+            self._plan_catalog_version = self.database.catalog_version
+        cached = self._plan_cache.get(id(stmt))
+        if cached is not None and cached[0] is stmt:
+            return cached[1]
+        plan = self._planner.plan(stmt)
+        if len(self._plan_cache) > 512:
+            self._plan_cache.clear()
+        self._plan_cache[id(stmt)] = (stmt, plan)
+        return plan
 
     # -- statement evaluation ----------------------------------------------------
 
     def _execute(self, stmt: SelectStatement, parent: Optional[_Scope]) -> Relation:
-        scopes = self._build_from(stmt, parent)
-        if stmt.where is not None:
-            scopes = [s for s in scopes if self._truthy(self._eval(stmt.where, s))]
+        if self.use_planner:
+            plan = self._plan_for(stmt)
+            scopes = self._scopes_from_plan(plan, parent)
+            if plan.residual_where:
+                scopes = [
+                    s
+                    for s in scopes
+                    if all(
+                        self._truthy(self._eval(c, s)) for c in plan.residual_where
+                    )
+                ]
+            self._stats.predicates_pushed += plan.pushed_count
+            if parent is None and not self._stats.strategy:
+                self._stats.strategy = plan.summary()
+        else:
+            scopes = self._build_from(stmt, parent)
+            if stmt.where is not None:
+                scopes = [s for s in scopes if self._truthy(self._eval(stmt.where, s))]
 
         grouped = bool(stmt.group_by) or self._projects_aggregate(stmt)
         if grouped:
@@ -161,7 +300,7 @@ class Executor:
             seen = set()
             kept_rows, kept_order = [], []
             for row, okey in zip(rows, order_rows):
-                marker = tuple(row)
+                marker = tuple(_hashable(v) for v in row)
                 if marker in seen:
                     continue
                 seen.add(marker)
@@ -204,6 +343,145 @@ class Executor:
                         joined.append(candidate)
             scopes = joined
         return scopes
+
+    # -- planned FROM/JOIN evaluation -----------------------------------------
+
+    def _scopes_from_plan(
+        self, plan: QueryPlan, parent: Optional[_Scope]
+    ) -> List[_Scope]:
+        if plan.base is None:
+            return [_Scope([], parent)]
+        base_table = self.database.table(plan.base.table)
+        rows = self._scan(plan.base, base_table, parent)
+        binding = plan.base.binding.lower()
+        scopes = [
+            _Scope([(binding, base_table.schema, row)], parent) for row in rows
+        ]
+        for join_plan in plan.joins:
+            scopes = self._join(scopes, join_plan, parent)
+        return scopes
+
+    def _scan(
+        self, scan: ScanPlan, table: Any, parent: Optional[_Scope]
+    ) -> List[Tuple[Any, ...]]:
+        """Read one table: index lookup when the plan found an equality/IN
+        predicate, full scan otherwise; pushed predicates filter here."""
+        stats = self._stats
+        if scan.index_column is not None:
+            index = table.secondary_index(scan.index_column)
+            stats.index_scans += 1
+            positions: List[int] = []
+            for value in scan.index_values:
+                if value is None:
+                    continue  # NULL matches nothing
+                stats.index_lookups += 1
+                positions.extend(index.get(hash_key(value), ()))
+            all_rows = table.rows
+            candidates = [all_rows[pos] for pos in sorted(set(positions))]
+        else:
+            stats.full_scans += 1
+            candidates = table.rows
+        stats.rows_scanned += len(candidates)
+        if not scan.pushed:
+            return list(candidates)
+        binding = scan.binding.lower()
+        schema = table.schema
+        out: List[Tuple[Any, ...]] = []
+        for row in candidates:
+            scope = _Scope([(binding, schema, row)], parent)
+            if all(self._truthy(self._eval(p, scope)) for p in scan.pushed):
+                out.append(row)
+        return out
+
+    def _join(
+        self, scopes: List[_Scope], join_plan: JoinPlan, parent: Optional[_Scope]
+    ) -> List[_Scope]:
+        stats = self._stats
+        table = self.database.table(join_plan.scan.table)
+        schema = table.schema
+        binding = join_plan.scan.binding
+        rows = self._scan(join_plan.scan, table, parent)
+
+        if join_plan.strategy != "hash":
+            stats.nested_loop_joins += 1
+            out: List[_Scope] = []
+            for scope in scopes:
+                for row in rows:
+                    stats.loop_comparisons += 1
+                    candidate = scope.extended(binding, schema, row)
+                    if all(
+                        self._truthy(self._eval(c, candidate))
+                        for c in join_plan.residual
+                    ):
+                        out.append(candidate)
+            return out
+
+        stats.hash_joins += 1
+        if not scopes:
+            return []
+        lowered = binding.lower()
+        out = []
+        # Build the hash table on the smaller input.  Both arms emit
+        # candidates in (existing scope order, table row order) — exactly
+        # the nested loop's order — so results stay byte-identical.
+        if len(scopes) <= len(rows):
+            buckets: Dict[Any, List[int]] = {}
+            for i, scope in enumerate(scopes):
+                key = self._join_key(join_plan.probe_keys, scope)
+                if key is not None:
+                    buckets.setdefault(key, []).append(i)
+            stats.hash_build_rows += len(scopes)
+            matches: List[List[Tuple[Any, ...]]] = [[] for _ in scopes]
+            for row in rows:
+                row_scope = _Scope([(lowered, schema, row)], parent)
+                stats.hash_probes += 1
+                key = self._join_key(join_plan.build_keys, row_scope)
+                if key is None:
+                    continue
+                for i in buckets.get(key, ()):
+                    matches[i].append(row)
+            for i, scope in enumerate(scopes):
+                for row in matches[i]:
+                    candidate = scope.extended(binding, schema, row)
+                    if all(
+                        self._truthy(self._eval(c, candidate))
+                        for c in join_plan.residual
+                    ):
+                        out.append(candidate)
+        else:
+            row_buckets: Dict[Any, List[Tuple[Any, ...]]] = {}
+            for row in rows:
+                row_scope = _Scope([(lowered, schema, row)], parent)
+                key = self._join_key(join_plan.build_keys, row_scope)
+                if key is not None:
+                    row_buckets.setdefault(key, []).append(row)
+            stats.hash_build_rows += len(rows)
+            for scope in scopes:
+                stats.hash_probes += 1
+                key = self._join_key(join_plan.probe_keys, scope)
+                if key is None:
+                    continue
+                for row in row_buckets.get(key, ()):
+                    candidate = scope.extended(binding, schema, row)
+                    if all(
+                        self._truthy(self._eval(c, candidate))
+                        for c in join_plan.residual
+                    ):
+                        out.append(candidate)
+        return out
+
+    def _join_key(
+        self, keys: Tuple[Expr, ...], scope: _Scope
+    ) -> Optional[Tuple[Any, ...]]:
+        """Canonical composite key, or ``None`` when any part is NULL
+        (NULL join keys match nothing, as in the nested loop)."""
+        parts = []
+        for expr in keys:
+            value = self._eval(expr, scope)
+            if value is None:
+                return None
+            parts.append(hash_key(value))
+        return tuple(parts)
 
     def _projects_aggregate(self, stmt: SelectStatement) -> bool:
         for item in stmt.select_items:
@@ -432,6 +710,7 @@ class Executor:
         raise ExecutionError(f"unknown operator {op!r}")  # pragma: no cover
 
     def _eval_subquery(self, expr: SubqueryExpr, scope: _Scope) -> Any:
+        self._stats.subqueries += 1
         result = self._execute(expr.query, parent=scope)
         if expr.kind == "scalar":
             if len(result.rows) > 1:
@@ -528,9 +807,34 @@ class _DirectionKey:
 
 
 def _hashable(value: Any) -> Any:
+    """A hashable stand-in for ``value`` usable as a GROUP BY / DISTINCT
+    key: nested lists, dicts and sets are converted recursively instead
+    of raising ``TypeError``."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return (
+            "{}",
+            tuple(
+                sorted(
+                    ((k, _hashable(v)) for k, v in value.items()),
+                    key=lambda kv: repr(kv[0]),
+                )
+            ),
+        )
+    if isinstance(value, (set, frozenset)):
+        return frozenset(_hashable(v) for v in value)
+    try:
+        hash(value)
+    except TypeError:
+        return repr(value)
     return value
 
 
 def execute_sql(database: Database, sql: str) -> Relation:
-    """Convenience one-shot: parse and execute ``sql`` on ``database``."""
-    return Executor(database).execute_sql(sql)
+    """Convenience one-shot: parse and execute ``sql`` on ``database``.
+
+    Routes through the database's shared executor so repeated statements
+    benefit from the parsed-statement cache.
+    """
+    return database.execute_sql(sql)

@@ -80,12 +80,34 @@ class IndexEntry:
 
 
 class MetadataIndex:
-    """Inverted index over table/column names and their synonyms."""
+    """Inverted index over table/column names and their synonyms.
+
+    Rebuilds itself automatically when tables are added to the catalog
+    after construction (tracked via ``database.catalog_version``); call
+    :meth:`invalidate` to force a rebuild on next lookup.
+    """
 
     def __init__(self, database: Database):
         self.database = database
         self._entries: Dict[str, List[IndexEntry]] = defaultdict(list)
+        self._built_version = database.catalog_version
+        self._dirty = False
         self._build()
+
+    def invalidate(self) -> None:
+        """Mark the index stale; it rebuilds lazily on the next lookup."""
+        self._dirty = True
+
+    def refresh(self) -> None:
+        """Rebuild the index from the current catalog immediately."""
+        self._entries = defaultdict(list)
+        self._built_version = self.database.catalog_version
+        self._dirty = False
+        self._build()
+
+    def _maybe_rebuild(self) -> None:
+        if self._dirty or self.database.catalog_version != self._built_version:
+            self.refresh()
 
     def _build(self) -> None:
         for table in self.database.tables:
@@ -112,15 +134,18 @@ class MetadataIndex:
 
     def lookup(self, term: str) -> List[IndexEntry]:
         """Entries whose name or synonym contains ``term``."""
+        self._maybe_rebuild()
         return list(self._entries.get(normalize_token(term), []))
 
     def lookup_phrase(self, words: List[str]) -> List[IndexEntry]:
         """Match a multi-word phrase (e.g. "order date") as a unit."""
+        self._maybe_rebuild()
         return list(self._entries.get(" ".join(normalize_token(w) for w in words), []))
 
     @property
     def vocabulary(self) -> Set[str]:
         """All indexed keys (used by tests and by paraphrase generation)."""
+        self._maybe_rebuild()
         return set(self._entries)
 
 
@@ -135,7 +160,25 @@ class ValueIndex:
     def __init__(self, database: Database, max_values_per_column: int = 100000):
         self.database = database
         self._entries: Dict[str, List[IndexEntry]] = defaultdict(list)
+        self._cap = max_values_per_column
+        self._built_version = database.data_version
+        self._dirty = False
         self._build(max_values_per_column)
+
+    def invalidate(self) -> None:
+        """Mark the index stale; it rebuilds lazily on the next lookup."""
+        self._dirty = True
+
+    def refresh(self) -> None:
+        """Rebuild the index from current table contents immediately."""
+        self._entries = defaultdict(list)
+        self._built_version = self.database.data_version
+        self._dirty = False
+        self._build(self._cap)
+
+    def _maybe_rebuild(self) -> None:
+        if self._dirty or self.database.data_version != self._built_version:
+            self.refresh()
 
     def _build(self, cap: int) -> None:
         for table in self.database.tables:
@@ -161,6 +204,7 @@ class ValueIndex:
 
     def lookup(self, term: str) -> List[IndexEntry]:
         """Entries whose value (or a word of it) equals ``term``."""
+        self._maybe_rebuild()
         return list(self._entries.get(normalize_token(term), []))
 
     def lookup_phrase(self, words: List[str]) -> List[IndexEntry]:
@@ -170,6 +214,7 @@ class ValueIndex:
     @property
     def vocabulary(self) -> Set[str]:
         """All indexed value keys."""
+        self._maybe_rebuild()
         return set(self._entries)
 
 
@@ -180,6 +225,11 @@ class DatabaseIndex:
         self.database = database
         self.metadata = MetadataIndex(database)
         self.values = ValueIndex(database)
+
+    def invalidate(self) -> None:
+        """Mark both indexes stale; they rebuild lazily on next lookup."""
+        self.metadata.invalidate()
+        self.values.invalidate()
 
     def lookup(self, term: str) -> List[IndexEntry]:
         """Union of metadata and value hits for one term."""

@@ -3,6 +3,13 @@
 Rows are stored as plain tuples in declaration order; the schema drives
 coercion and nullability checks at insert time so the executor can assume
 well-typed data.
+
+Each table also maintains *lazy secondary hash indexes*: per-column maps
+from canonical value (see :func:`repro.sqldb.types.hash_key`) to the row
+positions holding that value.  The planner uses them to answer equality
+and ``IN`` predicates without a full scan.  Indexes are built on first
+use and invalidated by a monotonically increasing ``version`` counter
+bumped on every insert, so they can never serve stale lookups.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tupl
 
 from .errors import SchemaError, TypeMismatchError
 from .schema import TableSchema
-from .types import coerce
+from .types import coerce, hash_key
 
 
 class Table:
@@ -20,6 +27,10 @@ class Table:
     def __init__(self, schema: TableSchema):
         self.schema = schema
         self.rows: List[Tuple[Any, ...]] = []
+        #: bumped on every insert; secondary indexes built against an older
+        #: version are rebuilt transparently on next use.
+        self.version: int = 0
+        self._indexes: Dict[str, Tuple[int, Dict[Any, List[int]]]] = {}
 
     @property
     def name(self) -> str:
@@ -50,6 +61,7 @@ class Table:
                 raise TypeMismatchError(f"column {self.name}.{col.name} is NOT NULL")
             row.append(converted)
         self.rows.append(tuple(row))
+        self.version += 1
 
     def insert_dict(self, record: Dict[str, Any]) -> None:
         """Insert one row given as a ``{column: value}`` mapping.
@@ -71,6 +83,34 @@ class Table:
             self.insert(row)
             count += 1
         return count
+
+    # -- secondary indexes --------------------------------------------------
+
+    def secondary_index(self, column: str) -> Dict[Any, List[int]]:
+        """Hash index over one column: canonical value → ascending row
+        positions.
+
+        Built lazily on first request and rebuilt automatically whenever
+        ``version`` shows rows were inserted since the build.  NULLs are
+        not indexed (they match no equality predicate).
+        """
+        key = self.schema.column(column).name.lower()
+        cached = self._indexes.get(key)
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        idx = self.schema.column_index(column)
+        mapping: Dict[Any, List[int]] = {}
+        for pos, row in enumerate(self.rows):
+            value = row[idx]
+            if value is None:
+                continue
+            mapping.setdefault(hash_key(value), []).append(pos)
+        self._indexes[key] = (self.version, mapping)
+        return mapping
+
+    def invalidate_indexes(self) -> None:
+        """Drop all cached secondary indexes (they rebuild on next use)."""
+        self._indexes.clear()
 
     def column_values(self, column: str) -> List[Any]:
         """All values of ``column`` in row order (including NULLs)."""

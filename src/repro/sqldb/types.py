@@ -187,6 +187,52 @@ def values_compare(left: Any, right: Any) -> Optional[int]:
     return None
 
 
+_ISO_DATE_KEY_RE = None
+
+
+def hash_key(value: Any) -> Any:
+    """Hashable canonical form of a value, consistent with :func:`values_equal`.
+
+    Two non-NULL values are mapped to equal keys **iff** ``values_equal``
+    would call them equal, which lets hash joins, secondary indexes and
+    IN-probes use dict lookups without changing the engine's comparison
+    semantics:
+
+    - numerics collapse to ``float`` (``1`` == ``1.0``), but booleans stay
+      a separate family (``TRUE`` != ``1``),
+    - a DATE and an ISO ``'YYYY-MM-DD'`` string compare equal (the same
+      implicit coercion :func:`values_equal` applies),
+    - NaN never equals anything, including itself — it gets a per-call
+      unique key so even identical NaN objects miss.
+
+    ``None`` must be handled by the caller (NULL matches nothing).
+    """
+    import re
+
+    global _ISO_DATE_KEY_RE
+    if _ISO_DATE_KEY_RE is None:
+        _ISO_DATE_KEY_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+    if isinstance(value, bool):
+        return ("b", value)
+    if isinstance(value, float) and math.isnan(value):
+        return ("nan", object())
+    if isinstance(value, (int, float)):
+        try:
+            return ("n", float(value))
+        except OverflowError:  # pragma: no cover - int beyond float range
+            return ("n!", value)
+    if isinstance(value, datetime.date):
+        return ("d", value.isoformat())
+    if isinstance(value, str):
+        if _ISO_DATE_KEY_RE.match(value):
+            try:
+                return ("d", parse_date(value).isoformat())
+            except TypeMismatchError:
+                pass
+        return ("t", value)
+    return ("o", type(value).__name__, value)
+
+
 def sort_key(value: Any) -> tuple:
     """Total-order key for ORDER BY: NULLs first, then by type group."""
     if value is None:
