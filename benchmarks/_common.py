@@ -10,7 +10,7 @@ reports meaningful per-operation numbers.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable
 
 from repro.bench.harness import format_table
 

@@ -15,7 +15,6 @@ import pytest
 from _common import emit_rows
 from repro.bench import build_domain
 from repro.core import NLIDBContext
-from repro.rdf import evaluate
 from repro.sqldb import execute_sql
 from repro.systems import BelaSystem
 

@@ -18,7 +18,6 @@ import pytest
 
 from _common import emit_rows
 from repro.bench import Paraphraser, build_domain
-from repro.bench.wikisql import execution_accuracy
 from repro.bench.workloads import WorkloadGenerator
 from repro.core import NLIDBContext
 from repro.core.complexity import ComplexityTier

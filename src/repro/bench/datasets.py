@@ -15,15 +15,14 @@ benchmark-statistics table for experiment E11.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.complexity import ComplexityTier
 from repro.core.pipeline import NLIDBContext
 
 from .cosql import CoSQLGenerator
 from .domains import all_domains, domain_names
-from .sparc import SparcGenerator, dataset_stats
+from .sparc import SparcGenerator
 from .wikisql import WikiSQLDataset, WikiSQLGenerator
 from .workloads import QueryExample, WorkloadGenerator
 

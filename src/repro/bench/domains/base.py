@@ -9,7 +9,7 @@ data (the reproducibility contract of the whole bench layer).
 from __future__ import annotations
 
 import datetime
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

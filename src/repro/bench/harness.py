@@ -38,6 +38,13 @@ def evaluate_system(
             except Exception:
                 predicted_sql = None
         answered = predicted_sql is not None
+        static_rejected = False
+        metadata = dict(example.metadata)
+        if answered:
+            analysis = context.database.analyze_sql(predicted_sql)
+            static_rejected = not analysis.ok
+            if analysis.diagnostics:
+                metadata["static_diagnostics"] = analysis.codes()
         correct = answered and execution_match(
             context.database, predicted_sql, example.sql
         )
@@ -50,7 +57,8 @@ def evaluate_system(
                 correct=correct,
                 exact=answered and exact_match(predicted_sql, example.sql),
                 tier=example.tier,
-                metadata=dict(example.metadata),
+                static_rejected=static_rejected,
+                metadata=metadata,
             )
         )
     return outcomes
@@ -75,6 +83,7 @@ class ComparisonRow:
             "accuracy": round(self.summary.accuracy, 3),
             "precision": round(self.summary.precision, 3),
             "answer_rate": round(self.summary.answer_rate, 3),
+            "static_rej": self.summary.static_rejections,
         }
 
 

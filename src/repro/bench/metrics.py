@@ -15,14 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.sqldb import Database, Executor, parse_select
-from repro.sqldb.ast import (
-    BinaryOp,
-    ColumnRef,
-    Expr,
-    FuncCall,
-    SelectStatement,
-    SubqueryExpr,
-)
+from repro.sqldb.ast import BinaryOp, Expr, SelectStatement
 
 
 def execution_match(database: Database, predicted_sql: str, gold_sql: str) -> bool:
@@ -114,6 +107,10 @@ class ExampleOutcome:
     correct: bool
     exact: bool
     tier: Any = None
+    #: the static analyzer found error-severity diagnostics in the
+    #: predicted SQL — the executor pre-flight rejected it before
+    #: touching any row (counts as answered-but-wrong)
+    static_rejected: bool = False
     metadata: Dict[str, Any] = field(default_factory=dict)
 
 
@@ -124,6 +121,8 @@ class EvaluationSummary:
     total: int
     answered: int
     correct: int
+    #: predictions the static analyzer rejected before execution
+    static_rejections: int = 0
 
     @property
     def accuracy(self) -> float:
@@ -159,6 +158,7 @@ def summarize(outcomes: Sequence[ExampleOutcome]) -> EvaluationSummary:
         total=len(outcomes),
         answered=sum(1 for o in outcomes if o.answered),
         correct=sum(1 for o in outcomes if o.correct),
+        static_rejections=sum(1 for o in outcomes if o.static_rejected),
     )
 
 

@@ -28,7 +28,6 @@ import numpy as np
 
 from repro.nlp.stopwords import is_stopword
 from repro.nlp.thesaurus import DEFAULT_THESAURUS, Thesaurus
-from repro.nlp.tokenizer import tokenize
 
 from .workloads import QueryExample
 

@@ -9,7 +9,7 @@ so log statistics genuinely disambiguate keyword mappings (E10).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -15,7 +15,7 @@ them — the property experiment E7 quantifies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,7 +29,7 @@ from repro.core.intermediate import (
     compile_oql,
 )
 from repro.core.pipeline import NLIDBContext
-from repro.ontology.builder import humanize, pluralize
+from repro.ontology.builder import pluralize
 from repro.sqldb.types import DataType
 
 

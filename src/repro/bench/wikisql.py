@@ -18,12 +18,12 @@ Examples carry both the NL question and the gold
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.sqldb import Column, Database, DataType, TableSchema
+from repro.sqldb import Database, DataType, TableSchema
 from repro.sqldb.table import Table
 from repro.systems.neural.sketch import Condition, QuerySketch
 

@@ -11,8 +11,10 @@ Subcommands exercising the library end to end::
 
 ``sql`` runs raw SQL against a domain database; ``--explain`` prints the
 planner's EXPLAIN-style report (hash join vs nested loop, index scan vs
-full scan), ``--no-planner`` forces the naive interpreter, and
-``--stats`` dumps the per-query ExecutionStats counters.
+full scan), ``--no-planner`` forces the naive interpreter, ``--stats``
+dumps the per-query ExecutionStats counters, and ``--lint`` runs the
+static semantic analyzer only, printing coded diagnostics with source
+positions instead of executing.
 
 Domains are the built-in benchmark databases
 (:mod:`repro.bench.domains`); systems are resolved through the registry
@@ -27,7 +29,7 @@ from typing import List, Optional
 
 from repro.bench.domains import build_domain, domain_names
 from repro.core import NLIDBContext, available, create
-from repro.systems import AthenaSystem  # ensures registry population
+from repro.systems import AthenaSystem  # noqa: F401  (imported to populate the registry)
 
 
 def _build_context(domain: str, seed: int) -> NLIDBContext:
@@ -75,6 +77,8 @@ def cmd_sql(args: argparse.Namespace) -> int:
     from repro.sqldb.executor import Executor
 
     database = build_domain(args.domain, seed=args.seed)
+    if args.lint:
+        return _lint_sql(database, args.sql)
     executor = Executor(database, use_planner=not args.no_planner)
     if args.explain:
         try:
@@ -93,6 +97,27 @@ def cmd_sql(args: argparse.Namespace) -> int:
         print()
         _print_stats(executor.last_stats)
     return 0
+
+
+def _lint_sql(database, sql: str) -> int:
+    """Static analysis only: print one diagnostic per line, never execute.
+
+    Exit code 1 when any error-severity diagnostic was found (the
+    executor pre-flight would reject the statement), 0 otherwise.
+    """
+    result = database.analyze_sql(sql)
+    if not result.diagnostics:
+        print("ok: no diagnostics")
+        return 0
+    for diag in result.diagnostics:
+        print(diag.format())
+        if diag.span is not None:
+            excerpt = diag.span.excerpt(sql).strip()
+            if excerpt:
+                print(f"    {excerpt}")
+    errors, warnings = len(result.errors), len(result.warnings)
+    print(f"{errors} error(s), {warnings} warning(s)")
+    return 1 if errors else 0
 
 
 def cmd_chat(args: argparse.Namespace) -> int:
@@ -176,6 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sql.add_argument(
         "--no-planner", action="store_true", help="use the naive interpreter"
+    )
+    sql.add_argument(
+        "--lint",
+        action="store_true",
+        help="statically analyze the query and print diagnostics (no execution)",
     )
     sql.add_argument(
         "--stats", action="store_true", help="show ExecutionStats counters"

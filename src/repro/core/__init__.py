@@ -36,7 +36,13 @@ from .intermediate import (
 )
 from .interpretation import Interpretation, best
 from .pipeline import NLIDBContext, NLIDBSystem
-from .ranking import content_indices, evidence_score, rank, score_interpretation
+from .ranking import (
+    apply_static_analysis,
+    content_indices,
+    evidence_score,
+    rank,
+    score_interpretation,
+)
 from .registry import available, create, register, registered
 
 __all__ = [
@@ -48,6 +54,7 @@ __all__ = [
     "Interpretation", "best",
     "NLIDBContext", "NLIDBSystem",
     "rank", "score_interpretation", "evidence_score", "content_indices",
+    "apply_static_analysis",
     "ClarificationRequest", "ClarificationOption", "ClarificationUser",
     "FirstOptionUser", "ScriptedUser", "SimulatedOracle",
     "register", "create", "available", "registered",

@@ -1,10 +1,19 @@
-"""Errors raised by the core NLIDB framework."""
+"""Errors raised by the core NLIDB framework.
+
+All framework errors inherit :class:`repro.errors.ReproError`, so they
+carry a stable ``code`` attribute in the same style as the SQL engine's
+diagnostic codes (``SQLxxx``); framework codes use the ``NLQ5xx`` range.
+"""
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 
-class NLIDBError(Exception):
+
+class NLIDBError(ReproError):
     """Base class for interpretation-framework errors."""
+
+    code = "NLQ500"
 
 
 class InterpretationError(NLIDBError):
@@ -15,6 +24,10 @@ class InterpretationError(NLIDBError):
     OQL query whose concepts are disconnected).
     """
 
+    code = "NLQ510"
+
 
 class CompilationError(NLIDBError):
     """Raised when an OQL query cannot be compiled to SQL."""
+
+    code = "NLQ520"

@@ -10,8 +10,8 @@ and how confident each piece is.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)

@@ -16,8 +16,8 @@ clarification protocol plus two resolvers:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, List, Sequence
 
 
 @dataclass

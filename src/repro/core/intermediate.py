@@ -21,7 +21,7 @@ surface the survey's complexity taxonomy spans (§3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple, Union
 
 from repro.ontology.mapping import OntologyMapping

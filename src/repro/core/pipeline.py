@@ -11,8 +11,7 @@ all systems under comparison.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from repro.nlp.thesaurus import DEFAULT_THESAURUS, Thesaurus
 from repro.ontology.builder import build_ontology
@@ -25,6 +24,7 @@ from repro.sqldb.index import DatabaseIndex
 from repro.sqldb.relation import Relation
 
 from .interpretation import Interpretation
+from .ranking import apply_static_analysis
 
 
 class NLIDBContext:
@@ -82,6 +82,20 @@ class NLIDBContext:
         stmt = interpretation.to_sql(self.ontology, self.mapping)
         return self.executor.explain(stmt)
 
+    def analyze(self, interpretation: Interpretation):
+        """Static-analyzer verdict on an interpretation's compiled SQL.
+
+        Returns the executor's cached
+        :class:`~repro.sqldb.analyzer.AnalysisResult`, or ``None`` when
+        the interpretation cannot be compiled at all (nothing to
+        analyze).  No rows are touched.
+        """
+        try:
+            stmt = interpretation.to_sql(self.ontology, self.mapping)
+        except Exception:
+            return None
+        return self.executor.analysis_for(stmt)
+
 
 class NLIDBSystem(abc.ABC):
     """Base class for every NLIDB system in the reproduction."""
@@ -100,13 +114,21 @@ class NLIDBSystem(abc.ABC):
         """
 
     def answer(self, question: str, context: NLIDBContext) -> Optional[Relation]:
-        """Interpret and execute the top candidate; ``None`` on failure."""
+        """Interpret and execute the best *statically valid* candidate.
+
+        Candidates whose compiled SQL fails semantic analysis are pruned
+        before selection — the executor pre-flight would reject them
+        anyway, so a lower-ranked but valid reading can still answer.
+        Returns ``None`` when nothing survives or execution fails.
+        """
         interpretations = self.interpret(question, context)
         if not interpretations:
             return None
-        top = max(interpretations, key=lambda i: i.confidence)
+        candidates = apply_static_analysis(interpretations, context.analyze)
+        if not candidates:
+            return None
         try:
-            return context.execute(top)
+            return context.execute(candidates[0])
         except Exception:
             return None
 

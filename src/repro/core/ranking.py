@@ -10,10 +10,11 @@ a candidate list, optionally re-normalizing confidences.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.nlp.stopwords import is_stopword
 from repro.nlp.tokenizer import Token
+from repro.sqldb.analyzer import AnalysisResult
 
 from .evidence import EvidenceAnnotation, coverage
 from .interpretation import Interpretation
@@ -69,3 +70,36 @@ def rank(
         for interpretation in interpretations:
             interpretation.confidence = score_interpretation(interpretation, tokens)
     return sorted(interpretations, key=lambda i: -i.confidence)
+
+
+#: per-warning confidence multiplier used by :func:`apply_static_analysis`
+WARNING_PENALTY = 0.9
+
+
+def apply_static_analysis(
+    interpretations: Sequence[Interpretation],
+    analyze: Callable[[Interpretation], Optional[AnalysisResult]],
+    warning_penalty: float = WARNING_PENALTY,
+) -> List[Interpretation]:
+    """Prune statically invalid candidates and penalize warned ones.
+
+    ``analyze`` maps a candidate to the analyzer verdict on its compiled
+    SQL (``None`` when the candidate cannot even be compiled — such
+    candidates are kept; compilation failures are the executor's
+    problem).  Candidates whose SQL carries *error* diagnostics are
+    dropped outright: the executor pre-flight would reject them anyway,
+    so spending rank on them only displaces viable readings.  Each
+    *warning* (always-false comparison, ungrouped bare column, …)
+    multiplies confidence by ``warning_penalty`` — dubious readings sink
+    below clean ones of comparable evidence but stay available.
+    """
+    kept: List[Interpretation] = []
+    for interpretation in interpretations:
+        result = analyze(interpretation)
+        if result is not None:
+            if result.errors:
+                continue
+            if result.warnings:
+                interpretation.confidence *= warning_penalty ** len(result.warnings)
+        kept.append(interpretation)
+    return sorted(kept, key=lambda i: -i.confidence)

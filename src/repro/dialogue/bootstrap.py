@@ -20,12 +20,10 @@ the database for entity values), it emits
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.core.pipeline import NLIDBContext
 from repro.ontology.builder import pluralize
-from repro.ontology.model import Ontology
-from repro.sqldb.database import Database
 from repro.sqldb.types import DataType
 
 from .intents import Intent

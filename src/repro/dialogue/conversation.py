@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.interpretation import Interpretation
 from repro.core.intermediate import compile_oql
 from repro.core.pipeline import NLIDBContext, NLIDBSystem
 from repro.systems.ontology_athena import AthenaSystem

@@ -22,21 +22,17 @@ context-blind re-interpretation.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import replace
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.core.intermediate import (
     OQLCondition,
-    OQLHasCondition,
     OQLItem,
     OQLOrder,
     OQLQuery,
     PropertyRef,
 )
 from repro.core.pipeline import NLIDBContext
-from repro.nlp.patterns import AGGREGATION_CUES, detect_patterns
-from repro.nlp.pos import tag_text
 
 from repro.systems.base import EntityAnnotator
 
@@ -189,7 +185,6 @@ class FollowupResolver:
             return None
         ref = None
         for ann in prop_anns:
-            from repro.sqldb.types import DataType
 
             ref = ann.payload
             break

@@ -14,7 +14,6 @@ from typing import Any, List, Optional, Tuple
 
 from repro.core.feedback import ClarificationRequest
 from repro.core.intermediate import OQLQuery, PropertyRef
-from repro.sqldb.relation import Relation
 
 
 @dataclass

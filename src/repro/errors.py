@@ -1,0 +1,33 @@
+"""Shared error base for the whole reproduction.
+
+Both exception families — the SQL engine's (:mod:`repro.sqldb.errors`)
+and the interpretation framework's (:mod:`repro.core.errors`) — derive
+from :class:`ReproError`, so every error the library raises carries a
+stable machine-readable ``code``.  The static analyzer
+(:mod:`repro.sqldb.analyzer`) reuses the same codes for its diagnostics,
+giving a 1:1 mapping between "what the analyzer flags" and "what the
+engine would raise": catching code ``SQL211`` statically and catching
+:class:`~repro.sqldb.errors.UnknownColumnError` at runtime are the same
+event observed at two different times.
+
+This module deliberately has no imports from the rest of the package so
+either family can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the reproduction.
+
+    ``code`` is a stable identifier of the error *class* (not the
+    instance); subclasses override it.  Codes are grouped by hundreds:
+    ``SQL1xx`` parse, ``SQL2xx`` catalog/name resolution, ``SQL3xx``
+    types, ``SQL4xx`` execution, ``NLQ5xx`` interpretation framework.
+    """
+
+    code: str = "ERR000"
+
+    def describe(self) -> str:
+        """``CODE: message`` rendering used by logs and the CLI."""
+        return f"{self.code}: {self}"

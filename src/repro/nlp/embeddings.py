@@ -19,7 +19,7 @@ consumed by the neural models in :mod:`repro.systems.neural`.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 

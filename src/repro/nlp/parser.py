@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from . import pos as pos_mod
-from .tokenizer import Token, tokenize
+from .tokenizer import Token
 
 _NP_TAGS = {"DT", "JJ", "JJR", "JJS", "NN", "NNS", "NNP", "CD", "VBG"}
 _NP_HEAD_TAGS = {"NN", "NNS", "NNP", "CD"}

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from .numbers import ordinal_to_number, parse_number, word_to_number
+from .numbers import ordinal_to_number, word_to_number
 from .tokenizer import Token, tokenize
 
 AGGREGATION_CUES = {

@@ -14,7 +14,7 @@ vocabulary when a database declares synonyms.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
 from .lemmatizer import lemmatize
 

@@ -11,8 +11,8 @@ intact.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 _TOKEN_RE = re.compile(
     r"""

@@ -15,7 +15,7 @@ dialogue-bootstrap layers then exploit.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.sqldb.database import Database
 from repro.sqldb.index import split_identifier

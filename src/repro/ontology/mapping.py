@@ -9,7 +9,7 @@ what the OQL→SQL translation consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.sqldb.schema import ForeignKey

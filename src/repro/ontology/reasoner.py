@@ -10,7 +10,7 @@ into the SQL join chain.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
 from networkx.algorithms import approximation as nx_approx

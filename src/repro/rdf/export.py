@@ -10,7 +10,7 @@ BELA's inverted index is built from).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.core.pipeline import NLIDBContext
 from repro.sqldb.types import DataType

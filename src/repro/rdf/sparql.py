@@ -19,12 +19,12 @@ form for exact-match metrics.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.sqldb.relation import Relation
 
-from .triples import Triple, TripleStore
+from .triples import TripleStore
 
 
 @dataclass(frozen=True)

@@ -42,8 +42,11 @@ from .ast import (
     TableRef,
     UnaryOp,
 )
+from .analyzer import AnalysisResult, Diagnostic, SemanticAnalyzer, analyze, analyze_sql
 from .database import Database
 from .errors import (
+    ERROR_CLASS_BY_CODE,
+    AggregateError,
     AmbiguousColumnError,
     CatalogError,
     ExecutionError,
@@ -74,6 +77,7 @@ __all__ = [
     "parse_select", "parse_expression",
     "ExecutionStats", "Planner", "QueryPlan", "ScanPlan", "JoinPlan",
     "SqlError", "ParseError", "CatalogError", "SchemaError", "TypeMismatchError",
-    "ExecutionError", "AmbiguousColumnError", "UnknownColumnError",
-    "UnknownFunctionError", "UnknownTableError",
+    "ExecutionError", "AggregateError", "AmbiguousColumnError", "UnknownColumnError",
+    "UnknownFunctionError", "UnknownTableError", "ERROR_CLASS_BY_CODE",
+    "AnalysisResult", "Diagnostic", "SemanticAnalyzer", "analyze", "analyze_sql",
 ]

@@ -16,14 +16,45 @@ with ``ON`` conditions, and nested sub-queries (scalar, ``IN`` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence, Tuple
 
 from .types import format_value
 
 
+@dataclass(frozen=True)
+class Span:
+    """Half-open source range ``[start, end)`` of an AST node.
+
+    ``start``/``end`` are character offsets into the original SQL text;
+    ``line``/``col`` are the 1-based coordinates of ``start``.  Spans are
+    attached by the parser and consumed by the static analyzer to point
+    diagnostics at the offending fragment.
+    """
+
+    start: int
+    end: int
+    line: int = 1
+    col: int = 1
+
+    def excerpt(self, sql: str) -> str:
+        """The source text this span covers."""
+        return sql[self.start : self.end]
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
 class SqlNode:
     """Base class for every AST node; all nodes render via :meth:`to_sql`."""
+
+    # Source span, attached by the parser via ``object.__setattr__`` (the
+    # nodes are frozen dataclasses).  Deliberately a *class* attribute
+    # rather than a dataclass field: it must not participate in
+    # ``__eq__``/``__hash__`` (exact-match metrics compare parsed ASTs
+    # from differently formatted SQL) and programmatic AST construction
+    # must not need to supply it.
+    span: Optional[Span] = None
 
     def to_sql(self) -> str:
         """Render this node as SQL text."""

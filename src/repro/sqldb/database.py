@@ -121,6 +121,17 @@ class Database:
         """EXPLAIN-style plan description for SQL text (not executed)."""
         return self.executor.explain_sql(sql)
 
+    def analyze_sql(self, sql: str):
+        """Statically analyze SQL text against this catalog.
+
+        Returns an :class:`~repro.sqldb.analyzer.AnalysisResult` with the
+        full diagnostic list (never raises on bad SQL — parse errors
+        become ``SQL101`` diagnostics).  Nothing is executed.
+        """
+        from .analyzer import SemanticAnalyzer
+
+        return SemanticAnalyzer(self).analyze_sql(sql)
+
     @property
     def last_stats(self):
         """The shared executor's most recent per-query

@@ -2,59 +2,262 @@
 
 Every error raised by :mod:`repro.sqldb` derives from :class:`SqlError`,
 so callers (e.g. the NLIDB evaluation harness, which must not crash when a
-system emits malformed SQL) can catch a single base class.
+system emits malformed SQL) can catch a single base class.  ``SqlError``
+itself derives from :class:`repro.errors.ReproError`, which contributes
+the stable ``code`` attribute shared with the static analyzer
+(:mod:`repro.sqldb.analyzer`): each analyzer diagnostic code is the
+``code`` of exactly one exception class here, so a statement rejected
+statically with code ``SQL211`` is the same failure the executor would
+report by raising :class:`UnknownColumnError`.
+
+Code ranges:
+
+- ``SQL1xx`` — lexing/parsing,
+- ``SQL2xx`` — catalog and name resolution,
+- ``SQL3xx`` — typing,
+- ``SQL4xx`` — execution (including aggregate and subquery misuse).
 """
 
 from __future__ import annotations
 
+from repro.errors import ReproError
 
-class SqlError(Exception):
+
+class SqlError(ReproError):
     """Base class for all errors raised by the SQL engine."""
+
+    code = "SQL000"
 
 
 class ParseError(SqlError):
     """Raised when SQL text cannot be tokenized or parsed.
 
-    Carries the approximate character ``position`` in the input when known.
+    Carries the approximate character ``position`` in the input when
+    known, plus 1-based ``line``/``column`` when the source text was
+    available to compute them.
     """
 
-    def __init__(self, message: str, position: int = -1):
+    code = "SQL101"
+
+    def __init__(self, message: str, position: int = -1, line: int = -1, column: int = -1):
         super().__init__(message)
         self.position = position
+        self.line = line
+        self.column = column
 
 
 class CatalogError(SqlError):
     """Raised for schema-level problems: unknown tables or columns,
     duplicate definitions, or invalid foreign keys."""
 
+    code = "SQL200"
+
 
 class SchemaError(CatalogError):
     """Raised when a schema definition itself is inconsistent
     (e.g. duplicate column names, foreign key to a missing column)."""
 
-
-class TypeMismatchError(SqlError):
-    """Raised when a value cannot be coerced to a column's declared type,
-    or when an expression combines incompatible types."""
+    code = "SQL201"
 
 
-class ExecutionError(SqlError):
-    """Raised when a structurally valid query fails during evaluation
-    (e.g. a scalar subquery returning multiple rows)."""
+class UnknownTableError(CatalogError):
+    """Raised when a table name is not present in the database."""
+
+    code = "SQL210"
+
+
+class UnknownColumnError(CatalogError):
+    """Raised when a column reference cannot be resolved in scope."""
+
+    code = "SQL211"
 
 
 class AmbiguousColumnError(CatalogError):
     """Raised when an unqualified column name matches more than one table
     in scope."""
 
-
-class UnknownColumnError(CatalogError):
-    """Raised when a column reference cannot be resolved in scope."""
+    code = "SQL212"
 
 
-class UnknownTableError(CatalogError):
-    """Raised when a table name is not present in the database."""
+class DuplicateAliasError(CatalogError):
+    """Two FROM/JOIN entries bound under the same name.  The executor
+    tolerates this (the first binding shadows), so the analyzer reports
+    it as a warning rather than the engine raising it."""
+
+    code = "SQL213"
 
 
 class UnknownFunctionError(SqlError):
     """Raised when a query calls a function the engine does not define."""
+
+    code = "SQL214"
+
+
+class TypeMismatchError(SqlError):
+    """Raised when a value cannot be coerced to a column's declared type,
+    or when an expression combines incompatible types."""
+
+    code = "SQL300"
+
+
+class ComparisonTypeError(TypeMismatchError):
+    """Comparison between values of incomparable type families.  At
+    runtime such comparisons are simply false (NULL-style semantics), so
+    this is warning-grade: the predicate can never be satisfied."""
+
+    code = "SQL301"
+
+
+class ExecutionError(SqlError):
+    """Raised when a structurally valid query fails during evaluation
+    (e.g. a scalar subquery returning multiple rows)."""
+
+    code = "SQL400"
+
+
+class ArithmeticTypeError(TypeMismatchError, ExecutionError):
+    """Arithmetic (or unary minus) over a non-numeric operand.  A type
+    error detected statically, but the engine reports it lazily as an
+    :class:`ExecutionError` on the first non-NULL row that reaches it —
+    hence the dual parentage."""
+
+    code = "SQL302"
+
+
+class LikeTypeError(TypeMismatchError, ExecutionError):
+    """``LIKE`` applied to a non-text operand; like
+    :class:`ArithmeticTypeError`, statically a type error, at runtime an
+    :class:`ExecutionError` on the first non-NULL row."""
+
+    code = "SQL303"
+
+
+class InListTypeError(TypeMismatchError):
+    """``IN`` list whose items cannot all match the probed expression's
+    type family (warning-grade: mismatched items never match)."""
+
+    code = "SQL304"
+
+
+class BetweenTypeError(TypeMismatchError):
+    """``BETWEEN`` bounds incomparable with the tested expression
+    (warning-grade: the range test is always false)."""
+
+    code = "SQL305"
+
+
+class FunctionTypeError(TypeMismatchError):
+    """A scalar function or numeric aggregate applied to an argument of a
+    type it rejects at runtime (e.g. ``LOWER(42)``, ``SUM(name)``)."""
+
+    code = "SQL307"
+
+
+class DivisionByZeroError(ExecutionError):
+    """Division by a literal zero; the executor raises when the division
+    is evaluated."""
+
+    code = "SQL401"
+
+
+class AggregateError(ExecutionError):
+    """Base class for aggregate/GROUP BY misuse."""
+
+    code = "SQL410"
+
+
+class MisplacedAggregateError(AggregateError):
+    """Aggregate call in a context that is evaluated per-row (WHERE,
+    JOIN ... ON, GROUP BY keys, or ORDER BY of an ungrouped query)."""
+
+    code = "SQL411"
+
+
+class NestedAggregateError(AggregateError):
+    """Aggregate call nested inside another aggregate's argument."""
+
+    code = "SQL412"
+
+
+class UngroupedColumnError(AggregateError):
+    """A bare column in a grouped query that is not a grouping key.  The
+    engine follows SQLite and evaluates it on a representative row, so
+    the analyzer reports this as a warning."""
+
+    code = "SQL413"
+
+
+class GroupedStarError(AggregateError):
+    """``SELECT *`` in a grouped query (no meaningful expansion)."""
+
+    code = "SQL414"
+
+
+class AggregateArityError(AggregateError):
+    """An aggregate called with the wrong number (or shape) of
+    arguments, e.g. ``SUM()`` or ``SUM(a, b)`` or ``AVG(*)``."""
+
+    code = "SQL415"
+
+
+class HavingScopeError(AggregateError):
+    """``HAVING`` on an ungrouped, unaggregated query.  The engine
+    silently ignores the clause, so this is warning-grade."""
+
+    code = "SQL416"
+
+
+class FunctionArityError(ExecutionError):
+    """A scalar function called with the wrong number of arguments."""
+
+    code = "SQL417"
+
+
+class SubqueryError(ExecutionError):
+    """Base class for structural subquery misuse."""
+
+    code = "SQL420"
+
+
+class SubqueryColumnsError(SubqueryError):
+    """A scalar or ``IN`` subquery whose SELECT list does not produce
+    exactly one output column."""
+
+    code = "SQL421"
+
+
+#: Every exception class keyed by its stable code — the analyzer uses
+#: this to map diagnostic codes back onto error classes 1:1.
+ERROR_CLASS_BY_CODE = {
+    cls.code: cls
+    for cls in (
+        SqlError,
+        ParseError,
+        CatalogError,
+        SchemaError,
+        UnknownTableError,
+        UnknownColumnError,
+        AmbiguousColumnError,
+        DuplicateAliasError,
+        UnknownFunctionError,
+        TypeMismatchError,
+        ComparisonTypeError,
+        ArithmeticTypeError,
+        LikeTypeError,
+        InListTypeError,
+        BetweenTypeError,
+        FunctionTypeError,
+        ExecutionError,
+        DivisionByZeroError,
+        AggregateError,
+        MisplacedAggregateError,
+        NestedAggregateError,
+        UngroupedColumnError,
+        GroupedStarError,
+        AggregateArityError,
+        HavingScopeError,
+        FunctionArityError,
+        SubqueryError,
+        SubqueryColumnsError,
+    )
+}

@@ -31,7 +31,7 @@ from __future__ import annotations
 import functools
 import re
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .ast import (
     Between,
@@ -49,8 +49,18 @@ from .ast import (
 )
 from .database import Database
 from .errors import (
+    AggregateArityError,
     AmbiguousColumnError,
+    ArithmeticTypeError,
+    DivisionByZeroError,
     ExecutionError,
+    FunctionArityError,
+    GroupedStarError,
+    LikeTypeError,
+    MisplacedAggregateError,
+    NestedAggregateError,
+    SubqueryColumnsError,
+    SubqueryError,
     UnknownColumnError,
     UnknownFunctionError,
     UnknownTableError,
@@ -181,6 +191,15 @@ class Executor:
     LRU.  After every query, ``last_stats`` holds that query's
     :class:`~repro.sqldb.planner.ExecutionStats` and ``total_stats``
     accumulates across the executor's lifetime.
+
+    ``analyze=True`` (the default) runs the static semantic analyzer
+    (:mod:`repro.sqldb.analyzer`) as a pre-flight before planning: a
+    statement with an error-severity diagnostic raises the mapped
+    exception class — the same class the interpreter would raise —
+    without touching a row.  ``analyze=False`` is the escape hatch that
+    restores pure lazy runtime errors.  Analysis results are cached per
+    statement object (invalidated on catalog changes), so repeated
+    statements pay the analyzer once.
     """
 
     def __init__(
@@ -188,28 +207,61 @@ class Executor:
         database: Database,
         use_planner: bool = True,
         statement_cache_size: int = 256,
+        analyze: bool = True,
     ):
         self.database = database
         self.use_planner = use_planner
+        self.analyze = analyze
         self.last_stats = ExecutionStats()
         self.total_stats = ExecutionStats()
         self._stats = self.last_stats
         self._planner = Planner(database)
+        self._analyzer = None
         self._statement_cache = _LRUCache(statement_cache_size)
         self._plan_cache: Dict[int, Tuple[SelectStatement, QueryPlan]] = {}
         self._plan_catalog_version = database.catalog_version
+        self._analysis_cache: Dict[int, Tuple[SelectStatement, Any]] = {}
+        self._analysis_catalog_version = database.catalog_version
 
     # -- public API -----------------------------------------------------------
 
     def execute(self, stmt: SelectStatement) -> Relation:
         """Run ``stmt`` and return its result relation."""
         self._begin_query()
+        self._preflight(stmt)
         return self._run(stmt)
 
     def execute_sql(self, sql: str) -> Relation:
         """Parse (through the statement cache) and run SQL text."""
         self._begin_query()
-        return self._run(self._parse_cached(sql, count=True))
+        stmt = self._parse_cached(sql, count=True)
+        self._preflight(stmt)
+        return self._run(stmt)
+
+    def analysis_for(self, stmt: SelectStatement):
+        """Static analysis of ``stmt``, cached per statement object.
+
+        The cache is keyed by object identity (like the plan cache —
+        the statement cache makes repeated SQL text hit the same object)
+        and invalidated when the catalog changes, since new tables can
+        change name resolution.
+        """
+        from .analyzer import SemanticAnalyzer
+
+        if self.database.catalog_version != self._analysis_catalog_version:
+            self._analysis_cache.clear()
+            self._analysis_catalog_version = self.database.catalog_version
+        cached = self._analysis_cache.get(id(stmt))
+        if cached is not None and cached[0] is stmt:
+            self._stats.preflight_cache_hits += 1
+            return cached[1]
+        if self._analyzer is None:
+            self._analyzer = SemanticAnalyzer(self.database)
+        result = self._analyzer.analyze(stmt)
+        if len(self._analysis_cache) > 512:
+            self._analysis_cache.clear()
+        self._analysis_cache[id(stmt)] = (stmt, result)
+        return result
 
     def explain(self, stmt: SelectStatement) -> str:
         """EXPLAIN-style description of the plan chosen for ``stmt``."""
@@ -220,16 +272,34 @@ class Executor:
         return self.explain(self._parse_cached(sql, count=False))
 
     def clear_caches(self) -> None:
-        """Drop the parsed-statement and plan caches (never required for
-        correctness — both caches hold only parse-/schema-derived state)."""
+        """Drop the parsed-statement, plan and analysis caches (never
+        required for correctness — all hold only parse-/schema-derived
+        state)."""
         self._statement_cache.clear()
         self._plan_cache.clear()
+        self._analysis_cache.clear()
 
     # -- query lifecycle -------------------------------------------------------
 
     def _begin_query(self) -> None:
         self.last_stats = ExecutionStats()
         self._stats = self.last_stats
+
+    def _preflight(self, stmt: SelectStatement) -> None:
+        """Static pre-flight: reject statements the analyzer proves broken.
+
+        Raises the exception class mapped to the first error-severity
+        diagnostic — identical to what the interpreter would raise, only
+        before any row is touched.  Warnings never reject."""
+        if not self.analyze:
+            return
+        self._stats.preflight_checks += 1
+        result = self.analysis_for(stmt)
+        if not result.ok:
+            self._stats.static_rejections += 1
+            # _run never happens, so fold this query's counters in now.
+            self.total_stats.merge(self._stats)
+            result.raise_first_error()
 
     def _run(self, stmt: SelectStatement) -> Relation:
         result = self._execute(stmt, parent=None)
@@ -582,7 +652,7 @@ class Executor:
             out = []
             for item in stmt.select_items:
                 if isinstance(item.expr, Star):
-                    raise ExecutionError("SELECT * is not valid in a grouped query")
+                    raise GroupedStarError("SELECT * is not valid in a grouped query")
                 out.append(self._eval_group(item.expr, members, parent))
             rows.append(tuple(out))
             order_rows.append(
@@ -630,7 +700,7 @@ class Executor:
             if value is None:
                 return None
             if isinstance(value, bool) or not isinstance(value, (int, float)):
-                raise ExecutionError(f"unary '-' needs a number, got {value!r}")
+                raise ArithmeticTypeError(f"unary '-' needs a number, got {value!r}")
             return -value
         if isinstance(expr, IsNull):
             is_null = self._eval(expr.operand, scope) is None
@@ -654,8 +724,12 @@ class Executor:
             return not hit if expr.negated else hit
         if isinstance(expr, FuncCall):
             if expr.is_aggregate:
-                raise ExecutionError(
+                raise MisplacedAggregateError(
                     f"aggregate {expr.name.upper()} used outside a grouped context"
+                )
+            if any(isinstance(arg, Star) for arg in expr.args):
+                raise FunctionArityError(
+                    f"'*' is not a valid argument to {expr.name.upper()}"
                 )
             args = [self._eval(arg, scope) for arg in expr.args]
             return call_scalar(expr.name, args)
@@ -679,7 +753,7 @@ class Executor:
             if left is None or right is None:
                 return False
             if not isinstance(left, str) or not isinstance(right, str):
-                raise ExecutionError("LIKE requires text operands")
+                raise LikeTypeError("LIKE requires text operands")
             return bool(_like_to_regex(right).match(left))
         if op == "=":
             return values_equal(left, right)
@@ -697,7 +771,7 @@ class Executor:
                 return None
             for side in (left, right):
                 if isinstance(side, bool) or not isinstance(side, (int, float)):
-                    raise ExecutionError(f"arithmetic on non-number {side!r}")
+                    raise ArithmeticTypeError(f"arithmetic on non-number {side!r}")
             if op == "+":
                 return left + right
             if op == "-":
@@ -705,7 +779,7 @@ class Executor:
             if op == "*":
                 return left * right
             if right == 0:
-                raise ExecutionError("division by zero")
+                raise DivisionByZeroError("division by zero")
             return left / right
         raise ExecutionError(f"unknown operator {op!r}")  # pragma: no cover
 
@@ -713,10 +787,12 @@ class Executor:
         self._stats.subqueries += 1
         result = self._execute(expr.query, parent=scope)
         if expr.kind == "scalar":
-            if len(result.rows) > 1:
-                raise ExecutionError("scalar subquery returned more than one row")
+            # arity first: it is statically decidable (the analyzer flags
+            # it as SQL421), row count depends on the data
             if len(result.columns) != 1:
-                raise ExecutionError("scalar subquery must return one column")
+                raise SubqueryColumnsError("scalar subquery must return one column")
+            if len(result.rows) > 1:
+                raise SubqueryError("scalar subquery returned more than one row")
             value = result.rows[0][0] if result.rows else None
             if expr.operand is None or expr.op is None:
                 return value
@@ -725,7 +801,7 @@ class Executor:
             return self._eval_binary(comparison, scope)
         if expr.kind in ("in", "not_in"):
             if len(result.columns) != 1:
-                raise ExecutionError("IN subquery must return one column")
+                raise SubqueryColumnsError("IN subquery must return one column")
             outer = self._eval(expr.operand, scope) if expr.operand else None
             if outer is None:
                 return False
@@ -748,8 +824,11 @@ class Executor:
         if isinstance(expr, BinaryOp):
             if expr.op in ("AND", "OR"):
                 left = self._truthy(self._eval_group(expr.left, members, parent))
-                right_lazy = lambda: self._truthy(self._eval_group(expr.right, members, parent))
-                return (left and right_lazy()) if expr.op == "AND" else (left or right_lazy())
+                if expr.op == "AND" and not left:
+                    return False
+                if expr.op == "OR" and left:
+                    return True
+                return self._truthy(self._eval_group(expr.right, members, parent))
             left = self._eval_group(expr.left, members, parent)
             right = self._eval_group(expr.right, members, parent)
             return self._eval_binary(
@@ -762,6 +841,10 @@ class Executor:
                 return not self._truthy(inner)
             if inner is None:
                 return None
+            if isinstance(inner, bool) or not isinstance(inner, (int, float)):
+                # Same check as the per-row path; previously this fell
+                # through to Python's TypeError on non-numeric values.
+                raise ArithmeticTypeError(f"unary '-' needs a number, got {inner!r}")
             return -inner
         if isinstance(expr, FuncCall):
             args = [self._eval_group(a, members, parent) for a in expr.args]
@@ -781,9 +864,17 @@ class Executor:
         if call.name.lower() == "count" and len(call.args) == 1 and isinstance(call.args[0], Star):
             return func([None] * len(members), star=True)
         if not call.args:
-            raise ExecutionError(f"{call.name.upper()} requires an argument")
+            raise AggregateArityError(f"{call.name.upper()} requires an argument")
         if len(call.args) != 1:
-            raise ExecutionError(f"{call.name.upper()} takes exactly one argument")
+            raise AggregateArityError(f"{call.name.upper()} takes exactly one argument")
+        if isinstance(call.args[0], Star):
+            raise AggregateArityError(f"{call.name.upper()}(*) is not supported")
+        for node in call.args[0].walk():
+            if isinstance(node, FuncCall) and node.is_aggregate:
+                raise NestedAggregateError(
+                    f"aggregate {node.name.upper()} nested inside "
+                    f"{call.name.upper()}"
+                )
         values = [self._eval(call.args[0], scope) for scope in members]
         return func(values, distinct=call.distinct)
 

@@ -10,7 +10,12 @@ from __future__ import annotations
 import datetime
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from .errors import ExecutionError, TypeMismatchError, UnknownFunctionError
+from .errors import (
+    FunctionArityError,
+    FunctionTypeError,
+    TypeMismatchError,
+    UnknownFunctionError,
+)
 
 
 def _non_null(values: Sequence[Any]) -> List[Any]:
@@ -21,7 +26,7 @@ def _require_numeric(values: Sequence[Any], func: str) -> List[float]:
     out = []
     for v in values:
         if isinstance(v, bool) or not isinstance(v, (int, float)):
-            raise TypeMismatchError(f"{func.upper()} requires numeric input, got {v!r}")
+            raise FunctionTypeError(f"{func.upper()} requires numeric input, got {v!r}")
         out.append(v)
     return out
 
@@ -97,7 +102,7 @@ def _scalar_abs(value: Any) -> Any:
     if value is None:
         return None
     if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise TypeMismatchError(f"ABS requires a number, got {value!r}")
+        raise FunctionTypeError(f"ABS requires a number, got {value!r}")
     return abs(value)
 
 
@@ -105,9 +110,9 @@ def _scalar_round(value: Any, digits: Any = 0) -> Any:
     if value is None:
         return None
     if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise TypeMismatchError(f"ROUND requires a number, got {value!r}")
+        raise FunctionTypeError(f"ROUND requires a number, got {value!r}")
     if not isinstance(digits, int):
-        raise TypeMismatchError("ROUND digits must be an integer")
+        raise FunctionTypeError("ROUND digits must be an integer")
     return round(float(value), digits)
 
 
@@ -115,7 +120,7 @@ def _scalar_lower(value: Any) -> Any:
     if value is None:
         return None
     if not isinstance(value, str):
-        raise TypeMismatchError(f"LOWER requires text, got {value!r}")
+        raise FunctionTypeError(f"LOWER requires text, got {value!r}")
     return value.lower()
 
 
@@ -123,7 +128,7 @@ def _scalar_upper(value: Any) -> Any:
     if value is None:
         return None
     if not isinstance(value, str):
-        raise TypeMismatchError(f"UPPER requires text, got {value!r}")
+        raise FunctionTypeError(f"UPPER requires text, got {value!r}")
     return value.upper()
 
 
@@ -131,13 +136,13 @@ def _scalar_length(value: Any) -> Any:
     if value is None:
         return None
     if not isinstance(value, str):
-        raise TypeMismatchError(f"LENGTH requires text, got {value!r}")
+        raise FunctionTypeError(f"LENGTH requires text, got {value!r}")
     return len(value)
 
 
 def _require_date(value: Any, func: str) -> datetime.date:
     if not isinstance(value, datetime.date):
-        raise TypeMismatchError(f"{func} requires a date, got {value!r}")
+        raise FunctionTypeError(f"{func} requires a date, got {value!r}")
     return value
 
 
@@ -179,4 +184,4 @@ def call_scalar(name: str, args: Sequence[Any]) -> Any:
     try:
         return func(*args)
     except TypeError as exc:
-        raise ExecutionError(f"bad arguments for {name.upper()}: {exc}") from exc
+        raise FunctionArityError(f"bad arguments for {name.upper()}: {exc}") from exc

@@ -14,11 +14,10 @@ from exact vs. fuzzy matching).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set
 
 from .database import Database
-from .types import DataType
 
 
 def _strip_punct(text: str) -> str:

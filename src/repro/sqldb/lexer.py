@@ -4,12 +4,16 @@ Produces a flat list of :class:`Token` objects consumed by the
 recursive-descent parser in :mod:`repro.sqldb.parser`.  Keywords are
 case-insensitive; identifiers keep their original case.  String literals
 use single quotes with ``''`` escaping.
+
+Every token carries its character offset plus 1-based line/column, so
+parser errors and analyzer diagnostics can point at the exact source
+span (:class:`repro.sqldb.ast.Span`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 from .errors import ParseError
 
@@ -31,13 +35,38 @@ class Token:
 
     ``kind`` is one of ``keyword``, ``ident``, ``number``, ``string``,
     ``op`` or ``eof``; ``value`` holds the normalized payload (lower-case
-    for keywords, numeric for numbers).
+    for keywords, numeric for numbers).  ``position`` is the 0-based
+    character offset; ``line``/``col`` are 1-based source coordinates.
     """
 
     kind: str
     value: object
     text: str
     position: int
+    line: int = 1
+    col: int = 1
+
+    @property
+    def end(self) -> int:
+        """Character offset one past the token's source text."""
+        return self.position + len(self.text)
+
+
+def line_col(text: str, position: int) -> Tuple[int, int]:
+    """1-based ``(line, column)`` of a character offset in ``text``."""
+    if position < 0:
+        return (1, 1)
+    position = min(position, len(text))
+    line = text.count("\n", 0, position) + 1
+    last_newline = text.rfind("\n", 0, position)
+    return (line, position - last_newline if last_newline >= 0 else position + 1)
+
+
+def _locate_error(message: str, sql: str, position: int) -> ParseError:
+    line, col = line_col(sql, position)
+    return ParseError(
+        f"{message} at line {line}, column {col}", position, line, col
+    )
 
 
 def tokenize(sql: str) -> List[Token]:
@@ -53,12 +82,13 @@ def tokenize(sql: str) -> List[Token]:
         if ch.isspace():
             i += 1
             continue
+        line, col = line_col(sql, i)
         if ch == "'":
             j = i + 1
             buf = []
             while True:
                 if j >= n:
-                    raise ParseError("unterminated string literal", i)
+                    raise _locate_error("unterminated string literal", sql, i)
                 if sql[j] == "'":
                     if j + 1 < n and sql[j + 1] == "'":
                         buf.append("'")
@@ -67,7 +97,7 @@ def tokenize(sql: str) -> List[Token]:
                     break
                 buf.append(sql[j])
                 j += 1
-            tokens.append(Token("string", "".join(buf), sql[i : j + 1], i))
+            tokens.append(Token("string", "".join(buf), sql[i : j + 1], i, line, col))
             i = j + 1
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
@@ -84,7 +114,7 @@ def tokenize(sql: str) -> List[Token]:
                 j += 1
             text = sql[i:j]
             value = float(text) if "." in text else int(text)
-            tokens.append(Token("number", value, text, i))
+            tokens.append(Token("number", value, text, i, line, col))
             i = j
             continue
         if ch.isalpha() or ch == "_":
@@ -94,20 +124,21 @@ def tokenize(sql: str) -> List[Token]:
             text = sql[i:j]
             lowered = text.lower()
             if lowered in KEYWORDS:
-                tokens.append(Token("keyword", lowered, text, i))
+                tokens.append(Token("keyword", lowered, text, i, line, col))
             else:
-                tokens.append(Token("ident", text, text, i))
+                tokens.append(Token("ident", text, text, i, line, col))
             i = j
             continue
         matched = False
         for op in _OPERATORS:
             if sql.startswith(op, i):
                 canonical = "!=" if op == "<>" else op
-                tokens.append(Token("op", canonical, op, i))
+                tokens.append(Token("op", canonical, op, i, line, col))
                 i += len(op)
                 matched = True
                 break
         if not matched:
-            raise ParseError(f"unexpected character {ch!r}", i)
-    tokens.append(Token("eof", None, "", n))
+            raise _locate_error(f"unexpected character {ch!r}", sql, i)
+    eline, ecol = line_col(sql, n)
+    tokens.append(Token("eof", None, "", n, eline, ecol))
     return tokens

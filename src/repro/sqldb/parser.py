@@ -21,11 +21,17 @@ Grammar (informal)::
 
 Every parse entry point returns :mod:`repro.sqldb.ast` nodes; round-trips
 through :meth:`~repro.sqldb.ast.SqlNode.to_sql` are tested property-style.
+
+Each produced node carries a :class:`~repro.sqldb.ast.Span` covering its
+source text, attached outside the dataclass protocol (see ``SqlNode.span``)
+so that AST equality — which exact-match metrics rely on — ignores
+formatting differences between otherwise identical statements.  Parse
+errors report 1-based line/column alongside the character offset.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, TypeVar
 
 from .ast import (
     Between,
@@ -40,6 +46,8 @@ from .ast import (
     OrderItem,
     SelectItem,
     SelectStatement,
+    Span,
+    SqlNode,
     Star,
     SubqueryExpr,
     TableRef,
@@ -50,12 +58,14 @@ from .lexer import Token, tokenize
 
 _COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
 
+_NodeT = TypeVar("_NodeT", bound=SqlNode)
+
 
 def parse_select(sql: str) -> SelectStatement:
     """Parse ``sql`` into a :class:`~repro.sqldb.ast.SelectStatement`.
 
-    Raises :class:`~repro.sqldb.errors.ParseError` with position info on
-    malformed input or trailing junk.
+    Raises :class:`~repro.sqldb.errors.ParseError` with line/column info
+    on malformed input or trailing junk.
     """
     parser = _Parser(tokenize(sql))
     stmt = parser.select()
@@ -89,6 +99,25 @@ class _Parser:
             self._pos += 1
         return token
 
+    def _error(self, message: str, token: Token) -> ParseError:
+        return ParseError(
+            f"{message} at line {token.line}, column {token.col}",
+            token.position,
+            token.line,
+            token.col,
+        )
+
+    def _spanned(self, node: _NodeT, start: Token) -> _NodeT:
+        """Attach the source span ``[start, last consumed token)`` to ``node``.
+
+        Uses ``object.__setattr__`` because the nodes are frozen
+        dataclasses and ``span`` is intentionally not a dataclass field.
+        """
+        prev = self._tokens[self._pos - 1] if self._pos > 0 else start
+        end = max(prev.end, start.position)
+        object.__setattr__(node, "span", Span(start.position, end, start.line, start.col))
+        return node
+
     def _check_keyword(self, *words: str) -> bool:
         token = self._peek()
         return token.kind == "keyword" and token.value in words
@@ -101,7 +130,9 @@ class _Parser:
     def _expect_keyword(self, word: str) -> None:
         token = self._advance()
         if token.kind != "keyword" or token.value != word:
-            raise ParseError(f"expected {word.upper()!r}, got {token.text or 'EOF'!r}", token.position)
+            raise self._error(
+                f"expected {word.upper()!r}, got {token.text or 'EOF'!r}", token
+            )
 
     def _match_op(self, *ops: str) -> Optional[str]:
         token = self._peek()
@@ -113,24 +144,27 @@ class _Parser:
     def _expect_op(self, op: str) -> None:
         token = self._advance()
         if token.kind != "op" or token.value != op:
-            raise ParseError(f"expected {op!r}, got {token.text or 'EOF'!r}", token.position)
+            raise self._error(f"expected {op!r}, got {token.text or 'EOF'!r}", token)
 
     def _expect_ident(self) -> str:
         token = self._advance()
         if token.kind != "ident":
-            raise ParseError(f"expected identifier, got {token.text or 'EOF'!r}", token.position)
+            raise self._error(
+                f"expected identifier, got {token.text or 'EOF'!r}", token
+            )
         return token.value  # type: ignore[return-value]
 
     def expect_eof(self) -> None:
         """Assert the whole input has been consumed."""
         token = self._peek()
         if token.kind != "eof":
-            raise ParseError(f"unexpected trailing input {token.text!r}", token.position)
+            raise self._error(f"unexpected trailing input {token.text!r}", token)
 
     # -- statement ----------------------------------------------------------
 
     def select(self) -> SelectStatement:
         """Parse one SELECT block (without enclosing parentheses)."""
+        start = self._peek()
         self._expect_keyword("select")
         distinct = self._match_keyword("distinct") is not None
         items = self._select_items()
@@ -143,6 +177,7 @@ class _Parser:
         if self._match_keyword("from"):
             from_table = self._table_ref()
             while True:
+                join_start = self._peek()
                 if self._match_keyword("inner"):
                     self._expect_keyword("join")
                 elif not self._match_keyword("join"):
@@ -150,7 +185,7 @@ class _Parser:
                 table = self._table_ref()
                 self._expect_keyword("on")
                 condition = self.expression()
-                joins.append(Join(table, condition))
+                joins.append(self._spanned(Join(table, condition), join_start))
         if self._match_keyword("where"):
             where = self.expression()
         if self._match_keyword("group"):
@@ -169,18 +204,21 @@ class _Parser:
         if self._match_keyword("limit"):
             token = self._advance()
             if token.kind != "number" or not isinstance(token.value, int):
-                raise ParseError("LIMIT expects an integer", token.position)
+                raise self._error("LIMIT expects an integer", token)
             limit = token.value
-        return SelectStatement(
-            select_items=tuple(items),
-            from_table=from_table,
-            joins=tuple(joins),
-            where=where,
-            group_by=group_exprs,
-            having=having,
-            order_by=tuple(order_by),
-            limit=limit,
-            distinct=distinct,
+        return self._spanned(
+            SelectStatement(
+                select_items=tuple(items),
+                from_table=from_table,
+                joins=tuple(joins),
+                where=where,
+                group_by=group_exprs,
+                having=having,
+                order_by=tuple(order_by),
+                limit=limit,
+                distinct=distinct,
+            ),
+            start,
         )
 
     def _select_items(self) -> List[SelectItem]:
@@ -190,32 +228,35 @@ class _Parser:
         return items
 
     def _select_item(self) -> SelectItem:
+        start = self._peek()
         if self._match_op("*"):
-            return SelectItem(Star())
+            return self._spanned(SelectItem(self._spanned(Star(), start)), start)
         expr = self.expression()
         alias = None
         if self._match_keyword("as"):
             alias = self._expect_ident()
         elif self._peek().kind == "ident":
             alias = self._expect_ident()
-        return SelectItem(expr, alias)
+        return self._spanned(SelectItem(expr, alias), start)
 
     def _table_ref(self) -> TableRef:
+        start = self._peek()
         name = self._expect_ident()
         alias = None
         if self._match_keyword("as"):
             alias = self._expect_ident()
         elif self._peek().kind == "ident":
             alias = self._expect_ident()
-        return TableRef(name, alias)
+        return self._spanned(TableRef(name, alias), start)
 
     def _order_item(self) -> OrderItem:
+        start = self._peek()
         expr = self.expression()
         direction = "asc"
         word = self._match_keyword("asc", "desc")
         if word:
             direction = word
-        return OrderItem(expr, direction)
+        return self._spanned(OrderItem(expr, direction), start)
 
     # -- expressions ----------------------------------------------------------
 
@@ -224,29 +265,33 @@ class _Parser:
         return self._or_expr()
 
     def _or_expr(self) -> Expr:
+        start = self._peek()
         left = self._and_expr()
         while self._match_keyword("or"):
-            left = BinaryOp("OR", left, self._and_expr())
+            left = self._spanned(BinaryOp("OR", left, self._and_expr()), start)
         return left
 
     def _and_expr(self) -> Expr:
+        start = self._peek()
         left = self._not_expr()
         while self._match_keyword("and"):
-            left = BinaryOp("AND", left, self._not_expr())
+            left = self._spanned(BinaryOp("AND", left, self._not_expr()), start)
         return left
 
     def _not_expr(self) -> Expr:
+        start = self._peek()
         if self._match_keyword("not"):
-            return UnaryOp("NOT", self._not_expr())
+            return self._spanned(UnaryOp("NOT", self._not_expr()), start)
         return self._predicate()
 
     def _predicate(self) -> Expr:
+        start = self._peek()
         if self._check_keyword("exists"):
             self._advance()
             self._expect_op("(")
             sub = self.select()
             self._expect_op(")")
-            return SubqueryExpr("exists", sub)
+            return self._spanned(SubqueryExpr("exists", sub), start)
         left = self._additive()
         op = self._match_op(*_COMPARISONS)
         if op:
@@ -254,8 +299,10 @@ class _Parser:
                 self._expect_op("(")
                 sub = self.select()
                 self._expect_op(")")
-                return SubqueryExpr("scalar", sub, operand=left, op=op)
-            return BinaryOp(op, left, self._additive())
+                return self._spanned(
+                    SubqueryExpr("scalar", sub, operand=left, op=op), start
+                )
+            return self._spanned(BinaryOp(op, left, self._additive()), start)
         negated = False
         if self._check_keyword("not"):
             # Lookahead: NOT IN / NOT BETWEEN / NOT LIKE
@@ -268,29 +315,32 @@ class _Parser:
             if self._is_select_here():
                 sub = self.select()
                 self._expect_op(")")
-                return SubqueryExpr("not_in" if negated else "in", sub, operand=left)
+                return self._spanned(
+                    SubqueryExpr("not_in" if negated else "in", sub, operand=left),
+                    start,
+                )
             items = [self._additive()]
             while self._match_op(","):
                 items.append(self._additive())
             self._expect_op(")")
-            return InList(left, tuple(items), negated=negated)
+            return self._spanned(InList(left, tuple(items), negated=negated), start)
         if self._match_keyword("between"):
             low = self._additive()
             self._expect_keyword("and")
             high = self._additive()
-            return Between(left, low, high, negated=negated)
+            return self._spanned(Between(left, low, high, negated=negated), start)
         if self._match_keyword("like"):
-            return (
-                UnaryOp("NOT", BinaryOp("LIKE", left, self._additive()))
-                if negated
-                else BinaryOp("LIKE", left, self._additive())
-            )
+            like = BinaryOp("LIKE", left, self._additive())
+            like = self._spanned(like, start)
+            if negated:
+                return self._spanned(UnaryOp("NOT", like), start)
+            return like
         if self._match_keyword("is"):
             neg = self._match_keyword("not") is not None
             token = self._advance()
             if token.kind != "keyword" or token.value != "null":
-                raise ParseError("expected NULL after IS", token.position)
-            return IsNull(left, negated=neg)
+                raise self._error("expected NULL after IS", token)
+            return self._spanned(IsNull(left, negated=neg), start)
         return left
 
     def _is_select_here(self) -> bool:
@@ -301,20 +351,22 @@ class _Parser:
         return token.kind == "keyword" and token.value == "select"
 
     def _additive(self) -> Expr:
+        start = self._peek()
         left = self._term()
         while True:
             op = self._match_op("+", "-")
             if not op:
                 return left
-            left = BinaryOp(op, left, self._term())
+            left = self._spanned(BinaryOp(op, left, self._term()), start)
 
     def _term(self) -> Expr:
+        start = self._peek()
         left = self._factor()
         while True:
             op = self._match_op("*", "/")
             if not op:
                 return left
-            left = BinaryOp(op, left, self._factor())
+            left = self._spanned(BinaryOp(op, left, self._factor()), start)
 
     def _factor(self) -> Expr:
         token = self._peek()
@@ -323,51 +375,56 @@ class _Parser:
             operand = self._factor()
             # fold "-5" into a negative literal so ASTs round-trip
             if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
-                return Literal(-operand.value)
-            return UnaryOp("-", operand)
+                return self._spanned(Literal(-operand.value), token)
+            return self._spanned(UnaryOp("-", operand), token)
         if token.kind == "op" and token.value == "(":
             self._advance()
             if self._is_select_here():
                 sub = self.select()
                 self._expect_op(")")
-                return SubqueryExpr("scalar", sub)
+                return self._spanned(SubqueryExpr("scalar", sub), token)
             expr = self.expression()
             self._expect_op(")")
             return expr
         if token.kind == "number":
             self._advance()
-            return Literal(token.value)
+            return self._spanned(Literal(token.value), token)
         if token.kind == "string":
             self._advance()
-            return Literal(token.value)
+            return self._spanned(Literal(token.value), token)
         if token.kind == "keyword" and token.value in ("true", "false"):
             self._advance()
-            return Literal(token.value == "true")
+            return self._spanned(Literal(token.value == "true"), token)
         if token.kind == "keyword" and token.value == "null":
             self._advance()
-            return Literal(None)
+            return self._spanned(Literal(None), token)
         if token.kind == "ident":
             return self._identifier_expr()
-        raise ParseError(f"unexpected token {token.text or 'EOF'!r}", token.position)
+        raise self._error(f"unexpected token {token.text or 'EOF'!r}", token)
 
     def _identifier_expr(self) -> Expr:
+        start = self._peek()
         name = self._expect_ident()
         if self._peek().kind == "op" and self._peek().value == "(":
             self._advance()
             distinct = self._match_keyword("distinct") is not None
             if self._match_op("*"):
                 self._expect_op(")")
-                return FuncCall(name.lower(), (Star(),), distinct=distinct)
+                return self._spanned(
+                    FuncCall(name.lower(), (Star(),), distinct=distinct), start
+                )
             if self._match_op(")"):
-                return FuncCall(name.lower(), (), distinct=distinct)
+                return self._spanned(FuncCall(name.lower(), (), distinct=distinct), start)
             args = [self.expression()]
             while self._match_op(","):
                 args.append(self.expression())
             self._expect_op(")")
-            return FuncCall(name.lower(), tuple(args), distinct=distinct)
+            return self._spanned(
+                FuncCall(name.lower(), tuple(args), distinct=distinct), start
+            )
         if self._match_op("."):
             if self._match_op("*"):
-                return Star(table=name)
+                return self._spanned(Star(table=name), start)
             column = self._expect_ident()
-            return ColumnRef(column, table=name)
-        return ColumnRef(name)
+            return self._spanned(ColumnRef(column, table=name), start)
+        return self._spanned(ColumnRef(name), start)

@@ -75,6 +75,9 @@ class ExecutionStats:
     subqueries: int = 0
     statement_cache_hits: int = 0
     statement_cache_misses: int = 0
+    preflight_checks: int = 0
+    preflight_cache_hits: int = 0
+    static_rejections: int = 0
     strategy: str = ""
 
     def merge(self, other: "ExecutionStats") -> None:

@@ -8,8 +8,8 @@ the ontology layer (:mod:`repro.ontology.builder`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
 
 from .errors import SchemaError, UnknownColumnError
 from .types import DataType

@@ -14,7 +14,7 @@ bumped on every insert, so they can never serve stale lookups.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from .errors import SchemaError, TypeMismatchError
 from .schema import TableSchema

@@ -17,7 +17,7 @@ the *alternative* candidates for each ambiguous span.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.core.evidence import EvidenceAnnotation, resolve_overlaps
 from repro.core.intermediate import PropertyRef
@@ -29,7 +29,6 @@ from repro.nlp.similarity import string_similarity
 from repro.nlp.stopwords import is_stopword
 from repro.nlp.tokenizer import Token
 from repro.ontology.relaxation import QueryRelaxer
-from repro.sqldb.types import DataType
 
 
 @dataclass

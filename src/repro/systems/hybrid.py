@@ -13,7 +13,7 @@ E5 measures whether this combination dominates both components.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.core.interpretation import Interpretation
 from repro.core.pipeline import NLIDBContext, NLIDBSystem

@@ -15,14 +15,13 @@ E6 measures how augmentation closes the low-data gap.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
 from repro.bench.paraphrase import Paraphraser
 from repro.sqldb.database import Database
 from repro.sqldb.table import Table
-from repro.sqldb.types import DataType
 
 from .models import SQLNetModel
 from .sketch import Condition, QuerySketch

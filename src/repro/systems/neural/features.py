@@ -18,8 +18,8 @@ enough for numpy training while keeping their distinguishing signals:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Set, Tuple
 
 import numpy as np
 

@@ -29,7 +29,6 @@ import numpy as np
 
 from repro.sqldb.database import Database
 from repro.sqldb.table import Table
-from repro.sqldb.types import DataType
 
 from .features import (
     CONDITION_BASE_FEATURES,

@@ -10,7 +10,7 @@ and from the engine's SQL AST for training labels and execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from repro.sqldb.ast import (
@@ -23,7 +23,6 @@ from repro.sqldb.ast import (
     SelectStatement,
     TableRef,
 )
-from repro.sqldb.schema import TableSchema
 
 AGGREGATES = ("", "count", "sum", "avg", "min", "max")
 CONDITION_OPS = ("=", ">", "<")

@@ -19,7 +19,7 @@ Implementation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.pipeline import NLIDBContext
 from repro.nlp.stopwords import is_stopword

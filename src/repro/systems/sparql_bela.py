@@ -24,7 +24,7 @@ Faithful ingredients:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import NLIDBContext
 from repro.nlp.lemmatizer import lemmatize

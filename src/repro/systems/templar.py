@@ -18,7 +18,7 @@ which is the E10 ablation baseline.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from repro.core.interpretation import Interpretation
 from repro.core.pipeline import NLIDBContext, NLIDBSystem

@@ -29,7 +29,7 @@ Faithful ingredients:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 import networkx as nx
 
@@ -37,7 +37,7 @@ from repro.core.intermediate import OQLCondition, OQLItem, OQLQuery, PropertyRef
 from repro.core.pipeline import NLIDBContext
 from repro.nlp.lemmatizer import singularize
 from repro.ontology.builder import pluralize
-from repro.rdf import RDF_TYPE, export_rdf
+from repro.rdf import export_rdf
 from repro.sqldb.types import DataType
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.bench import (
     Paraphraser,
-    QueryExample,
     SparcGenerator,
     WikiSQLGenerator,
     WorkloadGenerator,

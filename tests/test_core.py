@@ -26,7 +26,6 @@ from repro.core import (
     rank,
     register,
     resolve_overlaps,
-    score_interpretation,
 )
 from repro.nlp import tokenize
 from repro.sqldb import parse_select
@@ -307,7 +306,6 @@ class TestContext:
 
 
 class TestSpiderHardness:
-    from repro.core import spider_hardness as _sh
 
     @pytest.mark.parametrize(
         "sql,label",

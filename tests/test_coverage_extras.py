@@ -1,7 +1,6 @@
 """Coverage extras: parser chunking details, FSM chains, harness output,
 index caps, registry round-trips."""
 
-import pytest
 
 from repro.bench.domains import build_domain, domain_names
 from repro.bench.harness import ComparisonRow, compare_systems, print_table

@@ -1,7 +1,6 @@
 """Tests for the dialogue layer: state, follow-ups, intents, managers,
 clarification, bootstrap and the assembled conversational system."""
 
-import numpy as np
 import pytest
 
 from repro.bench.domains import build_domain
@@ -231,9 +230,8 @@ class TestClarifyingSystem:
     def test_oracle_fixes_ambiguity(self):
         # 'budget' is on departments and projects; the user means projects
         context = NLIDBContext(build_domain("hr"))
-        judge = lambda payload: (
-            1.0 if "project" in (getattr(payload, "target", "") or "") else 0.0
-        )
+        def judge(payload):
+            return 1.0 if "project" in (getattr(payload, "target", "") or "") else 0.0
         system = ClarifyingSystem(
             AthenaSystem(), user=SimulatedOracle(judge), max_rounds=2
         )
@@ -310,9 +308,8 @@ class TestConversationalNLIDB:
 
     def test_clarifying_conversation(self):
         context = NLIDBContext(build_domain("hr"))
-        judge = lambda payload: (
-            1.0 if "project" in (getattr(payload, "target", "") or "") else 0.0
-        )
+        def judge(payload):
+            return 1.0 if "project" in (getattr(payload, "target", "") or "") else 0.0
         bot = ConversationalNLIDB(
             context, use_intents=False, clarify_user=SimulatedOracle(judge)
         )

@@ -7,7 +7,7 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.bench.domains import build_domain, domain_names
 from repro.bench.workloads import WorkloadGenerator
-from repro.core import NLIDBContext, available, create
+from repro.core import NLIDBContext, create
 from repro.core.complexity import ComplexityTier
 
 _CONTEXTS = {name: NLIDBContext(build_domain(name)) for name in domain_names()}

@@ -8,7 +8,6 @@ from repro.bench.wikisql import WikiSQLGenerator, execution_accuracy
 from repro.core import NLIDBContext
 from repro.sqldb import parse_select
 from repro.systems.neural import (
-    AGGREGATES,
     BinaryScorer,
     Condition,
     DBPalModel,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.nlp import (
-    DEFAULT_THESAURUS,
     Thesaurus,
     are_synonyms,
     edit_similarity,

@@ -24,7 +24,6 @@ from repro.sqldb import (
 from repro.sqldb.ast import (
     BinaryOp,
     ColumnRef,
-    FuncCall,
     Literal,
     OrderItem,
     SelectItem,

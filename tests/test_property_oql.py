@@ -1,7 +1,6 @@
 """Property-based tests for OQL compilation and SPARQL round-trips."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.bench.domains import build_domain
@@ -10,7 +9,6 @@ from repro.core.intermediate import (
     OQLCondition,
     OQLHasCondition,
     OQLItem,
-    OQLOrder,
     OQLQuery,
     PropertyRef,
     compile_oql,

@@ -1,6 +1,5 @@
 """Unit tests for the SQL executor against hand-checked databases."""
 
-import datetime
 
 import pytest
 

@@ -4,9 +4,7 @@ TEMPLAR/QUEST/Hybrid)."""
 import pytest
 
 from repro.core import NLIDBContext, ScriptedUser
-from repro.core.complexity import ComplexityTier
 from repro.bench.domains import build_domain
-from repro.bench.metrics import execution_match
 from repro.bench.workloads import WorkloadGenerator
 from repro.systems import (
     AthenaNoBISystem,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ComplexityTier, NLIDBContext, classify
-from repro.core.intermediate import OQLCondition, OQLHasCondition
 from repro.systems import EntityAnnotator, InterpreterConfig, SemanticInterpreter
 
 
