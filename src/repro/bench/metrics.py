@@ -18,14 +18,22 @@ from repro.sqldb import Database, Executor, parse_select
 from repro.sqldb.ast import BinaryOp, Expr, SelectStatement
 
 
-def execution_match(database: Database, predicted_sql: str, gold_sql: str) -> bool:
+def execution_match(
+    database: Database,
+    predicted_sql: str,
+    gold_sql: str,
+    executor: Optional[Executor] = None,
+) -> bool:
     """Whether the two queries return the same result on ``database``.
 
     Order-sensitive when the gold query has an ORDER BY, multiset
     comparison otherwise.  Any error on the predicted side counts as a
     miss; gold must execute (it is validated at generation time).
+    Pass ``executor`` to reuse one executor's parse/plan caches across
+    many matches (the harness does, via the database's shared executor).
     """
-    executor = Executor(database)
+    if executor is None:
+        executor = Executor(database)
     gold_stmt = parse_select(gold_sql)
     gold = executor.execute(gold_stmt)
     try:

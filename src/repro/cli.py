@@ -8,6 +8,7 @@ Subcommands exercising the library end to end::
     python -m repro complete "movies with" --domain movies
     python -m repro sql "SELECT ..." --domain retail --explain
     python -m repro systems                         # list registered systems
+    python -m repro bench --jobs 4 --profile        # parallel benchmark sweep
 
 ``sql`` runs raw SQL against a domain database; ``--explain`` prints the
 planner's EXPLAIN-style report (hash join vs nested loop, index scan vs
@@ -171,6 +172,64 @@ def cmd_systems(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark systems over a generated workload.
+
+    ``--jobs N`` fans evaluation out over N worker processes (with a
+    graceful serial fallback); ``--epochs`` repeats the workload to
+    exercise the interpretation cache; ``--profile`` prints the
+    per-stage timing table; ``--json FILE`` writes the machine-readable
+    report (rows + cache stats + profile).
+    """
+    import json
+
+    from repro.bench.harness import format_table
+    from repro.bench.workloads import WorkloadGenerator
+    from repro.perf.cache import all_cache_stats
+    from repro.perf.parallel import ContextSpec, parallel_compare_systems
+
+    spec = ContextSpec(args.domain, seed=args.seed)
+    context = spec.build()
+    examples = WorkloadGenerator(context.database, seed=args.seed).generate_mixed(
+        args.per_tier
+    )
+    examples = examples * max(1, args.epochs)
+    names = args.systems.split(",") if args.systems else list(available())
+    report = parallel_compare_systems(
+        names, spec, examples, jobs=args.jobs, context=context
+    )
+    title = (
+        f"{args.domain}: {len(examples)} examples × {len(names)} systems "
+        f"({report.mode}, jobs={report.jobs}, {report.wall_s:.2f}s)"
+    )
+    print(format_table([r.as_dict() for r in report.rows], title))
+    print()
+    print("cache layers:")
+    for layer, stats in sorted(report.cache_stats.items()):
+        print(f"  {layer:16s} {stats.as_dict()}")
+    if args.profile:
+        print()
+        print(report.profile.report())
+    if args.json:
+        payload = {
+            "domain": args.domain,
+            "examples": len(examples),
+            "jobs": report.jobs,
+            "mode": report.mode,
+            "wall_s": round(report.wall_s, 4),
+            "rows": [r.as_dict() for r in report.rows],
+            "cache_stats": report.cache_stats_dict(),
+            "nlp_cache_stats": {
+                name: s.as_dict() for name, s in sorted(all_cache_stats().items())
+            },
+            "profile": report.profile.as_dict(),
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -226,6 +285,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     systems = sub.add_parser("systems", help="list systems and domains")
     systems.set_defaults(func=cmd_systems)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark systems over a generated workload"
+    )
+    bench.add_argument("--domain", default="university", choices=domain_names())
+    bench.add_argument(
+        "--systems",
+        default="",
+        help="comma-separated system names (default: all registered)",
+    )
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--per-tier", type=int, default=3, help="examples per complexity tier"
+    )
+    bench.add_argument(
+        "--epochs",
+        type=int,
+        default=1,
+        help="repeat the workload N times (exercises the interpretation cache)",
+    )
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: CPU count; 1 forces serial)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true", help="print the per-stage timing table"
+    )
+    bench.add_argument(
+        "--json", default="", help="write the machine-readable report to FILE"
+    )
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -18,6 +18,8 @@ from repro.ontology.builder import build_ontology
 from repro.ontology.mapping import OntologyMapping
 from repro.ontology.model import Ontology
 from repro.ontology.reasoner import Reasoner
+from repro.perf.cache import InterpretationCache
+from repro.perf.profiler import profile_stage
 from repro.sqldb.database import Database
 from repro.sqldb.executor import Executor
 from repro.sqldb.index import DatabaseIndex
@@ -42,6 +44,7 @@ class NLIDBContext:
         mapping: Optional[OntologyMapping] = None,
         thesaurus: Optional[Thesaurus] = None,
         use_planner: bool = True,
+        interpretation_cache: Optional[InterpretationCache] = None,
     ):
         self.database = database
         self.index = DatabaseIndex(database)
@@ -52,19 +55,54 @@ class NLIDBContext:
         self.reasoner = Reasoner(ontology, mapping)
         self.thesaurus = thesaurus or DEFAULT_THESAURUS
         self.executor = Executor(database, use_planner=use_planner)
+        #: optional memo of ranked interpretation lists, consulted by
+        #: :meth:`interpret`; keyed on the database's data version so
+        #: mutations invalidate automatically
+        self.interpretation_cache = interpretation_cache
         #: per-query ExecutionStats of the most recent execute() call
         self.last_stats = None
         self._register_schema_synonyms()
 
     def _register_schema_synonyms(self) -> None:
         """Feed schema-declared synonyms into the thesaurus so string
-        and semantic matching agree with the catalog."""
+        and semantic matching agree with the catalog.
+
+        The thesaurus is copied before the first mutation (copy-on-write):
+        contexts usually share the module-level ``DEFAULT_THESAURUS``, and
+        registering one database's synonyms into it would leak them into
+        every other context in the process.
+        """
+        rings = []
         for table in self.database.tables:
             if table.schema.synonyms:
-                self.thesaurus.add_synonyms([table.name, *table.schema.synonyms])
+                rings.append([table.name, *table.schema.synonyms])
             for column in table.schema:
                 if column.synonyms:
-                    self.thesaurus.add_synonyms([column.name, *column.synonyms])
+                    rings.append([column.name, *column.synonyms])
+        if not rings:
+            return
+        self.thesaurus = self.thesaurus.copy()
+        for ring in rings:
+            self.thesaurus.add_synonyms(ring)
+
+    def interpret(self, system: "NLIDBSystem", question: str) -> List[Interpretation]:
+        """Run (or replay) ``system``'s interpretation of ``question``.
+
+        When an :class:`InterpretationCache` is attached, a repeat of the
+        same normalized question against the same database version is
+        served from the cache; the entry is deep-copied on both sides, so
+        callers may mutate the result freely.
+        """
+        cache = self.interpretation_cache
+        if cache is None:
+            return system.interpret(question, self)
+        version = self.database.data_version
+        found = cache.get(system.name, question, version)
+        if found is not None:
+            return found
+        interpretations = system.interpret(question, self)
+        cache.put(system.name, question, version, interpretations)
+        return interpretations
 
     def execute(self, interpretation: Interpretation) -> Relation:
         """Compile (if needed) and run an interpretation.
@@ -72,8 +110,10 @@ class NLIDBContext:
         The executed query's counters land in ``self.last_stats``
         (:class:`~repro.sqldb.planner.ExecutionStats`).
         """
-        stmt = interpretation.to_sql(self.ontology, self.mapping)
-        result = self.executor.execute(stmt)
+        with profile_stage("compile"):
+            stmt = interpretation.to_sql(self.ontology, self.mapping)
+        with profile_stage("execute"):
+            result = self.executor.execute(stmt)
         self.last_stats = self.executor.last_stats
         return result
 
@@ -121,7 +161,7 @@ class NLIDBSystem(abc.ABC):
         anyway, so a lower-ranked but valid reading can still answer.
         Returns ``None`` when nothing survives or execution fails.
         """
-        interpretations = self.interpret(question, context)
+        interpretations = context.interpret(self, question)
         if not interpretations:
             return None
         candidates = apply_static_analysis(interpretations, context.analyze)

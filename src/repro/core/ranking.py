@@ -14,6 +14,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.nlp.stopwords import is_stopword
 from repro.nlp.tokenizer import Token
+from repro.perf.profiler import profile_stage
 from repro.sqldb.analyzer import AnalysisResult
 
 from .evidence import EvidenceAnnotation, coverage
@@ -66,10 +67,13 @@ def rank(
     replaced by the composite score; otherwise existing confidences are
     used only for ordering.
     """
-    if rescore:
-        for interpretation in interpretations:
-            interpretation.confidence = score_interpretation(interpretation, tokens)
-    return sorted(interpretations, key=lambda i: -i.confidence)
+    with profile_stage("rank"):
+        if rescore:
+            for interpretation in interpretations:
+                interpretation.confidence = score_interpretation(
+                    interpretation, tokens
+                )
+        return sorted(interpretations, key=lambda i: -i.confidence)
 
 
 #: per-warning confidence multiplier used by :func:`apply_static_analysis`

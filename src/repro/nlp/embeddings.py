@@ -23,6 +23,8 @@ from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.perf.cache import stats_for
+
 from .lemmatizer import lemmatize
 from .thesaurus import DEFAULT_THESAURUS, Thesaurus
 
@@ -57,11 +59,18 @@ class HashedEmbeddings:
         return vec / (np.linalg.norm(vec) + 1e-12)
 
     def vector(self, word: str) -> np.ndarray:
-        """Unit-norm vector for ``word``; synonyms share most of it."""
+        """Unit-norm vector for ``word``; synonyms share most of it.
+
+        Lookups are cached per instance; hit/miss counters aggregate
+        process-wide under the ``nlp.embeddings`` stats name.
+        """
+        stats = stats_for("nlp.embeddings")
         w = lemmatize(word.lower())
         cached = self._cache.get(w)
         if cached is not None:
+            stats.hits += 1
             return cached
+        stats.misses += 1
         if not self.smooth:
             vec = self._raw_vector(w)
             self._cache[w] = vec

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.perf.cache import memoize
+
 IRREGULAR: Dict[str, str] = {
     # nouns
     "people": "person",
@@ -77,8 +79,14 @@ _S_EXCEPTIONS = frozenset(
 _VOWELS = set("aeiou")
 
 
+@memoize("nlp.lemmatize", maxsize=32768)
 def lemmatize(word: str) -> str:
-    """Best-effort lemma of ``word`` (lower-cased)."""
+    """Best-effort lemma of ``word`` (lower-cased).
+
+    Memoized process-wide: matching calls this for every (question word,
+    schema term) pair, and question/schema vocabularies are tiny relative
+    to the call volume.
+    """
     w = word.lower()
     if len(w) <= 2:
         return w

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.perf.profiler import profile_stage
+
 from . import pos as pos_mod
 from .tokenizer import Token
 
@@ -136,8 +138,9 @@ class ParseTree:
 
 def parse(text: str) -> ParseTree:
     """Tokenize, tag and parse ``text`` into a :class:`ParseTree`."""
-    tokens = pos_mod.tag_text(text)
-    return parse_tokens(tokens)
+    with profile_stage("parse"):
+        tokens = pos_mod.tag_text(text)
+        return parse_tokens(tokens)
 
 
 def parse_tokens(tokens: List[Token]) -> ParseTree:

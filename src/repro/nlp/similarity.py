@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable, Set
 
+from repro.perf.cache import memoize
+
 
 def levenshtein(a: str, b: str) -> int:
     """Optimal-string-alignment edit distance.
@@ -80,12 +82,14 @@ def prefix_bonus(a: str, b: str) -> float:
     return 0.0
 
 
+@memoize("nlp.similarity", maxsize=65536)
 def string_similarity(a: str, b: str) -> float:
     """Blended string similarity in [0, 1].
 
     Exact match scores 1.0; otherwise a weighted mix of edit and trigram
     similarity with a prefix bonus, which behaves well on both short
-    column names and longer values.
+    column names and longer values.  Memoized process-wide: a pure
+    function of its arguments, called in the matcher's inner loop.
     """
     a_l, b_l = a.lower().strip(), b.lower().strip()
     if a_l == b_l:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Set
 
+from repro.perf.cache import MISSING, LRUCache, stats_for
+
 from .lemmatizer import lemmatize
 
 # Synonym rings: every word in a ring is a synonym of every other.
@@ -137,6 +139,33 @@ class Thesaurus:
         for ring in _SYNONYM_RINGS:
             self._add_ring(set(ring))
         self._hypernyms: Dict[str, str] = dict(_HYPERNYMS)
+        self._init_memos()
+
+    def _init_memos(self) -> None:
+        # Similarity lookups are the matcher's inner loop (thousands of
+        # (question word, schema term) pairs per query); both memos are
+        # pure functions of the thesaurus contents, so any mutation
+        # clears them.  Stats aggregate process-wide under one name.
+        stats = stats_for("nlp.thesaurus")
+        self._syn_memo = LRUCache(maxsize=16384, stats=stats)
+        self._wup_memo = LRUCache(maxsize=16384, stats=stats)
+
+    def _invalidate_memos(self) -> None:
+        self._syn_memo.clear()
+        self._wup_memo.clear()
+
+    def copy(self) -> "Thesaurus":
+        """An independent clone; mutating it never touches the original.
+
+        Used copy-on-write by ``NLIDBContext`` so schema-declared
+        synonyms stay private to the context that registered them.
+        """
+        clone = Thesaurus.__new__(Thesaurus)
+        clone._rings = [set(ring) for ring in self._rings]
+        clone._syn_index = {w: list(ids) for w, ids in self._syn_index.items()}
+        clone._hypernyms = dict(self._hypernyms)
+        clone._init_memos()
+        return clone
 
     def _add_ring(self, ring: Set[str]) -> None:
         ring = {w.lower() for w in ring}
@@ -149,10 +178,12 @@ class Thesaurus:
         """Declare all ``words`` mutual synonyms (a new ring; existing
         rings are left untouched — synonymy stays one-hop)."""
         self._add_ring(set(words))
+        self._invalidate_memos()
 
     def add_hypernym(self, child: str, parent: str) -> None:
         """Add an IS-A edge ``child -> parent`` to the taxonomy."""
         self._hypernyms[child.lower()] = parent.lower()
+        self._invalidate_memos()
 
     def synonyms(self, word: str) -> Set[str]:
         """All synonyms of ``word`` (including itself), lemma-aware."""
@@ -167,6 +198,15 @@ class Thesaurus:
 
     def are_synonyms(self, a: str, b: str) -> bool:
         """Whether two words share a synonym ring (or a lemma)."""
+        key = (a, b)
+        cached = self._syn_memo.get(key, MISSING)
+        if cached is not MISSING:
+            return cached
+        verdict = self._are_synonyms_impl(a, b)
+        self._syn_memo.put(key, verdict)
+        return verdict
+
+    def _are_synonyms_impl(self, a: str, b: str) -> bool:
         a_l, b_l = a.lower(), b.lower()
         if a_l == b_l or lemmatize(a_l) == lemmatize(b_l):
             return True
@@ -205,6 +245,15 @@ class Thesaurus:
         counted from the taxonomy root.  Words outside the taxonomy get
         0.0 unless they are synonyms.
         """
+        key = (a, b)
+        cached = self._wup_memo.get(key, MISSING)
+        if cached is not MISSING:
+            return cached
+        score = self._wup_impl(a, b)
+        self._wup_memo.put(key, score)
+        return score
+
+    def _wup_impl(self, a: str, b: str) -> float:
         if self.are_synonyms(a, b):
             return 1.0
         ca, cb = self._canonical(a), self._canonical(b)

@@ -1,0 +1,414 @@
+"""Process-pool parallel evaluation of NLIDB systems.
+
+``compare_systems`` is the repo's dominant wall-clock cost: many systems
+× many examples, every example a full interpret + compile + score pass.
+The examples are independent, so the sweep parallelizes by chunking them
+over a pool of worker processes, each holding its own
+:class:`~repro.core.pipeline.NLIDBContext` (contexts wrap live table
+storage and lazily built indexes — cheaper to rebuild per worker from a
+small picklable spec than to ship).
+
+Determinism is preserved end to end:
+
+- chunk assignment is a pure function of the example list (repeated
+  questions are grouped onto the same worker so its interpretation
+  cache sees them — the parallel analogue of a shared cache),
+- the merge reassembles outcomes by original example index, and
+- workers prefer the ``fork`` start method, which inherits the parent's
+  hash seed (``spawn`` re-randomizes it, which can reorder set iteration
+  inside system heuristics).
+
+When a pool cannot be created (restricted sandboxes, missing start
+methods, unpicklable systems) the same evaluation runs serially in the
+parent with identical caches, so callers never need a second code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.domains import build_domain
+from repro.bench.harness import ComparisonRow, evaluate_system, rows_for_outcomes
+from repro.bench.metrics import ExampleOutcome
+from repro.bench.workloads import QueryExample
+from repro.core.pipeline import NLIDBContext, NLIDBSystem
+from repro.core.registry import create
+
+from .cache import CacheStats, EvaluationCache, normalize_question
+from .profiler import StageProfiler, StageStat
+
+SystemLike = Union[str, NLIDBSystem]
+
+
+@dataclass(frozen=True)
+class ContextSpec:
+    """Picklable recipe for building an :class:`NLIDBContext` in a worker.
+
+    Domain databases are deterministic functions of ``(name, seed,
+    scale)``, so the spec rebuilds an identical context in every process
+    without shipping table storage across the pipe.
+    """
+
+    domain: str
+    seed: int = 0
+    scale: float = 1.0
+    use_planner: bool = True
+
+    def build(self) -> NLIDBContext:
+        """Construct the context this spec describes."""
+        return NLIDBContext(
+            build_domain(self.domain, seed=self.seed, scale=self.scale),
+            use_planner=self.use_planner,
+        )
+
+
+def _build_context(spec: Any) -> NLIDBContext:
+    """Build a context from a spec: anything with ``build()``, a zero-arg
+    callable, or an already-built context (useful for serial fallback)."""
+    if isinstance(spec, NLIDBContext):
+        return spec
+    if hasattr(spec, "build"):
+        return spec.build()
+    if callable(spec):
+        return spec()
+    raise TypeError(f"cannot build an NLIDBContext from {spec!r}")
+
+
+@dataclass
+class ParallelReport:
+    """Everything one parallel (or fallen-back serial) sweep produced."""
+
+    rows: List[ComparisonRow]
+    outcomes: Dict[str, List[ExampleOutcome]]
+    cache_stats: Dict[str, CacheStats]
+    profile: StageProfiler
+    wall_s: float
+    jobs: int
+    #: "parallel" when a pool ran, "serial" when the fallback did
+    mode: str = "parallel"
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def cache_stats_dict(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready cache stats."""
+        return {name: s.as_dict() for name, s in self.cache_stats.items()}
+
+
+# -- deterministic partitioning ------------------------------------------------
+
+
+def partition_examples(
+    examples: Sequence[QueryExample], jobs: int
+) -> List[List[int]]:
+    """Split example indices into at most ``jobs`` balanced buckets.
+
+    All occurrences of the same (normalized question, gold SQL) pair land
+    in the same bucket, so a repeated-question workload hits the worker's
+    interpretation cache exactly as it would a shared one.  Groups are
+    placed largest-first onto the least-loaded bucket; ties break by
+    bucket index, so the partition is a pure function of the input.
+    """
+    groups: Dict[Tuple[str, str], List[int]] = {}
+    for i, example in enumerate(examples):
+        key = (normalize_question(example.question), example.sql)
+        groups.setdefault(key, []).append(i)
+    ordered = sorted(groups.values(), key=lambda idxs: (-len(idxs), idxs[0]))
+    jobs = max(1, jobs)
+    buckets: List[List[int]] = [[] for _ in range(jobs)]
+    loads = [0] * jobs
+    for idxs in ordered:
+        target = min(range(jobs), key=lambda j: (loads[j], j))
+        buckets[target].extend(idxs)
+        loads[target] += len(idxs)
+    return [sorted(b) for b in buckets if b]
+
+
+# -- worker side ---------------------------------------------------------------
+
+_WORKER: Dict[str, Any] = {}
+
+_Payload = Tuple[str, Any]
+
+
+def _system_payloads(systems: Sequence[SystemLike]) -> Optional[List[_Payload]]:
+    """Picklable payloads for the pool, or ``None`` if any system can't
+    cross a process boundary (triggering the serial fallback)."""
+    out: List[_Payload] = []
+    for system in systems:
+        if isinstance(system, str):
+            out.append(("name", system))
+            continue
+        try:
+            out.append(("pickle", pickle.dumps(system)))
+        except Exception:
+            return None
+    return out
+
+
+def _revive_system(payload: _Payload) -> NLIDBSystem:
+    kind, data = payload
+    if kind == "name":
+        return create(data)
+    return pickle.loads(data)
+
+
+def _worker_init(spec: Any, payloads: List[_Payload], use_cache: bool) -> None:
+    import repro.systems  # noqa: F401  (populate the registry)
+
+    _WORKER["context"] = _build_context(spec)
+    _WORKER["systems"] = [_revive_system(p) for p in payloads]
+    _WORKER["cache"] = EvaluationCache() if use_cache else None
+
+
+def _run_chunk(
+    system_idx: int, indices: List[int], chunk: List[QueryExample]
+) -> Tuple[int, List[int], List[ExampleOutcome], Dict[str, CacheStats], Dict[str, StageStat]]:
+    """Evaluate one (system, chunk) pair inside a worker.
+
+    Returns stats/profile *deltas* so the parent can attribute work to
+    this task even though the worker's cache persists across tasks.
+    """
+    context: NLIDBContext = _WORKER["context"]
+    system: NLIDBSystem = _WORKER["systems"][system_idx]
+    cache: Optional[EvaluationCache] = _WORKER["cache"]
+    before = cache.snapshot() if cache is not None else {}
+    profiler = StageProfiler()
+    outcomes = evaluate_system(
+        system, context, chunk, cache=cache, profiler=profiler
+    )
+    delta = cache.delta(before) if cache is not None else {}
+    return system_idx, indices, outcomes, delta, profiler.snapshot()
+
+
+def _make_pool(jobs: int, spec: Any, payloads: List[_Payload], use_cache: bool):
+    """A worker pool, preferring ``fork`` (see module docstring), or
+    ``None`` when no start method works here."""
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("fork", "forkserver", "spawn"):
+        if method not in methods:
+            continue
+        try:
+            ctx = multiprocessing.get_context(method)
+            return ctx.Pool(
+                jobs, initializer=_worker_init, initargs=(spec, payloads, use_cache)
+            )
+        except Exception:
+            continue
+    return None
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+def _resolve_systems(systems: Sequence[SystemLike]) -> List[NLIDBSystem]:
+    return [create(s) if isinstance(s, str) else s for s in systems]
+
+
+def default_jobs() -> int:
+    """Default worker count: the machine's CPU count (min 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _merge_layer_stats(
+    total: Dict[str, CacheStats], delta: Dict[str, CacheStats]
+) -> None:
+    for name, stats in delta.items():
+        total.setdefault(name, CacheStats()).merge(stats)
+
+
+def parallel_compare_systems(
+    systems: Sequence[SystemLike],
+    spec: Any,
+    examples: Sequence[QueryExample],
+    jobs: Optional[int] = None,
+    split_by_tier: bool = True,
+    use_cache: bool = True,
+    context: Optional[NLIDBContext] = None,
+) -> ParallelReport:
+    """Parallel, cache-sharing equivalent of
+    :func:`repro.bench.harness.compare_systems`.
+
+    ``spec`` is the picklable context recipe shipped to workers (a
+    :class:`ContextSpec` or any object with ``build()``); ``context`` is
+    an optional pre-built parent-side context reused by the serial
+    fallback so it is not constructed twice.  Rows and outcomes are
+    byte-identical to the serial path — chunking, caching and merge
+    order never change a verdict, only the wall-clock.
+    """
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    instances = _resolve_systems(systems)
+    names = [s.name for s in instances]
+    examples = list(examples)
+    start = time.perf_counter()
+
+    report: Optional[ParallelReport] = None
+    payloads = _system_payloads(list(systems))
+    if jobs > 1 and examples and payloads is not None:
+        report = _try_parallel(
+            payloads, names, spec, examples, jobs, split_by_tier, use_cache
+        )
+    if report is None:
+        report = _serial_sweep(
+            instances,
+            context if context is not None else _build_context(spec),
+            examples,
+            split_by_tier,
+            use_cache,
+            jobs,
+        )
+    report.wall_s = time.perf_counter() - start
+    return report
+
+
+def parallel_evaluate_system(
+    system: SystemLike,
+    spec: Any,
+    examples: Sequence[QueryExample],
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    context: Optional[NLIDBContext] = None,
+) -> List[ExampleOutcome]:
+    """Parallel ``evaluate_system`` for a single system.
+
+    Outcomes come back in the original example order, identical to the
+    serial path.
+    """
+    report = parallel_compare_systems(
+        [system],
+        spec,
+        examples,
+        jobs=jobs,
+        split_by_tier=False,
+        use_cache=use_cache,
+        context=context,
+    )
+    return next(iter(report.outcomes.values())) if report.outcomes else []
+
+
+def _try_parallel(
+    payloads: List[_Payload],
+    names: List[str],
+    spec: Any,
+    examples: List[QueryExample],
+    jobs: int,
+    split_by_tier: bool,
+    use_cache: bool,
+) -> Optional[ParallelReport]:
+    """One pooled sweep; ``None`` when the pool can't run here."""
+    buckets = partition_examples(examples, jobs)
+    pool = _make_pool(min(jobs, max(1, len(buckets))), spec, payloads, use_cache)
+    if pool is None:
+        return None
+    tasks = [
+        (sys_idx, indices, [examples[i] for i in indices])
+        for sys_idx in range(len(payloads))
+        for indices in buckets
+    ]
+    try:
+        results = pool.starmap(_run_chunk, tasks)
+    except Exception:
+        return None
+    finally:
+        pool.close()
+        pool.join()
+
+    merged: Dict[int, List[Optional[ExampleOutcome]]] = {
+        i: [None] * len(examples) for i in range(len(payloads))
+    }
+    per_system_stats: Dict[int, Dict[str, CacheStats]] = {}
+    per_system_stages: Dict[int, StageProfiler] = {}
+    total_stats: Dict[str, CacheStats] = {}
+    profile = StageProfiler()
+    for sys_idx, indices, outcomes, stats_delta, stages in results:
+        for index, outcome in zip(indices, outcomes):
+            merged[sys_idx][index] = outcome
+        _merge_layer_stats(
+            per_system_stats.setdefault(sys_idx, {}), stats_delta
+        )
+        _merge_layer_stats(total_stats, stats_delta)
+        chunk_profiler = StageProfiler()
+        chunk_profiler.stages = dict(stages)
+        per_system_stages.setdefault(sys_idx, StageProfiler()).merge(chunk_profiler)
+        profile.merge(chunk_profiler)
+
+    rows: List[ComparisonRow] = []
+    outcome_map: Dict[str, List[ExampleOutcome]] = {}
+    for sys_idx, name in enumerate(names):
+        outcomes_list = merged[sys_idx]
+        if any(o is None for o in outcomes_list):
+            return None  # a chunk went missing: let the serial path decide
+        outcome_map[name] = outcomes_list  # type: ignore[assignment]
+        rows.extend(
+            rows_for_outcomes(
+                name,
+                outcomes_list,  # type: ignore[arg-type]
+                split_by_tier=split_by_tier,
+                cache_hit_rate=_interp_hit_rate(per_system_stats.get(sys_idx)),
+                profiler=per_system_stages.get(sys_idx),
+            )
+        )
+    return ParallelReport(
+        rows=rows,
+        outcomes=outcome_map,
+        cache_stats=total_stats,
+        profile=profile,
+        wall_s=0.0,
+        jobs=jobs,
+        mode="parallel",
+    )
+
+
+def _serial_sweep(
+    instances: List[NLIDBSystem],
+    context: NLIDBContext,
+    examples: List[QueryExample],
+    split_by_tier: bool,
+    use_cache: bool,
+    jobs: int,
+) -> ParallelReport:
+    """The graceful fallback: same caches, same rows, one process."""
+    cache = EvaluationCache() if use_cache else None
+    profile = StageProfiler()
+    rows: List[ComparisonRow] = []
+    outcome_map: Dict[str, List[ExampleOutcome]] = {}
+    total_stats: Dict[str, CacheStats] = {}
+    for system in instances:
+        before = cache.snapshot() if cache is not None else {}
+        stage_before = profile.snapshot()
+        outcomes = evaluate_system(
+            system, context, examples, cache=cache, profiler=profile
+        )
+        delta = cache.delta(before) if cache is not None else {}
+        _merge_layer_stats(total_stats, delta)
+        outcome_map[system.name] = outcomes
+        rows.extend(
+            rows_for_outcomes(
+                system.name,
+                outcomes,
+                split_by_tier=split_by_tier,
+                cache_hit_rate=_interp_hit_rate(delta),
+                profiler=profile.delta(stage_before),
+            )
+        )
+    return ParallelReport(
+        rows=rows,
+        outcomes=outcome_map,
+        cache_stats=total_stats,
+        profile=profile,
+        wall_s=0.0,
+        jobs=jobs,
+        mode="serial",
+    )
+
+
+def _interp_hit_rate(stats: Optional[Dict[str, CacheStats]]) -> Optional[float]:
+    if not stats:
+        return None
+    layer = stats.get("interpretations")
+    if layer is None or not layer.lookups:
+        return None
+    return layer.hit_rate

@@ -1,0 +1,183 @@
+"""Per-stage wall-clock profiling for the interpret/answer pipeline.
+
+The pipeline decomposes into the stages every surveyed system shares —
+tokenize → parse → match → rank → compile → execute — plus two harness
+aggregates (``interpret`` spans a system's whole ``interpret()`` call,
+``score`` spans gold/predicted execution matching).  Instrumented code
+calls :func:`profile_stage(name)`; when no profiler is active the span
+is a shared no-op, so the instrumentation costs a dict lookup on the
+cold path and nothing is ever recorded.
+
+Activation is scoped, not global: ``with profiler.activate(): ...``
+binds the profiler to the current context (via :mod:`contextvars`, so
+concurrent threads/tasks don't interleave their spans).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+#: canonical display order; unknown stages sort after these, alphabetically
+STAGE_ORDER: List[str] = [
+    "tokenize",
+    "parse",
+    "match",
+    "rank",
+    "compile",
+    "execute",
+    "interpret",
+    "score",
+]
+
+
+@dataclass
+class StageStat:
+    """Accumulated calls and seconds for one stage."""
+
+    calls: int = 0
+    seconds: float = 0.0
+
+    def merge(self, other: "StageStat") -> None:
+        self.calls += other.calls
+        self.seconds += other.seconds
+
+
+class StageProfiler:
+    """Accumulates wall-clock spans per named stage."""
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, StageStat] = {}
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time one block under ``name`` (nesting is fine; a nested span
+        records into its own stage, so sibling stages stay additive but a
+        parent stage overlaps its children)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stat = self.stages.get(name)
+            if stat is None:
+                stat = self.stages[name] = StageStat()
+            stat.calls += 1
+            stat.seconds += time.perf_counter() - start
+
+    @contextmanager
+    def activate(self) -> Iterator["StageProfiler"]:
+        """Bind this profiler as the ambient target for
+        :func:`profile_stage` within the block."""
+        token = _ACTIVE.set(self)
+        try:
+            yield self
+        finally:
+            _ACTIVE.reset(token)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def merge(self, other: "StageProfiler") -> None:
+        """Fold another profiler's spans into this one (worker merges)."""
+        for name, stat in other.stages.items():
+            mine = self.stages.get(name)
+            if mine is None:
+                mine = self.stages[name] = StageStat()
+            mine.merge(stat)
+
+    def snapshot(self) -> Dict[str, StageStat]:
+        """Independent copies of the current per-stage counters."""
+        return {n: StageStat(s.calls, s.seconds) for n, s in self.stages.items()}
+
+    def delta(self, since: Dict[str, StageStat]) -> "StageProfiler":
+        """A profiler holding only spans recorded since ``since``."""
+        out = StageProfiler()
+        for name, stat in self.stages.items():
+            before = since.get(name, StageStat())
+            calls = stat.calls - before.calls
+            seconds = stat.seconds - before.seconds
+            if calls or seconds > 0:
+                out.stages[name] = StageStat(calls, seconds)
+        return out
+
+    def seconds(self, name: str) -> float:
+        """Total seconds recorded under ``name`` (0.0 if never entered)."""
+        stat = self.stages.get(name)
+        return stat.seconds if stat is not None else 0.0
+
+    def _ordered(self) -> List[str]:
+        known = [n for n in STAGE_ORDER if n in self.stages]
+        extra = sorted(n for n in self.stages if n not in STAGE_ORDER)
+        return known + extra
+
+    def as_dict(self) -> Dict[str, Dict[str, Any]]:
+        """Machine-readable report: stage → {calls, seconds, ms_per_call}."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self._ordered():
+            stat = self.stages[name]
+            out[name] = {
+                "calls": stat.calls,
+                "seconds": round(stat.seconds, 6),
+                "ms_per_call": round(1000.0 * stat.seconds / stat.calls, 4)
+                if stat.calls
+                else 0.0,
+            }
+        return out
+
+    def report(self, title: str = "per-stage profile") -> str:
+        """Aligned text table of the recorded stages."""
+        lines = [title]
+        if not self.stages:
+            lines.append("(no spans recorded)")
+            return "\n".join(lines)
+        width = max(len(n) for n in self.stages)
+        lines.append(f"{'stage'.ljust(width)}  {'calls':>7}  {'total s':>9}  {'ms/call':>8}")
+        for name in self._ordered():
+            stat = self.stages[name]
+            per = 1000.0 * stat.seconds / stat.calls if stat.calls else 0.0
+            lines.append(
+                f"{name.ljust(width)}  {stat.calls:>7}  {stat.seconds:>9.4f}  {per:>8.3f}"
+            )
+        return "\n".join(lines)
+
+
+_ACTIVE: ContextVar[Optional[StageProfiler]] = ContextVar(
+    "repro_active_profiler", default=None
+)
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+def profile_stage(name: str):
+    """A timing span on the ambient profiler, or a shared no-op.
+
+    Usage at instrumentation sites::
+
+        with profile_stage("rank"):
+            ...
+
+    When no profiler is active (the common case) this returns a shared
+    no-op context manager — cheap enough for per-question call sites.
+    """
+    profiler = _ACTIVE.get()
+    if profiler is None:
+        return _NOOP
+    return profiler.span(name)
+
+
+def active_profiler() -> Optional[StageProfiler]:
+    """The profiler bound to the current context, if any."""
+    return _ACTIVE.get()

@@ -221,7 +221,7 @@ class Executor:
         self._plan_cache: Dict[int, Tuple[SelectStatement, QueryPlan]] = {}
         self._plan_catalog_version = database.catalog_version
         self._analysis_cache: Dict[int, Tuple[SelectStatement, Any]] = {}
-        self._analysis_catalog_version = database.catalog_version
+        self._analysis_data_version = database.data_version
 
     # -- public API -----------------------------------------------------------
 
@@ -243,14 +243,15 @@ class Executor:
 
         The cache is keyed by object identity (like the plan cache —
         the statement cache makes repeated SQL text hit the same object)
-        and invalidated when the catalog changes, since new tables can
-        change name resolution.
+        and invalidated when the database's ``data_version`` moves —
+        catalog changes alter name resolution, and data changes can alter
+        value-aware diagnostics, so both must drop cached verdicts.
         """
         from .analyzer import SemanticAnalyzer
 
-        if self.database.catalog_version != self._analysis_catalog_version:
+        if self.database.data_version != self._analysis_data_version:
             self._analysis_cache.clear()
-            self._analysis_catalog_version = self.database.catalog_version
+            self._analysis_data_version = self.database.data_version
         cached = self._analysis_cache.get(id(stmt))
         if cached is not None and cached[0] is stmt:
             self._stats.preflight_cache_hits += 1

@@ -29,6 +29,7 @@ from repro.nlp.similarity import string_similarity
 from repro.nlp.stopwords import is_stopword
 from repro.nlp.tokenizer import Token
 from repro.ontology.relaxation import QueryRelaxer
+from repro.perf.profiler import profile_stage
 
 
 @dataclass
@@ -97,25 +98,29 @@ class EntityAnnotator:
 
     def annotate(self, question: str, context: NLIDBContext) -> AnnotatedQuestion:
         """Produce the full annotation of ``question`` over ``context``."""
-        tokens = tag_text(question)
+        with profile_stage("tokenize"):
+            tokens = tag_text(question)
         patterns = detect_patterns(tokens)
         candidates: List[EvidenceAnnotation] = []
-        for start, end, words in self._spans(tokens):
-            if self.use_metadata:
+        with profile_stage("match"):
+            for start, end, words in self._spans(tokens):
+                if self.use_metadata:
+                    candidates.extend(
+                        self._metadata_candidates(start, end, words, context)
+                    )
+            if self.use_values:
+                for start, end, words in self._value_spans(tokens):
+                    candidates.extend(
+                        self._value_candidates(start, end, words, tokens, context)
+                    )
+            if self.fuzzy_values and self.use_values:
+                matched = {i for c in candidates for i in range(c.start, c.end)}
                 candidates.extend(
-                    self._metadata_candidates(start, end, words, context)
+                    self._fuzzy_value_candidates(tokens, matched, context)
                 )
-        if self.use_values:
-            for start, end, words in self._value_spans(tokens):
-                candidates.extend(
-                    self._value_candidates(start, end, words, tokens, context)
-                )
-        if self.fuzzy_values and self.use_values:
-            matched = {i for c in candidates for i in range(c.start, c.end)}
-            candidates.extend(self._fuzzy_value_candidates(tokens, matched, context))
-        if self.relaxer is not None and self.use_values:
-            matched = {i for c in candidates for i in range(c.start, c.end)}
-            candidates.extend(self._relaxed_candidates(tokens, matched, context))
+            if self.relaxer is not None and self.use_values:
+                matched = {i for c in candidates for i in range(c.start, c.end)}
+                candidates.extend(self._relaxed_candidates(tokens, matched, context))
         candidates = self._contextual_boost(candidates)
         kept = resolve_overlaps(candidates)
         return AnnotatedQuestion(question, tokens, patterns, kept, candidates)

@@ -1,0 +1,204 @@
+"""Differential tests: the parallel evaluation path must be
+byte-identical to the serial one — same outcomes, same rows — for every
+registered system, including the exception-swallowing paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.domains import build_domain
+from repro.bench.harness import compare_systems, evaluate_system
+from repro.bench.workloads import WorkloadGenerator
+from repro.core import NLIDBContext, available, create
+from repro.core.interpretation import Interpretation
+from repro.core.pipeline import NLIDBSystem
+from repro.perf import EvaluationCache
+from repro.perf.parallel import (
+    ContextSpec,
+    parallel_compare_systems,
+    parallel_evaluate_system,
+    partition_examples,
+)
+from repro.sqldb import parse_select
+from repro.systems import AthenaSystem  # noqa: F401  (populate the registry)
+
+DOMAINS = ["university", "retail"]
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    """Per-domain (spec, context, examples) triples, built once."""
+    out = {}
+    for domain in DOMAINS:
+        spec = ContextSpec(domain, seed=3)
+        context = spec.build()
+        examples = WorkloadGenerator(context.database, seed=3).generate_mixed(1)
+        out[domain] = (spec, context, examples)
+    return out
+
+
+class TestPartition:
+    def test_covers_all_indices_exactly_once(self):
+        spec = ContextSpec("university")
+        examples = WorkloadGenerator(spec.build().database, seed=1).generate_mixed(2)
+        buckets = partition_examples(examples, 3)
+        flat = sorted(i for bucket in buckets for i in bucket)
+        assert flat == list(range(len(examples)))
+
+    def test_repeats_land_in_one_bucket(self):
+        spec = ContextSpec("university")
+        examples = WorkloadGenerator(spec.build().database, seed=1).generate_mixed(1)
+        repeated = examples * 3
+        buckets = partition_examples(repeated, 4)
+        for example in examples:
+            owners = {
+                b
+                for b, bucket in enumerate(buckets)
+                if any(
+                    repeated[i].question == example.question
+                    and repeated[i].sql == example.sql
+                    for i in bucket
+                )
+            }
+            assert len(owners) == 1
+
+    def test_deterministic(self):
+        spec = ContextSpec("retail")
+        examples = WorkloadGenerator(spec.build().database, seed=2).generate_mixed(2)
+        assert partition_examples(examples, 4) == partition_examples(examples, 4)
+
+
+@pytest.mark.parametrize("domain", DOMAINS)
+class TestParallelMatchesSerial:
+    def test_outcomes_identical_for_every_registered_system(
+        self, workloads, domain
+    ):
+        spec, context, examples = workloads[domain]
+        for name in available():
+            serial = evaluate_system(create(name), context, examples)
+            parallel = parallel_evaluate_system(
+                name, spec, examples, jobs=2, context=context
+            )
+            assert parallel == serial, f"{name} diverged on {domain}"
+
+    def test_rows_identical_to_compare_systems(self, workloads, domain):
+        spec, context, examples = workloads[domain]
+        names = available()
+        serial_rows = compare_systems(
+            [create(n) for n in names], context, examples
+        )
+        report = parallel_compare_systems(
+            names, spec, examples, jobs=2, context=context
+        )
+        assert report.rows == serial_rows
+
+
+class _RaisingSystem(NLIDBSystem):
+    """interpret() always raises — exercises the except→abstain path."""
+
+    name = "raising"
+
+    def interpret(self, question, context):
+        raise RuntimeError("interpretation exploded")
+
+
+class _AbstainSystem(NLIDBSystem):
+    """Always returns [] — exercises empty-list caching."""
+
+    name = "abstain"
+
+    def interpret(self, question, context):
+        return []
+
+
+class _BrokenSQLSystem(NLIDBSystem):
+    """Predicts SQL over a phantom table — static rejection + execution
+    failure paths."""
+
+    name = "broken-sql"
+
+    def interpret(self, question, context):
+        return [
+            Interpretation(
+                system=self.name,
+                confidence=1.0,
+                sql=parse_select("SELECT nothing FROM phantom"),
+            )
+        ]
+
+
+class TestExceptionPaths:
+    def test_exception_swallowing_identical(self, workloads):
+        spec, context, examples = workloads["university"]
+        systems = [_RaisingSystem(), _AbstainSystem(), _BrokenSQLSystem()]
+        serial_rows = compare_systems(systems, context, examples)
+        report = parallel_compare_systems(
+            systems, spec, examples, jobs=2, context=context
+        )
+        assert report.rows == serial_rows
+        for system in systems:
+            serial = evaluate_system(type(system)(), context, examples)
+            assert report.outcomes[system.name] == serial
+
+    def test_broken_sql_is_statically_rejected(self, workloads):
+        spec, context, examples = workloads["university"]
+        outcomes = parallel_evaluate_system(
+            _BrokenSQLSystem(), spec, examples, jobs=2, context=context
+        )
+        assert all(o.answered and not o.correct for o in outcomes)
+        assert all(o.static_rejected for o in outcomes)
+
+
+class TestCachingBehaviour:
+    def test_repeated_workload_hits_interpretation_cache(self, workloads):
+        spec, context, examples = workloads["university"]
+        repeated = examples * 3
+        report = parallel_compare_systems(
+            ["soda"], spec, repeated, jobs=2, context=context
+        )
+        layer = report.cache_stats["interpretations"]
+        assert layer.hit_rate > 0
+        assert report.rows[-1].cache_hit_rate == pytest.approx(layer.hit_rate)
+
+    def test_cached_sweep_identical_to_uncached(self, workloads):
+        spec, context, examples = workloads["retail"]
+        repeated = examples * 2
+        system = create("quest")
+        uncached = evaluate_system(system, context, repeated)
+        cached = evaluate_system(
+            system, context, repeated, cache=EvaluationCache()
+        )
+        assert cached == uncached
+
+    def test_jobs_one_falls_back_to_serial(self, workloads):
+        spec, context, examples = workloads["university"]
+        report = parallel_compare_systems(
+            ["soda"], spec, examples, jobs=1, context=context
+        )
+        assert report.mode == "serial"
+        assert report.rows == compare_systems([create("soda")], context, examples)
+
+    def test_unpicklable_system_falls_back(self, workloads):
+        spec, context, examples = workloads["university"]
+
+        class LocalSystem(NLIDBSystem):
+            name = "local"
+
+            def interpret(self, question, context):
+                return []
+
+        report = parallel_compare_systems(
+            [LocalSystem()], spec, examples, jobs=2, context=context
+        )
+        assert report.mode == "serial"
+        assert report.outcomes["local"] == evaluate_system(
+            LocalSystem(), context, examples
+        )
+
+    def test_profile_spans_recorded(self, workloads):
+        spec, context, examples = workloads["university"]
+        report = parallel_compare_systems(
+            ["soda"], spec, examples, jobs=2, context=context
+        )
+        assert report.profile.stages.get("interpret") is not None
+        assert report.profile.stages["interpret"].calls == len(examples)
