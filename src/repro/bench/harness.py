@@ -177,6 +177,11 @@ class ComparisonRow:
     The perf columns (cache hit rate, per-example stage timings) are
     measurements *about* a run, not results *of* it — they are excluded
     from equality so differential tests can assert serial == parallel.
+    The serve columns (availability, degraded-answer count, retries)
+    come from an optional resilient-serving sweep (``repro bench
+    --serve``) and are likewise excluded: they describe the serving
+    layer's behavior under the configured fault plan, not the system's
+    interpretation quality.
     """
 
     system: str
@@ -185,10 +190,13 @@ class ComparisonRow:
     cache_hit_rate: Optional[float] = field(default=None, compare=False)
     interp_ms: Optional[float] = field(default=None, compare=False)
     exec_ms: Optional[float] = field(default=None, compare=False)
+    availability: Optional[float] = field(default=None, compare=False)
+    degraded_answers: Optional[int] = field(default=None, compare=False)
+    serve_retries: Optional[int] = field(default=None, compare=False)
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat dict for printing/serialization."""
-        return {
+        out = {
             "system": self.system,
             "scope": self.scope,
             "total": self.summary.total,
@@ -204,6 +212,19 @@ class ComparisonRow:
             "interp_ms": round(self.interp_ms, 2) if self.interp_ms is not None else "",
             "exec_ms": round(self.exec_ms, 2) if self.exec_ms is not None else "",
         }
+        # Serve columns only exist when a serving sweep ran (bench
+        # --serve); emitting them empty would widen every plain table.
+        if self.availability is not None:
+            out["avail"] = round(self.availability, 3)
+            out["degraded"] = self.degraded_answers if self.degraded_answers is not None else ""
+            out["retries"] = self.serve_retries if self.serve_retries is not None else ""
+        return out
+
+    def attach_serve(self, summary: Any) -> None:
+        """Fill the serve columns from a :class:`repro.serve.ServeSummary`."""
+        self.availability = summary.availability
+        self.degraded_answers = summary.degraded_ok
+        self.serve_retries = summary.retries
 
 
 def rows_for_outcomes(

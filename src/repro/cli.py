@@ -9,6 +9,8 @@ Subcommands exercising the library end to end::
     python -m repro sql "SELECT ..." --domain retail --explain
     python -m repro systems                         # list registered systems
     python -m repro bench --jobs 4 --profile        # parallel benchmark sweep
+    python -m repro serve "..." --inject "execute:error:0.5"   # resilient serving
+    python -m repro bench --serve --inject "*:error:0.3"       # availability columns
 
 ``sql`` runs raw SQL against a domain database; ``--explain`` prints the
 planner's EXPLAIN-style report (hash join vs nested loop, index scan vs
@@ -172,14 +174,100 @@ def cmd_systems(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(context, args):
+    """A ResilientService configured from serve/bench CLI flags."""
+    from repro.serve import FaultInjector, FaultPlan, NoopInjector, ResilientService
+
+    if args.inject:
+        injector = FaultInjector(FaultPlan.parse(args.inject, seed=args.fault_seed))
+    else:
+        injector = NoopInjector()
+    return ResilientService(
+        context,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        timeout_s=args.timeout or None,
+        injector=injector,
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Resilient serving: one question or a workload, optional faults.
+
+    Unlike ``ask``, this never fails with a traceback — faults, timeouts
+    and unanswerable questions all degrade along the fallback chain and
+    land in the report.  ``--inject`` takes a fault plan like
+    ``execute:error:0.5,*:latency:0.2:0.05`` (see
+    :mod:`repro.serve.faults`); ``--workload N`` serves a generated
+    N-per-tier workload instead of a single question.
+    """
+    import json
+
+    from repro.serve import serve_workload
+
+    context = _build_context(args.domain, args.seed)
+    service = _build_service(context, args)
+    system = args.system or None
+    if args.workload:
+        from repro.bench.workloads import WorkloadGenerator
+
+        examples = WorkloadGenerator(context.database, seed=args.seed).generate_mixed(
+            args.workload
+        )
+        questions = [example.question for example in examples]
+    else:
+        if not args.question:
+            print("serve: provide a question or --workload N")
+            return 2
+        questions = [args.question]
+    results, summary = serve_workload(service, questions, system=system)
+    for result in results:
+        _print_serve_result(result, verbose=len(results) == 1, rows=args.rows)
+    print()
+    print("serve summary:")
+    for key, value in summary.as_dict().items():
+        print(f"  {key:14s} {value}")
+    if args.json:
+        payload = {
+            "domain": args.domain,
+            "fault_plan": args.inject,
+            "fault_seed": args.fault_seed,
+            "summary": summary.as_dict(),
+            "results": [result.as_dict() for result in results],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0 if summary.ok else 1
+
+
+def _print_serve_result(result, verbose: bool, rows: int) -> None:
+    status = "ok" if result.ok else "FAILED"
+    via = result.system if result.system else "-"
+    degraded = " degraded" if result.degraded else ""
+    print(f"[{status}]{degraded} via {via}: {result.question}")
+    for name, reason in result.degraded_from:
+        print(f"    fell past {name}: {reason}")
+    if verbose:
+        if result.sql:
+            print(f"SQL: {result.sql}")
+        if result.answer is not None:
+            print(result.answer.to_text(max_rows=rows))
+        for event in result.fault_trace:
+            print(f"    fault: {event.stage}/{event.kind} {event.detail}")
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark systems over a generated workload.
 
     ``--jobs N`` fans evaluation out over N worker processes (with a
     graceful serial fallback); ``--epochs`` repeats the workload to
     exercise the interpretation cache; ``--profile`` prints the
-    per-stage timing table; ``--json FILE`` writes the machine-readable
-    report (rows + cache stats + profile).
+    per-stage timing table; ``--serve`` additionally runs each system as
+    the primary of a resilient fallback chain over the same questions
+    (honoring ``--inject``) and adds availability/degraded/retries
+    columns; ``--json FILE`` writes the machine-readable report (rows +
+    cache stats + profile + serve summaries).
     """
     import json
 
@@ -198,6 +286,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
     report = parallel_compare_systems(
         names, spec, examples, jobs=args.jobs, context=context
     )
+    serve_summaries = {}
+    if args.serve:
+        from repro.serve import serve_workload
+
+        service = _build_service(context, args)
+        questions = [example.question for example in examples]
+        for name in names:
+            _, summary = serve_workload(service, questions, system=name)
+            serve_summaries[name] = summary
+        for row in report.rows:
+            if row.system in serve_summaries:
+                row.attach_serve(serve_summaries[row.system])
     title = (
         f"{args.domain}: {len(examples)} examples × {len(names)} systems "
         f"({report.mode}, jobs={report.jobs}, {report.wall_s:.2f}s)"
@@ -224,6 +324,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
             },
             "profile": report.profile.as_dict(),
         }
+        if serve_summaries:
+            payload["serve"] = {
+                "fault_plan": args.inject,
+                "fault_seed": args.fault_seed,
+                "summaries": {
+                    name: summary.as_dict()
+                    for name, summary in serve_summaries.items()
+                },
+            }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
         print(f"\nwrote {args.json}")
@@ -286,6 +395,29 @@ def build_parser() -> argparse.ArgumentParser:
     systems = sub.add_parser("systems", help="list systems and domains")
     systems.set_defaults(func=cmd_systems)
 
+    serve = sub.add_parser(
+        "serve", help="resiliently serve questions with fallback and fault injection"
+    )
+    serve.add_argument("question", nargs="?", default="")
+    serve.add_argument("--domain", default="retail", choices=domain_names())
+    serve.add_argument(
+        "--system", default="", help="primary system (default: head of fallback chain)"
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--rows", type=int, default=10)
+    serve.add_argument(
+        "--workload",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve a generated N-per-tier workload instead of one question",
+    )
+    serve.add_argument(
+        "--json", default="", help="write the machine-readable serve report to FILE"
+    )
+    _add_fault_args(serve)
+    serve.set_defaults(func=cmd_serve)
+
     bench = sub.add_parser(
         "bench", help="benchmark systems over a generated workload"
     )
@@ -317,8 +449,39 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--json", default="", help="write the machine-readable report to FILE"
     )
+    bench.add_argument(
+        "--serve",
+        action="store_true",
+        help="also run a resilient-serving sweep; adds avail/degraded/retries columns",
+    )
+    _add_fault_args(bench)
     bench.set_defaults(func=cmd_bench)
     return parser
+
+
+def _add_fault_args(parser: argparse.ArgumentParser) -> None:
+    """Shared resilient-serving flags (serve and bench --serve)."""
+    parser.add_argument(
+        "--inject",
+        default="",
+        metavar="FAULTPLAN",
+        help="fault plan, e.g. 'execute:error:0.5,*:latency:0.2:0.05'",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="RNG seed for fault injection"
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, help="retries per system for transient faults"
+    )
+    parser.add_argument(
+        "--backoff", type=float, default=0.05, help="initial retry backoff seconds"
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=0.0,
+        help="per-attempt deadline seconds (0 disables)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -1,12 +1,15 @@
 """Number-word and ordinal parsing.
 
 Questions express numbers three ways — digits ("5"), words ("five"),
-ordinals ("fifth" / "top five") — and all three must normalize before
-they can become SQL literals or LIMIT counts.
+ordinals ("fifth" / "twenty-first" / "top five") — and all three must
+normalize before they can become SQL literals or LIMIT counts.
+Magnitude suffixes ("3.5k", "2m", "1.2bn") common in analytics
+questions are expanded to their plain value.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Optional
 
 _UNITS = {
@@ -27,8 +30,18 @@ _SCALES = {"hundred": 100, "thousand": 1000, "million": 1000000, "billion": 1000
 _ORDINALS = {
     "first": 1, "second": 2, "third": 3, "fourth": 4, "fifth": 5,
     "sixth": 6, "seventh": 7, "eighth": 8, "ninth": 9, "tenth": 10,
-    "eleventh": 11, "twelfth": 12, "twentieth": 20, "hundredth": 100,
+    "eleventh": 11, "twelfth": 12, "thirteenth": 13, "fourteenth": 14,
+    "fifteenth": 15, "sixteenth": 16, "seventeenth": 17,
+    "eighteenth": 18, "nineteenth": 19,
+    "twentieth": 20, "thirtieth": 30, "fortieth": 40, "fiftieth": 50,
+    "sixtieth": 60, "seventieth": 70, "eightieth": 80, "ninetieth": 90,
+    "hundredth": 100, "thousandth": 1000,
 }
+
+#: magnitude suffixes appended to digit strings ("3.5k", "2m", "1.2bn")
+_MAGNITUDE_SUFFIXES = {"k": 1_000, "m": 1_000_000, "b": 1_000_000_000, "bn": 1_000_000_000}
+
+_SUFFIXED_RE = re.compile(r"^(\d+(?:\.\d+)?)(k|m|b|bn)$")
 
 
 def word_to_number(word: str) -> Optional[int]:
@@ -44,21 +57,31 @@ def word_to_number(word: str) -> Optional[int]:
 
 
 def ordinal_to_number(word: str) -> Optional[int]:
-    """Parse an ordinal word or digit-ordinal ("3rd"); ``None`` otherwise."""
+    """Parse an ordinal word ("fifth"), a hyphenated compound
+    ("twenty-first"), or a digit-ordinal ("3rd"); ``None`` otherwise."""
     w = word.lower()
     if w in _ORDINALS:
         return _ORDINALS[w]
     for suffix in ("st", "nd", "rd", "th"):
         if w.endswith(suffix) and w[: -len(suffix)].isdigit():
             return int(w[: -len(suffix)])
+    # Hyphenated (or spaced) compound: every part but the last is a
+    # cardinal ("twenty", "one hundred"), the last is an ordinal unit.
+    parts = [p for p in w.replace("-", " ").split() if p != "and"]
+    if len(parts) >= 2 and parts[-1] in _ORDINALS:
+        prefix = parse_number(" ".join(parts[:-1]))
+        tail = _ORDINALS[parts[-1]]
+        if prefix is not None and prefix == int(prefix):
+            return int(prefix) + tail
     return None
 
 
 def parse_number(text: str) -> Optional[float]:
-    """Parse digits, decimals, number words or short compounds.
+    """Parse digits, decimals, number words, magnitude suffixes or short
+    compounds.
 
-    Handles "5", "4.5", "five", "twenty five", "2 million".
-    Returns ``None`` when the text is not numeric.
+    Handles "5", "4.5", "five", "twenty five", "2 million", "3.5k",
+    "1.2bn".  Returns ``None`` when the text is not numeric.
     """
     t = text.strip().lower().replace(",", "")
     if not t:
@@ -67,11 +90,19 @@ def parse_number(text: str) -> Optional[float]:
         return float(t)
     except ValueError:
         pass
+    suffixed = _SUFFIXED_RE.match(t)
+    if suffixed:
+        return float(suffixed.group(1)) * _MAGNITUDE_SUFFIXES[suffixed.group(2)]
     total = 0.0
     current = 0.0
     any_word = False
     for word in t.replace("-", " ").split():
         if word == "and":
+            continue
+        suffixed = _SUFFIXED_RE.match(word)
+        if suffixed:
+            current += float(suffixed.group(1)) * _MAGNITUDE_SUFFIXES[suffixed.group(2)]
+            any_word = True
             continue
         try:
             current = float(word) if current == 0 else current

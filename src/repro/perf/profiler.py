@@ -11,6 +11,13 @@ cold path and nothing is ever recorded.
 Activation is scoped, not global: ``with profiler.activate(): ...``
 binds the profiler to the current context (via :mod:`contextvars`, so
 concurrent threads/tasks don't interleave their spans).
+
+The same span boundaries double as the **stage hook** seam used by the
+resilient serving layer (:mod:`repro.serve`): ``with stage_hook(fn):``
+arranges for ``fn(stage_name)`` to run every time a stage span opens.
+Hooks may raise (fault injection), sleep (latency injection) or check a
+deadline (cooperative per-stage timeouts); when no hook is installed the
+cost is one contextvar lookup.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 #: canonical display order; unknown stages sort after these, alphabetically
 STAGE_ORDER: List[str] = [
@@ -161,6 +168,27 @@ class _NoopSpan:
 _NOOP = _NoopSpan()
 
 
+_STAGE_HOOK: ContextVar[Optional[Callable[[str], None]]] = ContextVar(
+    "repro_stage_hook", default=None
+)
+
+
+@contextmanager
+def stage_hook(hook: Callable[[str], None]) -> Iterator[None]:
+    """Bind ``hook`` to run at every stage-span boundary in the block.
+
+    The serving layer uses this to inject faults and enforce cooperative
+    deadlines at exactly the pipeline's instrumented stage boundaries
+    (tokenize/parse/match/rank/compile/execute).  A hook that raises
+    aborts the stage before it starts.
+    """
+    token = _STAGE_HOOK.set(hook)
+    try:
+        yield
+    finally:
+        _STAGE_HOOK.reset(token)
+
+
 def profile_stage(name: str):
     """A timing span on the ambient profiler, or a shared no-op.
 
@@ -171,7 +199,12 @@ def profile_stage(name: str):
 
     When no profiler is active (the common case) this returns a shared
     no-op context manager — cheap enough for per-question call sites.
+    An installed :func:`stage_hook` fires first (and may raise), so
+    injected faults surface even when nothing is being profiled.
     """
+    hook = _STAGE_HOOK.get()
+    if hook is not None:
+        hook(name)
     profiler = _ACTIVE.get()
     if profiler is None:
         return _NOOP

@@ -1,0 +1,46 @@
+"""Resilient NLQ serving layer.
+
+Wraps any registered NLIDB system behind per-stage timeouts, retries
+with exponential backoff, a per-system circuit breaker, and a
+graceful-degradation fallback chain; ships with a deterministic
+fault-injection harness for testing all of it.  See
+:mod:`repro.serve.service` for the failure model.
+"""
+
+from .breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from .faults import (
+    FaultEvent,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    NoopInjector,
+)
+from .report import ServeSummary, serve_workload
+from .service import (
+    DEFAULT_FALLBACK_CHAIN,
+    NoAnswer,
+    ResilientService,
+    ServeResult,
+    StageTimeout,
+)
+
+__all__ = [
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "CircuitBreaker",
+    "DEFAULT_FALLBACK_CHAIN",
+    "FaultEvent",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NoAnswer",
+    "NoopInjector",
+    "ResilientService",
+    "ServeResult",
+    "ServeSummary",
+    "StageTimeout",
+    "serve_workload",
+]

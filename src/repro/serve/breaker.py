@@ -1,0 +1,78 @@
+"""Per-system circuit breaker.
+
+A system that keeps failing should stop being asked: every doomed
+attempt burns the caller's latency budget (retries, backoff) before the
+fallback chain can answer.  The breaker is the classic three-state
+machine:
+
+- **closed** — requests flow; consecutive failures are counted.
+- **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips and :meth:`allow` answers ``False`` until
+  ``recovery_s`` seconds pass.  The serving layer skips the system and
+  degrades straight to the next fallback.
+- **half-open** — once the recovery window elapses, exactly one probe
+  request is let through.  Success closes the breaker; failure reopens
+  it for another window.
+
+The clock is injectable so tests can step time instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open probes."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        recovery_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self._clock = clock
+        self.state = CLOSED
+        self.failures = 0
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """May a request proceed right now?
+
+        In the open state this flips to half-open (and answers ``True``)
+        once the recovery window has elapsed — the single probe request.
+        """
+        if self.state == OPEN:
+            if self._clock() - self._opened_at >= self.recovery_s:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        """A request succeeded: reset to closed from any state."""
+        self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        """A request failed: count it, trip when the threshold is hit.
+
+        A half-open probe failure re-trips immediately — the system has
+        not recovered, so it gets a fresh recovery window.
+        """
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.failure_threshold:
+            self.state = OPEN
+            self._opened_at = self._clock()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CircuitBreaker {self.state} failures={self.failures}>"

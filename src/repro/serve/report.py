@@ -1,0 +1,92 @@
+"""Workload-level serving reports: availability, degradation, retries.
+
+A single :class:`~repro.serve.service.ServeResult` answers "what
+happened to this question"; operators ask "what fraction of the
+workload got an answer, and how often did we have to degrade".
+:func:`serve_workload` runs a service over a question list and folds the
+results into a :class:`ServeSummary` with exactly those aggregates —
+the same numbers the bench table's availability/degraded/retries
+columns and the CI fault-injection smoke job consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .service import ResilientService, ServeResult
+
+
+@dataclass
+class ServeSummary:
+    """Aggregates over one served workload."""
+
+    total: int = 0
+    #: questions that produced an answer (from any system in the chain)
+    ok: int = 0
+    #: answered questions that needed a fallback / retry path
+    degraded_ok: int = 0
+    #: questions no system in the chain could answer
+    failed: int = 0
+    #: total retry attempts across the workload
+    retries: int = 0
+    #: total injected-fault events recorded in the traces
+    faults: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of questions that got an answer (1.0 on empty)."""
+        return self.ok / self.total if self.total else 1.0
+
+    @property
+    def degraded_rate(self) -> float:
+        """Fraction of *answered* questions served degraded."""
+        return self.degraded_ok / self.ok if self.ok else 0.0
+
+    def add(self, result: ServeResult) -> None:
+        self.total += 1
+        if result.ok:
+            self.ok += 1
+            if result.degraded:
+                self.degraded_ok += 1
+        else:
+            self.failed += 1
+        self.retries += result.retries
+        self.faults += sum(
+            1 for e in result.fault_trace if e.kind in ("error", "latency", "corrupt")
+        )
+        self.elapsed_s += result.elapsed_s
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "ok": self.ok,
+            "degraded_ok": self.degraded_ok,
+            "failed": self.failed,
+            "availability": round(self.availability, 3),
+            "degraded_rate": round(self.degraded_rate, 3),
+            "retries": self.retries,
+            "faults": self.faults,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+
+
+def serve_workload(
+    service: ResilientService,
+    questions: Iterable[str],
+    system: Optional[str] = None,
+) -> Tuple[List[ServeResult], ServeSummary]:
+    """Serve every question; return the results and their summary.
+
+    The service never raises by contract, so this never raises either —
+    a workload under total fault injection yields ``availability 0.0``,
+    not an exception.
+    """
+    results: List[ServeResult] = []
+    summary = ServeSummary()
+    for question in questions:
+        result = service.ask(question, system=system)
+        results.append(result)
+        summary.add(result)
+    return results, summary

@@ -1,0 +1,302 @@
+"""Resilient NLQ serving: timeouts, retries, breakers, fallback chains.
+
+The survey's systems are evaluated as batch pipelines, but an NLIDB in
+front of users is a *service*, and services fail partially: a matcher
+hangs, a ranker throws, an execution times out.  :class:`ResilientService`
+wraps any registered system so a question always produces a typed
+:class:`ServeResult` instead of an exception:
+
+1. each attempt runs under a cooperative deadline, checked at every
+   instrumented stage boundary (tokenize/parse/match/rank/compile/
+   execute) via the profiler's stage-hook seam;
+2. transient faults (:class:`~repro.serve.faults.FaultInjected`,
+   :class:`StageTimeout`) are retried with exponential backoff;
+3. a per-system :class:`~repro.serve.breaker.CircuitBreaker` stops
+   sending questions to a system that keeps failing;
+4. when a system is down, exhausted, or answerless, the service degrades
+   along a fallback chain — by default ontology-driven ATHENA, then
+   pattern-based SQAK, then keyword-based SODA — recording every skipped
+   system in ``degraded_from``.
+
+With no fault injector and a healthy primary, ``ask()`` returns exactly
+what ``system.answer(question, context)`` would: the attempt path
+mirrors :meth:`repro.core.pipeline.NLIDBSystem.answer` operation for
+operation (interpret → static-analysis pruning → execute best).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pipeline import NLIDBContext, NLIDBSystem
+from repro.core.ranking import apply_static_analysis
+from repro.core.registry import create
+from repro.perf.profiler import stage_hook
+from repro.sqldb.relation import Relation
+
+from .breaker import CircuitBreaker
+from .faults import FaultEvent, FaultInjected, FaultInjector, NoopInjector
+
+#: default graceful-degradation order: ontology-driven interpretation,
+#: then SQL-aware keyword patterns, then bare keyword search — each link
+#: needs strictly less machinery than the one before it.
+DEFAULT_FALLBACK_CHAIN: Tuple[str, ...] = ("athena", "sqak", "soda")
+
+#: exception types the service retries (anything else fails over at once)
+_TRANSIENT: Tuple[type, ...]
+
+
+class StageTimeout(Exception):
+    """The attempt's deadline expired at a stage boundary.
+
+    Cooperative: the pipeline is single-threaded pure Python, so the
+    deadline is checked whenever a stage span opens rather than by
+    preemption.  A stage that never reaches the next boundary cannot be
+    interrupted — acceptable here because every surveyed stage is
+    bounded work over in-memory structures.
+    """
+
+    def __init__(self, stage: str, budget_s: float):
+        super().__init__(f"deadline ({budget_s:g}s) exceeded entering stage {stage!r}")
+        self.stage = stage
+        self.budget_s = budget_s
+
+
+class NoAnswer(Exception):
+    """The system produced no interpretation (or none survived static
+    analysis).  Deterministic, so never retried — straight to fallback."""
+
+    def __init__(self, system: str, reason: str):
+        super().__init__(f"{system}: {reason}")
+        self.system = system
+        self.reason = reason
+
+
+_TRANSIENT = (FaultInjected, StageTimeout)
+
+
+@dataclass
+class ServeResult:
+    """What serving a question produced — returned even on total failure."""
+
+    question: str
+    requested_system: str
+    ok: bool = False
+    #: name of the system that actually answered (None if none could)
+    system: Optional[str] = None
+    answer: Optional[Relation] = None
+    #: compiled SQL text of the executed interpretation, when available
+    sql: Optional[str] = None
+    #: systems tried (or skipped) before the answering one, with reasons
+    degraded_from: List[Tuple[str, str]] = field(default_factory=list)
+    #: injected faults plus service-level events, in order of occurrence
+    fault_trace: List[FaultEvent] = field(default_factory=list)
+    #: total retry attempts across all systems tried
+    retries: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """True when the answer did not come from the requested system
+        on a clean first attempt path."""
+        return bool(self.degraded_from)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready report row (answer summarized, not serialized)."""
+        return {
+            "question": self.question,
+            "requested_system": self.requested_system,
+            "ok": self.ok,
+            "system": self.system,
+            "sql": self.sql,
+            "rows": len(self.answer.rows) if self.answer is not None else None,
+            "degraded": self.degraded,
+            "degraded_from": [
+                {"system": name, "reason": reason} for name, reason in self.degraded_from
+            ],
+            "fault_trace": [event.as_dict() for event in self.fault_trace],
+            "retries": self.retries,
+            "elapsed_s": round(self.elapsed_s, 6),
+        }
+
+
+class ResilientService:
+    """Serve NLQ answers with retries, breakers, and graceful degradation.
+
+    Parameters mirror the failure model:
+
+    - ``retries`` / ``backoff_s`` / ``backoff_factor`` — transient faults
+      are retried up to ``retries`` times per system, sleeping
+      ``backoff_s * backoff_factor**n`` between attempts;
+    - ``timeout_s`` — per-attempt deadline, enforced cooperatively at
+      stage boundaries (``None`` disables it);
+    - ``failure_threshold`` / ``recovery_s`` — circuit-breaker tuning,
+      one breaker per system name;
+    - ``injector`` — a :class:`~repro.serve.faults.FaultInjector` to
+      exercise the machinery; the default injects nothing and adds no
+      behavior, so serve results match direct system calls exactly;
+    - ``sleep`` / ``clock`` — injectable for tests (no real sleeping).
+    """
+
+    def __init__(
+        self,
+        context: NLIDBContext,
+        fallback_chain: Sequence[str] = DEFAULT_FALLBACK_CHAIN,
+        *,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        timeout_s: Optional[float] = None,
+        failure_threshold: int = 3,
+        recovery_s: float = 30.0,
+        injector: Optional[Union[FaultInjector, NoopInjector]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if not fallback_chain:
+            raise ValueError("fallback_chain must name at least one system")
+        self.context = context
+        self.fallback_chain = tuple(fallback_chain)
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_factor = backoff_factor
+        self.timeout_s = timeout_s
+        self.failure_threshold = failure_threshold
+        self.recovery_s = recovery_s
+        self.injector: Union[FaultInjector, NoopInjector] = injector or NoopInjector()
+        self._sleep = sleep
+        self._clock = clock
+        self._systems: Dict[str, NLIDBSystem] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def system(self, name: str) -> NLIDBSystem:
+        """The (cached) system instance registered under ``name``."""
+        instance = self._systems.get(name)
+        if instance is None:
+            instance = self._systems[name] = create(name)
+        return instance
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The circuit breaker guarding ``name`` (created on first use)."""
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = self._breakers[name] = CircuitBreaker(
+                self.failure_threshold, self.recovery_s, clock=self._clock
+            )
+        return breaker
+
+    def _chain_for(self, requested: Optional[str]) -> List[str]:
+        if requested is None:
+            return list(self.fallback_chain)
+        rest = [name for name in self.fallback_chain if name != requested]
+        return [requested, *rest]
+
+    # -- serving --------------------------------------------------------------
+
+    def ask(self, question: str, system: Optional[str] = None) -> ServeResult:
+        """Serve ``question``, degrading along the fallback chain.
+
+        Never raises: every failure mode — injected fault, timeout, open
+        breaker, unanswerable question, even a chain where all systems
+        fail — lands in the returned :class:`ServeResult`.
+        """
+        chain = self._chain_for(system)
+        result = ServeResult(question=question, requested_system=chain[0])
+        started = self._clock()
+        for name in chain:
+            breaker = self.breaker(name)
+            if not breaker.allow():
+                result.fault_trace.append(
+                    FaultEvent("serve", "breaker_open", f"skipped {name}")
+                )
+                result.degraded_from.append((name, "circuit breaker open"))
+                continue
+            outcome = self._serve_one(name, question, result)
+            if outcome is not None:
+                # Survived (latency/corruption) faults still belong in
+                # the trace even though the attempt succeeded.
+                result.fault_trace.extend(self.injector.drain_events())
+                breaker.record_success()
+                result.ok = True
+                result.system = name
+                result.answer, result.sql = outcome
+                break
+            breaker.record_failure()
+        result.elapsed_s = self._clock() - started
+        return result
+
+    def _serve_one(
+        self, name: str, question: str, result: ServeResult
+    ) -> Optional[Tuple[Relation, Optional[str]]]:
+        """Try one system with retries; ``None`` means it failed and the
+        reason has been recorded on ``result``."""
+        delay = self.backoff_s
+        reason = "unknown failure"
+        for attempt in range(self.retries + 1):
+            try:
+                return self._attempt(name, question)
+            except _TRANSIENT as exc:
+                result.fault_trace.extend(self.injector.drain_events())
+                reason = str(exc)
+                if attempt < self.retries:
+                    result.retries += 1
+                    result.fault_trace.append(
+                        FaultEvent(
+                            "serve",
+                            "retry",
+                            f"{name} attempt {attempt + 1}: {reason}; backing off {delay:g}s",
+                        )
+                    )
+                    self._sleep(delay)
+                    delay *= self.backoff_factor
+                    continue
+                break
+            except NoAnswer as exc:
+                result.fault_trace.extend(self.injector.drain_events())
+                reason = exc.reason
+                break
+            except Exception as exc:  # non-transient: fail over immediately
+                result.fault_trace.extend(self.injector.drain_events())
+                reason = f"{type(exc).__name__}: {exc}"
+                result.fault_trace.append(FaultEvent("serve", "error", f"{name}: {reason}"))
+                break
+        result.degraded_from.append((name, reason))
+        return None
+
+    def _attempt(self, name: str, question: str) -> Tuple[Relation, Optional[str]]:
+        """One end-to-end attempt, mirroring ``NLIDBSystem.answer``.
+
+        The only differences from a direct ``answer()`` call are the
+        armed stage hook (faults + deadline — inert when the injector is
+        a no-op and no timeout is set) and that failures raise instead
+        of collapsing to ``None``, so the caller can classify them.
+        """
+        system = self.system(name)
+        deadline = (
+            None if self.timeout_s is None else self._clock() + self.timeout_s
+        )
+
+        def hook(stage: str) -> None:
+            self.injector.on_stage(stage)
+            if deadline is not None and self._clock() > deadline:
+                raise StageTimeout(stage, self.timeout_s)
+
+        with stage_hook(hook):
+            interpretations = self.context.interpret(system, question)
+            interpretations = self.injector.maybe_corrupt(interpretations)
+            if not interpretations:
+                raise NoAnswer(name, "no interpretation")
+            candidates = apply_static_analysis(interpretations, self.context.analyze)
+            if not candidates:
+                raise NoAnswer(name, "no statically valid interpretation")
+            answer = self.context.execute(candidates[0])
+        sql: Optional[str] = None
+        try:
+            sql = candidates[0].to_sql(self.context.ontology, self.context.mapping).to_sql()
+        except Exception:
+            pass
+        return answer, sql

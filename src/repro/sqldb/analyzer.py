@@ -39,6 +39,13 @@ Severity encodes the **differential contract** with the executor:
 The mirror is deliberately exact: every check documents the executor
 behaviour it models, and ``tests/test_sqldb_analyzer.py`` enforces the
 contract differentially over the full SQL corpus.
+
+NULL note: the executor follows SQL three-valued logic (a NULL operand
+makes a predicate *unknown*, which filters out like false), so the
+"always true/false" wording in type-mismatch warnings refers to the
+non-NULL case; NULL rows drop out of those predicates regardless.
+``SQL306`` flags a literal NULL in an ``IN`` list, where unknown
+propagation makes ``NOT IN`` unsatisfiable.
 """
 
 from __future__ import annotations
@@ -517,7 +524,11 @@ class SemanticAnalyzer:
         if isinstance(expr, InList):
             operand = self._infer(expr.operand, scope, ctx)
             mismatched = 0
+            null_items = 0
             for item in expr.items:
+                if isinstance(item, Literal) and item.value is None:
+                    null_items += 1
+                    continue
                 if not _compatible(operand, self._infer(item, scope, ctx)):
                     mismatched += 1
             if mismatched:
@@ -526,6 +537,17 @@ class SemanticAnalyzer:
                     WARNING,
                     f"{mismatched} of {len(expr.items)} IN list items can "
                     f"never match {expr.operand.to_sql()!r}",
+                    expr,
+                )
+            if null_items:
+                # Three-valued logic: a non-matching probe against a list
+                # containing NULL is unknown, so the row is filtered out
+                # either way and NOT IN can never be satisfied.
+                self._emit(
+                    "SQL306",
+                    WARNING,
+                    "NULL in IN list: non-matches become unknown"
+                    + (" — NOT IN never matches" if expr.negated else ""),
                     expr,
                 )
             return BOOL

@@ -9,7 +9,8 @@ text for exact-match metrics and for display.
 The supported dialect is the subset exercised by the WikiSQL / Spider
 families of benchmarks: single-block ``SELECT`` with ``DISTINCT``,
 arithmetic and boolean expressions, ``LIKE``/``BETWEEN``/``IN``,
-aggregates, ``GROUP BY``/``HAVING``, ``ORDER BY``/``LIMIT``, inner joins
+aggregates, ``GROUP BY``/``HAVING``, ``ORDER BY``/``LIMIT``/``OFFSET``,
+inner joins
 with ``ON`` conditions, and nested sub-queries (scalar, ``IN`` and
 ``EXISTS``, correlated or not).
 """
@@ -367,6 +368,7 @@ class SelectStatement(SqlNode):
     having: Optional[Expr] = None
     order_by: Tuple[OrderItem, ...] = ()
     limit: Optional[int] = None
+    offset: Optional[int] = None
     distinct: bool = False
 
     def to_sql(self) -> str:
@@ -388,6 +390,12 @@ class SelectStatement(SqlNode):
             parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
         if self.limit is not None:
             parts.append(f"LIMIT {self.limit}")
+            if self.offset is not None:
+                parts.append(f"OFFSET {self.offset}")
+        elif self.offset is not None:
+            # OFFSET is only grammatical after LIMIT; render a no-limit
+            # programmatic AST the way SQLite spells it.
+            parts.append(f"LIMIT -1 OFFSET {self.offset}")
         return " ".join(parts)
 
     # -- analysis helpers ---------------------------------------------------

@@ -146,6 +146,14 @@ class BetweenTypeError(TypeMismatchError):
     code = "SQL305"
 
 
+class NullInListError(TypeMismatchError):
+    """Literal NULL inside an ``IN`` list (warning-grade: under
+    three-valued logic a non-matching probe against a list containing
+    NULL is *unknown*, so ``NOT IN (…, NULL)`` can never be satisfied)."""
+
+    code = "SQL306"
+
+
 class FunctionTypeError(TypeMismatchError):
     """A scalar function or numeric aggregate applied to an argument of a
     type it rejects at runtime (e.g. ``LOWER(42)``, ``SUM(name)``)."""
@@ -246,6 +254,7 @@ ERROR_CLASS_BY_CODE = {
         LikeTypeError,
         InListTypeError,
         BetweenTypeError,
+        NullInListError,
         FunctionTypeError,
         ExecutionError,
         DivisionByZeroError,

@@ -10,7 +10,7 @@ The executor interprets :class:`~repro.sqldb.ast.SelectStatement` trees:
 - nested sub-queries (scalar / IN / EXISTS), including correlated ones —
   inner column references resolve through the enclosing row scope,
 - GROUP BY / HAVING with the five SQL aggregates,
-- ORDER BY (including by select alias) and LIMIT, DISTINCT.
+- ORDER BY (including by select alias) and LIMIT/OFFSET, DISTINCT.
 
 Repeated statements are served from a parsed-statement LRU cache keyed
 by SQL text (parsing is pure, so the cache never goes stale — results
@@ -18,12 +18,21 @@ are always recomputed from current table rows), and compiled ``LIKE``
 regexes are memoized.  Per-query counters land in ``executor.last_stats``
 (:class:`~repro.sqldb.planner.ExecutionStats`).
 
-Deviations from full SQL, chosen to match NLIDB benchmark practice, are
-documented in :mod:`repro.sqldb.types` (NULL comparisons are false;
-``LIKE`` is case-insensitive, as in SQLite).  The planner preserves
-result semantics exactly; the one sanctioned deviation is *error
-timing* — a predicate pushed below a join may raise (or skip raising) a
-type error that the naive path would reach in a different order.
+NULL follows SQL **three-valued logic**: a comparison, ``LIKE``,
+``BETWEEN`` or ``IN`` involving NULL evaluates to *unknown* (Python
+``None``), ``NOT`` propagates unknown, and ``AND``/``OR`` are Kleene
+connectives.  WHERE/HAVING/ON keep only rows whose predicate is
+``True`` — unknown filters out exactly as false does, so
+``WHERE NOT (a = 1)`` does **not** resurrect the ``a IS NULL`` row and
+``x NOT IN (1, NULL)`` matches nothing.  ``IS [NOT] NULL`` is the only
+NULL test that yields a plain boolean.  The remaining deviations from
+full SQL, chosen to match NLIDB benchmark practice, are documented in
+:mod:`repro.sqldb.types` (``LIKE`` is case-insensitive, as in SQLite;
+comparisons across incompatible non-NULL types are false, not errors).
+The planner preserves result semantics exactly; the one sanctioned
+deviation is *error timing* — a predicate pushed below a join may raise
+(or skip raising) a type error that the naive path would reach in a
+different order.
 """
 
 from __future__ import annotations
@@ -390,8 +399,10 @@ class Executor:
             paired = sorted(zip(rows, order_rows), key=key)
             rows = [row for row, _ in paired]
 
-        if stmt.limit is not None:
-            rows = rows[: stmt.limit]
+        if stmt.limit is not None or stmt.offset:
+            skip = stmt.offset or 0
+            end = None if stmt.limit is None else skip + stmt.limit
+            rows = rows[skip:end]
 
         return Relation(columns, rows)
 
@@ -683,6 +694,8 @@ class Executor:
     # -- expression evaluation -----------------------------------------------
 
     def _truthy(self, value: Any) -> bool:
+        # WHERE/HAVING/ON keep only rows whose predicate is True: both
+        # False and unknown (None) filter out, per three-valued logic.
         return bool(value) and value is not None
 
     def _eval(self, expr: Expr, scope: _Scope) -> Any:
@@ -696,7 +709,7 @@ class Executor:
             return self._eval_binary(expr, scope)
         if isinstance(expr, UnaryOp):
             if expr.op.upper() == "NOT":
-                return not self._truthy(self._eval(expr.operand, scope))
+                return _not3(_bool3(self._eval(expr.operand, scope)))
             value = self._eval(expr.operand, scope)
             if value is None:
                 return None
@@ -710,19 +723,34 @@ class Executor:
             value = self._eval(expr.operand, scope)
             low = self._eval(expr.low, scope)
             high = self._eval(expr.high, scope)
-            cmp_low = values_compare(value, low)
-            cmp_high = values_compare(value, high)
-            if cmp_low is None or cmp_high is None:
-                result = False
-            else:
-                result = cmp_low >= 0 and cmp_high <= 0
-            return not result if expr.negated else result
+            # Three-valued (value >= low) AND (value <= high): a NULL
+            # operand makes a side unknown; incomparable non-NULL types
+            # make it false, as with plain comparisons.
+            result = _and3(
+                self._compare3(value, low, lambda c: c >= 0),
+                self._compare3(value, high, lambda c: c <= 0),
+            )
+            return _not3(result) if expr.negated else result
         if isinstance(expr, InList):
             value = self._eval(expr.operand, scope)
-            if value is None:
-                return False
-            hit = any(values_equal(value, self._eval(item, scope)) for item in expr.items)
-            return not hit if expr.negated else hit
+            hit = False
+            saw_null = value is None
+            for item in expr.items:
+                item_value = self._eval(item, scope)
+                if item_value is None:
+                    saw_null = True
+                elif value is not None and values_equal(value, item_value):
+                    hit = True
+                    break
+            if hit:
+                result: Any = True
+            elif saw_null:
+                # A NULL probe, or a non-match against a list containing
+                # NULL, is unknown — so NOT IN (…, NULL) matches nothing.
+                result = None
+            else:
+                result = False
+            return _not3(result) if expr.negated else result
         if isinstance(expr, FuncCall):
             if expr.is_aggregate:
                 raise MisplacedAggregateError(
@@ -738,35 +766,67 @@ class Executor:
             return self._eval_subquery(expr, scope)
         raise ExecutionError(f"cannot evaluate expression {expr!r}")  # pragma: no cover
 
+    def _compare3(self, left: Any, right: Any, test) -> Any:
+        """Three-valued ordering comparison: unknown when either side is
+        NULL, false when the non-NULL sides are incomparable."""
+        if left is None or right is None:
+            return None
+        cmp = values_compare(left, right)
+        if cmp is None:
+            return False
+        return test(cmp)
+
     def _eval_binary(self, expr: BinaryOp, scope: _Scope) -> Any:
         op = expr.op
         if op == "AND":
-            return self._truthy(self._eval(expr.left, scope)) and self._truthy(
-                self._eval(expr.right, scope)
-            )
+            # Kleene conjunction, short-circuiting on a definite False so
+            # error timing matches the pre-three-valued interpreter.
+            left = _bool3(self._eval(expr.left, scope))
+            if left is False:
+                return False
+            right = _bool3(self._eval(expr.right, scope))
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
         if op == "OR":
-            return self._truthy(self._eval(expr.left, scope)) or self._truthy(
-                self._eval(expr.right, scope)
-            )
+            left = _bool3(self._eval(expr.left, scope))
+            if left is True:
+                return True
+            right = _bool3(self._eval(expr.right, scope))
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
         left = self._eval(expr.left, scope)
         right = self._eval(expr.right, scope)
         if op == "LIKE":
             if left is None or right is None:
-                return False
+                return None
             if not isinstance(left, str) or not isinstance(right, str):
                 raise LikeTypeError("LIKE requires text operands")
             return bool(_like_to_regex(right).match(left))
         if op == "=":
+            if left is None or right is None:
+                return None
             return values_equal(left, right)
         if op == "!=":
             if left is None or right is None:
-                return False
+                return None
             return not values_equal(left, right)
         if op in ("<", "<=", ">", ">="):
-            cmp = values_compare(left, right)
-            if cmp is None:
-                return False
-            return {"<": cmp < 0, "<=": cmp <= 0, ">": cmp > 0, ">=": cmp >= 0}[op]
+            return self._compare3(
+                left,
+                right,
+                {
+                    "<": lambda c: c < 0,
+                    "<=": lambda c: c <= 0,
+                    ">": lambda c: c > 0,
+                    ">=": lambda c: c >= 0,
+                }[op],
+            )
         if op in ("+", "-", "*", "/"):
             if left is None or right is None:
                 return None
@@ -804,10 +864,17 @@ class Executor:
             if len(result.columns) != 1:
                 raise SubqueryColumnsError("IN subquery must return one column")
             outer = self._eval(expr.operand, scope) if expr.operand else None
+            values = result.first_column()
             if outer is None:
-                return False
-            hit = any(values_equal(outer, v) for v in result.first_column())
-            return not hit if expr.kind == "not_in" else hit
+                # NULL IN (empty set) is false; otherwise unknown.
+                verdict: Any = False if not values else None
+            elif any(values_equal(outer, v) for v in values):
+                verdict = True
+            elif any(v is None for v in values):
+                verdict = None
+            else:
+                verdict = False
+            return _not3(verdict) if expr.kind == "not_in" else verdict
         if expr.kind in ("exists", "not_exists"):
             has_rows = bool(result.rows)
             return not has_rows if expr.kind == "not_exists" else has_rows
@@ -824,12 +891,16 @@ class Executor:
             return expr.value
         if isinstance(expr, BinaryOp):
             if expr.op in ("AND", "OR"):
-                left = self._truthy(self._eval_group(expr.left, members, parent))
-                if expr.op == "AND" and not left:
+                # Kleene connectives, same as the per-row path.
+                left = _bool3(self._eval_group(expr.left, members, parent))
+                if expr.op == "AND" and left is False:
                     return False
-                if expr.op == "OR" and left:
+                if expr.op == "OR" and left is True:
                     return True
-                return self._truthy(self._eval_group(expr.right, members, parent))
+                right = _bool3(self._eval_group(expr.right, members, parent))
+                if expr.op == "AND":
+                    return _and3(left, right)
+                return _or3(left, right)
             left = self._eval_group(expr.left, members, parent)
             right = self._eval_group(expr.right, members, parent)
             return self._eval_binary(
@@ -839,7 +910,7 @@ class Executor:
         if isinstance(expr, UnaryOp):
             inner = self._eval_group(expr.operand, members, parent)
             if expr.op.upper() == "NOT":
-                return not self._truthy(inner)
+                return _not3(_bool3(inner))
             if inner is None:
                 return None
             if isinstance(inner, bool) or not isinstance(inner, (int, float)):
@@ -878,6 +949,39 @@ class Executor:
                 )
         values = [self._eval(call.args[0], scope) for scope in members]
         return func(values, distinct=call.distinct)
+
+
+def _bool3(value: Any) -> Optional[bool]:
+    """Coerce a SQL value to three-valued boolean: NULL stays unknown
+    (``None``), anything else falls back to Python truthiness."""
+    if value is None:
+        return None
+    return bool(value)
+
+
+def _not3(value: Optional[bool]) -> Optional[bool]:
+    """Kleene NOT: unknown stays unknown."""
+    if value is None:
+        return None
+    return not value
+
+
+def _and3(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Kleene AND: false dominates, then unknown."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def _or3(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """Kleene OR: true dominates, then unknown."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
 
 
 class _DirectionKey:

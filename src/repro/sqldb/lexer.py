@@ -19,7 +19,7 @@ from .errors import ParseError
 
 KEYWORDS = frozenset(
     """
-    select distinct from where group by having order asc desc limit
+    select distinct from where group by having order asc desc limit offset
     join inner on as and or not in exists between like is null
     true false
     """.split()

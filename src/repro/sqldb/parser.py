@@ -4,7 +4,7 @@ Grammar (informal)::
 
     select    := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
                  [GROUP BY expr_list] [HAVING expr]
-                 [ORDER BY order_list] [LIMIT int]
+                 [ORDER BY order_list] [LIMIT int [OFFSET int]]
     items     := '*' | item (',' item)*
     item      := expr [AS ident]
     table_ref := ident [AS ident]
@@ -173,6 +173,7 @@ class _Parser:
         where = group_by = having = None
         order_by: List[OrderItem] = []
         limit: Optional[int] = None
+        offset: Optional[int] = None
         group_exprs: Tuple[Expr, ...] = ()
         if self._match_keyword("from"):
             from_table = self._table_ref()
@@ -202,10 +203,9 @@ class _Parser:
             while self._match_op(","):
                 order_by.append(self._order_item())
         if self._match_keyword("limit"):
-            token = self._advance()
-            if token.kind != "number" or not isinstance(token.value, int):
-                raise self._error("LIMIT expects an integer", token)
-            limit = token.value
+            limit = self._row_count_clause("LIMIT")
+            if self._match_keyword("offset"):
+                offset = self._row_count_clause("OFFSET")
         return self._spanned(
             SelectStatement(
                 select_items=tuple(items),
@@ -216,10 +216,26 @@ class _Parser:
                 having=having,
                 order_by=tuple(order_by),
                 limit=limit,
+                offset=offset,
                 distinct=distinct,
             ),
             start,
         )
+
+    def _row_count_clause(self, clause: str) -> int:
+        """The non-negative integer after LIMIT/OFFSET, with a
+        span-carrying error for negative or non-integer values."""
+        token = self._peek()
+        if token.kind == "op" and token.value == "-":
+            nxt = self._tokens[self._pos + 1]
+            if nxt.kind == "number":
+                raise self._error(
+                    f"{clause} must not be negative, got -{nxt.text}", token
+                )
+        token = self._advance()
+        if token.kind != "number" or not isinstance(token.value, int):
+            raise self._error(f"{clause} expects an integer", token)
+        return token.value
 
     def _select_items(self) -> List[SelectItem]:
         items = [self._select_item()]

@@ -5,10 +5,17 @@ The engine supports five scalar types — ``INTEGER``, ``FLOAT``, ``TEXT``,
 ``None``.  Dates are :class:`datetime.date` instances; literals in SQL
 text use the ISO ``'YYYY-MM-DD'`` form.
 
-NULL semantics: the engine follows the pragmatic subset used by NLIDB
-benchmarks rather than full three-valued logic — any comparison involving
-NULL is false, ``IS NULL`` / ``IS NOT NULL`` test for it explicitly, and
-aggregates skip NULLs (``COUNT(*)`` counts rows regardless).
+NULL semantics: the executor implements SQL three-valued logic — a
+comparison, ``LIKE``, ``BETWEEN`` or ``IN`` involving NULL evaluates to
+*unknown* (``None``), ``NOT`` propagates unknown, ``AND``/``OR`` are
+Kleene connectives, and WHERE/HAVING keep only rows whose predicate is
+definitely true.  ``IS NULL`` / ``IS NOT NULL`` test for NULL
+explicitly, and aggregates skip NULLs (``COUNT(*)`` counts rows
+regardless).  The helpers below are two-valued *primitives*:
+:func:`values_equal` answers "definitely equal?" (NULL is never
+definitely equal to anything) and :func:`values_compare` returns
+``None`` for NULL or incomparable operands — the executor layers
+unknown-propagation on top of them.
 """
 
 from __future__ import annotations
@@ -146,7 +153,9 @@ def _coerce_date_operands(left: Any, right: Any) -> tuple:
 
 
 def values_equal(left: Any, right: Any) -> bool:
-    """SQL equality: NULL never equals anything; numerics compare by value."""
+    """Definite SQL equality: NULL is never *definitely* equal to
+    anything (callers needing three-valued ``=`` must test for NULL
+    first); numerics compare by value."""
     if left is None or right is None:
         return False
     left, right = _coerce_date_operands(left, right)

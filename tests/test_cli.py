@@ -72,3 +72,88 @@ class TestChat:
         out = capsys.readouterr().out
         assert code == 0
         assert "Berlin" in out and "Paris" in out
+
+
+class TestServe:
+    def test_clean_question(self, capsys):
+        code = main(
+            ["serve", "show the customers with city Berlin", "--domain", "retail"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[ok]" in out and "availability   1.0" in out
+
+    def test_injected_faults_degrade_not_crash(self, capsys):
+        code = main(
+            [
+                "serve",
+                "show the customers with city Berlin",
+                "--domain",
+                "retail",
+                "--inject",
+                "execute:error:1.0",
+                "--fault-seed",
+                "7",
+                "--retries",
+                "1",
+                "--backoff",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        # every system's execute fails: served degraded-to-nothing, exit 1
+        assert code == 1
+        assert "FAILED" in out and "fell past" in out
+
+    def test_workload_json_report(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve",
+                "--domain",
+                "university",
+                "--workload",
+                "1",
+                "--inject",
+                "execute:error:0.5",
+                "--fault-seed",
+                "3",
+                "--backoff",
+                "0",
+                "--json",
+                str(report),
+            ]
+        )
+        capsys.readouterr()
+        assert code in (0, 1)
+        payload = json.loads(report.read_text())
+        assert payload["fault_plan"] == "execute:error:0.5"
+        assert payload["summary"]["total"] == len(payload["results"])
+
+    def test_requires_question_or_workload(self, capsys):
+        code = main(["serve", "--domain", "retail"])
+        out = capsys.readouterr().out
+        assert code == 2 and "provide a question" in out
+
+    def test_bench_serve_columns(self, capsys):
+        code = main(
+            [
+                "bench",
+                "--domain",
+                "university",
+                "--systems",
+                "athena,soda",
+                "--per-tier",
+                "1",
+                "--jobs",
+                "1",
+                "--serve",
+                "--backoff",
+                "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "avail" in out and "degraded" in out and "retries" in out

@@ -101,3 +101,24 @@ class TestNumbers:
     def test_parse_number_rejects_text(self):
         assert parse_number("hello") is None
         assert parse_number("") is None
+
+    def test_compound_ordinals(self):
+        assert ordinal_to_number("twenty-first") == 21
+        assert ordinal_to_number("thirty-second") == 32
+        assert ordinal_to_number("ninety-ninth") == 99
+        assert ordinal_to_number("one hundred and first") == 101
+        assert ordinal_to_number("twenty-banana") is None
+
+    def test_teen_and_tens_ordinals(self):
+        assert ordinal_to_number("thirteenth") == 13
+        assert ordinal_to_number("nineteenth") == 19
+        assert ordinal_to_number("fortieth") == 40
+        assert ordinal_to_number("ninetieth") == 90
+
+    def test_magnitude_suffixes(self):
+        assert parse_number("3.5k") == 3500.0
+        assert parse_number("2m") == 2_000_000.0
+        assert parse_number("1.2bn") == 1_200_000_000.0
+        assert parse_number("7b") == 7_000_000_000.0
+        assert parse_number("10K") == 10_000.0
+        assert parse_number("5kg") is None

@@ -121,6 +121,8 @@ WARNINGS = [
     ("SELECT name FROM emp WHERE name = 3", "SQL301"),
     ("SELECT name FROM emp WHERE salary IN (1, 'x')", "SQL304"),
     ("SELECT name FROM emp WHERE salary BETWEEN 1 AND 'x'", "SQL305"),
+    ("SELECT name FROM emp WHERE salary IN (1, NULL)", "SQL306"),
+    ("SELECT name FROM emp WHERE salary NOT IN (1, NULL)", "SQL306"),
     ("SELECT dept_id, name FROM emp GROUP BY dept_id", "SQL413"),
     ("SELECT name FROM emp HAVING salary > 1", "SQL416"),
     ("SELECT a.name FROM emp a JOIN dept a ON a.dept_id = a.id", "SQL213"),

@@ -156,6 +156,25 @@ class TestParseSelect:
         with pytest.raises(ParseError):
             parse_select("SELECT a FROM t LIMIT 2.5")
 
+    def test_limit_offset(self):
+        stmt = parse_select("SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 10")
+        assert stmt.limit == 5
+        assert stmt.offset == 10
+
+    def test_offset_defaults_to_none(self):
+        assert parse_select("SELECT a FROM t LIMIT 5").offset is None
+
+    def test_offset_requires_integer(self):
+        with pytest.raises(ParseError, match="OFFSET expects an integer"):
+            parse_select("SELECT a FROM t LIMIT 5 OFFSET 1.5")
+
+    def test_negative_limit_and_offset_rejected_with_position(self):
+        with pytest.raises(ParseError, match="LIMIT must not be negative") as exc:
+            parse_select("SELECT a FROM t LIMIT -3")
+        assert exc.value.line == 1 and exc.value.column > 0
+        with pytest.raises(ParseError, match="OFFSET must not be negative"):
+            parse_select("SELECT a FROM t LIMIT 3 OFFSET -1")
+
     def test_distinct(self):
         assert parse_select("SELECT DISTINCT a FROM t").distinct
 
@@ -192,6 +211,7 @@ class TestRoundTrip:
         "SELECT a FROM t JOIN u ON t.id = u.tid WHERE u.v BETWEEN 1 AND 2",
         "SELECT a FROM t WHERE a IN (SELECT b FROM u WHERE b IS NOT NULL)",
         "SELECT a FROM t WHERE NOT (a = 1) OR b NOT IN (1, 2)",
+        "SELECT a FROM t ORDER BY a LIMIT 5 OFFSET 10",
     ]
 
     @pytest.mark.parametrize("sql", CASES)
