@@ -3,13 +3,15 @@
 Measures the three optimisations the planner layer adds to
 :mod:`repro.sqldb`:
 
-1. **hash joins** — join-heavy workload over two ~2k-row tables where
+1. **hash joins** — join-heavy workload over two ~4k-row tables where
    the naive path does an O(n*m) nested loop;
 2. **secondary-index scans** — repeated point lookups where the naive
    path re-scans the full table;
 3. **statement cache** — the same SQL text executed many times, cached
    parse vs. re-parse.
 
+Databases come from the shared workload generator
+(:mod:`repro.bench.workload_gen`), which bulk-loads via ``insert_many``.
 Runs standalone (``python benchmarks/bench_p1_executor_planner.py``,
 ``--quick`` for the CI smoke run) and under pytest like the E-series
 benchmarks.  Emits ``benchmarks/results/p1_executor_planner.txt`` and
@@ -21,7 +23,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import random
 import sys
 import time
 from typing import Callable, Dict, List
@@ -30,7 +31,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 from _common import emit
 from repro.bench.harness import format_table
-from repro.sqldb import Column, DataType, Database, TableSchema
+from repro.bench.workload_gen import build_customers_orders
+from repro.sqldb import Database
 from repro.sqldb.executor import Executor
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -55,28 +57,7 @@ REPEAT_SQL = (
 
 def build_db(n_customers: int, n_orders: int, seed: int = 0) -> Database:
     """Synthetic customers/orders pair sized for the join benchmark."""
-    rng = random.Random(seed)
-    db = Database("p1")
-    db.create_table(TableSchema("customers", [
-        Column("id", DataType.INTEGER, primary_key=True),
-        Column("name", DataType.TEXT),
-        Column("region", DataType.TEXT),
-    ]))
-    db.create_table(TableSchema("orders", [
-        Column("id", DataType.INTEGER, primary_key=True),
-        Column("customer_id", DataType.INTEGER),
-        Column("total", DataType.FLOAT),
-    ]))
-    regions = ["west", "east", "north", "south"]
-    db.insert_many("customers", [
-        [i, f"customer-{i}", regions[i % len(regions)]]
-        for i in range(n_customers)
-    ])
-    db.insert_many("orders", [
-        [i, rng.randrange(n_customers), round(rng.uniform(0, 100), 2)]
-        for i in range(n_orders)
-    ])
-    return db
+    return build_customers_orders(n_customers, n_orders, seed=seed)
 
 
 def timeit(fn: Callable[[], object], repeat: int) -> float:
@@ -90,7 +71,7 @@ def timeit(fn: Callable[[], object], repeat: int) -> float:
 
 
 def run(quick: bool = False) -> Dict[str, float]:
-    scale = (400, 400) if quick else (2000, 2000)
+    scale = (400, 400) if quick else (4000, 4000)
     repeat = 2 if quick else 3
     db = build_db(*scale)
     planned = Executor(db, use_planner=True)

@@ -7,6 +7,8 @@
   analogues of the benchmark families the survey reviews.
 - :mod:`~repro.bench.paraphrase` — controlled-strength paraphrasing.
 - :mod:`~repro.bench.querylog` — skewed SQL logs for TEMPLAR.
+- :mod:`~repro.bench.workload_gen` — BRAD-style million-row telemetry
+  workload generator for the columnar execution benchmarks.
 - :mod:`~repro.bench.metrics` / :mod:`~repro.bench.harness` — execution
   accuracy, exact match, component F1, and the experiment runner.
 """
@@ -35,6 +37,16 @@ from .paraphrase import Paraphraser
 from .querylog import synthesize_log
 from .sparc import SparcGenerator, SparcSequence, SparcTurn, dataset_stats
 from .wikisql import WikiSQLDataset, WikiSQLExample, WikiSQLGenerator, execution_accuracy
+from .workload_gen import (
+    QUERY_TEMPLATES,
+    SCAN_HEAVY_CLASSES,
+    GeneratedQuery,
+    TelemetryWorkload,
+    build_customers_orders,
+    build_telemetry_db,
+    build_workload,
+    generate_telemetry_queries,
+)
 from .workloads import QueryExample, WorkloadGenerator
 
 __all__ = [
@@ -46,6 +58,9 @@ __all__ = [
     "SpiderLikeDataset", "build_wikisql_like", "build_spider_like",
     "build_sparc_like", "build_cosql_like", "benchmark_statistics",
     "Paraphraser", "synthesize_log",
+    "GeneratedQuery", "TelemetryWorkload", "QUERY_TEMPLATES", "SCAN_HEAVY_CLASSES",
+    "build_telemetry_db", "build_workload", "generate_telemetry_queries",
+    "build_customers_orders",
     "execution_match", "exact_match", "component_f1",
     "ExampleOutcome", "EvaluationSummary", "summarize", "by_tier",
     "evaluate_system", "compare_systems", "ComparisonRow", "format_table", "print_table",

@@ -100,23 +100,31 @@ def build(seed: int = 0, scale: float = 1.0) -> Database:
     n_products = scaled(30, scale)
     n_orders = scaled(120, scale)
 
-    for i in range(1, n_stores + 1):
-        db.insert("stores", [i, pick(rng, CITIES), pick(rng, REGIONS)])
+    db.insert_many(
+        "stores",
+        [[i, pick(rng, CITIES), pick(rng, REGIONS)] for i in range(1, n_stores + 1)],
+    )
     segments = ["consumer", "corporate", "small business"]
-    for i in range(1, n_customers + 1):
-        db.insert(
-            "customers", [i, person_name(rng), pick(rng, CITIES), pick(rng, segments)]
-        )
+    db.insert_many(
+        "customers",
+        [
+            [i, person_name(rng), pick(rng, CITIES), pick(rng, segments)]
+            for i in range(1, n_customers + 1)
+        ],
+    )
     seen_names = set()
+    product_rows = []
     for i in range(1, n_products + 1):
         name = f"{pick(rng, PRODUCT_ADJ)} {pick(rng, PRODUCT_NOUN)}"
         while name in seen_names:
             name = f"{pick(rng, PRODUCT_ADJ)} {pick(rng, PRODUCT_NOUN)} {int(rng.integers(2, 99))}"
         seen_names.add(name)
-        db.insert(
-            "products",
-            [i, name, pick(rng, CATEGORIES), money(rng, 3, 400), int(rng.integers(0, 500))],
+        product_rows.append(
+            [i, name, pick(rng, CATEGORIES), money(rng, 3, 400), int(rng.integers(0, 500))]
         )
+    db.insert_many("products", product_rows)
+    line_rows = []
+    order_rows = []
     for i in range(1, n_orders + 1):
         customer = int(rng.integers(1, n_customers + 1))
         store = int(rng.integers(1, n_stores + 1))
@@ -126,8 +134,10 @@ def build(seed: int = 0, scale: float = 1.0) -> Database:
         for _ in range(lines):
             product = int(rng.integers(1, n_products + 1))
             qty = int(rng.integers(1, 6))
-            db.insert("order_lines", [i, product, qty])
+            line_rows.append([i, product, qty])
             price = db.table("products").rows[product - 1][3]
             total += price * qty
-        db.insert("orders", [i, customer, store, date, round(total, 2)])
+        order_rows.append([i, customer, store, date, round(total, 2)])
+    db.insert_many("order_lines", line_rows)
+    db.insert_many("orders", order_rows)
     return db

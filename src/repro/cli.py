@@ -82,7 +82,12 @@ def cmd_sql(args: argparse.Namespace) -> int:
     database = build_domain(args.domain, seed=args.seed)
     if args.lint:
         return _lint_sql(database, args.sql)
-    executor = Executor(database, use_planner=not args.no_planner)
+    executor = Executor(
+        database,
+        use_planner=not args.no_planner,
+        use_columnar=not args.no_columnar,
+        scan_jobs=args.scan_jobs,
+    )
     if args.explain:
         try:
             print(executor.explain_sql(args.sql))
@@ -369,6 +374,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sql.add_argument(
         "--no-planner", action="store_true", help="use the naive interpreter"
+    )
+    sql.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="disable the vectorized columnar scan path",
+    )
+    sql.add_argument(
+        "--scan-jobs",
+        type=int,
+        default=0,
+        help="worker processes for partitioned columnar scans (0 = serial)",
     )
     sql.add_argument(
         "--lint",

@@ -43,6 +43,7 @@ from .ast import (
     UnaryOp,
 )
 from .analyzer import AnalysisResult, Diagnostic, SemanticAnalyzer, analyze, analyze_sql
+from .columnar import ColumnarEngine, ColumnStore
 from .database import Database
 from .errors import (
     ERROR_CLASS_BY_CODE,
@@ -80,4 +81,5 @@ __all__ = [
     "ExecutionError", "AggregateError", "AmbiguousColumnError", "UnknownColumnError",
     "UnknownFunctionError", "UnknownTableError", "ERROR_CLASS_BY_CODE",
     "AnalysisResult", "Diagnostic", "SemanticAnalyzer", "analyze", "analyze_sql",
+    "ColumnStore", "ColumnarEngine",
 ]

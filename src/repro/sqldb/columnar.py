@@ -1,0 +1,1285 @@
+"""Vectorized columnar execution path for the in-memory SQL engine.
+
+The row executor (:mod:`~repro.sqldb.executor`) interprets expressions
+one row at a time over Python tuples; at survey scale (§6's latency
+discussion) that costs microseconds per row and makes million-row
+analytics queries take seconds.  This module adds a columnar mirror of
+each table — one NumPy array per column plus a validity (NULL) bitmap —
+and compiles eligible WHERE clauses into **Kleene three-valued masks**
+evaluated array-at-a-time.
+
+Design rules, in priority order:
+
+1. **Byte-identity with the row path.**  Every result the columnar path
+   produces must be indistinguishable — values, value *types*, row
+   order, and raised exceptions — from ``Executor(db, use_planner=True,
+   use_columnar=False)``.  The differential corpora in
+   ``tests/test_sqldb_columnar.py`` enforce this.  Three techniques make
+   it tractable:
+
+   - predicates are vectorized only when the kernel provably mirrors
+     :func:`~repro.sqldb.types.values_equal` /
+     :func:`~repro.sqldb.types.values_compare` (numeric comparisons run
+     in the same float64 domain the row path converts to; implicit
+     ISO-date coercion is resolved once per literal at compile time);
+   - all *output* values (projections, MIN/MAX results, list-path
+     aggregate inputs, GROUP BY dict keys) are taken from the original
+     row tuples, never round-tripped through NumPy, so object identity
+     and bit patterns are preserved;
+   - anything outside the supported envelope raises :class:`_Unsupported`
+     at compile time and the query **falls back** to the row path, which
+     then produces the canonical behaviour (including errors).
+
+2. **Three-valued logic as int8 arrays.**  FALSE=0, UNKNOWN=1, TRUE=2;
+   Kleene AND is ``minimum``, OR is ``maximum``, NOT is ``2 - x``, and
+   the final WHERE keep-mask is ``mask == TRUE`` — exactly the
+   executor's ``_truthy``.
+
+3. **Partitioned scans.**  Masks are computed per fixed-size row chunk
+   (:func:`repro.perf.partition.chunk_spans`); chunks are embarrassingly
+   parallel and can be fanned out over a fork-based process pool
+   (:func:`repro.perf.partition.run_partitioned`) with a deterministic
+   concatenation, so parallelism never changes results.
+
+Known fallback triggers (documented in ``docs/architecture.md``): joins,
+subqueries, index-eligible scans, NaN-containing float columns under
+ordering comparisons, per-row DATE↔TEXT coercion, arithmetic or scalar
+functions inside WHERE, non-literal IN items, and text columns too wide
+(or too exotic) for a fixed-width unicode array.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - the toolchain bakes numpy in
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from .ast import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    InList,
+    IsNull,
+    Literal,
+    SelectStatement,
+    Star,
+    UnaryOp,
+)
+from .errors import (
+    AggregateArityError,
+    ArithmeticTypeError,
+    GroupedStarError,
+    NestedAggregateError,
+    UnknownFunctionError,
+)
+from .functions import AGGREGATE_FUNCTIONS, call_scalar
+from .types import DataType, iso_date_or_none, values_compare, values_equal
+
+from ..perf.partition import DEFAULT_CHUNK_ROWS, chunk_spans, run_partitioned
+from ..perf.profiler import active_profiler
+
+#: Kleene truth codes; AND = minimum, OR = maximum, NOT = 2 - x.
+FALSE3, UNKNOWN3, TRUE3 = 0, 1, 2
+
+#: Widest fixed-width unicode column we will materialize (per string),
+#: and a cap on the whole array's character budget so a single huge
+#: column cannot balloon memory.
+_TEXT_WIDTH_LIMIT = 64
+_TEXT_CHARS_LIMIT = 64_000_000
+
+_INT_SUM_LIMIT = 2**62
+
+
+class _Unsupported(Exception):
+    """Raised during compilation when a statement (or one operator in
+    it) is outside the vectorized envelope; the engine falls back to the
+    row path, which defines the canonical behaviour."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Column storage
+# ---------------------------------------------------------------------------
+
+
+class ColumnData:
+    """One column's typed array image.
+
+    ``kind`` is one of ``int`` / ``float`` / ``bool`` / ``date`` /
+    ``text`` (vectorizable) or ``other`` (only the NULL bitmap and the
+    original Python values are available — IS NULL, COUNT and list-path
+    aggregates still work).  ``values`` uses a neutral fill (0 / 0.0 /
+    '' / False) at NULL positions; ``null`` is the validity complement.
+    ``pylist`` holds the *original* Python objects in row order — every
+    value the engine outputs comes from here, never from the array.
+    """
+
+    __slots__ = ("kind", "values", "null", "pylist", "has_nan", "int_sum_safe", "_float_view")
+
+    def __init__(self, kind: str, values: Any, null: Any, pylist: List[Any]):
+        self.kind = kind
+        self.values = values
+        self.null = null
+        self.pylist = pylist
+        self.has_nan = False
+        self.int_sum_safe = False
+        self._float_view: Any = None
+
+    def as_float(self) -> Any:
+        """The value array in the float64 domain the row path compares
+        numerics in (cached; float columns return themselves)."""
+        if self.kind == "float":
+            return self.values
+        if self._float_view is None:
+            self._float_view = self.values.astype(np.float64)
+        return self._float_view
+
+
+def _build_column(values: List[Any], dtype: DataType) -> ColumnData:
+    n = len(values)
+    null = np.fromiter((v is None for v in values), dtype=np.bool_, count=n)
+    if dtype is DataType.INTEGER:
+        try:
+            arr = np.fromiter(
+                (0 if v is None else v for v in values), dtype=np.int64, count=n
+            )
+        except (OverflowError, TypeError):
+            return ColumnData("other", None, null, values)
+        col = ColumnData("int", arr, null, values)
+        if n:
+            extreme = max(abs(int(arr.max())), abs(int(arr.min())))
+            col.int_sum_safe = extreme * n <= _INT_SUM_LIMIT
+        else:
+            col.int_sum_safe = True
+        return col
+    if dtype is DataType.FLOAT:
+        arr = np.fromiter(
+            (0.0 if v is None else v for v in values), dtype=np.float64, count=n
+        )
+        col = ColumnData("float", arr, null, values)
+        col.has_nan = bool(np.isnan(arr).any())
+        return col
+    if dtype is DataType.BOOLEAN:
+        arr = np.fromiter(
+            (False if v is None else v for v in values), dtype=np.bool_, count=n
+        )
+        return ColumnData("bool", arr, null, values)
+    if dtype is DataType.DATE:
+        arr = np.fromiter(
+            (0 if v is None else v.toordinal() for v in values), dtype=np.int64, count=n
+        )
+        return ColumnData("date", arr, null, values)
+    if dtype is DataType.TEXT:
+        width = 1
+        for v in values:
+            if v is None:
+                continue
+            if len(v) > width:
+                width = len(v)
+            if width > _TEXT_WIDTH_LIMIT or "\x00" in v:
+                # NumPy 'U' arrays strip trailing NULs and wide columns
+                # blow the memory budget; keep such columns row-only.
+                return ColumnData("other", None, null, values)
+        if width * n > _TEXT_CHARS_LIMIT:
+            return ColumnData("other", None, null, values)
+        try:
+            arr = np.array(
+                ["" if v is None else v for v in values], dtype=f"U{width}"
+            )
+        except Exception:
+            return ColumnData("other", None, null, values)
+        return ColumnData("text", arr, null, values)
+    return ColumnData("other", None, null, values)  # pragma: no cover
+
+
+class ColumnStore:
+    """Columnar image of one table, cached on the table keyed by its
+    ``version`` (see :meth:`repro.sqldb.table.Table.column_store`)."""
+
+    __slots__ = ("version", "n_rows", "cols", "column_names")
+
+    def __init__(self, version: int, n_rows: int, cols: List[ColumnData], names: List[str]):
+        self.version = version
+        self.n_rows = n_rows
+        self.cols = cols
+        self.column_names = names
+
+    @classmethod
+    def build(cls, table: Any) -> "ColumnStore":
+        if np is None:  # pragma: no cover - numpy is baked into the image
+            raise RuntimeError("numpy is required for the columnar store")
+        schema = table.schema
+        cols: List[ColumnData] = []
+        for column in schema.columns:
+            cols.append(_build_column(table.column_values(column.name), column.dtype))
+        return cls(table.version, len(table.rows), cols, list(schema.column_names))
+
+    def supported_kinds(self) -> Dict[str, str]:
+        """Column name → storage kind (observability / tests)."""
+        return {name: col.kind for name, col in zip(self.column_names, self.cols)}
+
+    def nbytes(self) -> int:
+        """Total array bytes held (profiling surface)."""
+        total = 0
+        for col in self.cols:
+            if col.values is not None:
+                total += int(col.values.nbytes)
+            total += int(col.null.nbytes)
+        return total
+
+
+# ---------------------------------------------------------------------------
+# Compiled predicate kernels (picklable: shipped to partition workers)
+# ---------------------------------------------------------------------------
+
+
+def _blank(n: int, code: int) -> Any:
+    return np.full(n, code, dtype=np.int8)
+
+
+class _Const:
+    """A literal in boolean position: the row path's ``_bool3(value)``."""
+
+    __slots__ = ("code",)
+
+    def __init__(self, code: int):
+        self.code = code
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        return _blank(hi - lo, self.code)
+
+
+class _FixedNonNull:
+    """Comparison whose verdict is constant for every non-NULL row
+    (cross-family comparisons: ``values_equal`` says False, ordering says
+    incomparable) but UNKNOWN where any referenced column is NULL."""
+
+    __slots__ = ("js", "code")
+
+    def __init__(self, js: Sequence[int], code: int):
+        self.js = tuple(js)
+        self.code = code
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        out = _blank(hi - lo, self.code)
+        null = store.cols[self.js[0]].null[lo:hi]
+        for j in self.js[1:]:
+            null = null | store.cols[j].null[lo:hi]
+        out[null] = UNKNOWN3
+        return out
+
+
+class _Truthy:
+    """A bare column in boolean position — ``_bool3`` of the value."""
+
+    __slots__ = ("j",)
+
+    def __init__(self, j: int):
+        self.j = j
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        col = store.cols[self.j]
+        n = hi - lo
+        if col.kind == "date":
+            out = _blank(n, TRUE3)  # dates are always truthy
+        else:
+            vals = col.values[lo:hi]
+            if col.kind == "int":
+                truth = vals != 0
+            elif col.kind == "float":
+                truth = vals != 0.0  # NaN != 0.0 is True, matching bool(nan)
+            elif col.kind == "bool":
+                truth = vals
+            else:  # text
+                truth = vals != ""
+            out = _blank(n, FALSE3)
+            out[truth] = TRUE3
+        out[col.null[lo:hi]] = UNKNOWN3
+        return out
+
+
+class _IsNullPred:
+    """``IS [NOT] NULL`` — the one NULL test that yields a plain bool."""
+
+    __slots__ = ("j", "negated")
+
+    def __init__(self, j: int, negated: bool):
+        self.j = j
+        self.negated = negated
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        null = store.cols[self.j].null[lo:hi]
+        out = _blank(hi - lo, TRUE3 if self.negated else FALSE3)
+        out[null] = FALSE3 if self.negated else TRUE3
+        return out
+
+
+_CMP_FUNCS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class _CmpColLit:
+    """``col OP literal`` within one comparable domain.
+
+    ``domain`` selects the array view: ``num`` compares in float64 (the
+    row path converts both sides with ``float()``), ``date`` compares
+    proleptic ordinals, ``text``/``bool`` compare natively.
+    """
+
+    __slots__ = ("j", "op", "rhs", "domain")
+
+    def __init__(self, j: int, op: str, rhs: Any, domain: str):
+        self.j = j
+        self.op = op
+        self.rhs = rhs
+        self.domain = domain
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        col = store.cols[self.j]
+        if self.domain == "num":
+            lhs = col.as_float()[lo:hi]
+        else:
+            lhs = col.values[lo:hi]
+        truth = _CMP_FUNCS[self.op](lhs, self.rhs)
+        out = _blank(hi - lo, FALSE3)
+        out[truth] = TRUE3
+        out[col.null[lo:hi]] = UNKNOWN3
+        return out
+
+
+class _CmpColCol:
+    """``col OP col`` within one comparable domain; NULL on either side
+    makes the comparison UNKNOWN."""
+
+    __slots__ = ("jl", "jr", "op", "domain")
+
+    def __init__(self, jl: int, jr: int, op: str, domain: str):
+        self.jl = jl
+        self.jr = jr
+        self.op = op
+        self.domain = domain
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        cl, cr = store.cols[self.jl], store.cols[self.jr]
+        if self.domain == "num":
+            lhs, rhs = cl.as_float()[lo:hi], cr.as_float()[lo:hi]
+        else:
+            lhs, rhs = cl.values[lo:hi], cr.values[lo:hi]
+        truth = _CMP_FUNCS[self.op](lhs, rhs)
+        out = _blank(hi - lo, FALSE3)
+        out[truth] = TRUE3
+        out[cl.null[lo:hi] | cr.null[lo:hi]] = UNKNOWN3
+        return out
+
+
+_like_to_regex = None
+
+
+def _like_rx(pattern: str):
+    # Shared with the row path so both compile the identical regex (and
+    # share its memoization); imported lazily to keep module loading
+    # acyclic.
+    global _like_to_regex
+    if _like_to_regex is None:
+        from .executor import _like_to_regex as impl
+
+        _like_to_regex = impl
+    return _like_to_regex(pattern)
+
+
+class _LikePred:
+    """``text_col LIKE 'pattern'`` via the row path's precompiled regex.
+
+    Evaluated over the original Python strings (regex semantics exactly
+    match the per-row interpreter); this is the one kernel that loops in
+    Python, which is also why LIKE-heavy scans are the showcase for
+    partition-parallel execution.
+    """
+
+    __slots__ = ("j", "pattern")
+
+    def __init__(self, j: int, pattern: str):
+        self.j = j
+        self.pattern = pattern
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        match = _like_rx(self.pattern).match
+        chunk = store.cols[self.j].pylist[lo:hi]
+        return np.fromiter(
+            (
+                UNKNOWN3 if v is None else (TRUE3 if match(v) else FALSE3)
+                for v in chunk
+            ),
+            dtype=np.int8,
+            count=hi - lo,
+        )
+
+
+class _NotPred:
+    __slots__ = ("child",)
+
+    def __init__(self, child: Any):
+        self.child = child
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        return (TRUE3 - self.child.eval(store, lo, hi)).astype(np.int8, copy=False)
+
+
+class _AndPred:
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Any, right: Any):
+        self.left = left
+        self.right = right
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        return np.minimum(self.left.eval(store, lo, hi), self.right.eval(store, lo, hi))
+
+
+class _OrPred:
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Any, right: Any):
+        self.left = left
+        self.right = right
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        return np.maximum(self.left.eval(store, lo, hi), self.right.eval(store, lo, hi))
+
+
+def _scan_span_task(shared: Tuple[ColumnStore, Any], lo: int, hi: int) -> Any:
+    """Partition-worker entry point: evaluate the compiled predicate over
+    one ``[lo, hi)`` row span.  ``shared`` travels by fork inheritance
+    (the arrays are never pickled); the returned int8 mask is small."""
+    store, pred = shared
+    return pred.eval(store, lo, hi)
+
+
+# ---------------------------------------------------------------------------
+# WHERE compiler
+# ---------------------------------------------------------------------------
+
+_MIRRORED_OP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+_ORDER_OPS = ("<", "<=", ">", ">=")
+_VALUE_KINDS = ("int", "float", "bool", "date", "text")
+
+
+def _code3(value: Any) -> int:
+    """The row path's ``_bool3`` as a truth code."""
+    if value is None:
+        return UNKNOWN3
+    return TRUE3 if bool(value) else FALSE3
+
+
+class _WhereCompiler:
+    """Compiles a WHERE expression into a mask-kernel tree, or raises
+    :class:`_Unsupported` naming the first operator outside the envelope."""
+
+    def __init__(self, store: ColumnStore, schema: Any, binding: str):
+        self.store = store
+        self.schema = schema
+        self.binding = binding
+
+    def compile(self, expr: Expr) -> Any:
+        return self._expr(expr)
+
+    # -- resolution ---------------------------------------------------------
+
+    def _col(self, ref: ColumnRef) -> int:
+        if ref.table is not None and ref.table.lower() != self.binding:
+            raise _Unsupported(f"column {ref.to_sql()!r} is outside the scanned table")
+        if ref.column not in self.schema:
+            # Could be a correlated outer reference (or an error); either
+            # way the row path owns the resolution walk.
+            raise _Unsupported(f"column {ref.to_sql()!r} does not resolve locally")
+        return self.schema.column_index(ref.column)
+
+    def _value_col(self, ref: ColumnRef) -> int:
+        j = self._col(ref)
+        if self.store.cols[j].kind not in _VALUE_KINDS:
+            raise _Unsupported(f"column {ref.column!r} has no vectorizable storage")
+        return j
+
+    # -- expression dispatch ------------------------------------------------
+
+    def _expr(self, expr: Expr) -> Any:
+        if isinstance(expr, Literal):
+            return _Const(_code3(expr.value))
+        if isinstance(expr, ColumnRef):
+            return _Truthy(self._value_col(expr))
+        if isinstance(expr, UnaryOp):
+            if expr.op.upper() == "NOT":
+                return _NotPred(self._expr(expr.operand))
+            raise _Unsupported("arithmetic in WHERE")
+        if isinstance(expr, BinaryOp):
+            op = expr.op
+            if op == "AND":
+                return _AndPred(self._expr(expr.left), self._expr(expr.right))
+            if op == "OR":
+                return _OrPred(self._expr(expr.left), self._expr(expr.right))
+            if op in _CMP_FUNCS:
+                return self._cmp(op, expr.left, expr.right)
+            if op == "LIKE":
+                return self._like(expr.left, expr.right)
+            raise _Unsupported(f"operator {op!r} in WHERE")
+        if isinstance(expr, IsNull):
+            if isinstance(expr.operand, ColumnRef):
+                return _IsNullPred(self._col(expr.operand), expr.negated)
+            if isinstance(expr.operand, Literal):
+                is_null = expr.operand.value is None
+                verdict = (not is_null) if expr.negated else is_null
+                return _Const(TRUE3 if verdict else FALSE3)
+            raise _Unsupported("IS NULL over a computed expression")
+        if isinstance(expr, Between):
+            low = self._cmp_exprs(">=", expr.operand, expr.low)
+            high = self._cmp_exprs("<=", expr.operand, expr.high)
+            node: Any = _AndPred(low, high)
+            return _NotPred(node) if expr.negated else node
+        if isinstance(expr, InList):
+            return self._in_list(expr)
+        raise _Unsupported(f"{type(expr).__name__} in WHERE")
+
+    def _cmp_exprs(self, op: str, left: Expr, right: Expr) -> Any:
+        return self._cmp(op, left, right)
+
+    def _cmp(self, op: str, left: Expr, right: Expr) -> Any:
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            return self._col_lit(op, left, right.value)
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            return self._col_lit(_MIRRORED_OP[op], right, left.value)
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            return self._col_col(op, left, right)
+        if isinstance(left, Literal) and isinstance(right, Literal):
+            return _Const(self._lit_lit(op, left.value, right.value))
+        raise _Unsupported("comparison over computed expressions")
+
+    def _lit_lit(self, op: str, lv: Any, rv: Any) -> int:
+        # Mirrors Executor._eval_binary / _compare3 for two constants.
+        if lv is None or rv is None:
+            return UNKNOWN3
+        if op == "=":
+            return TRUE3 if values_equal(lv, rv) else FALSE3
+        if op == "!=":
+            return TRUE3 if not values_equal(lv, rv) else FALSE3
+        cmp = values_compare(lv, rv)
+        if cmp is None:
+            return FALSE3
+        verdict = {
+            "<": cmp < 0,
+            "<=": cmp <= 0,
+            ">": cmp > 0,
+            ">=": cmp >= 0,
+        }[op]
+        return TRUE3 if verdict else FALSE3
+
+    def _col_lit(self, op: str, ref: ColumnRef, lit: Any) -> Any:
+        j = self._value_col(ref)
+        col = self.store.cols[j]
+        kind = col.kind
+        if lit is None:
+            return _Const(UNKNOWN3)
+        mismatch_code = TRUE3 if op == "!=" else FALSE3
+        if isinstance(lit, bool):
+            if kind == "bool":
+                return _CmpColLit(j, op, lit, "bool")
+            return _FixedNonNull((j,), mismatch_code)
+        if isinstance(lit, (int, float)):
+            if isinstance(lit, float) and math.isnan(lit):
+                raise _Unsupported("NaN literal")
+            if kind in ("int", "float"):
+                if op in _ORDER_OPS and kind == "float" and col.has_nan:
+                    # values_compare treats NaN as equal-to-everything
+                    # (compares false both ways); NumPy says false. Only
+                    # the row path reproduces the former.
+                    raise _Unsupported(
+                        f"ordering comparison on NaN-containing column {ref.column!r}"
+                    )
+                try:
+                    rhs = float(lit)
+                except OverflowError:
+                    raise _Unsupported("integer literal beyond float range") from None
+                return _CmpColLit(j, op, rhs, "num")
+            return _FixedNonNull((j,), mismatch_code)
+        if isinstance(lit, str):
+            if kind == "text":
+                if "\x00" in lit:
+                    raise _Unsupported("NUL byte in text literal")
+                return _CmpColLit(j, op, lit, "text")
+            if kind == "date":
+                coerced = iso_date_or_none(lit)
+                if coerced is not None:
+                    return _CmpColLit(j, op, coerced.toordinal(), "date")
+                return _FixedNonNull((j,), mismatch_code)
+            return _FixedNonNull((j,), mismatch_code)
+        if isinstance(lit, datetime.date):
+            if kind == "date":
+                return _CmpColLit(j, op, lit.toordinal(), "date")
+            if kind == "text":
+                # values_equal would try to parse each string cell as a
+                # date — per-row behaviour the kernels don't model.
+                raise _Unsupported("DATE literal against TEXT column")
+            return _FixedNonNull((j,), mismatch_code)
+        raise _Unsupported(f"literal {lit!r} in comparison")
+
+    def _col_col(self, op: str, left: ColumnRef, right: ColumnRef) -> Any:
+        jl, jr = self._value_col(left), self._value_col(right)
+        cl, cr = self.store.cols[jl], self.store.cols[jr]
+        kl, kr = cl.kind, cr.kind
+        numeric = ("int", "float")
+        if kl in numeric and kr in numeric:
+            if op in _ORDER_OPS and (cl.has_nan or cr.has_nan):
+                raise _Unsupported("ordering comparison on NaN-containing column")
+            return _CmpColCol(jl, jr, op, "num")
+        if kl == kr and kl in ("bool", "text", "date"):
+            return _CmpColCol(jl, jr, op, kl)
+        if (kl, kr) in (("date", "text"), ("text", "date")):
+            raise _Unsupported("DATE/TEXT column comparison needs per-row coercion")
+        return _FixedNonNull((jl, jr), TRUE3 if op == "!=" else FALSE3)
+
+    def _like(self, left: Expr, right: Expr) -> Any:
+        if (
+            isinstance(left, ColumnRef)
+            and isinstance(right, Literal)
+            and isinstance(right.value, str)
+        ):
+            j = self._col(left)
+            if self.store.cols[j].kind == "text":
+                return _LikePred(j, right.value)
+            # Non-text columns raise LikeTypeError per row (but only for
+            # rows actually reached) — row-path territory.
+        raise _Unsupported("LIKE outside text-column-vs-pattern form")
+
+    def _in_list(self, expr: InList) -> Any:
+        if not isinstance(expr.operand, ColumnRef):
+            raise _Unsupported("IN over a computed operand")
+        for item in expr.items:
+            if not isinstance(item, Literal):
+                raise _Unsupported("non-literal IN list item")
+        j = self._value_col(expr.operand)
+        saw_null = any(item.value is None for item in expr.items)
+        node: Any = None
+        for item in expr.items:
+            if item.value is None:
+                continue
+            eq = self._col_lit("=", expr.operand, item.value)
+            node = eq if node is None else _OrPred(node, eq)
+        if node is None:
+            # No non-NULL items: never a hit, so the verdict is UNKNOWN
+            # for a NULL probe (or when the list held a NULL), else FALSE.
+            node = _FixedNonNull((j,), FALSE3)
+        if saw_null:
+            node = _OrPred(node, _Const(UNKNOWN3))
+        return _NotPred(node) if expr.negated else node
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+_NO_FAST = object()  # sentinel: no exact vectorized aggregate, use the list path
+
+
+class _CompiledQuery:
+    """One statement's vectorized execution recipe.
+
+    ``group_js`` is ``None`` for a whole-table aggregate (one group) and
+    a list of column positions for GROUP BY keys.  ``fast_items`` /
+    ``fast_order`` hold gather instructions — ``("col", j)``,
+    ``("lit", value)``, ``("star",)``, ``("star_skip",)`` — when every
+    projection and ORDER BY expression is a plain column/literal;
+    otherwise they are ``None`` and surviving rows are projected through
+    the row path's evaluator (identical results, including errors).
+    """
+
+    __slots__ = ("table", "binding", "pred", "grouped", "group_js", "fast_items", "fast_order")
+
+    def __init__(self, table, binding, pred, grouped, group_js, fast_items, fast_order):
+        self.table = table
+        self.binding = binding
+        self.pred = pred
+        self.grouped = grouped
+        self.group_js = group_js
+        self.fast_items = fast_items
+        self.fast_order = fast_order
+
+
+class _GroupCtx:
+    """One group's row indices plus lazily built row-path scopes."""
+
+    __slots__ = ("engine", "compiled", "store", "schema", "rows_list", "gidx", "parent",
+                 "_idx_list", "_members", "_rep")
+
+    def __init__(self, engine, compiled, store, schema, rows_list, gidx, parent):
+        self.engine = engine
+        self.compiled = compiled
+        self.store = store
+        self.schema = schema
+        self.rows_list = rows_list
+        self.gidx = gidx
+        self.parent = parent
+        self._idx_list = None
+        self._members = None
+        self._rep = None
+
+    def idx_list(self) -> List[int]:
+        if self._idx_list is None:
+            self._idx_list = self.gidx.tolist()
+        return self._idx_list
+
+    def rep_scope(self):
+        """The scope ``_eval_group`` evaluates bare columns on: the
+        group's first member row (or an empty scope for the empty
+        whole-table group)."""
+        if self._rep is None:
+            scope_cls = self.engine._scope_cls
+            if self.gidx.size:
+                row = self.rows_list[int(self.gidx[0])]
+                self._rep = scope_cls(
+                    [(self.compiled.binding, self.schema, row)], self.parent
+                )
+            else:
+                self._rep = scope_cls([], self.parent)
+        return self._rep
+
+    def members(self):
+        """Full per-member scopes, for aggregate arguments the fast
+        kernels cannot handle (built at most once per group)."""
+        if self._members is None:
+            scope_cls = self.engine._scope_cls
+            binding = self.compiled.binding
+            schema = self.schema
+            parent = self.parent
+            rows = self.rows_list
+            self._members = [
+                scope_cls([(binding, schema, rows[i])], parent)
+                for i in self.idx_list()
+            ]
+        return self._members
+
+
+class ColumnarEngine:
+    """Vectorized single-table execution behind the planning executor.
+
+    Created lazily by :class:`~repro.sqldb.executor.Executor` when
+    ``use_columnar`` is on; :meth:`try_execute` either claims a statement
+    (returning projected rows byte-identical to the row path) or returns
+    ``None``, in which case the executor proceeds down the row path.
+    """
+
+    def __init__(self, executor: Any, chunk_rows: Optional[int] = None, jobs: int = 0):
+        if np is None:
+            raise RuntimeError("numpy is required for the columnar engine")
+        # The executor module is fully initialized by the time an
+        # Executor instance exists, so this import cannot cycle.
+        from . import executor as rowpath
+
+        self._ex = executor
+        self._scope_cls = rowpath._Scope
+        self._bool3 = rowpath._bool3
+        self._not3 = rowpath._not3
+        self._and3 = rowpath._and3
+        self._or3 = rowpath._or3
+        self.chunk_rows = int(chunk_rows) if chunk_rows else DEFAULT_CHUNK_ROWS
+        self.jobs = int(jobs or 0)
+        #: below this row count a parallel scan is all fork overhead
+        self.parallel_min_rows = 2 * self.chunk_rows
+        #: why the last statement fell back (``None`` when it was claimed)
+        self.last_fallback: Optional[str] = None
+        self._cache: Dict[int, Tuple[Any, Any]] = {}
+        self._cache_version = executor.database.data_version
+
+    # -- public surface -----------------------------------------------------
+
+    def try_execute(
+        self, stmt: SelectStatement, plan: Any, parent: Any
+    ) -> Optional[Tuple[List[tuple], List[tuple], List[str]]]:
+        """Vectorized ``(rows, order_rows, columns)`` for ``stmt``, or
+        ``None`` when the statement is outside the supported envelope."""
+        compiled = self._compiled(stmt, plan)
+        if isinstance(compiled, str):
+            self.last_fallback = compiled
+            return None
+        self.last_fallback = None
+        ex = self._ex
+        table = ex.database.table(compiled.table)
+        store = table.column_store()
+        n = store.n_rows
+        spans = chunk_spans(n, self.chunk_rows)
+        with self._span("columnar-scan"):
+            if compiled.pred is None:
+                idx = np.arange(n, dtype=np.int64)
+            else:
+                masks = self._masks(store, compiled.pred, spans, n)
+                mask = masks[0] if len(masks) == 1 else np.concatenate(masks)
+                idx = np.flatnonzero(mask == TRUE3)
+        stats = ex._stats
+        stats.full_scans += 1
+        stats.rows_scanned += n
+        stats.partitions_scanned += len(spans)
+        stats.vectorized += 1
+        rows_list = table.rows
+        if compiled.grouped:
+            rows, order_rows = self._grouped(
+                stmt, compiled, store, table.schema, rows_list, idx, parent
+            )
+        elif compiled.fast_items is not None:
+            with self._span("columnar-project"):
+                rows, order_rows = self._fast_gather(compiled, rows_list, idx)
+        else:
+            with self._span("columnar-project"):
+                scopes = [
+                    self._scope_cls(
+                        [(compiled.binding, table.schema, rows_list[i])], parent
+                    )
+                    for i in idx.tolist()
+                ]
+                rows, order_rows = ex._project_rows(stmt, scopes)
+        columns = ex._output_columns(stmt, [])
+        return rows, order_rows, columns
+
+    def describe(self, stmt: SelectStatement, plan: Any) -> str:
+        """One EXPLAIN line: the vectorized shape, or the fallback reason."""
+        compiled = self._compiled(stmt, plan)
+        if isinstance(compiled, str):
+            return f"columnar: row path ({compiled})"
+        bits = ["scan"]
+        if compiled.pred is not None:
+            bits.append("filter")
+        if compiled.grouped:
+            bits.append("group" if compiled.group_js else "aggregate")
+        elif compiled.fast_items is not None:
+            bits.append("project")
+        else:
+            bits.append("project(row-eval)")
+        return (
+            f"columnar: vectorized {'+'.join(bits)} "
+            f"(chunk_rows={self.chunk_rows}, jobs={self.jobs or 1})"
+        )
+
+    # -- compilation --------------------------------------------------------
+
+    def _compiled(self, stmt: SelectStatement, plan: Any) -> Any:
+        """Cached compile result: a :class:`_CompiledQuery`, or the
+        fallback reason as a string."""
+        db = self._ex.database
+        if db.data_version != self._cache_version:
+            # Data changes can flip data-dependent eligibility (NaN
+            # presence, integer sum bounds, text widths).
+            self._cache.clear()
+            self._cache_version = db.data_version
+        entry = self._cache.get(id(stmt))
+        if entry is not None and entry[0] is stmt:
+            return entry[1]
+        try:
+            result: Any = self._compile(stmt, plan)
+        except _Unsupported as unsupported:
+            result = unsupported.reason
+        except Exception as exc:  # any surprise → canonical row path
+            result = f"compile abandoned ({type(exc).__name__})"
+        if len(self._cache) > 256:
+            self._cache.clear()
+        self._cache[id(stmt)] = (stmt, result)
+        return result
+
+    def _compile(self, stmt: SelectStatement, plan: Any) -> _CompiledQuery:
+        if stmt.from_table is None:
+            raise _Unsupported("no FROM clause")
+        if stmt.joins:
+            raise _Unsupported("join")
+        if stmt.subqueries():
+            raise _Unsupported("subquery")
+        if plan.base is None:
+            raise _Unsupported("no base scan")
+        if plan.base.index_column is not None:
+            # The planner found an index-answerable equality/IN; the
+            # index lookup reads fewer rows than any full scan.
+            raise _Unsupported("index scan preferred")
+        ex = self._ex
+        table = ex.database.table(stmt.from_table.table)
+        store = table.column_store()
+        schema = table.schema
+        binding = stmt.from_table.binding.lower()
+        pred = None
+        if stmt.where is not None:
+            pred = _WhereCompiler(store, schema, binding).compile(stmt.where)
+        grouped = bool(stmt.group_by) or ex._projects_aggregate(stmt)
+        group_js = None
+        fast_items = fast_order = None
+        if grouped:
+            if stmt.group_by:
+                group_js = []
+                for expr in stmt.group_by:
+                    if not isinstance(expr, ColumnRef):
+                        raise _Unsupported("computed GROUP BY key")
+                    group_js.append(self._local_col(expr, schema, binding))
+        else:
+            fast_items, fast_order = self._fast_projection(stmt, schema, binding)
+        return _CompiledQuery(
+            table.name, binding, pred, grouped, group_js, fast_items, fast_order
+        )
+
+    def _local_col(self, ref: ColumnRef, schema: Any, binding: str) -> int:
+        if ref.table is not None and ref.table.lower() != binding:
+            raise _Unsupported(f"column {ref.to_sql()!r} is outside the scanned table")
+        if ref.column not in schema:
+            raise _Unsupported(f"column {ref.to_sql()!r} does not resolve locally")
+        return schema.column_index(ref.column)
+
+    def _fast_projection(self, stmt: SelectStatement, schema: Any, binding: str):
+        """Gather instructions when every output is a column/literal;
+        ``(None, None)`` sends survivors through ``_project_rows``."""
+        items: List[tuple] = []
+        for item in stmt.select_items:
+            expr = item.expr
+            if isinstance(expr, Star):
+                if expr.table is not None and expr.table.lower() != binding:
+                    # Contributes no values; _output_columns later raises
+                    # UnknownTableError exactly as the row path does.
+                    items.append(("star_skip",))
+                else:
+                    items.append(("star",))
+            elif isinstance(expr, ColumnRef):
+                if (expr.table is not None and expr.table.lower() != binding) or (
+                    expr.column not in schema
+                ):
+                    return None, None  # correlated or erroneous: row path
+                items.append(("col", schema.column_index(expr.column)))
+            elif isinstance(expr, Literal):
+                items.append(("lit", expr.value))
+            else:
+                return None, None
+        order_items: List[tuple] = []
+        alias_map = self._ex._alias_exprs(stmt)
+        for order in stmt.order_by:
+            expr = self._ex._substitute_alias(order.expr, alias_map)
+            if isinstance(expr, ColumnRef):
+                if (expr.table is not None and expr.table.lower() != binding) or (
+                    expr.column not in schema
+                ):
+                    return None, None
+                order_items.append(("col", schema.column_index(expr.column)))
+            elif isinstance(expr, Literal):
+                order_items.append(("lit", expr.value))
+            else:
+                return None, None
+        return items, order_items
+
+    # -- scanning -----------------------------------------------------------
+
+    def _span(self, name: str):
+        # Direct profiler spans (not profile_stage): stage hooks are the
+        # serving layer's fault-injection seam and must not fire for
+        # engine-internal kernels.
+        profiler = active_profiler()
+        if profiler is None:
+            return _NOOP_SPAN
+        return profiler.span(name)
+
+    def _masks(self, store: ColumnStore, pred: Any, spans: List[Tuple[int, int]], n: int):
+        if self.jobs > 1 and len(spans) > 1 and n >= self.parallel_min_rows:
+            return run_partitioned(_scan_span_task, (store, pred), spans, self.jobs)
+        return [pred.eval(store, lo, hi) for lo, hi in spans]
+
+    # -- projection ---------------------------------------------------------
+
+    def _fast_gather(self, compiled: _CompiledQuery, rows_list: List[tuple], idx: Any):
+        items = compiled.fast_items
+        order_items = compiled.fast_order
+        idx_list = idx.tolist()
+        if not order_items:
+            # The hot shapes: SELECT * and SELECT col, ...
+            if len(items) == 1 and items[0][0] == "star":
+                rows = [rows_list[i] for i in idx_list]
+                return rows, [()] * len(rows)
+            if items and all(tag[0] == "col" for tag in items):
+                if len(items) == 1:
+                    j = items[0][1]
+                    rows = [(rows_list[i][j],) for i in idx_list]
+                else:
+                    js = [tag[1] for tag in items]
+                    rows = [tuple(rows_list[i][j] for j in js) for i in idx_list]
+                return rows, [()] * len(rows)
+        rows = []
+        order_rows = []
+        for i in idx_list:
+            row = rows_list[i]
+            out: List[Any] = []
+            for tag in items:
+                kind = tag[0]
+                if kind == "col":
+                    out.append(row[tag[1]])
+                elif kind == "star":
+                    out.extend(row)
+                elif kind == "lit":
+                    out.append(tag[1])
+                # "star_skip" contributes nothing
+            rows.append(tuple(out))
+            order_rows.append(
+                tuple(
+                    row[tag[1]] if tag[0] == "col" else tag[1] for tag in order_items
+                )
+            )
+        return rows, order_rows
+
+    # -- grouped execution --------------------------------------------------
+
+    def _grouped(self, stmt, compiled, store, schema, rows_list, idx, parent):
+        ex = self._ex
+        with self._span("columnar-group"):
+            group_arrays = self._group_indices(compiled, store, idx)
+            ctxs = [
+                _GroupCtx(self, compiled, store, schema, rows_list, gidx, parent)
+                for gidx in group_arrays
+            ]
+        with self._span("columnar-aggregate"):
+            alias_map = ex._alias_exprs(stmt)
+            rows: List[tuple] = []
+            order_rows: List[tuple] = []
+            for group in ctxs:
+                if stmt.having is not None and not ex._truthy(
+                    self._group_eval(stmt.having, group)
+                ):
+                    continue
+                out: List[Any] = []
+                for item in stmt.select_items:
+                    if isinstance(item.expr, Star):
+                        raise GroupedStarError(
+                            "SELECT * is not valid in a grouped query"
+                        )
+                    out.append(self._group_eval(item.expr, group))
+                rows.append(tuple(out))
+                order_rows.append(
+                    tuple(
+                        self._group_eval(
+                            ex._substitute_alias(order.expr, alias_map), group
+                        )
+                        for order in stmt.order_by
+                    )
+                )
+        return rows, order_rows
+
+    def _group_indices(self, compiled, store, idx):
+        """Partition surviving row indices into groups, each an ascending
+        int64 array, in first-occurrence order — exactly the insertion
+        order of the row path's group dict."""
+        js = compiled.group_js
+        if js is None:
+            return [idx]
+        if len(js) == 1:
+            col = store.cols[js[0]]
+            if col.kind in ("int", "bool", "date", "text") or (
+                col.kind == "float" and not col.has_nan
+            ):
+                return self._group_single_fast(col, idx)
+        # Dict path over the original Python values: key equality/hashing
+        # is then *identical* to the row path (including NaN's
+        # never-equal-to-itself identity buckets).
+        pylists = [store.cols[j].pylist for j in js]
+        groups: Dict[tuple, List[int]] = {}
+        order: List[tuple] = []
+        if len(pylists) == 1:
+            values = pylists[0]
+            for i in idx.tolist():
+                key = (values[i],)
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = bucket = []
+                    order.append(key)
+                bucket.append(i)
+        else:
+            for i in idx.tolist():
+                key = tuple(values[i] for values in pylists)
+                bucket = groups.get(key)
+                if bucket is None:
+                    groups[key] = bucket = []
+                    order.append(key)
+                bucket.append(i)
+        return [
+            np.fromiter(groups[key], dtype=np.int64, count=len(groups[key]))
+            for key in order
+        ]
+
+    def _group_single_fast(self, col: ColumnData, idx: Any):
+        """Single-key grouping via ``np.unique`` on the key array; NULLs
+        form their own group.  Groups come back ordered by first
+        occurrence and members stay in ascending row order, matching the
+        dict path bit for bit."""
+        null_sel = col.null[idx]
+        nn_idx = idx[~null_sel]
+        entries: List[Tuple[int, Any]] = []
+        if nn_idx.size:
+            vals = col.values[nn_idx]
+            uniq, first, inverse = np.unique(
+                vals, return_index=True, return_inverse=True
+            )
+            order_sort = np.argsort(inverse, kind="stable")
+            counts = np.bincount(inverse, minlength=len(uniq))
+            bounds = np.concatenate(([0], np.cumsum(counts)))
+            sorted_idx = nn_idx[order_sort]
+            for g in range(len(uniq)):
+                member_idx = sorted_idx[bounds[g] : bounds[g + 1]]
+                entries.append((int(nn_idx[first[g]]), member_idx))
+        null_idx = idx[null_sel]
+        if null_idx.size:
+            entries.append((int(null_idx[0]), null_idx))
+        entries.sort(key=lambda entry: entry[0])
+        return [member_idx for _, member_idx in entries]
+
+    # -- grouped expression evaluation (mirrors Executor._eval_group) -------
+
+    def _group_eval(self, expr: Expr, group: _GroupCtx) -> Any:
+        ex = self._ex
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            return self._group_aggregate(expr, group)
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, BinaryOp):
+            if expr.op in ("AND", "OR"):
+                left = self._bool3(self._group_eval(expr.left, group))
+                if expr.op == "AND" and left is False:
+                    return False
+                if expr.op == "OR" and left is True:
+                    return True
+                right = self._bool3(self._group_eval(expr.right, group))
+                if expr.op == "AND":
+                    return self._and3(left, right)
+                return self._or3(left, right)
+            left = self._group_eval(expr.left, group)
+            right = self._group_eval(expr.right, group)
+            return ex._eval_binary(
+                BinaryOp(expr.op, Literal(left), Literal(right)), group.rep_scope()
+            )
+        if isinstance(expr, UnaryOp):
+            inner = self._group_eval(expr.operand, group)
+            if expr.op.upper() == "NOT":
+                return self._not3(self._bool3(inner))
+            if inner is None:
+                return None
+            if isinstance(inner, bool) or not isinstance(inner, (int, float)):
+                raise ArithmeticTypeError(f"unary '-' needs a number, got {inner!r}")
+            return -inner
+        if isinstance(expr, FuncCall):
+            args = [self._group_eval(arg, group) for arg in expr.args]
+            return call_scalar(expr.name, args)
+        # Bare columns / other expressions: representative-row semantics,
+        # NULL for the empty whole-table group — as the row path.
+        if group.gidx.size == 0:
+            return None
+        return ex._eval(expr, group.rep_scope())
+
+    def _group_aggregate(self, call: FuncCall, group: _GroupCtx) -> Any:
+        func = AGGREGATE_FUNCTIONS.get(call.name.lower())
+        if func is None:  # pragma: no cover - guarded by is_aggregate
+            raise UnknownFunctionError(f"unknown aggregate {call.name!r}")
+        name = call.name.lower()
+        if name == "count" and len(call.args) == 1 and isinstance(call.args[0], Star):
+            # agg_count(..., star=True) is len(values); skip building the
+            # [None] * n list the row path allocates.
+            return int(group.gidx.size)
+        if not call.args:
+            raise AggregateArityError(f"{call.name.upper()} requires an argument")
+        if len(call.args) != 1:
+            raise AggregateArityError(f"{call.name.upper()} takes exactly one argument")
+        if isinstance(call.args[0], Star):
+            raise AggregateArityError(f"{call.name.upper()}(*) is not supported")
+        for node in call.args[0].walk():
+            if isinstance(node, FuncCall) and node.is_aggregate:
+                raise NestedAggregateError(
+                    f"aggregate {node.name.upper()} nested inside "
+                    f"{call.name.upper()}"
+                )
+        arg = call.args[0]
+        j = self._aggregate_col(arg, group)
+        if j is not None:
+            result = self._fast_aggregate(name, call.distinct, j, group)
+            if result is not _NO_FAST:
+                return result
+            col = group.store.cols[j]
+            values = [col.pylist[i] for i in group.idx_list()]
+        else:
+            values = [self._ex._eval(arg, scope) for scope in group.members()]
+        return func(values, distinct=call.distinct)
+
+    def _aggregate_col(self, arg: Expr, group: _GroupCtx) -> Optional[int]:
+        """Column position when the aggregate argument is a locally
+        resolvable column reference, else ``None`` (scope-path eval)."""
+        if not isinstance(arg, ColumnRef):
+            return None
+        if arg.table is not None and arg.table.lower() != group.compiled.binding:
+            return None
+        if arg.column not in group.schema:
+            return None
+        return group.schema.column_index(arg.column)
+
+    def _fast_aggregate(self, name: str, distinct: bool, j: int, group: _GroupCtx):
+        """Vectorized aggregate when provably exact, else ``_NO_FAST``.
+
+        Float SUM/AVG always take the list path: ``np.sum`` uses pairwise
+        summation whose rounding differs from the row path's sequential
+        ``sum()`` in the last bits.
+        """
+        col = group.store.cols[j]
+        gidx = group.gidx
+        if name == "count" and not distinct:
+            if gidx.size == 0:
+                return 0
+            return int(gidx.size) - int(np.count_nonzero(col.null[gidx]))
+        if distinct:
+            return _NO_FAST
+        if name in ("sum", "avg"):
+            if col.kind != "int" or not col.int_sum_safe:
+                return _NO_FAST
+            if gidx.size == 0:
+                return None
+            present = int(gidx.size) - int(np.count_nonzero(col.null[gidx]))
+            if present == 0:
+                return None
+            # NULL slots hold 0, so the slice sum equals the non-NULL sum;
+            # int_sum_safe bounds |subset sum| within int64.
+            total = int(col.values[gidx].sum())
+            if name == "sum":
+                return total
+            return total / present
+        if name in ("min", "max"):
+            if col.kind in ("int", "bool", "date", "text") or (
+                col.kind == "float" and not col.has_nan
+            ):
+                nn_idx = gidx[~col.null[gidx]] if gidx.size else gidx
+                if nn_idx.size == 0:
+                    return None
+                sub = col.values[nn_idx]
+                pos = int(np.argmin(sub) if name == "min" else np.argmax(sub))
+                # argmin/argmax return the first extreme position, same as
+                # Python's min/max; the original object is returned.
+                return col.pylist[int(nn_idx[pos])]
+            return _NO_FAST
+        return _NO_FAST

@@ -217,15 +217,28 @@ class Executor:
         use_planner: bool = True,
         statement_cache_size: int = 256,
         analyze: bool = True,
+        use_columnar: bool = True,
+        scan_chunk_rows: Optional[int] = None,
+        scan_jobs: int = 0,
     ):
         self.database = database
         self.use_planner = use_planner
         self.analyze = analyze
+        #: route eligible planned statements through the vectorized
+        #: columnar kernels (:mod:`repro.sqldb.columnar`); anything the
+        #: kernels can't mirror byte-for-byte falls back automatically.
+        #: Only active together with ``use_planner`` — the naive path
+        #: stays a pure reference interpreter.
+        self.use_columnar = use_columnar
+        self.scan_chunk_rows = scan_chunk_rows
+        #: worker processes for partitioned parallel scans (0/1 = serial)
+        self.scan_jobs = scan_jobs
         self.last_stats = ExecutionStats()
         self.total_stats = ExecutionStats()
         self._stats = self.last_stats
         self._planner = Planner(database)
         self._analyzer = None
+        self._columnar = None
         self._statement_cache = _LRUCache(statement_cache_size)
         self._plan_cache: Dict[int, Tuple[SelectStatement, QueryPlan]] = {}
         self._plan_catalog_version = database.catalog_version
@@ -274,8 +287,16 @@ class Executor:
         return result
 
     def explain(self, stmt: SelectStatement) -> str:
-        """EXPLAIN-style description of the plan chosen for ``stmt``."""
-        return self._planner.plan(stmt).describe()
+        """EXPLAIN-style description of the plan chosen for ``stmt``,
+        including which execution path (vectorized columnar or row) the
+        statement would take."""
+        plan = self._planner.plan(stmt)
+        text = plan.describe()
+        if self.use_planner:
+            engine = self._columnar_engine()
+            if engine is not None:
+                text += "\n" + engine.describe(stmt, plan)
+        return text
 
     def explain_sql(self, sql: str) -> str:
         """Parse SQL text and describe its plan without executing it."""
@@ -346,11 +367,39 @@ class Executor:
         self._plan_cache[id(stmt)] = (stmt, plan)
         return plan
 
+    def _columnar_engine(self):
+        """The lazily built vectorized engine, or ``None`` when disabled
+        (or when its dependencies are unavailable)."""
+        if not self.use_columnar:
+            return None
+        if self._columnar is None:
+            try:
+                from .columnar import ColumnarEngine
+
+                self._columnar = ColumnarEngine(
+                    self, chunk_rows=self.scan_chunk_rows, jobs=self.scan_jobs
+                )
+            except Exception:
+                # numpy missing or engine init failed: permanently fall
+                # back to the row path for this executor.
+                self.use_columnar = False
+                return None
+        return self._columnar
+
     # -- statement evaluation ----------------------------------------------------
 
     def _execute(self, stmt: SelectStatement, parent: Optional[_Scope]) -> Relation:
         if self.use_planner:
             plan = self._plan_for(stmt)
+            engine = self._columnar_engine()
+            if engine is not None:
+                claimed = engine.try_execute(stmt, plan, parent)
+                if claimed is not None:
+                    rows, order_rows, columns = claimed
+                    self._stats.predicates_pushed += plan.pushed_count
+                    if parent is None and not self._stats.strategy:
+                        self._stats.strategy = plan.summary()
+                    return self._finalize(stmt, rows, order_rows, columns)
             scopes = self._scopes_from_plan(plan, parent)
             if plan.residual_where:
                 scopes = [
@@ -375,7 +424,17 @@ class Executor:
             rows, order_rows = self._project_rows(stmt, scopes)
 
         columns = self._output_columns(stmt, scopes)
+        return self._finalize(stmt, rows, order_rows, columns)
 
+    def _finalize(
+        self,
+        stmt: SelectStatement,
+        rows: List[Tuple[Any, ...]],
+        order_rows: List[Tuple[Any, ...]],
+        columns: List[str],
+    ) -> Relation:
+        """Shared DISTINCT → ORDER BY → LIMIT/OFFSET tail, so the
+        columnar and row paths diverge only in how they produce rows."""
         if stmt.distinct:
             seen = set()
             kept_rows, kept_order = [], []
@@ -462,6 +521,7 @@ class Executor:
             candidates = [all_rows[pos] for pos in sorted(set(positions))]
         else:
             stats.full_scans += 1
+            stats.partitions_scanned += 1  # a row-path scan is one partition
             candidates = table.rows
         stats.rows_scanned += len(candidates)
         if not scan.pushed:

@@ -64,6 +64,10 @@ class ExecutionStats:
     rows_scanned: int = 0
     rows_output: int = 0
     full_scans: int = 0
+    #: fixed-size scan partitions visited (a row-path scan counts as one)
+    partitions_scanned: int = 0
+    #: queries answered by the vectorized columnar kernels
+    vectorized: int = 0
     index_scans: int = 0
     index_lookups: int = 0
     hash_joins: int = 0

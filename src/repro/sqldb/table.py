@@ -31,6 +31,9 @@ class Table:
         #: version are rebuilt transparently on next use.
         self.version: int = 0
         self._indexes: Dict[str, Tuple[int, Dict[Any, List[int]]]] = {}
+        #: lazily built columnar image of the rows, keyed by ``version``
+        #: (see :meth:`column_store`); ``None`` until first requested.
+        self._column_store: Any = None
 
     @property
     def name(self) -> str:
@@ -77,12 +80,36 @@ class Table:
         self.insert([lowered.get(c.name.lower()) for c in self.schema.columns])
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
-        """Insert many positional rows; returns the number inserted."""
-        count = 0
-        for row in rows:
-            self.insert(row)
-            count += 1
-        return count
+        """Bulk insert of positional rows; returns the number inserted.
+
+        All rows are coerced and validated *before* any is stored, so a
+        bad row leaves the table untouched (all-or-nothing), and
+        ``version`` is bumped exactly once for the whole batch — callers
+        loading millions of rows pay one index/column-store invalidation
+        instead of one per row.
+        """
+        cols = self.schema.columns
+        n_cols = len(cols)
+        converted: List[Tuple[Any, ...]] = []
+        for values in rows:
+            if len(values) != n_cols:
+                raise TypeMismatchError(
+                    f"table {self.name!r} expects {n_cols} values, got {len(values)}"
+                )
+            row = []
+            for col, value in zip(cols, values):
+                item = coerce(value, col.dtype)
+                if item is None and not col.nullable:
+                    raise TypeMismatchError(
+                        f"column {self.name}.{col.name} is NOT NULL"
+                    )
+                row.append(item)
+            converted.append(tuple(row))
+        if not converted:
+            return 0
+        self.rows.extend(converted)
+        self.version += 1
+        return len(converted)
 
     # -- secondary indexes --------------------------------------------------
 
@@ -111,6 +138,22 @@ class Table:
     def invalidate_indexes(self) -> None:
         """Drop all cached secondary indexes (they rebuild on next use)."""
         self._indexes.clear()
+
+    def column_store(self):
+        """The table's columnar image (:class:`repro.sqldb.columnar.ColumnStore`).
+
+        Built lazily on first request and rebuilt whenever ``version``
+        shows inserts since the build, exactly like secondary indexes —
+        so vectorized scans can never read stale data.
+        """
+        from .columnar import ColumnStore
+
+        cached = self._column_store
+        if cached is not None and cached.version == self.version:
+            return cached
+        store = ColumnStore.build(self)
+        self._column_store = store
+        return store
 
     def column_values(self, column: str) -> List[Any]:
         """All values of ``column`` in row order (including NULLs)."""

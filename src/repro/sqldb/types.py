@@ -132,23 +132,37 @@ def infer_type(value: Any) -> Optional[DataType]:
 _DATE_LITERAL_RE = None
 
 
-def _coerce_date_operands(left: Any, right: Any) -> tuple:
-    """Implicitly parse an ISO-date string compared against a DATE value."""
+def iso_date_or_none(text: Any) -> Optional[datetime.date]:
+    """The date a string would implicitly coerce to next to a DATE value,
+    or ``None`` when it would stay a plain string.
+
+    This is the single definition of the implicit coercion applied by
+    :func:`values_equal` / :func:`values_compare`; the columnar kernels
+    call it once per literal at compile time instead of once per row.
+    """
     import re
 
     global _DATE_LITERAL_RE
     if _DATE_LITERAL_RE is None:
         _DATE_LITERAL_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
-    if isinstance(left, datetime.date) and isinstance(right, str) and _DATE_LITERAL_RE.match(right):
-        try:
-            return left, parse_date(right)
-        except TypeMismatchError:
-            return left, right
-    if isinstance(right, datetime.date) and isinstance(left, str) and _DATE_LITERAL_RE.match(left):
-        try:
-            return parse_date(left), right
-        except TypeMismatchError:
-            return left, right
+    if not isinstance(text, str) or not _DATE_LITERAL_RE.match(text):
+        return None
+    try:
+        return parse_date(text)
+    except TypeMismatchError:
+        return None
+
+
+def _coerce_date_operands(left: Any, right: Any) -> tuple:
+    """Implicitly parse an ISO-date string compared against a DATE value."""
+    if isinstance(left, datetime.date) and isinstance(right, str):
+        coerced = iso_date_or_none(right)
+        if coerced is not None:
+            return left, coerced
+    if isinstance(right, datetime.date) and isinstance(left, str):
+        coerced = iso_date_or_none(left)
+        if coerced is not None:
+            return coerced, right
     return left, right
 
 
