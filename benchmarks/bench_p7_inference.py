@@ -1,0 +1,289 @@
+"""P7 — Static inference pass: two-valued kernels and candidate pruning.
+
+Two measurements, both against the same engine with the inference pass
+toggled (``Executor(db, infer=...)``):
+
+1. **Kernel throughput** — the telemetry workload
+   (:mod:`repro.bench.workload_gen`) over a million-row fact table whose
+   hot columns are declared NOT NULL.  With inference off every
+   predicate pays the int8 Kleene mask path; with inference on the
+   engine proves the columns NULL-free, drops implied/tautological
+   conjuncts, and compiles two-valued bool kernels that never touch the
+   validity bitmap.  Parity is asserted for every generated query before
+   anything is timed, and a provably-empty WHERE is timed separately to
+   show the static short-circuit skipping the scan entirely.
+2. **Candidate pruning** — every registered NLIDB system interprets the
+   generated question sets of the bench domains; *all* candidate
+   interpretations (not just the top one) are compiled and analyzed.
+   Candidates with error diagnostics would be dropped by
+   ``repro.core.ranking.apply_static_analysis``; candidates flagged by
+   the inference pass (SQL501/502/503) are down-weighted.  The bench
+   records both counts per domain and requires a nonzero statically
+   pruned/flagged count on at least one domain.
+
+Emits ``benchmarks/results/p7_inference.txt`` and
+``BENCH_inference.json`` at the repo root.
+
+Acceptance floor: >=1.3x two-valued speedup on the NOT NULL scan
+classes at the full million-row scale (relaxed at ``--quick`` scale,
+where fixed overheads dominate the scan), and a nonzero pruned-candidate
+count on at least one bench domain at either scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Callable, Dict, List, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _common import emit
+from repro.bench.harness import format_table
+from repro.bench.workload_gen import build_telemetry_db, generate_telemetry_queries
+from repro.sqldb.executor import Executor
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SEED = 0
+#: scan classes whose predicates hit only NOT NULL columns: the
+#: inference pass must compile two-valued kernels for every one of them
+TWOVAL_CLASSES = ("range_count", "scan_agg", "ts_window")
+#: question sets for the pruning measurement (full runs cover them all)
+PRUNING_DOMAINS = ("finance", "geo", "healthcare", "hr", "movies", "retail", "university")
+#: a WHERE the interval analysis proves empty: infer=True answers it
+#: without scanning a single row
+EMPTY_SQL = (
+    "SELECT COUNT(*), SUM(duration_ms) FROM telemetry "
+    "WHERE device_id > 100 AND device_id < 50"
+)
+
+
+def _strict_rows(relation) -> List[tuple]:
+    return [tuple((type(v).__name__, v) for v in row) for row in relation.rows]
+
+
+def timeit(fn: Callable[[], object], repeat: int) -> float:
+    """Best-of-``repeat`` wall time in seconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _kernel_section(quick: bool) -> Tuple[Dict[str, Dict[str, float]], Dict[str, float], int]:
+    """(per-class timings, empty-short-circuit timings, scale) with parity."""
+    n_rows = 20_000 if quick else 1_000_000
+    per_template = 2 if quick else 3
+    repeat = 2 if quick else 3
+
+    db = build_telemetry_db(n_rows=n_rows, seed=SEED)
+    queries = generate_telemetry_queries(n_rows, per_template, seed=SEED)
+    kleene = Executor(db, infer=False)
+    twoval = Executor(db, infer=True)
+    row = Executor(db, use_columnar=False, infer=False)
+
+    # Parity before timing: inference on vs off on every generated query
+    # (type-tagged rows), plus the row interpreter three-way at quick
+    # scale where the per-row path is affordable.
+    for q in queries:
+        expected = _strict_rows(kleene.execute_sql(q.sql))
+        assert _strict_rows(twoval.execute_sql(q.sql)) == expected, q.sql
+        if quick:
+            assert _strict_rows(row.execute_sql(q.sql)) == expected, q.sql
+
+    # The NOT NULL scan classes must actually take the two-valued path.
+    for q in queries:
+        twoval.execute_sql(q.sql)
+        if q.template in TWOVAL_CLASSES:
+            assert twoval.last_stats.twoval_kernels >= 1, (q.template, q.sql)
+            assert twoval.last_stats.vectorized == 1, (q.template, q.sql)
+
+    by_class: Dict[str, List[str]] = {}
+    for q in queries:
+        by_class.setdefault(q.template, []).append(q.sql)
+
+    classes: Dict[str, Dict[str, float]] = {}
+    for template, sqls in by_class.items():
+        def run_all(executor: Executor, sqls=sqls) -> None:
+            for sql in sqls:
+                executor.execute_sql(sql)
+
+        kleene_s = timeit(lambda: run_all(kleene), repeat)
+        twoval_s = timeit(lambda: run_all(twoval), repeat)
+        twoval.execute_sql(sqls[0])
+        classes[template] = {
+            "kleene_s": kleene_s,
+            "twoval_s": twoval_s,
+            "speedup": kleene_s / twoval_s,
+            "twoval_kernels": float(twoval.last_stats.twoval_kernels),
+            "static_rewrites": float(twoval.last_stats.static_rewrites),
+        }
+
+    # Provably-empty WHERE: full Kleene scan vs static short-circuit.
+    expected = _strict_rows(kleene.execute_sql(EMPTY_SQL))
+    assert _strict_rows(twoval.execute_sql(EMPTY_SQL)) == expected
+    assert twoval.last_stats.static_short_circuits == 1
+    assert twoval.last_stats.rows_scanned == 0
+    empty_kleene_s = timeit(lambda: kleene.execute_sql(EMPTY_SQL), repeat)
+    empty_twoval_s = timeit(lambda: twoval.execute_sql(EMPTY_SQL), repeat)
+    empty = {
+        "kleene_s": empty_kleene_s,
+        "twoval_s": empty_twoval_s,
+        "speedup": empty_kleene_s / empty_twoval_s,
+    }
+    return classes, empty, n_rows
+
+
+def _pruning_section(quick: bool) -> Dict[str, Dict[str, object]]:
+    """Candidate counts per bench domain: compiled, pruned, flagged."""
+    import repro.systems  # noqa: F401  (imported to populate the registry)
+    from repro.bench.domains import build_domain
+    from repro.bench.workloads import WorkloadGenerator
+    from repro.core.pipeline import NLIDBContext
+    from repro.core.registry import available, create
+
+    domains = ("finance", "healthcare") if quick else PRUNING_DOMAINS
+    per_tier = 4
+
+    out: Dict[str, Dict[str, object]] = {}
+    for domain in domains:
+        db = build_domain(domain, seed=SEED)
+        context = NLIDBContext(db)
+        examples = WorkloadGenerator(db, seed=SEED).generate_mixed(per_tier)
+        candidates = error_pruned = inference_flagged = 0
+        for name in available():
+            system = create(name)
+            for example in examples:
+                try:
+                    interpretations = system.interpret(example.question, context)
+                except Exception:
+                    continue
+                for interpretation in interpretations:
+                    try:
+                        sql = interpretation.to_sql(
+                            context.ontology, context.mapping
+                        ).to_sql()
+                    except Exception:
+                        continue
+                    candidates += 1
+                    result = db.analyze_sql(sql)
+                    if result.errors:
+                        error_pruned += 1
+                    if any(d.code.startswith("SQL5") for d in result.diagnostics):
+                        inference_flagged += 1
+        pruned = error_pruned + inference_flagged
+        out[domain] = {
+            "candidates": candidates,
+            "error_pruned": error_pruned,
+            "inference_flagged": inference_flagged,
+            "statically_pruned": pruned,
+            "pruned_rate": pruned / candidates if candidates else 0.0,
+        }
+    return out
+
+
+def run(quick: bool = False) -> Dict[str, object]:
+    classes, empty, n_rows = _kernel_section(quick)
+    pruning = _pruning_section(quick)
+
+    floor = min(classes[name]["speedup"] for name in TWOVAL_CLASSES)
+    max_pruned = max(int(stats["statically_pruned"]) for stats in pruning.values())
+    results: Dict[str, object] = {
+        "scale_rows": n_rows,
+        "seed": SEED,
+        "classes": classes,
+        "twoval_min_speedup": floor,
+        "empty_short_circuit": empty,
+        "pruning": pruning,
+        "max_statically_pruned": max_pruned,
+    }
+
+    table: List[Dict[str, object]] = [
+        {
+            "workload class": template,
+            "kleene_s": f"{stats['kleene_s']:.4f}",
+            "twoval_s": f"{stats['twoval_s']:.4f}",
+            "speedup": f"{stats['speedup']:.2f}x",
+            "2vl kernels": int(stats["twoval_kernels"]),
+            "rewrites": int(stats["static_rewrites"]),
+        }
+        for template, stats in sorted(classes.items())
+    ]
+    table.append(
+        {
+            "workload class": "provably-empty",
+            "kleene_s": f"{empty['kleene_s']:.4f}",
+            "twoval_s": f"{empty['twoval_s']:.4f}",
+            "speedup": f"{empty['speedup']:.1f}x",
+            "2vl kernels": 0,
+            "rewrites": "short-circuit",
+        }
+    )
+    title = (
+        f"P7: two-valued kernels vs Kleene masks "
+        f"({n_rows} rows, seed={SEED}{', quick' if quick else ''})"
+    )
+    prune_table = [
+        {
+            "domain": domain,
+            "candidates": stats["candidates"],
+            "error-pruned": stats["error_pruned"],
+            "SQL5xx-flagged": stats["inference_flagged"],
+            "pruned rate": f"{stats['pruned_rate']:.1%}",
+        }
+        for domain, stats in sorted(pruning.items())
+    ]
+    emit(
+        "p7_inference",
+        format_table(table, title)
+        + "\n\n"
+        + format_table(prune_table, "P7: static candidate pruning over bench domains"),
+    )
+
+    with open(os.path.join(REPO_ROOT, "BENCH_inference.json"), "w", encoding="utf-8") as f:
+        json.dump(results, f, indent=2, sort_keys=True)
+
+    if not quick:
+        assert floor >= 1.3, results
+        assert empty["speedup"] >= 5.0, results
+    else:
+        assert floor > 0.5, results
+        assert empty["speedup"] > 1.0, results
+    assert max_pruned > 0, results
+    return results
+
+
+def test_p7_inference(benchmark):
+    """pytest-benchmark entry: run once, time one two-valued scan."""
+    run(quick=True)
+    db = build_telemetry_db(n_rows=20_000, seed=SEED)
+    executor = Executor(db, infer=True)
+    sql = generate_telemetry_queries(20_000, 1, seed=SEED)[1].sql  # scan_agg
+    benchmark(lambda: executor.execute_sql(sql))
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scale for CI smoke runs (relaxed speedup floor)",
+    )
+    args = parser.parse_args(argv)
+    results = run(quick=args.quick)
+    print(
+        f"\ntwo-valued min speedup {results['twoval_min_speedup']:.2f}x at "
+        f"{results['scale_rows']} rows; empty-WHERE short-circuit "
+        f"{results['empty_short_circuit']['speedup']:.1f}x; "
+        f"max statically pruned candidates {results['max_statically_pruned']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

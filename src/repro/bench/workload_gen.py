@@ -112,12 +112,15 @@ def telemetry_schema() -> TableSchema:
     return TableSchema(
         "telemetry",
         [
-            Column("id", DataType.INTEGER, primary_key=True),
-            Column("device_id", DataType.INTEGER),
-            Column("event_type", DataType.INTEGER),
-            Column("region", DataType.TEXT),
-            Column("session", DataType.TEXT),
-            Column("event_day", DataType.DATE),
+            # The generator always fills these six, so they are declared
+            # NOT NULL — the static inference pass proves range filters
+            # over them two-valued and skips the Kleene mask kernels.
+            Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+            Column("device_id", DataType.INTEGER, nullable=False),
+            Column("event_type", DataType.INTEGER, nullable=False),
+            Column("region", DataType.TEXT, nullable=False),
+            Column("session", DataType.TEXT, nullable=False),
+            Column("event_day", DataType.DATE, nullable=False),
             Column("duration_ms", DataType.INTEGER, nullable=True),
             Column("ok", DataType.BOOLEAN, nullable=True),
         ],

@@ -87,6 +87,7 @@ def cmd_sql(args: argparse.Namespace) -> int:
         use_planner=not args.no_planner,
         use_columnar=not args.no_columnar,
         scan_jobs=args.scan_jobs,
+        infer=not args.no_infer,
     )
     if args.explain:
         try:
@@ -385,6 +386,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="worker processes for partitioned columnar scans (0 = serial)",
+    )
+    sql.add_argument(
+        "--no-infer",
+        action="store_true",
+        help="disable the static inference pass (predicate simplification, "
+        "two-valued kernels)",
     )
     sql.add_argument(
         "--lint",

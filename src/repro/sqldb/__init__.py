@@ -61,7 +61,7 @@ from .errors import (
 )
 from .executor import Executor, execute_sql
 from .index import DatabaseIndex, IndexEntry, MetadataIndex, ValueIndex, split_identifier
-from .parser import parse_expression, parse_select
+from .parser import parse_create_table, parse_expression, parse_select
 from .planner import ExecutionStats, JoinPlan, Planner, QueryPlan, ScanPlan
 from .relation import Relation
 from .schema import Column, ForeignKey, TableSchema
@@ -75,7 +75,7 @@ __all__ = [
     "Database", "Executor", "execute_sql", "Relation", "Table",
     "Column", "ForeignKey", "TableSchema", "DataType", "parse_date",
     "DatabaseIndex", "IndexEntry", "MetadataIndex", "ValueIndex", "split_identifier",
-    "parse_select", "parse_expression",
+    "parse_select", "parse_expression", "parse_create_table",
     "ExecutionStats", "Planner", "QueryPlan", "ScanPlan", "JoinPlan",
     "SqlError", "ParseError", "CatalogError", "SchemaError", "TypeMismatchError",
     "ExecutionError", "AggregateError", "AmbiguousColumnError", "UnknownColumnError",

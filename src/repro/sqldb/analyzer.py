@@ -52,7 +52,7 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from .ast import (
     Between,
@@ -75,6 +75,9 @@ from .errors import ERROR_CLASS_BY_CODE, ParseError
 from .functions import SCALAR_FUNCTIONS
 from .schema import TableSchema
 from .types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .database import Database
 
 ERROR = "error"
 WARNING = "warning"
@@ -204,7 +207,7 @@ class _Ctx:
     group: bool = False
     group_keys: Tuple[Expr, ...] = ()
 
-    def row(self, **overrides) -> "_Ctx":
+    def row(self, **overrides: Any) -> "_Ctx":
         """A per-row variant of this context (used under group frontiers)."""
         merged = dict(
             clause=self.clause,
@@ -220,7 +223,7 @@ class _Ctx:
 class SemanticAnalyzer:
     """Analyzes SELECT statements against one database's catalog."""
 
-    def __init__(self, database):
+    def __init__(self, database: "Database"):
         self.database = database
 
     # -- public API ---------------------------------------------------------
@@ -309,6 +312,7 @@ class SemanticAnalyzer:
 
         if stmt.where is not None:
             self._infer(stmt.where, scope, _Ctx(clause="WHERE"))
+            self._static_where(stmt, scope)
 
         for key in stmt.group_by:
             self._infer(key, scope, _Ctx(clause="GROUP BY"))
@@ -388,6 +392,19 @@ class SemanticAnalyzer:
         if len(stmt.select_items) != 1 or isinstance(stmt.select_items[0].expr, Star):
             first_family = None
         return width, first_family
+
+    def _static_where(self, stmt: SelectStatement, scope: _Scope) -> None:
+        """Run the static inference pass over the WHERE conjuncts and
+        emit its SQL5xx findings (contradictory / always-true /
+        out-of-domain predicates).  All are warning-grade: the executor
+        evaluates such predicates without raising.  Findings an SQL3xx
+        diagnostic already covers are suppressed inside the pass."""
+        from .ast import split_conjuncts
+        from .inference import Resolver, infer_where
+
+        report = infer_where(split_conjuncts(stmt.where), Resolver(scope.bindings))
+        for issue in report.issues:
+            self._emit(issue.code, WARNING, issue.message, issue.node)
 
     def _extend_star_width(
         self,
@@ -816,7 +833,7 @@ class SemanticAnalyzer:
         return family
 
 
-def _literal_family(value) -> Optional[str]:
+def _literal_family(value: Any) -> Optional[str]:
     """Type family of a literal's Python value; ``None`` for NULL or for
     values outside the engine's scalar domain (no claims about those —
     programmatic ASTs may carry arbitrary payloads)."""
@@ -845,11 +862,11 @@ def _compatible(left: Optional[str], right: Optional[str]) -> bool:
     return False
 
 
-def analyze(database, stmt: SelectStatement) -> AnalysisResult:
+def analyze(database: "Database", stmt: SelectStatement) -> AnalysisResult:
     """Convenience one-shot: analyze ``stmt`` against ``database``."""
     return SemanticAnalyzer(database).analyze(stmt)
 
 
-def analyze_sql(database, sql: str) -> AnalysisResult:
+def analyze_sql(database: "Database", sql: str) -> AnalysisResult:
     """Convenience one-shot: parse and analyze SQL text."""
     return SemanticAnalyzer(database).analyze_sql(sql)

@@ -18,7 +18,7 @@ with ``ON`` conditions, and nested sub-queries (scalar, ``IN`` and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from .types import format_value
 
@@ -77,7 +77,7 @@ class Expr(SqlNode):
         """Immediate sub-expressions (used by analysis passes)."""
         return ()
 
-    def walk(self):
+    def walk(self) -> Iterator["Expr"]:
         """Yield this node and all descendants, depth-first."""
         yield self
         for child in self.children():
@@ -400,7 +400,7 @@ class SelectStatement(SqlNode):
 
     # -- analysis helpers ---------------------------------------------------
 
-    def all_expressions(self):
+    def all_expressions(self) -> Iterator["Expr"]:
         """Yield every expression in the statement (not descending into
         sub-select statements)."""
         for item in self.select_items:

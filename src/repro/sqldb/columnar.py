@@ -71,6 +71,7 @@ from .ast import (
     SelectStatement,
     Star,
     UnaryOp,
+    split_conjuncts,
 )
 from .errors import (
     AggregateArityError,
@@ -391,7 +392,7 @@ class _CmpColCol:
 _like_to_regex = None
 
 
-def _like_rx(pattern: str):
+def _like_rx(pattern: str) -> Any:
     # Shared with the row path so both compile the identical regex (and
     # share its memoization); imported lazily to keep module loading
     # acyclic.
@@ -461,6 +462,343 @@ class _OrPred:
 
     def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
         return np.maximum(self.left.eval(store, lo, hi), self.right.eval(store, lo, hi))
+
+
+# ---------------------------------------------------------------------------
+# Two-valued (non-Kleene) kernels
+#
+# When the static inference pass proves a conjunct can never go UNKNOWN
+# on any row that matters — every column whose NULL would leak UNKNOWN
+# into its mask is NOT NULL (by schema or by data), or its NULL rows are
+# rejected outright by another conjunct that stays Kleene — the conjunct
+# is evaluated as a plain boolean array, skipping the validity bitmap
+# and the int8 blank/overwrite round trip entirely.
+# ---------------------------------------------------------------------------
+
+
+class _B2Const:
+    """A definite boolean constant (two-valued ``_Const``)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool):
+        self.value = value
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        return np.full(hi - lo, self.value, dtype=np.bool_)
+
+
+class _B2Truthy:
+    """Two-valued ``_Truthy``: truthiness of a never-NULL column."""
+
+    __slots__ = ("j",)
+
+    def __init__(self, j: int):
+        self.j = j
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        col = store.cols[self.j]
+        if col.kind == "date":
+            return np.ones(hi - lo, dtype=np.bool_)
+        vals = col.values[lo:hi]
+        if col.kind == "int":
+            return vals != 0
+        if col.kind == "float":
+            return vals != 0.0
+        if col.kind == "bool":
+            return vals.copy()  # never hand out a store view
+        return vals != ""
+
+
+class _B2IsNullPred:
+    """Two-valued ``IS [NOT] NULL``.  Exact at *every* row (the Kleene
+    kernel is already definite), so it converts unconditionally."""
+
+    __slots__ = ("j", "negated")
+
+    def __init__(self, j: int, negated: bool):
+        self.j = j
+        self.negated = negated
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        null = store.cols[self.j].null[lo:hi]
+        return ~null if self.negated else null.copy()
+
+
+class _B2CmpColLit:
+    """Two-valued ``col OP literal`` — the comparison array, no bitmap."""
+
+    __slots__ = ("j", "op", "rhs", "domain")
+
+    def __init__(self, j: int, op: str, rhs: Any, domain: str):
+        self.j = j
+        self.op = op
+        self.rhs = rhs
+        self.domain = domain
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        col = store.cols[self.j]
+        if self.domain == "num":
+            lhs = col.as_float()[lo:hi]
+        else:
+            lhs = col.values[lo:hi]
+        return _CMP_FUNCS[self.op](lhs, self.rhs)
+
+
+class _B2CmpColCol:
+    """Two-valued ``col OP col``."""
+
+    __slots__ = ("jl", "jr", "op", "domain")
+
+    def __init__(self, jl: int, jr: int, op: str, domain: str):
+        self.jl = jl
+        self.jr = jr
+        self.op = op
+        self.domain = domain
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        cl, cr = store.cols[self.jl], store.cols[self.jr]
+        if self.domain == "num":
+            lhs, rhs = cl.as_float()[lo:hi], cr.as_float()[lo:hi]
+        else:
+            lhs, rhs = cl.values[lo:hi], cr.values[lo:hi]
+        return _CMP_FUNCS[self.op](lhs, rhs)
+
+
+class _B2Like:
+    """Two-valued LIKE.  The ``None`` guard covers rows whose NULLs are
+    rejected by a pinned Kleene conjunct — their value here is moot, but
+    the regex must not see ``None``."""
+
+    __slots__ = ("j", "pattern")
+
+    def __init__(self, j: int, pattern: str):
+        self.j = j
+        self.pattern = pattern
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        match = _like_rx(self.pattern).match
+        chunk = store.cols[self.j].pylist[lo:hi]
+        return np.fromiter(
+            (False if v is None else bool(match(v)) for v in chunk),
+            dtype=np.bool_,
+            count=hi - lo,
+        )
+
+
+class _B2Not:
+    __slots__ = ("child",)
+
+    def __init__(self, child: Any):
+        self.child = child
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        return ~self.child.eval(store, lo, hi)
+
+
+class _B2And:
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Any, right: Any):
+        self.left = left
+        self.right = right
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        return self.left.eval(store, lo, hi) & self.right.eval(store, lo, hi)
+
+
+class _B2Or:
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Any, right: Any):
+        self.left = left
+        self.right = right
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        return self.left.eval(store, lo, hi) | self.right.eval(store, lo, hi)
+
+
+class _ConjunctivePred:
+    """Top-level AND over independently compiled conjunct kernels, some
+    Kleene int8 and some two-valued bool.
+
+    ``keep = AND_i (mask_i == TRUE3)`` is identical to evaluating the
+    Kleene AND of all conjuncts and testing ``== TRUE3`` at the end —
+    the decomposition the two-valued conversion relies on.  Combination
+    is non-inplace: kernels may return views of store arrays.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Any]):
+        self.parts = tuple(parts)
+
+    def eval(self, store: ColumnStore, lo: int, hi: int) -> Any:
+        out = None
+        for part in self.parts:
+            mask = part.eval(store, lo, hi)
+            keep = mask if mask.dtype == np.bool_ else mask == TRUE3
+            out = keep if out is None else out & keep
+        return out
+
+
+def _kernel_null_refs(kernel: Any) -> frozenset:
+    """Columns whose NULL at a row can make this kernel's two-valued
+    conversion diverge from the Kleene mask at that row.
+
+    ``_IsNullPred`` reads the bitmap but its verdict is definite and its
+    conversion exact everywhere, so it contributes nothing; ``_Const``
+    references no columns at all.
+    """
+    if isinstance(kernel, (_Truthy, _CmpColLit, _LikePred)):
+        return frozenset((kernel.j,))
+    if isinstance(kernel, _CmpColCol):
+        return frozenset((kernel.jl, kernel.jr))
+    if isinstance(kernel, _FixedNonNull):
+        return frozenset(kernel.js)
+    if isinstance(kernel, _NotPred):
+        return _kernel_null_refs(kernel.child)
+    if isinstance(kernel, (_AndPred, _OrPred)):
+        return _kernel_null_refs(kernel.left) | _kernel_null_refs(kernel.right)
+    return frozenset()
+
+
+def _null_outcomes(kernel: Any, j: int) -> Tuple[bool, bool]:
+    """``(never_true, never_false)`` of the Kleene kernel on rows where
+    column ``j`` is NULL."""
+    if isinstance(kernel, _Const):
+        return kernel.code != TRUE3, kernel.code != FALSE3
+    if isinstance(kernel, _FixedNonNull):
+        if j in kernel.js:
+            return True, True  # forced UNKNOWN
+        return kernel.code != TRUE3, kernel.code != FALSE3
+    if isinstance(kernel, (_Truthy, _CmpColLit, _LikePred)):
+        return (True, True) if kernel.j == j else (False, False)
+    if isinstance(kernel, _CmpColCol):
+        return (True, True) if j in (kernel.jl, kernel.jr) else (False, False)
+    if isinstance(kernel, _IsNullPred):
+        if kernel.j == j:
+            # Definite: TRUE for IS NULL, FALSE for IS NOT NULL.
+            return (True, False) if kernel.negated else (False, True)
+        return False, False
+    if isinstance(kernel, _NotPred):
+        nt, nf = _null_outcomes(kernel.child, j)
+        return nf, nt
+    if isinstance(kernel, _AndPred):
+        lnt, lnf = _null_outcomes(kernel.left, j)
+        rnt, rnf = _null_outcomes(kernel.right, j)
+        return lnt or rnt, lnf and rnf
+    if isinstance(kernel, _OrPred):
+        lnt, lnf = _null_outcomes(kernel.left, j)
+        rnt, rnf = _null_outcomes(kernel.right, j)
+        return lnt and rnt, lnf or rnf
+    return False, False
+
+
+def _to_bool_kernel(kernel: Any) -> Optional[Any]:
+    """The two-valued equivalent of a Kleene kernel, or ``None``.
+
+    The conversion is exact at every row where all of the kernel's
+    ``_kernel_null_refs`` columns are non-NULL (and, for IS [NOT] NULL
+    and definite constants, at every row outright).  A ``_Const`` that is
+    UNKNOWN stays Kleene: two-valuing it would invert wrongly under NOT.
+    """
+    if isinstance(kernel, (_Const, _FixedNonNull)):
+        if kernel.code == TRUE3:
+            return _B2Const(True)
+        if kernel.code == FALSE3:
+            return _B2Const(False)
+        return None
+    if isinstance(kernel, _Truthy):
+        return _B2Truthy(kernel.j)
+    if isinstance(kernel, _IsNullPred):
+        return _B2IsNullPred(kernel.j, kernel.negated)
+    if isinstance(kernel, _CmpColLit):
+        return _B2CmpColLit(kernel.j, kernel.op, kernel.rhs, kernel.domain)
+    if isinstance(kernel, _CmpColCol):
+        return _B2CmpColCol(kernel.jl, kernel.jr, kernel.op, kernel.domain)
+    if isinstance(kernel, _LikePred):
+        return _B2Like(kernel.j, kernel.pattern)
+    if isinstance(kernel, _NotPred):
+        child = _to_bool_kernel(kernel.child)
+        return None if child is None else _B2Not(child)
+    if isinstance(kernel, (_AndPred, _OrPred)):
+        left = _to_bool_kernel(kernel.left)
+        right = _to_bool_kernel(kernel.right)
+        if left is None or right is None:
+            return None
+        cls = _B2And if isinstance(kernel, _AndPred) else _B2Or
+        return cls(left, right)
+    return None
+
+
+def _two_valued_parts(
+    kernels: Sequence[Any], store: ColumnStore, schema: Any
+) -> Tuple[List[Any], int]:
+    """Convert eligible conjunct kernels to two-valued; returns
+    ``(parts, converted_count)``.
+
+    A conjunct converts when every column in its ``_kernel_null_refs``
+    either can never be NULL (``Column.nullable`` is False, or no NULL
+    is present in the current store — the compile cache is keyed on
+    ``data_version``, so the data claim cannot go stale) or has its NULL
+    rows rejected outright by another conjunct that *remains Kleene*.
+    Rejectors are pinned (never themselves converted): two conjuncts
+    must not two-value each other on the strength of mutual rejection —
+    with fill values in place both could go TRUE on a NULL row the
+    Kleene pair would have rejected.  The one exception is ``IS NOT
+    NULL``, whose conversion is exact at NULL rows too and therefore
+    still rejects after converting.
+    """
+    n = len(kernels)
+    refs = [_kernel_null_refs(k) for k in kernels]
+    all_refs: set = set().union(*refs) if refs else set()
+    never_null = {
+        j
+        for j in all_refs
+        if not schema.columns[j].nullable or not bool(store.cols[j].null.any())
+    }
+    parts: List[Any] = list(kernels)
+    pinned: set = set()
+    converted: set = set()
+    for i in range(n):
+        if i in pinned:
+            continue
+        bool_kernel = _to_bool_kernel(kernels[i])
+        if bool_kernel is None:
+            continue
+        unsafe = refs[i] - never_null
+        helpers: set = set()
+        ok = True
+        for j in sorted(unsafe):
+            helper = None
+            needs_pin = False
+            for k in range(n):
+                if k == i:
+                    continue
+                if (
+                    isinstance(kernels[k], _IsNullPred)
+                    and kernels[k].negated
+                    and kernels[k].j == j
+                ):
+                    helper, needs_pin = k, False
+                    break
+                if k in converted:
+                    continue
+                if _null_outcomes(kernels[k], j)[0]:
+                    helper, needs_pin = k, True
+                    break
+            if helper is None:
+                ok = False
+                break
+            if needs_pin:
+                helpers.add(helper)
+        if not ok:
+            continue
+        parts[i] = bool_kernel
+        converted.add(i)
+        pinned |= helpers
+    return parts, len(converted)
 
 
 def _scan_span_task(shared: Tuple[ColumnStore, Any], lo: int, hi: int) -> Any:
@@ -720,9 +1058,23 @@ class _CompiledQuery:
     the row path's evaluator (identical results, including errors).
     """
 
-    __slots__ = ("table", "binding", "pred", "grouped", "group_js", "fast_items", "fast_order")
+    __slots__ = (
+        "table", "binding", "pred", "grouped", "group_js", "fast_items",
+        "fast_order", "twoval", "nconj",
+    )
 
-    def __init__(self, table, binding, pred, grouped, group_js, fast_items, fast_order):
+    def __init__(
+        self,
+        table: Any,
+        binding: str,
+        pred: Any,
+        grouped: bool,
+        group_js: Any,
+        fast_items: Any,
+        fast_order: Any,
+        twoval: int = 0,
+        nconj: int = 0,
+    ):
         self.table = table
         self.binding = binding
         self.pred = pred
@@ -730,6 +1082,9 @@ class _CompiledQuery:
         self.group_js = group_js
         self.fast_items = fast_items
         self.fast_order = fast_order
+        #: WHERE conjuncts compiled to two-valued kernels / total conjuncts
+        self.twoval = twoval
+        self.nconj = nconj
 
 
 class _GroupCtx:
@@ -738,7 +1093,16 @@ class _GroupCtx:
     __slots__ = ("engine", "compiled", "store", "schema", "rows_list", "gidx", "parent",
                  "_idx_list", "_members", "_rep")
 
-    def __init__(self, engine, compiled, store, schema, rows_list, gidx, parent):
+    def __init__(
+        self,
+        engine: "ColumnarEngine",
+        compiled: _CompiledQuery,
+        store: ColumnStore,
+        schema: Any,
+        rows_list: List[tuple],
+        gidx: Any,
+        parent: Any,
+    ):
         self.engine = engine
         self.compiled = compiled
         self.store = store
@@ -755,7 +1119,7 @@ class _GroupCtx:
             self._idx_list = self.gidx.tolist()
         return self._idx_list
 
-    def rep_scope(self):
+    def rep_scope(self) -> Any:
         """The scope ``_eval_group`` evaluates bare columns on: the
         group's first member row (or an empty scope for the empty
         whole-table group)."""
@@ -770,7 +1134,7 @@ class _GroupCtx:
                 self._rep = scope_cls([], self.parent)
         return self._rep
 
-    def members(self):
+    def members(self) -> List[Any]:
         """Full per-member scopes, for aggregate arguments the fast
         kernels cannot handle (built at most once per group)."""
         if self._members is None:
@@ -840,12 +1204,14 @@ class ColumnarEngine:
             else:
                 masks = self._masks(store, compiled.pred, spans, n)
                 mask = masks[0] if len(masks) == 1 else np.concatenate(masks)
-                idx = np.flatnonzero(mask == TRUE3)
+                keep = mask if mask.dtype == np.bool_ else mask == TRUE3
+                idx = np.flatnonzero(keep)
         stats = ex._stats
         stats.full_scans += 1
         stats.rows_scanned += n
         stats.partitions_scanned += len(spans)
         stats.vectorized += 1
+        stats.twoval_kernels += compiled.twoval
         rows_list = table.rows
         if compiled.grouped:
             rows, order_rows = self._grouped(
@@ -880,10 +1246,10 @@ class ColumnarEngine:
             bits.append("project")
         else:
             bits.append("project(row-eval)")
-        return (
-            f"columnar: vectorized {'+'.join(bits)} "
-            f"(chunk_rows={self.chunk_rows}, jobs={self.jobs or 1})"
-        )
+        detail = f"chunk_rows={self.chunk_rows}, jobs={self.jobs or 1}"
+        if compiled.twoval:
+            detail = f"2-valued filter {compiled.twoval}/{compiled.nconj}, {detail}"
+        return f"columnar: vectorized {'+'.join(bits)} ({detail})"
 
     # -- compilation --------------------------------------------------------
 
@@ -928,9 +1294,34 @@ class ColumnarEngine:
         store = table.column_store()
         schema = table.schema
         binding = stmt.from_table.binding.lower()
+        # The planner's statically simplified WHERE (folded constants,
+        # tautologies and implied ranges dropped).  When nothing was
+        # rewritten, effective_where is the original object — so plans
+        # built without inference behave exactly as before.
+        where = plan.effective_where if plan.static_rewrites else stmt.where
         pred = None
-        if stmt.where is not None:
-            pred = _WhereCompiler(store, schema, binding).compile(stmt.where)
+        twoval = 0
+        nconj = 0
+        if where is not None:
+            compiler = _WhereCompiler(store, schema, binding)
+            if getattr(ex, "infer", True):
+                # Compile per conjunct (same left-to-right order as the
+                # AND tree, so fallback reasons are identical), then let
+                # inference pick two-valued kernels where sound.
+                kernels = [compiler.compile(c) for c in split_conjuncts(where)]
+                nconj = len(kernels)
+                parts, twoval = _two_valued_parts(kernels, store, schema)
+                if twoval:
+                    pred = _ConjunctivePred(parts)
+                else:
+                    # Nothing converted: keep the classic Kleene AND
+                    # chain (min-combination is associative, so the
+                    # left-assoc rebuild is mask-identical).
+                    pred = kernels[0]
+                    for kernel in kernels[1:]:
+                        pred = _AndPred(pred, kernel)
+            else:
+                pred = compiler.compile(where)
         grouped = bool(stmt.group_by) or ex._projects_aggregate(stmt)
         group_js = None
         fast_items = fast_order = None
@@ -944,7 +1335,8 @@ class ColumnarEngine:
         else:
             fast_items, fast_order = self._fast_projection(stmt, schema, binding)
         return _CompiledQuery(
-            table.name, binding, pred, grouped, group_js, fast_items, fast_order
+            table.name, binding, pred, grouped, group_js, fast_items, fast_order,
+            twoval, nconj,
         )
 
     def _local_col(self, ref: ColumnRef, schema: Any, binding: str) -> int:
@@ -954,7 +1346,9 @@ class ColumnarEngine:
             raise _Unsupported(f"column {ref.to_sql()!r} does not resolve locally")
         return schema.column_index(ref.column)
 
-    def _fast_projection(self, stmt: SelectStatement, schema: Any, binding: str):
+    def _fast_projection(
+        self, stmt: SelectStatement, schema: Any, binding: str
+    ) -> Tuple[Optional[List[tuple]], Optional[List[tuple]]]:
         """Gather instructions when every output is a column/literal;
         ``(None, None)`` sends survivors through ``_project_rows``."""
         items: List[tuple] = []
@@ -995,7 +1389,7 @@ class ColumnarEngine:
 
     # -- scanning -----------------------------------------------------------
 
-    def _span(self, name: str):
+    def _span(self, name: str) -> Any:
         # Direct profiler spans (not profile_stage): stage hooks are the
         # serving layer's fault-injection seam and must not fire for
         # engine-internal kernels.
@@ -1004,14 +1398,18 @@ class ColumnarEngine:
             return _NOOP_SPAN
         return profiler.span(name)
 
-    def _masks(self, store: ColumnStore, pred: Any, spans: List[Tuple[int, int]], n: int):
+    def _masks(
+        self, store: ColumnStore, pred: Any, spans: List[Tuple[int, int]], n: int
+    ) -> List[Any]:
         if self.jobs > 1 and len(spans) > 1 and n >= self.parallel_min_rows:
             return run_partitioned(_scan_span_task, (store, pred), spans, self.jobs)
         return [pred.eval(store, lo, hi) for lo, hi in spans]
 
     # -- projection ---------------------------------------------------------
 
-    def _fast_gather(self, compiled: _CompiledQuery, rows_list: List[tuple], idx: Any):
+    def _fast_gather(
+        self, compiled: _CompiledQuery, rows_list: List[tuple], idx: Any
+    ) -> Tuple[List[tuple], List[tuple]]:
         items = compiled.fast_items
         order_items = compiled.fast_order
         idx_list = idx.tolist()
@@ -1052,7 +1450,16 @@ class ColumnarEngine:
 
     # -- grouped execution --------------------------------------------------
 
-    def _grouped(self, stmt, compiled, store, schema, rows_list, idx, parent):
+    def _grouped(
+        self,
+        stmt: SelectStatement,
+        compiled: _CompiledQuery,
+        store: ColumnStore,
+        schema: Any,
+        rows_list: List[tuple],
+        idx: Any,
+        parent: Any,
+    ) -> Tuple[List[tuple], List[tuple]]:
         ex = self._ex
         with self._span("columnar-group"):
             group_arrays = self._group_indices(compiled, store, idx)
@@ -1087,7 +1494,9 @@ class ColumnarEngine:
                 )
         return rows, order_rows
 
-    def _group_indices(self, compiled, store, idx):
+    def _group_indices(
+        self, compiled: _CompiledQuery, store: ColumnStore, idx: Any
+    ) -> List[Any]:
         """Partition surviving row indices into groups, each an ascending
         int64 array, in first-occurrence order — exactly the insertion
         order of the row path's group dict."""
@@ -1128,7 +1537,7 @@ class ColumnarEngine:
             for key in order
         ]
 
-    def _group_single_fast(self, col: ColumnData, idx: Any):
+    def _group_single_fast(self, col: ColumnData, idx: Any) -> List[Any]:
         """Single-key grouping via ``np.unique`` on the key array; NULLs
         form their own group.  Groups come back ordered by first
         occurrence and members stay in ascending row order, matching the
@@ -1240,7 +1649,7 @@ class ColumnarEngine:
             return None
         return group.schema.column_index(arg.column)
 
-    def _fast_aggregate(self, name: str, distinct: bool, j: int, group: _GroupCtx):
+    def _fast_aggregate(self, name: str, distinct: bool, j: int, group: _GroupCtx) -> Any:
         """Vectorized aggregate when provably exact, else ``_NO_FAST``.
 
         Float SUM/AVG always take the list path: ``np.sum`` uses pairwise

@@ -11,13 +11,19 @@ knowledge every NLIDB system in the survey leans on:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
 from .errors import SchemaError, UnknownTableError
 from .schema import Column, ForeignKey, TableSchema
 from .table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .analyzer import AnalysisResult
+    from .executor import Executor
+    from .planner import ExecutionStats
+    from .relation import Relation
 
 
 class Database:
@@ -42,6 +48,18 @@ class Database:
         self._tables[key] = table
         self.catalog_version += 1
         return table
+
+    def create_table_sql(self, sql: str) -> Table:
+        """Register a new table from ``CREATE TABLE`` DDL text.
+
+        Constraints round-trip: ``NOT NULL`` lands in
+        :attr:`~repro.sqldb.schema.Column.nullable` (which the static
+        inference pass reads) and ``PRIMARY KEY`` in
+        :attr:`~repro.sqldb.schema.Column.primary_key`.
+        """
+        from .parser import parse_create_table
+
+        return self.create_table(parse_create_table(sql))
 
     def table(self, name: str) -> Table:
         """Look up a table by (case-insensitive) name."""
@@ -104,7 +122,7 @@ class Database:
         return self.catalog_version + sum(t.version for t in self._tables.values())
 
     @property
-    def executor(self):
+    def executor(self) -> "Executor":
         """The database's shared planning executor (created lazily), so
         ad-hoc SQL benefits from the statement and plan caches."""
         if self._default_executor is None:
@@ -113,7 +131,7 @@ class Database:
             self._default_executor = Executor(self)
         return self._default_executor
 
-    def execute_sql(self, sql: str):
+    def execute_sql(self, sql: str) -> "Relation":
         """Parse (cached) and execute SQL text through the shared executor."""
         return self.executor.execute_sql(sql)
 
@@ -121,7 +139,7 @@ class Database:
         """EXPLAIN-style plan description for SQL text (not executed)."""
         return self.executor.explain_sql(sql)
 
-    def analyze_sql(self, sql: str):
+    def analyze_sql(self, sql: str) -> "AnalysisResult":
         """Statically analyze SQL text against this catalog.
 
         Returns an :class:`~repro.sqldb.analyzer.AnalysisResult` with the
@@ -133,7 +151,7 @@ class Database:
         return SemanticAnalyzer(self).analyze_sql(sql)
 
     @property
-    def last_stats(self):
+    def last_stats(self) -> "Optional[ExecutionStats]":
         """The shared executor's most recent per-query
         :class:`~repro.sqldb.planner.ExecutionStats` (``None`` before the
         first query)."""

@@ -15,7 +15,9 @@ Code ranges:
 - ``SQL1xx`` — lexing/parsing,
 - ``SQL2xx`` — catalog and name resolution,
 - ``SQL3xx`` — typing,
-- ``SQL4xx`` — execution (including aggregate and subquery misuse).
+- ``SQL4xx`` — execution (including aggregate and subquery misuse),
+- ``SQL5xx`` — static inference (always warning-grade: contradictory,
+  tautological, or out-of-domain predicates).
 """
 
 from __future__ import annotations
@@ -234,6 +236,36 @@ class SubqueryColumnsError(SubqueryError):
     code = "SQL421"
 
 
+class StaticInferenceError(SqlError):
+    """Base class for static-inference findings (``SQL5xx``).  All are
+    warning-grade: the executor tolerates the construct, but inference
+    proved the predicate cannot mean what it says."""
+
+    code = "SQL500"
+
+
+class ContradictoryPredicateError(StaticInferenceError):
+    """A predicate (or a set of range predicates on one column) that can
+    never be definitely true — the query returns no rows through it."""
+
+    code = "SQL501"
+
+
+class TautologicalPredicateError(StaticInferenceError):
+    """A predicate that is definitely true on every row (e.g. ``x IS NOT
+    NULL`` on a NOT NULL column) — it filters nothing."""
+
+    code = "SQL502"
+
+
+class OutOfDomainConstantError(StaticInferenceError):
+    """A comparison constant outside the column's value domain (a
+    fractional constant against an INTEGER column, a non-ISO string
+    against a DATE column) — the comparison can never be satisfied."""
+
+    code = "SQL503"
+
+
 #: Every exception class keyed by its stable code — the analyzer uses
 #: this to map diagnostic codes back onto error classes 1:1.
 ERROR_CLASS_BY_CODE = {
@@ -268,5 +300,9 @@ ERROR_CLASS_BY_CODE = {
         FunctionArityError,
         SubqueryError,
         SubqueryColumnsError,
+        StaticInferenceError,
+        ContradictoryPredicateError,
+        TautologicalPredicateError,
+        OutOfDomainConstantError,
     )
 }

@@ -40,7 +40,7 @@ from __future__ import annotations
 import functools
 import re
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from .ast import (
     Between,
@@ -79,6 +79,10 @@ from .planner import ExecutionStats, JoinPlan, Planner, QueryPlan, ScanPlan
 from .relation import Relation
 from .schema import TableSchema
 from .types import hash_key, sort_key, values_compare, values_equal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .analyzer import AnalysisResult
+    from .columnar import ColumnarEngine
 
 
 class _Scope:
@@ -220,10 +224,17 @@ class Executor:
         use_columnar: bool = True,
         scan_chunk_rows: Optional[int] = None,
         scan_jobs: int = 0,
+        infer: bool = True,
     ):
         self.database = database
         self.use_planner = use_planner
         self.analyze = analyze
+        #: let the static inference pass (:mod:`repro.sqldb.inference`)
+        #: rewrite plans: constant folding, dropping always-true and
+        #: implied conjuncts, short-circuiting provably-empty WHERE
+        #: clauses, and two-valued columnar kernels.  ``infer=False`` is
+        #: the escape hatch that restores pre-inference plans exactly.
+        self.infer = infer
         #: route eligible planned statements through the vectorized
         #: columnar kernels (:mod:`repro.sqldb.columnar`); anything the
         #: kernels can't mirror byte-for-byte falls back automatically.
@@ -236,7 +247,7 @@ class Executor:
         self.last_stats = ExecutionStats()
         self.total_stats = ExecutionStats()
         self._stats = self.last_stats
-        self._planner = Planner(database)
+        self._planner = Planner(database, infer=infer)
         self._analyzer = None
         self._columnar = None
         self._statement_cache = _LRUCache(statement_cache_size)
@@ -260,7 +271,7 @@ class Executor:
         self._preflight(stmt)
         return self._run(stmt)
 
-    def analysis_for(self, stmt: SelectStatement):
+    def analysis_for(self, stmt: SelectStatement) -> "AnalysisResult":
         """Static analysis of ``stmt``, cached per statement object.
 
         The cache is keyed by object identity (like the plan cache —
@@ -292,7 +303,7 @@ class Executor:
         statement would take."""
         plan = self._planner.plan(stmt)
         text = plan.describe()
-        if self.use_planner:
+        if self.use_planner and not plan.provably_empty:
             engine = self._columnar_engine()
             if engine is not None:
                 text += "\n" + engine.describe(stmt, plan)
@@ -367,7 +378,7 @@ class Executor:
         self._plan_cache[id(stmt)] = (stmt, plan)
         return plan
 
-    def _columnar_engine(self):
+    def _columnar_engine(self) -> "Optional[ColumnarEngine]":
         """The lazily built vectorized engine, or ``None`` when disabled
         (or when its dependencies are unavailable)."""
         if not self.use_columnar:
@@ -391,6 +402,24 @@ class Executor:
     def _execute(self, stmt: SelectStatement, parent: Optional[_Scope]) -> Relation:
         if self.use_planner:
             plan = self._plan_for(stmt)
+            self._stats.static_rewrites += plan.static_rewrites
+            if plan.provably_empty:
+                # The WHERE clause is provably never satisfiable (and
+                # provably never raises): skip the scan entirely.  An
+                # empty scope list flows through the same projection
+                # machinery, so grouped aggregates still produce their
+                # one COUNT=0 row.
+                self._stats.static_short_circuits += 1
+                if parent is None and not self._stats.strategy:
+                    self._stats.strategy = plan.summary()
+                scopes: List[_Scope] = []
+                grouped = bool(stmt.group_by) or self._projects_aggregate(stmt)
+                if grouped:
+                    rows, order_rows = self._project_grouped(stmt, scopes, parent)
+                else:
+                    rows, order_rows = self._project_rows(stmt, scopes)
+                columns = self._output_columns(stmt, scopes)
+                return self._finalize(stmt, rows, order_rows, columns)
             engine = self._columnar_engine()
             if engine is not None:
                 claimed = engine.try_execute(stmt, plan, parent)
@@ -449,7 +478,7 @@ class Executor:
 
         if stmt.order_by:
             directions = [item.direction for item in stmt.order_by]
-            def key(pair):
+            def key(pair: Tuple[Any, Any]) -> Tuple[Any, ...]:
                 _, okey = pair
                 return tuple(
                     _DirectionKey(sort_key(v), direction == "desc")
@@ -826,7 +855,7 @@ class Executor:
             return self._eval_subquery(expr, scope)
         raise ExecutionError(f"cannot evaluate expression {expr!r}")  # pragma: no cover
 
-    def _compare3(self, left: Any, right: Any, test) -> Any:
+    def _compare3(self, left: Any, right: Any, test: Callable[[int], bool]) -> Any:
         """Three-valued ordering comparison: unknown when either side is
         NULL, false when the non-NULL sides are incomparable."""
         if left is None or right is None:

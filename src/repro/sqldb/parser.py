@@ -19,6 +19,11 @@ Grammar (informal)::
     term      := factor (('*'|'/') factor)*
     factor    := literal | column | function | '(' expr-or-select ')' | '-'factor
 
+DDL is limited to ``CREATE TABLE`` (see :func:`parse_create_table`)::
+
+    create_table := CREATE TABLE ident '(' column_def (',' column_def)* ')' [';']
+    column_def   := ident type_name (PRIMARY KEY | NOT NULL | NULL)*
+
 Every parse entry point returns :mod:`repro.sqldb.ast` nodes; round-trips
 through :meth:`~repro.sqldb.ast.SqlNode.to_sql` are tested property-style.
 
@@ -55,8 +60,26 @@ from .ast import (
 )
 from .errors import ParseError
 from .lexer import Token, tokenize
+from .schema import Column, TableSchema
+from .types import DataType
 
 _COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Accepted type names in CREATE TABLE column definitions (lexed as plain
+#: identifiers — type names are not reserved words in this dialect).
+_TYPE_NAMES = {
+    "integer": DataType.INTEGER,
+    "int": DataType.INTEGER,
+    "float": DataType.FLOAT,
+    "real": DataType.FLOAT,
+    "double": DataType.FLOAT,
+    "text": DataType.TEXT,
+    "varchar": DataType.TEXT,
+    "string": DataType.TEXT,
+    "boolean": DataType.BOOLEAN,
+    "bool": DataType.BOOLEAN,
+    "date": DataType.DATE,
+}
 
 _NodeT = TypeVar("_NodeT", bound=SqlNode)
 
@@ -79,6 +102,31 @@ def parse_expression(sql: str) -> Expr:
     expr = parser.expression()
     parser.expect_eof()
     return expr
+
+
+def parse_create_table(sql: str) -> TableSchema:
+    """Parse a ``CREATE TABLE`` statement into a :class:`TableSchema`.
+
+    Grammar::
+
+        create_table := CREATE TABLE ident '(' column_def (',' column_def)* ')' [';']
+        column_def   := ident type_name constraint*
+        constraint   := PRIMARY KEY | NOT NULL | NULL
+
+    ``CREATE``, ``TABLE``, ``PRIMARY``, ``KEY`` and type names are not
+    reserved words in this dialect, so they are matched as identifiers
+    (case-insensitively); ``NOT``/``NULL`` are real keywords.  The result
+    round-trips with :meth:`TableSchema.to_ddl` — in particular ``NOT
+    NULL`` survives into :attr:`Column.nullable`, which the static
+    inference pass (:mod:`repro.sqldb.inference`) uses to prove
+    predicates two-valued.
+    """
+    # ';' is not a lexer operator; the statement terminator is optional.
+    text = sql.rstrip().rstrip(";")
+    parser = _Parser(tokenize(text))
+    schema = parser.create_table()
+    parser.expect_eof()
+    return schema
 
 
 class _Parser:
@@ -160,7 +208,63 @@ class _Parser:
         if token.kind != "eof":
             raise self._error(f"unexpected trailing input {token.text!r}", token)
 
+    def _match_word(self, word: str) -> bool:
+        """Consume an identifier token equal to ``word`` (case-insensitive).
+
+        Used for CREATE TABLE vocabulary, which the lexer does not treat
+        as keywords (SELECT queries may use e.g. ``key`` as a column name).
+        """
+        token = self._peek()
+        if token.kind == "ident" and str(token.value).lower() == word:
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        token = self._peek()
+        if not self._match_word(word):
+            raise self._error(
+                f"expected {word.upper()!r}, got {token.text or 'EOF'!r}", token
+            )
+
     # -- statement ----------------------------------------------------------
+
+    def create_table(self) -> TableSchema:
+        """Parse one ``CREATE TABLE`` statement into a :class:`TableSchema`."""
+        self._expect_word("create")
+        self._expect_word("table")
+        name = self._expect_ident()
+        self._expect_op("(")
+        columns = [self._column_def()]
+        while self._match_op(","):
+            columns.append(self._column_def())
+        self._expect_op(")")
+        return TableSchema(name, columns)
+
+    def _column_def(self) -> Column:
+        name = self._expect_ident()
+        token = self._advance()
+        if token.kind != "ident" or str(token.value).lower() not in _TYPE_NAMES:
+            raise self._error(
+                f"expected a column type, got {token.text or 'EOF'!r}", token
+            )
+        dtype = _TYPE_NAMES[str(token.value).lower()]
+        nullable = True
+        primary_key = False
+        while True:
+            if self._match_word("primary"):
+                self._expect_word("key")
+                primary_key = True
+                continue
+            if self._match_keyword("not"):
+                self._expect_keyword("null")
+                nullable = False
+                continue
+            if self._match_keyword("null"):
+                nullable = True
+                continue
+            break
+        return Column(name, dtype, nullable=nullable, primary_key=primary_key)
 
     def select(self) -> SelectStatement:
         """Parse one SELECT block (without enclosing parentheses)."""

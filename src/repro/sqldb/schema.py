@@ -9,7 +9,7 @@ the ontology layer (:mod:`repro.ontology.builder`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from .errors import SchemaError, UnknownColumnError
 from .types import DataType
@@ -35,7 +35,7 @@ class Column:
     primary_key: bool = False
     synonyms: Tuple[str, ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name or not self.name.strip():
             raise SchemaError("column name must be non-empty")
 
@@ -76,7 +76,7 @@ class TableSchema:
                 raise SchemaError(f"duplicate column {col.name!r} in table {name!r}")
             self._by_name[key] = idx
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[Column]":
         return iter(self.columns)
 
     def __len__(self) -> int:

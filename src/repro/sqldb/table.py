@@ -14,11 +14,14 @@ bumped on every insert, so they can never serve stale lookups.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from .errors import SchemaError, TypeMismatchError
 from .schema import TableSchema
 from .types import coerce, hash_key
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .columnar import ColumnStore
 
 
 class Table:
@@ -139,7 +142,7 @@ class Table:
         """Drop all cached secondary indexes (they rebuild on next use)."""
         self._indexes.clear()
 
-    def column_store(self):
+    def column_store(self) -> "ColumnStore":
         """The table's columnar image (:class:`repro.sqldb.columnar.ColumnStore`).
 
         Built lazily on first request and rebuilt whenever ``version``

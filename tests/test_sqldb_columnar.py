@@ -439,6 +439,102 @@ class TestObservability:
 
 
 # ---------------------------------------------------------------------------
+# Golden fallback reasons
+# ---------------------------------------------------------------------------
+
+#: (sql, verbatim reason) — one query per `_Unsupported` message the
+#: compiler can emit for SQL text.  The remaining raise sites need
+#: programmatic ASTs or non-SQL values (NaN literal, DATE object against
+#: a TEXT column, stores without vectorizable storage) and are covered
+#: implicitly by the differential corpora.
+GOLDEN_FALLBACKS = [
+    ("SELECT v FROM t WHERE u.w > 3", "column 'u.w' is outside the scanned table"),
+    ("SELECT v FROM t WHERE nosuch > 1", "column 'nosuch' does not resolve locally"),
+    ("SELECT v FROM t WHERE v + 1", "operator '+' in WHERE"),
+    ("SELECT v FROM t WHERE v + 1 IS NULL", "IS NULL over a computed expression"),
+    ("SELECT v FROM t WHERE v + 1 > 5", "comparison over computed expressions"),
+    ("SELECT v FROM t WHERE v > " + "9" * 400, "integer literal beyond float range"),
+    ("SELECT v FROM t WHERE s > 'a\x00b'", "NUL byte in text literal"),
+    ("SELECT v FROM t WHERE f > 1", "ordering comparison on NaN-containing column 'f'"),
+    ("SELECT v FROM t WHERE s > d", "DATE/TEXT column comparison needs per-row coercion"),
+    ("SELECT v FROM t WHERE v LIKE 'a%'", "LIKE outside text-column-vs-pattern form"),
+    ("SELECT v FROM t WHERE v + 1 IN (1, 2)", "IN over a computed operand"),
+    ("SELECT v FROM t WHERE v IN (id)", "non-literal IN list item"),
+    ("SELECT t.v FROM t JOIN u ON t.v = u.id", "join"),
+    ("SELECT v FROM t WHERE EXISTS (SELECT id FROM u)", "subquery"),
+    ("SELECT v FROM t WHERE id = 7", "index scan preferred"),
+    ("SELECT COUNT(*) FROM t GROUP BY v + 1", "computed GROUP BY key"),
+    ("SELECT 1", "no FROM clause"),
+]
+
+
+class TestGoldenFallbackReasons:
+    """Every reachable `_Unsupported` reason must surface verbatim in
+    EXPLAIN output as ``columnar: row path (<reason>)`` — the fallback
+    boundary is a documented API, not an implementation detail."""
+
+    @staticmethod
+    def _db() -> Database:
+        db = Database("golden")
+        db.create_table(
+            TableSchema(
+                "t",
+                [
+                    Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                    Column("v", DataType.INTEGER),
+                    Column("f", DataType.FLOAT),
+                    Column("s", DataType.TEXT),
+                    Column("d", DataType.DATE),
+                ],
+            )
+        )
+        db.create_table(
+            TableSchema(
+                "u",
+                [
+                    Column("id", DataType.INTEGER, primary_key=True, nullable=False),
+                    Column("w", DataType.INTEGER),
+                ],
+            )
+        )
+        base = datetime.date(2023, 1, 1)
+        db.insert_many(
+            "t",
+            [
+                [
+                    i,
+                    i % 50,
+                    float("nan") if i == 3 else i / 7.0,
+                    f"s{i % 9}",
+                    base + datetime.timedelta(days=i % 200),
+                ]
+                for i in range(600)
+            ],
+        )
+        db.insert_many("u", [[i, i] for i in range(10)])
+        return db
+
+    @pytest.mark.parametrize("sql, reason", GOLDEN_FALLBACKS)
+    def test_reason_verbatim_in_explain(self, sql, reason):
+        text = self._db().explain_sql(sql)
+        assert f"columnar: row path ({reason})" in text, text
+
+    @pytest.mark.parametrize(
+        "sql, reason",
+        [
+            pair
+            for pair in GOLDEN_FALLBACKS
+            # The row path itself raises OverflowError (not a SqlError)
+            # comparing an int beyond float range; parity is meaningless.
+            if pair[1] != "integer literal beyond float range"
+        ],
+    )
+    def test_fallback_query_still_matches_naive(self, sql, reason):
+        db = self._db()
+        assert_three_paths_agree(db, sql)
+
+
+# ---------------------------------------------------------------------------
 # Bulk insert
 # ---------------------------------------------------------------------------
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.sqldb import ParseError, parse_expression, parse_select
+from repro.sqldb import (
+    DataType,
+    ParseError,
+    parse_create_table,
+    parse_expression,
+    parse_select,
+)
 from repro.sqldb.ast import (
     Between,
     BinaryOp,
@@ -219,3 +225,85 @@ class TestRoundTrip:
         first = parse_select(sql)
         second = parse_select(first.to_sql())
         assert first == second
+
+
+class TestParseCreateTable:
+    def test_basic_columns_and_types(self):
+        schema = parse_create_table(
+            "CREATE TABLE emp (id INTEGER, name TEXT, pay FLOAT, ok BOOLEAN, day DATE)"
+        )
+        assert schema.name == "emp"
+        assert [c.dtype for c in schema] == [
+            DataType.INTEGER,
+            DataType.TEXT,
+            DataType.FLOAT,
+            DataType.BOOLEAN,
+            DataType.DATE,
+        ]
+        assert all(c.nullable for c in schema)
+
+    def test_not_null_and_primary_key_survive(self):
+        schema = parse_create_table(
+            "CREATE TABLE t (id INT PRIMARY KEY NOT NULL, v INT NOT NULL, w INT NULL)"
+        )
+        assert schema.column("id").primary_key
+        assert not schema.column("id").nullable
+        assert not schema.column("v").nullable
+        assert schema.column("w").nullable
+
+    def test_constraint_order_is_free(self):
+        schema = parse_create_table("CREATE TABLE t (id INT NOT NULL PRIMARY KEY)")
+        assert schema.column("id").primary_key
+        assert not schema.column("id").nullable
+
+    def test_type_aliases(self):
+        schema = parse_create_table(
+            "CREATE TABLE t (a int, b varchar, c string, d real, e double, f bool)"
+        )
+        assert [c.dtype for c in schema] == [
+            DataType.INTEGER,
+            DataType.TEXT,
+            DataType.TEXT,
+            DataType.FLOAT,
+            DataType.FLOAT,
+            DataType.BOOLEAN,
+        ]
+
+    def test_keywords_are_case_insensitive_idents(self):
+        # CREATE/TABLE/PRIMARY/KEY are not reserved words in the dialect;
+        # they must still match case-insensitively.
+        schema = parse_create_table("create table T (K integer primary key)")
+        assert schema.name == "T"
+        assert schema.column("k").primary_key
+
+    def test_trailing_semicolon_and_whitespace(self):
+        schema = parse_create_table("CREATE TABLE t (a INT) ;  \n")
+        assert schema.name == "t"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "CREATE TABLE ()",
+            "CREATE TABLE t ()",
+            "CREATE TABLE t (a BLOB)",
+            "CREATE TABLE t (a INT,)",
+            "CREATE TABLE t (a INT",
+            "CREATE TABLE t (a INT NOT)",
+            "SELECT 1",
+            "CREATE TABLE t (a INT) junk",
+        ],
+    )
+    def test_malformed_raises_parse_error(self, bad):
+        with pytest.raises(ParseError):
+            parse_create_table(bad)
+
+    def test_round_trips_with_to_ddl(self):
+        ddl = (
+            "CREATE TABLE emp (id INTEGER PRIMARY KEY NOT NULL, "
+            "name TEXT NOT NULL, pay FLOAT)"
+        )
+        schema = parse_create_table(ddl)
+        again = parse_create_table(schema.to_ddl())
+        assert [
+            (c.name, c.dtype, c.nullable, c.primary_key) for c in schema
+        ] == [(c.name, c.dtype, c.nullable, c.primary_key) for c in again]

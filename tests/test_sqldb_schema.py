@@ -11,6 +11,7 @@ from repro.sqldb import (
     TypeMismatchError,
     UnknownColumnError,
     UnknownTableError,
+    parse_create_table,
 )
 
 
@@ -143,3 +144,38 @@ class TestDatabase:
         assert stats["tables"] == 4
         assert stats["foreign_keys"] == 3
         assert stats["rows"] == 3 + 3 + 3 + 4
+
+
+class TestDdlRoundTrip:
+    def test_not_null_round_trips_end_to_end(self):
+        # schema -> DDL text -> parsed schema -> database: the NOT NULL
+        # constraint must survive every hop and still be enforced.
+        original = make_schema()
+        reparsed = parse_create_table(original.to_ddl())
+        assert [
+            (c.name, c.dtype, c.nullable, c.primary_key) for c in original
+        ] == [(c.name, c.dtype, c.nullable, c.primary_key) for c in reparsed]
+        db = Database("roundtrip")
+        db.create_table_sql(original.to_ddl())
+        db.insert("t", [1, "Ada", 1.5])
+        with pytest.raises(TypeMismatchError):
+            db.insert("t", [None, "Bob", 2.0])
+
+    def test_create_table_sql_rejects_duplicates(self):
+        db = Database("dup")
+        db.create_table_sql("CREATE TABLE t (a INT)")
+        with pytest.raises(SchemaError):
+            db.create_table_sql("CREATE TABLE t (a INT)")
+
+    def test_not_null_feeds_static_inference(self):
+        # The planner proves IS NOT NULL tautological only because the
+        # parsed DDL carried nullable=False through to the catalog.
+        from repro.sqldb import parse_select
+
+        db = Database("inference-ddl")
+        db.create_table_sql("CREATE TABLE t (id INT PRIMARY KEY NOT NULL, v INT)")
+        db.insert("t", [1, None])
+        db.insert("t", [2, 5])
+        plan = db.executor._plan_for(parse_select("SELECT id FROM t WHERE id IS NOT NULL"))
+        assert plan.static_rewrites >= 1
+        assert plan.effective_where is None

@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Project-specific lint checks that ruff does not cover in our config.
+
+An AST walk over the source tree flagging three hazard patterns that have
+bitten (or nearly bitten) this codebase:
+
+- ``R001`` bare ``except:`` — swallows ``KeyboardInterrupt``/``SystemExit``;
+  the evaluation harness must stay interruptible even when a system under
+  test throws garbage.  Catch ``Exception`` (or narrower) instead.
+- ``R002`` mutable default argument — a ``list``/``dict``/``set`` literal
+  (or constructor call) as a parameter default is shared across calls;
+  seeded benchmark runs stop being independent.
+- ``R003`` ``ContextVar`` created outside module scope — a ``ContextVar``
+  built per-call leaks an entry in every context it touches and defeats
+  the "one well-known slot" pattern (:mod:`repro.perf.profiler` binds its
+  two at module scope; that is the sanctioned shape).
+
+Usage::
+
+    python tools/lint_repro.py [paths...]   # default: src tools benchmarks
+
+Prints ``path:line:col: CODE message`` per finding; exit status 1 when
+anything was flagged, 0 otherwise.  Stdlib-only, so it runs in CI next to
+ruff and mypy without extra installs.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple, Sequence
+
+DEFAULT_PATHS = ("src", "tools", "benchmarks")
+
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set"})
+
+
+class Finding(NamedTuple):
+    """One lint hit, formatted ``path:line:col: code message``."""
+
+    path: Path
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        return isinstance(func, ast.Name) and func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _is_contextvar_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "ContextVar"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "ContextVar"
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    """Single-file AST walk tracking function-nesting depth."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.findings: List[Finding] = []
+        self._function_depth = 0
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(self.path, node.lineno, node.col_offset + 1, code, message)
+        )
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._flag(node, "R001", "bare 'except:' — catch Exception or narrower")
+        self.generic_visit(node)
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                self._flag(
+                    default,
+                    "R002",
+                    f"mutable default argument in {node.name}() — use None and "
+                    "construct inside the body",
+                )
+
+    def _visit_function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._function_depth > 0 and _is_contextvar_call(node):
+            self._flag(
+                node,
+                "R003",
+                "ContextVar created outside module scope — bind one well-known "
+                "slot at module level instead",
+            )
+        self.generic_visit(node)
+
+
+def _python_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            yield path
+        elif path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every ``*.py`` under ``paths``; returns all findings."""
+    findings: List[Finding] = []
+    for path in _python_files(paths):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(path, exc.lineno or 0, exc.offset or 0, "R000", f"syntax error: {exc.msg}")
+            )
+            continue
+        checker = _Checker(path)
+        checker.visit(tree)
+        findings.extend(checker.findings)
+    return findings
+
+
+def main(argv: Sequence[str]) -> int:
+    paths = list(argv) or list(DEFAULT_PATHS)
+    findings = lint_paths(paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    print(f"ok: no findings in {', '.join(paths)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
