@@ -10,6 +10,7 @@ Subcommands exercising the library end to end::
     python -m repro systems                         # list registered systems
     python -m repro bench --jobs 4 --profile        # parallel benchmark sweep
     python -m repro serve "..." --inject "execute:error:0.5"   # resilient serving
+    python -m repro serve --http 8080 --pool 4                 # HTTP/JSON facade
     python -m repro bench --serve --inject "*:error:0.3"       # availability columns
 
 ``sql`` runs raw SQL against a domain database; ``--explain`` prints the
@@ -205,12 +206,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     land in the report.  ``--inject`` takes a fault plan like
     ``execute:error:0.5,*:latency:0.2:0.05`` (see
     :mod:`repro.serve.faults`); ``--workload N`` serves a generated
-    N-per-tier workload instead of a single question.
+    N-per-tier workload instead of a single question; ``--http PORT``
+    starts the concurrent HTTP/JSON facade (``POST /query``,
+    ``GET /healthz``) instead of answering inline.
     """
     import json
 
     from repro.serve import serve_workload
 
+    if args.http:
+        return _serve_http(args)
     context = _build_context(args.domain, args.seed)
     service = _build_service(context, args)
     system = args.system or None
@@ -245,6 +250,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2)
         print(f"\nwrote {args.json}")
     return 0 if summary.ok else 1
+
+
+def _serve_http(args: argparse.Namespace) -> int:
+    """Run the concurrent serving front behind the HTTP/JSON facade."""
+    from repro.serve import ConcurrentFront, FaultPlan, serve_http
+
+    plan = FaultPlan.parse(args.inject, seed=args.fault_seed) if args.inject else None
+    front = ConcurrentFront(
+        lambda: _build_context(args.domain, args.seed),
+        pool_size=args.pool,
+        queue_depth=args.queue_depth,
+        deadline_s=args.deadline or None,
+        fault_plan=plan,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        timeout_s=args.timeout or None,
+    )
+    server = serve_http(front, host=args.host, port=args.http)
+    host, port = server.endpoint
+    print(f"serving {args.domain!r} on http://{host}:{port}")
+    print('  POST /query    {"question": "...", "system": "athena"?}')
+    print("  GET  /healthz  pool/queue/breaker snapshot")
+    print(
+        f"  pool={args.pool} queue_depth={args.queue_depth} "
+        f"deadline={args.deadline or 'off'} fault_plan={args.inject or 'none'}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        front.stop()
+    return 0
 
 
 def _print_serve_result(result, verbose: bool, rows: int) -> None:
@@ -437,6 +476,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--json", default="", help="write the machine-readable serve report to FILE"
+    )
+    serve.add_argument(
+        "--http",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="start the concurrent HTTP/JSON facade on PORT instead of "
+        "answering inline (POST /query, GET /healthz)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address for --http"
+    )
+    serve.add_argument(
+        "--pool", type=int, default=4, help="worker threads for --http dispatch"
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        help="admission queue bound for --http (full queue → HTTP 429)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=0.0,
+        help="per-request end-to-end deadline seconds for --http (0 disables)",
     )
     _add_fault_args(serve)
     serve.set_defaults(func=cmd_serve)

@@ -174,19 +174,43 @@ _STAGE_HOOK: ContextVar[Optional[Callable[[str], None]]] = ContextVar(
 
 
 @contextmanager
-def stage_hook(hook: Callable[[str], None]) -> Iterator[None]:
+def stage_hook(hook: Callable[[str], None], chain: bool = False) -> Iterator[None]:
     """Bind ``hook`` to run at every stage-span boundary in the block.
 
     The serving layer uses this to inject faults and enforce cooperative
     deadlines at exactly the pipeline's instrumented stage boundaries
     (tokenize/parse/match/rank/compile/execute).  A hook that raises
     aborts the stage before it starts.
+
+    ``chain=True`` composes with, rather than replaces, any hook already
+    bound in the current context: the *outer* hook fires first, then
+    ``hook``.  This is how the concurrent front's preemptive stage guard
+    (armed around a whole request) keeps firing while the resilient
+    service arms its own per-attempt fault/deadline hook inside —
+    guard cancellation outranks fault injection, so a blown deadline
+    cancels the remaining stages no matter what the inner hook does.
     """
+    if chain:
+        outer = _STAGE_HOOK.get()
+        if outer is not None:
+            hook = _chain_hooks(outer, hook)
     token = _STAGE_HOOK.set(hook)
     try:
         yield
     finally:
         _STAGE_HOOK.reset(token)
+
+
+def _chain_hooks(
+    outer: Callable[[str], None], inner: Callable[[str], None]
+) -> Callable[[str], None]:
+    """One hook that runs ``outer`` then ``inner`` (outer may raise first)."""
+
+    def chained(stage: str) -> None:
+        outer(stage)
+        inner(stage)
+
+    return chained
 
 
 def profile_stage(name: str):

@@ -1,4 +1,4 @@
-"""Per-system circuit breaker.
+"""Per-system circuit breaker (thread-safe).
 
 A system that keeps failing should stop being asked: every doomed
 attempt burns the caller's latency budget (retries, backoff) before the
@@ -14,13 +14,27 @@ machine:
   request is let through.  Success closes the breaker; failure reopens
   it for another window.
 
+Since PR 8 the breaker is shared across serving workers, so every
+transition is a locked read-modify-write: without the lock, two threads
+racing through :meth:`allow` could both win the half-open probe, and
+racing :meth:`record_failure` calls could interleave the increment with
+the threshold check and trip late (or count past the threshold).  The
+locked invariants, asserted by the concurrency battery:
+
+- ``failures`` never exceeds ``failure_threshold`` — the increment and
+  the trip are one atomic step, and failures reported by requests that
+  were admitted before the trip land while the breaker is already open,
+  where they are not counted;
+- at most one probe is in flight per half-open window.
+
 The clock is injectable so tests can step time instead of sleeping.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Callable
+from typing import Any, Callable, Dict
 
 CLOSED = "closed"
 OPEN = "open"
@@ -41,38 +55,71 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.recovery_s = recovery_s
         self._clock = clock
+        self._lock = threading.RLock()
         self.state = CLOSED
         self.failures = 0
         self._opened_at = 0.0
+        self._probe_inflight = False
 
     def allow(self) -> bool:
         """May a request proceed right now?
 
         In the open state this flips to half-open (and answers ``True``)
         once the recovery window has elapsed — the single probe request.
+        While that probe is in flight, every other caller is refused, so
+        a recovering system sees one question, not a thundering herd.
         """
-        if self.state == OPEN:
-            if self._clock() - self._opened_at >= self.recovery_s:
-                self.state = HALF_OPEN
+        with self._lock:
+            if self.state == OPEN:
+                if self._clock() - self._opened_at >= self.recovery_s:
+                    self.state = HALF_OPEN
+                    self._probe_inflight = True
+                    return True
+                return False
+            if self.state == HALF_OPEN:
+                if self._probe_inflight:
+                    return False
+                self._probe_inflight = True
                 return True
-            return False
-        return True
+            return True
 
     def record_success(self) -> None:
         """A request succeeded: reset to closed from any state."""
-        self.state = CLOSED
-        self.failures = 0
+        with self._lock:
+            self.state = CLOSED
+            self.failures = 0
+            self._probe_inflight = False
 
     def record_failure(self) -> None:
         """A request failed: count it, trip when the threshold is hit.
 
         A half-open probe failure re-trips immediately — the system has
-        not recovered, so it gets a fresh recovery window.
+        not recovered, so it gets a fresh recovery window.  Failures
+        reported while already open (stragglers admitted before the
+        trip) neither count nor extend the window.
         """
-        self.failures += 1
-        if self.state == HALF_OPEN or self.failures >= self.failure_threshold:
-            self.state = OPEN
-            self._opened_at = self._clock()
+        with self._lock:
+            if self.state == OPEN:
+                return
+            if self.state == HALF_OPEN:
+                self.state = OPEN
+                self._opened_at = self._clock()
+                self._probe_inflight = False
+                return
+            self.failures += 1
+            if self.failures >= self.failure_threshold:
+                self.state = OPEN
+                self._opened_at = self._clock()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Consistent point-in-time view (for ``/healthz`` reports)."""
+        with self._lock:
+            return {
+                "state": self.state,
+                "failures": self.failures,
+                "failure_threshold": self.failure_threshold,
+                "recovery_s": self.recovery_s,
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<CircuitBreaker {self.state} failures={self.failures}>"

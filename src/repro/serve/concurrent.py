@@ -1,0 +1,653 @@
+"""Concurrent serving front: worker-pool dispatch over ResilientService.
+
+:class:`~repro.serve.service.ResilientService` is deliberately
+single-threaded — one question at a time, cooperative deadlines.  In
+front of users that is a head-of-line blockade: one slow question stalls
+the whole workload.  :class:`ConcurrentFront` turns the service into a
+bounded, preemptible pool:
+
+- **dispatch** — ``pool_size`` worker threads, each owning its *own*
+  service (and interpretation context), drain one shared admission
+  queue.  Per-worker contexts mean no pipeline state is shared between
+  requests; what *is* shared is deliberately small and locked: the
+  circuit-breaker registry, the answer cache, and the admission
+  counters.
+- **admission control & backpressure** — the queue is bounded
+  (``queue_depth``).  A non-blocking submit over a full queue is
+  *rejected immediately* with a typed ``rejected_overload`` verdict
+  (the HTTP facade maps it to 429); blocking submits apply backpressure
+  instead.  Every submitted request resolves to exactly one
+  :class:`~repro.serve.service.ServeResult` — rejected, cancelled, or
+  served — never silently dropped.
+- **per-request deadlines, preemptively guarded** — each request
+  carries an end-to-end deadline from admission.  A request still
+  queued past its deadline is rejected unrun (``rejected_deadline``).
+  A running request gets a :class:`StageGuard` armed through the
+  profiler's ``stage_hook`` seam *around* the service call; a watchdog
+  thread cancels expired guards from outside, so the next stage
+  boundary aborts the remaining stages (verdict ``cancelled``) instead
+  of cooperatively timing out per attempt and then crawling through
+  every fallback.
+- **replayable faults** — each request derives a child fault injector
+  from ``(plan seed, request_id)``
+  (:meth:`~repro.serve.faults.FaultInjector.for_request`), so a
+  concurrent fault run is byte-identical to a serial replay of the same
+  request ids, at any pool size (:func:`replay_serial` is that serial
+  reference).
+- **answer cache** — clean, fault-free results are memoized in an
+  :class:`AnswerCache` keyed on ``(normalized question, data_version)``
+  — built on :class:`repro.perf.cache.InterpretationCache`, so the
+  key discipline (and staleness-by-construction invalidation) is the
+  same one the interpretation layer already proved out.  The cache
+  spans the whole fallback chain: a degraded-but-deterministic answer
+  (primary abstained, fallback answered) is cached with its
+  ``degraded_from`` trail intact.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.perf.cache import InterpretationCache
+from repro.perf.profiler import stage_hook
+from repro.sqldb.relation import Relation
+
+from .breaker import CircuitBreaker
+from .faults import FaultEvent, FaultInjector, FaultPlan, NoopInjector
+from .report import ServeSummary
+from .service import (
+    VERDICT_ANSWERED,
+    VERDICT_CANCELLED,
+    VERDICT_DEADLINE,
+    VERDICT_DEGRADED,
+    VERDICT_FAILED,
+    VERDICT_OVERLOAD,
+    RequestCancelled,
+    ResilientService,
+    ServeResult,
+)
+
+#: queue sentinel telling a worker to exit
+_SENTINEL = object()
+
+
+class StageGuard:
+    """Preemptive cancellation token for one in-flight request.
+
+    Armed (via ``stage_hook``) around the whole service call, it turns
+    an external decision — the watchdog noticed the deadline passed, or
+    the front is shutting down — into a :class:`RequestCancelled` at
+    the next stage boundary.  The hook also self-checks the deadline,
+    so cancellation fires even between watchdog ticks.
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.deadline = deadline
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._reason: Optional[str] = None
+
+    @property
+    def cancelled(self) -> Optional[str]:
+        """The cancellation reason, or ``None`` while still live."""
+        return self._reason
+
+    def cancel(self, reason: str) -> None:
+        """Cancel the request; the first reason wins, later ones are noise."""
+        with self._lock:
+            if self._reason is None:
+                self._reason = reason
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Has the deadline passed (regardless of cancellation state)?"""
+        if self.deadline is None:
+            return False
+        return (self._clock() if now is None else now) > self.deadline
+
+    def hook(self, stage: str) -> None:
+        """Stage-boundary check: raise if cancelled or past deadline."""
+        reason = self._reason
+        if reason is None and self.expired():
+            self.cancel("request deadline exceeded")
+            reason = self._reason
+        if reason is not None:
+            raise RequestCancelled(stage, reason)
+
+
+class AnswerCache:
+    """Serve-layer memo of clean end-of-chain answers.
+
+    Reuses :class:`~repro.perf.cache.InterpretationCache` (thread-safe
+    mode) as the store: keys are ``(slot, normalized question,
+    data_version)`` where the slot encodes the requested system — a
+    question asked with a different chain head may degrade differently,
+    so the entries must not alias.  Values are the full reconstruction
+    recipe for a :class:`ServeResult` (answer columns/rows, sql,
+    explanation, degradation trail); the interpretation cache's
+    deep-copy-on-both-sides discipline keeps entries immune to caller
+    mutation.
+
+    Only *deterministic* results are cached: ``ok`` results with no
+    injected faults and no retries.  Anything fault-shaped depends on
+    the request's RNG, and caching it would break replayability.
+    """
+
+    def __init__(self, maxsize: int = 2048):
+        self._cache = InterpretationCache(maxsize=maxsize, threadsafe=True)
+        self.stats = self._cache.stats
+
+    @staticmethod
+    def _slot(requested_system: Optional[str]) -> str:
+        return f"__serve_answer__:{requested_system or ''}"
+
+    @staticmethod
+    def cacheable(result: ServeResult) -> bool:
+        """May this result be memoized? (clean, deterministic, answered)"""
+        return bool(
+            result.ok
+            and not result.fault_trace
+            and not result.retries
+            and result.answer is not None
+        )
+
+    def get(
+        self, question: str, version: int, requested_system: Optional[str] = None
+    ) -> Optional[ServeResult]:
+        """A reconstructed hit (marked ``cached=True``), or ``None``."""
+        found = self._cache.get(self._slot(requested_system), question, version)
+        if not found:
+            return None
+        payload = found[0]
+        return ServeResult(
+            question=question,
+            requested_system=payload["requested_system"],
+            ok=True,
+            system=payload["system"],
+            answer=Relation(payload["columns"], payload["rows"]),
+            sql=payload["sql"],
+            explanation=payload["explanation"],
+            degraded_from=list(payload["degraded_from"]),
+            verdict=VERDICT_DEGRADED if payload["degraded_from"] else VERDICT_ANSWERED,
+            cached=True,
+        )
+
+    def put(
+        self,
+        question: str,
+        version: int,
+        result: ServeResult,
+        requested_system: Optional[str] = None,
+    ) -> None:
+        """Memoize a cacheable result (no-op for anything else)."""
+        if not self.cacheable(result):
+            return
+        assert result.answer is not None
+        payload = {
+            "requested_system": result.requested_system,
+            "system": result.system,
+            "columns": list(result.answer.columns),
+            "rows": list(result.answer.rows),
+            "sql": result.sql,
+            "explanation": result.explanation,
+            "degraded_from": list(result.degraded_from),
+        }
+        self._cache.put(self._slot(requested_system), question, version, [payload])
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+class ServeTicket:
+    """Handle for one admitted (or rejected) request.
+
+    Always resolves to exactly one :class:`ServeResult`; :meth:`wait`
+    blocks until it does.  Rejected submissions come back pre-resolved.
+    """
+
+    __slots__ = (
+        "request_id",
+        "question",
+        "system",
+        "enqueued_at",
+        "deadline",
+        "result",
+        "_done",
+    )
+
+    def __init__(
+        self,
+        request_id: int,
+        question: str,
+        system: Optional[str],
+        enqueued_at: float,
+        deadline: Optional[float],
+    ):
+        self.request_id = request_id
+        self.question = question
+        self.system = system
+        self.enqueued_at = enqueued_at
+        self.deadline = deadline
+        self.result: Optional[ServeResult] = None
+        self._done = threading.Event()
+
+    def resolve(self, result: ServeResult) -> None:
+        result.request_id = self.request_id
+        self.result = result
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> ServeResult:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request_id} unresolved after {timeout}s"
+            )
+        assert self.result is not None
+        return self.result
+
+
+class ConcurrentFront:
+    """Bounded worker-pool serving front over per-worker resilient services.
+
+    Construction is lazy: :meth:`start` (or entering the context
+    manager) spins up the pool.  Each worker calls ``service_factory``
+    once — by default that builds a fresh context via
+    ``context_factory`` and wraps it in a
+    :class:`~repro.serve.service.ResilientService` sharing this front's
+    breaker registry.  Custom factories (e.g. scripted services in
+    tests) receive the shared ``{system: CircuitBreaker}`` dict and
+    must return an object with the service's ``ask(question, system,
+    *, injector, request_id)`` signature.
+
+    Parameters:
+
+    - ``pool_size`` — worker threads (1 degenerates to serial dispatch);
+    - ``queue_depth`` — admission bound; non-blocking submits beyond it
+      are rejected with ``rejected_overload``;
+    - ``deadline_s`` — per-request end-to-end budget measured from
+      admission; ``None`` disables deadlines (and the watchdog);
+    - ``fault_plan`` — a :class:`~repro.serve.faults.FaultPlan` executed
+      via per-request child injectors (replayable at any pool size);
+    - ``answer_cache`` — an :class:`AnswerCache` (or ``None`` to
+      disable).  Consulted only for fault-free requests: cached answers
+      under an active fault plan would shadow the injected faults;
+    - ``share_interpretations`` — additionally share one thread-safe
+      :class:`~repro.perf.cache.InterpretationCache` across all worker
+      contexts (off by default; per-worker contexts already memoize
+      locally);
+    - ``service_kwargs`` — forwarded to every worker's
+      :class:`~repro.serve.service.ResilientService` (retries,
+      backoff_s, timeout_s, failure_threshold, ...).
+    """
+
+    def __init__(
+        self,
+        context_factory: Optional[Callable[[], Any]] = None,
+        *,
+        service_factory: Optional[
+            Callable[[Dict[str, CircuitBreaker]], Any]
+        ] = None,
+        pool_size: int = 4,
+        queue_depth: int = 32,
+        deadline_s: Optional[float] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_sleep: Callable[[float], None] = time.sleep,
+        answer_cache: Optional[AnswerCache] = None,
+        cache_answers: bool = True,
+        share_interpretations: bool = False,
+        watchdog_interval_s: float = 0.005,
+        clock: Callable[[], float] = time.monotonic,
+        **service_kwargs: Any,
+    ):
+        if (context_factory is None) == (service_factory is None):
+            raise ValueError(
+                "provide exactly one of context_factory or service_factory"
+            )
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.pool_size = pool_size
+        self.queue_depth = queue_depth
+        self.deadline_s = deadline_s
+        self.fault_plan = fault_plan
+        self._clock = clock
+        self._watchdog_interval_s = watchdog_interval_s
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self.answer_cache = (
+            answer_cache if answer_cache is not None else (AnswerCache() if cache_answers else None)
+        )
+        self._shared_interpretations = (
+            InterpretationCache(maxsize=4096, threadsafe=True)
+            if share_interpretations
+            else None
+        )
+        if fault_plan is not None and fault_plan.specs:
+            self._template: Union[FaultInjector, NoopInjector] = FaultInjector(
+                fault_plan, sleep=fault_sleep
+            )
+        else:
+            self._template = NoopInjector()
+        if service_factory is not None:
+            self._service_factory = service_factory
+        else:
+            assert context_factory is not None
+            self._service_factory = self._default_factory(
+                context_factory, service_kwargs
+            )
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
+        self._workers: List[threading.Thread] = []
+        self._watchdog: Optional[threading.Thread] = None
+        self._inflight: Dict[int, StageGuard] = {}
+        self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._started = False
+        self._closed = False
+        self._next_id = 0
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "rejected_overload": 0,
+            "rejected_deadline": 0,
+            "cancelled": 0,
+            "cache_hits": 0,
+            "worker_errors": 0,
+        }
+
+    def _default_factory(
+        self,
+        context_factory: Callable[[], Any],
+        service_kwargs: Dict[str, Any],
+    ) -> Callable[[Dict[str, CircuitBreaker]], Any]:
+        shared_interp = self._shared_interpretations
+
+        def factory(breakers: Dict[str, CircuitBreaker]) -> ResilientService:
+            context = context_factory()
+            if shared_interp is not None and context.interpretation_cache is None:
+                context.interpretation_cache = shared_interp
+            return ResilientService(context, breakers=breakers, **service_kwargs)
+
+        return factory
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """Has :meth:`start` been called? (stays True after stop)"""
+        with self._lock:
+            return self._started
+
+    @property
+    def running(self) -> bool:
+        """Started and not yet stopped — accepting submissions."""
+        with self._lock:
+            return self._started and not self._closed
+
+    def start(self) -> "ConcurrentFront":
+        """Spin up the worker pool (and watchdog, if deadlines are on)."""
+        with self._lock:
+            if self._started:
+                raise RuntimeError("front already started")
+            self._started = True
+        for i in range(self.pool_size):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        if self.deadline_s is not None:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="serve-watchdog", daemon=True
+            )
+            self._watchdog.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain and shut down: outstanding requests finish (or cancel),
+        then workers exit.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        for worker in self._workers:
+            worker.join()
+        self._stop_event.set()
+        if self._watchdog is not None:
+            self._watchdog.join()
+
+    def __enter__(self) -> "ConcurrentFront":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # -- admission ------------------------------------------------------------
+
+    def submit(
+        self, question: str, system: Optional[str] = None, *, block: bool = False
+    ) -> ServeTicket:
+        """Admit one request.
+
+        ``block=False`` (the default, what the HTTP facade uses) applies
+        admission control: a full queue rejects the ticket immediately
+        with verdict ``rejected_overload``.  ``block=True`` applies
+        backpressure instead, waiting for queue space.  Either way the
+        returned ticket always resolves — no request is silently
+        dropped.
+        """
+        with self._lock:
+            if not self._started or self._closed:
+                raise RuntimeError("front is not running (start() it first)")
+            request_id = self._next_id
+            self._next_id += 1
+            self.counters["submitted"] += 1
+        now = self._clock()
+        deadline = None if self.deadline_s is None else now + self.deadline_s
+        ticket = ServeTicket(request_id, question, system, now, deadline)
+        try:
+            self._queue.put(ticket, block=block)
+        except queue.Full:
+            result = self._rejection(
+                ticket, VERDICT_OVERLOAD, f"admission queue full ({self.queue_depth})"
+            )
+            with self._lock:
+                self.counters["rejected_overload"] += 1
+            ticket.resolve(result)
+        return ticket
+
+    def ask(self, question: str, system: Optional[str] = None) -> ServeResult:
+        """Blocking convenience: submit with backpressure and wait."""
+        return self.submit(question, system, block=True).wait()
+
+    def serve_many(
+        self, questions: Sequence[str], system: Optional[str] = None
+    ) -> Tuple[List[ServeResult], ServeSummary]:
+        """Serve a workload through the pool; results come back in input
+        order (request ids are assigned in input order, so a fault plan
+        replays identically regardless of worker interleaving)."""
+        tickets = [self.submit(q, system, block=True) for q in questions]
+        results = [t.wait() for t in tickets]
+        summary = ServeSummary()
+        for result in results:
+            summary.add(result)
+        return results, summary
+
+    def _rejection(
+        self, ticket: ServeTicket, verdict: str, reason: str
+    ) -> ServeResult:
+        result = ServeResult(
+            question=ticket.question,
+            requested_system=ticket.system or "",
+            verdict=verdict,
+        )
+        result.queued_s = max(0.0, self._clock() - ticket.enqueued_at)
+        result.fault_trace.append(FaultEvent("admission", "rejected", reason))
+        return result
+
+    # -- workers --------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        service = self._service_factory(self.breakers)
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                return
+            try:
+                self._run_ticket(service, item)
+            except Exception as exc:
+                # A worker must never die with a ticket in hand: the
+                # ticket resolves with the failure and the loop goes on.
+                with self._lock:
+                    self.counters["worker_errors"] += 1
+                result = self._rejection(
+                    item, VERDICT_FAILED, f"worker error: {type(exc).__name__}: {exc}"
+                )
+                item.resolve(result)
+
+    def _run_ticket(self, service: Any, ticket: ServeTicket) -> None:
+        now = self._clock()
+        queued_s = max(0.0, now - ticket.enqueued_at)
+        if ticket.deadline is not None and now > ticket.deadline:
+            result = self._rejection(
+                ticket,
+                VERDICT_DEADLINE,
+                f"deadline ({self.deadline_s:g}s) passed after {queued_s:.3f}s in queue",
+            )
+            with self._lock:
+                self.counters["rejected_deadline"] += 1
+            ticket.resolve(result)
+            return
+        injector = self._template.for_request(ticket.request_id)
+        clean = isinstance(injector, NoopInjector)
+        version = self._data_version(service)
+        if self.answer_cache is not None and clean and version is not None:
+            hit = self.answer_cache.get(ticket.question, version, ticket.system)
+            if hit is not None:
+                hit.queued_s = queued_s
+                with self._lock:
+                    self.counters["cache_hits"] += 1
+                    self.counters["completed"] += 1
+                ticket.resolve(hit)
+                return
+        guard = StageGuard(ticket.deadline, clock=self._clock)
+        with self._lock:
+            self._inflight[ticket.request_id] = guard
+        try:
+            with stage_hook(guard.hook):
+                result = service.ask(
+                    ticket.question,
+                    ticket.system,
+                    injector=injector,
+                    request_id=ticket.request_id,
+                )
+        except RequestCancelled as exc:
+            # ResilientService converts guard cancellation itself; this
+            # catches it escaping simpler (e.g. scripted) services.
+            result = self._rejection(ticket, VERDICT_CANCELLED, str(exc))
+        finally:
+            with self._lock:
+                self._inflight.pop(ticket.request_id, None)
+        result.queued_s = queued_s
+        if self.answer_cache is not None and clean and version is not None:
+            self.answer_cache.put(ticket.question, version, result, ticket.system)
+        with self._lock:
+            self.counters["completed"] += 1
+            if result.verdict == VERDICT_CANCELLED:
+                self.counters["cancelled"] += 1
+        ticket.resolve(result)
+
+    @staticmethod
+    def _data_version(service: Any) -> Optional[int]:
+        """The served database's data version (None for scripted stubs)."""
+        context = getattr(service, "context", None)
+        database = getattr(context, "database", None)
+        return getattr(database, "data_version", None)
+
+    def _watchdog_loop(self) -> None:
+        """Cancel in-flight guards whose deadline passed — the preemptive
+        half of deadline enforcement (the guard hook is the enforcing
+        half, at the next stage boundary)."""
+        while not self._stop_event.wait(self._watchdog_interval_s):
+            now = self._clock()
+            with self._lock:
+                expired = [g for g in self._inflight.values() if g.expired(now)]
+            for guard in expired:
+                guard.cancel("request deadline exceeded")
+
+    # -- health ---------------------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """Operator snapshot: pool, queue, breakers, counters, caches."""
+        with self._lock:
+            counters = dict(self.counters)
+            inflight = len(self._inflight)
+            started, closed = self._started, self._closed
+        breakers = {name: b.snapshot() for name, b in sorted(self.breakers.items())}
+        open_count = sum(1 for b in breakers.values() if b["state"] != "closed")
+        if not started:
+            status = "starting"
+        elif closed:
+            status = "stopped"
+        elif open_count:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "pool_size": self.pool_size,
+            "queue": {"depth": self._queue.qsize(), "capacity": self.queue_depth},
+            "inflight": inflight,
+            "deadline_s": self.deadline_s,
+            "fault_plan": self.fault_plan.spec_text() if self.fault_plan else "",
+            "breakers": breakers,
+            "counters": counters,
+            "answer_cache": (
+                self.answer_cache.stats.as_dict()
+                if self.answer_cache is not None
+                else None
+            ),
+        }
+
+
+def replay_serial(
+    service: Any,
+    questions: Sequence[str],
+    system: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    fault_sleep: Callable[[float], None] = time.sleep,
+) -> List[ServeResult]:
+    """The serial reference for concurrent byte-identity.
+
+    Serves ``questions`` one by one through ``service`` with the *same*
+    per-request child injectors the front derives (request id = input
+    position), so its results are what a pool of any size must
+    reproduce.
+    """
+    if fault_plan is not None and fault_plan.specs:
+        template: Union[FaultInjector, NoopInjector] = FaultInjector(
+            fault_plan, sleep=fault_sleep
+        )
+    else:
+        template = NoopInjector()
+    results = []
+    for request_id, question in enumerate(questions):
+        results.append(
+            service.ask(
+                question,
+                system,
+                injector=template.for_request(request_id),
+                request_id=request_id,
+            )
+        )
+    return results

@@ -29,6 +29,15 @@ injection probability, and ``param`` is the sleep seconds for
 ``latency``.  Determinism: all draws come from one ``random.Random``
 seeded at injector construction, so the same plan, seed and workload
 produce the same fault sequence.
+
+**Concurrency.**  One shared RNG is only deterministic when requests
+draw from it in a fixed order — exactly what a worker pool destroys.
+For concurrent serving, :meth:`FaultInjector.for_request` derives a
+*child* injector whose seed is a pure function of ``(plan seed,
+request_id)`` (:func:`child_seed`): each request owns its RNG, so the
+fault sequence a request sees depends only on its id, never on how the
+scheduler interleaved the workers — concurrent fault runs replay
+exactly, at any pool size.
 """
 
 from __future__ import annotations
@@ -45,6 +54,27 @@ from repro.perf.profiler import STAGE_ORDER, stage_hook
 KNOWN_STAGES: Tuple[str, ...] = tuple(STAGE_ORDER)
 
 _KINDS = ("error", "latency", "corrupt")
+
+#: splitmix64 constants — the standard finalizer gives well-spread,
+#: platform-stable child seeds from sequential request ids
+_SM64_GAMMA = 0x9E3779B97F4A7C15
+_SM64_MIX1 = 0xBF58476D1CE4E5B9
+_SM64_MIX2 = 0x94D049BB133111EB
+_U64 = (1 << 64) - 1
+
+
+def child_seed(seed: int, request_id: int) -> int:
+    """Deterministic per-request RNG seed, stable across runs/platforms.
+
+    A splitmix64 finalizer over ``seed + (request_id+1) * gamma``:
+    sequential request ids map to decorrelated seeds, and the same
+    ``(seed, request_id)`` pair always yields the same child — the
+    property the concurrent front's replayability rests on.
+    """
+    z = (seed + (request_id + 1) * _SM64_GAMMA) & _U64
+    z = ((z ^ (z >> 30)) * _SM64_MIX1) & _U64
+    z = ((z ^ (z >> 27)) * _SM64_MIX2) & _U64
+    return (z ^ (z >> 31)) & _U64
 
 
 class FaultInjected(Exception):
@@ -172,6 +202,17 @@ class FaultInjector:
         self._sleep = sleep
         self.events: List[FaultEvent] = []
 
+    def for_request(self, request_id: int) -> "FaultInjector":
+        """A child injector seeded from ``(plan seed, request_id)``.
+
+        The child executes the same plan with its own RNG, so a request
+        sees the same faults no matter which worker runs it or in what
+        order requests complete — the unit of replayability for the
+        concurrent serving front.
+        """
+        plan = FaultPlan(self.plan.specs, child_seed(self.plan.seed, request_id))
+        return FaultInjector(plan, sleep=self._sleep)
+
     # -- stage hook -----------------------------------------------------------
 
     def on_stage(self, stage: str) -> None:
@@ -237,6 +278,10 @@ class NoopInjector:
 
     def __init__(self) -> None:
         self.events: List[FaultEvent] = []
+
+    def for_request(self, request_id: int) -> "NoopInjector":
+        """Children of a no-op are no-ops (mirrors the real injector)."""
+        return NoopInjector()
 
     @contextmanager
     def active(self) -> Iterator["NoopInjector"]:

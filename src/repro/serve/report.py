@@ -32,6 +32,11 @@ class ServeSummary:
     retries: int = 0
     #: total injected-fault events recorded in the traces
     faults: int = 0
+    #: requests refused by admission control (overload or queued past
+    #: deadline) — a subset of ``failed``
+    rejected: int = 0
+    #: answered questions served from the serve-layer answer cache
+    cached: int = 0
     elapsed_s: float = 0.0
 
     @property
@@ -50,8 +55,12 @@ class ServeSummary:
             self.ok += 1
             if result.degraded:
                 self.degraded_ok += 1
+            if result.cached:
+                self.cached += 1
         else:
             self.failed += 1
+            if result.rejected:
+                self.rejected += 1
         self.retries += result.retries
         self.faults += sum(
             1 for e in result.fault_trace if e.kind in ("error", "latency", "corrupt")
@@ -64,6 +73,8 @@ class ServeSummary:
             "ok": self.ok,
             "degraded_ok": self.degraded_ok,
             "failed": self.failed,
+            "rejected": self.rejected,
+            "cached": self.cached,
             "availability": round(self.availability, 3),
             "degraded_rate": round(self.degraded_rate, 3),
             "retries": self.retries,
@@ -90,3 +101,25 @@ def serve_workload(
         results.append(result)
         summary.add(result)
     return results, summary
+
+
+def latency_percentiles(
+    results: Iterable[ServeResult],
+    percentiles: Tuple[int, ...] = (50, 95, 99),
+) -> Dict[str, float]:
+    """Nearest-rank latency percentiles over end-to-end request time.
+
+    Latency is queue wait plus service time (``queued_s + elapsed_s``),
+    the number a client actually experiences against the concurrent
+    front.  Returns ``{"p50": ..., "p95": ..., "p99": ...}`` in seconds
+    (zeros on an empty result list).
+    """
+    latencies = sorted(r.queued_s + r.elapsed_s for r in results)
+    out: Dict[str, float] = {}
+    for pct in percentiles:
+        if not latencies:
+            out[f"p{pct}"] = 0.0
+            continue
+        rank = max(1, -(-pct * len(latencies) // 100))  # ceil, 1-based
+        out[f"p{pct}"] = latencies[min(rank, len(latencies)) - 1]
+    return out

@@ -22,6 +22,14 @@ With no fault injector and a healthy primary, ``ask()`` returns exactly
 what ``system.answer(question, context)`` would: the attempt path
 mirrors :meth:`repro.core.pipeline.NLIDBSystem.answer` operation for
 operation (interpret → static-analysis pruning → execute best).
+
+For concurrent use (:mod:`repro.serve.concurrent`), ``ask()`` accepts a
+per-call injector (each request owns its fault RNG) and the breaker
+registry can be shared across service instances — breakers lock their
+transitions, so many workers feeding one registry stay consistent.  A
+:class:`RequestCancelled` raised by a preemptive stage guard aborts the
+*whole chain*, not just the current system: the request's deadline is
+gone, so trying fallbacks would only burn pool capacity.
 """
 
 from __future__ import annotations
@@ -47,6 +55,20 @@ DEFAULT_FALLBACK_CHAIN: Tuple[str, ...] = ("athena", "sqak", "soda")
 #: exception types the service retries (anything else fails over at once)
 _TRANSIENT: Tuple[type, ...]
 
+# -- typed request verdicts ---------------------------------------------------
+#: answered by the requested system on a clean path
+VERDICT_ANSWERED = "answered"
+#: answered, but by a fallback system or after retries
+VERDICT_DEGRADED = "degraded"
+#: every system in the chain failed or abstained
+VERDICT_FAILED = "failed"
+#: admission control refused the request: the queue was full
+VERDICT_OVERLOAD = "rejected_overload"
+#: admission control refused the request: its deadline passed in queue
+VERDICT_DEADLINE = "rejected_deadline"
+#: a preemptive stage guard cancelled the request mid-flight
+VERDICT_CANCELLED = "cancelled"
+
 
 class StageTimeout(Exception):
     """The attempt's deadline expired at a stage boundary.
@@ -62,6 +84,22 @@ class StageTimeout(Exception):
         super().__init__(f"deadline ({budget_s:g}s) exceeded entering stage {stage!r}")
         self.stage = stage
         self.budget_s = budget_s
+
+
+class RequestCancelled(Exception):
+    """A preemptive stage guard cancelled the request.
+
+    Raised by the concurrent front's :class:`~repro.serve.concurrent.
+    StageGuard` hook when the request's end-to-end deadline blew (or the
+    front is shutting down).  Unlike :class:`StageTimeout` — a
+    per-attempt budget that fails over to the next system — this aborts
+    the whole fallback chain: the caller's deadline is already gone.
+    """
+
+    def __init__(self, stage: str, reason: str):
+        super().__init__(f"request cancelled entering stage {stage!r}: {reason}")
+        self.stage = stage
+        self.reason = reason
 
 
 class NoAnswer(Exception):
@@ -89,6 +127,8 @@ class ServeResult:
     answer: Optional[Relation] = None
     #: compiled SQL text of the executed interpretation, when available
     sql: Optional[str] = None
+    #: one-line natural-language reading of the executed interpretation
+    explanation: Optional[str] = None
     #: systems tried (or skipped) before the answering one, with reasons
     degraded_from: List[Tuple[str, str]] = field(default_factory=list)
     #: injected faults plus service-level events, in order of occurrence
@@ -96,6 +136,15 @@ class ServeResult:
     #: total retry attempts across all systems tried
     retries: int = 0
     elapsed_s: float = 0.0
+    #: typed outcome classification (see the VERDICT_* constants)
+    verdict: str = VERDICT_FAILED
+    #: admission-assigned id (drives fault-RNG child seeding; None when
+    #: served directly by a ResilientService)
+    request_id: Optional[int] = None
+    #: seconds spent waiting in the admission queue (concurrent front)
+    queued_s: float = 0.0
+    #: True when the answer came from the serve-layer answer cache
+    cached: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -103,14 +152,21 @@ class ServeResult:
         on a clean first attempt path."""
         return bool(self.degraded_from)
 
+    @property
+    def rejected(self) -> bool:
+        """True when admission control refused the request outright."""
+        return self.verdict in (VERDICT_OVERLOAD, VERDICT_DEADLINE)
+
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready report row (answer summarized, not serialized)."""
         return {
             "question": self.question,
             "requested_system": self.requested_system,
             "ok": self.ok,
+            "verdict": self.verdict,
             "system": self.system,
             "sql": self.sql,
+            "explanation": self.explanation,
             "rows": len(self.answer.rows) if self.answer is not None else None,
             "degraded": self.degraded,
             "degraded_from": [
@@ -119,6 +175,9 @@ class ServeResult:
             "fault_trace": [event.as_dict() for event in self.fault_trace],
             "retries": self.retries,
             "elapsed_s": round(self.elapsed_s, 6),
+            "queued_s": round(self.queued_s, 6),
+            "request_id": self.request_id,
+            "cached": self.cached,
         }
 
 
@@ -137,6 +196,9 @@ class ResilientService:
     - ``injector`` — a :class:`~repro.serve.faults.FaultInjector` to
       exercise the machinery; the default injects nothing and adds no
       behavior, so serve results match direct system calls exactly;
+    - ``breakers`` — an externally owned ``{system: CircuitBreaker}``
+      registry; pass one registry to many services (one per pool worker)
+      so breaker state is shared across the pool;
     - ``sleep`` / ``clock`` — injectable for tests (no real sleeping).
     """
 
@@ -152,6 +214,7 @@ class ResilientService:
         failure_threshold: int = 3,
         recovery_s: float = 30.0,
         injector: Optional[Union[FaultInjector, NoopInjector]] = None,
+        breakers: Optional[Dict[str, CircuitBreaker]] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
     ):
@@ -169,7 +232,7 @@ class ResilientService:
         self._sleep = sleep
         self._clock = clock
         self._systems: Dict[str, NLIDBSystem] = {}
-        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers: Dict[str, CircuitBreaker] = breakers if breakers is not None else {}
 
     # -- plumbing -------------------------------------------------------------
 
@@ -181,13 +244,22 @@ class ResilientService:
         return instance
 
     def breaker(self, name: str) -> CircuitBreaker:
-        """The circuit breaker guarding ``name`` (created on first use)."""
+        """The circuit breaker guarding ``name`` (created on first use).
+
+        With a shared registry the creation is guarded by ``setdefault``
+        so two workers racing on first use agree on one breaker object.
+        """
         breaker = self._breakers.get(name)
         if breaker is None:
-            breaker = self._breakers[name] = CircuitBreaker(
-                self.failure_threshold, self.recovery_s, clock=self._clock
+            breaker = self._breakers.setdefault(
+                name,
+                CircuitBreaker(self.failure_threshold, self.recovery_s, clock=self._clock),
             )
         return breaker
+
+    def breaker_snapshots(self) -> Dict[str, Dict[str, Any]]:
+        """Point-in-time state of every breaker (for health reports)."""
+        return {name: b.snapshot() for name, b in sorted(self._breakers.items())}
 
     def _chain_for(self, requested: Optional[str]) -> List[str]:
         if requested is None:
@@ -197,15 +269,30 @@ class ResilientService:
 
     # -- serving --------------------------------------------------------------
 
-    def ask(self, question: str, system: Optional[str] = None) -> ServeResult:
+    def ask(
+        self,
+        question: str,
+        system: Optional[str] = None,
+        *,
+        injector: Optional[Union[FaultInjector, NoopInjector]] = None,
+        request_id: Optional[int] = None,
+    ) -> ServeResult:
         """Serve ``question``, degrading along the fallback chain.
 
         Never raises: every failure mode — injected fault, timeout, open
-        breaker, unanswerable question, even a chain where all systems
-        fail — lands in the returned :class:`ServeResult`.
+        breaker, guard cancellation, unanswerable question, even a chain
+        where all systems fail — lands in the returned
+        :class:`ServeResult`.
+
+        ``injector`` overrides the service-level injector for this call
+        only; the concurrent front passes a per-request child injector so
+        fault draws never interleave across workers.
         """
+        active = injector if injector is not None else self.injector
         chain = self._chain_for(system)
-        result = ServeResult(question=question, requested_system=chain[0])
+        result = ServeResult(
+            question=question, requested_system=chain[0], request_id=request_id
+        )
         started = self._clock()
         for name in chain:
             breaker = self.breaker(name)
@@ -215,32 +302,54 @@ class ResilientService:
                 )
                 result.degraded_from.append((name, "circuit breaker open"))
                 continue
-            outcome = self._serve_one(name, question, result)
+            try:
+                outcome = self._serve_one(name, question, result, active)
+            except RequestCancelled as exc:
+                # The request's end-to-end deadline is gone: charge the
+                # breaker and stop — fallbacks would also be cancelled.
+                breaker.record_failure()
+                result.fault_trace.extend(active.drain_events())
+                result.fault_trace.append(
+                    FaultEvent(exc.stage, "cancelled", f"{name}: {exc.reason}")
+                )
+                result.degraded_from.append((name, str(exc)))
+                result.verdict = VERDICT_CANCELLED
+                result.elapsed_s = self._clock() - started
+                return result
             if outcome is not None:
                 # Survived (latency/corruption) faults still belong in
                 # the trace even though the attempt succeeded.
-                result.fault_trace.extend(self.injector.drain_events())
+                result.fault_trace.extend(active.drain_events())
                 breaker.record_success()
                 result.ok = True
                 result.system = name
-                result.answer, result.sql = outcome
+                result.answer, result.sql, result.explanation = outcome
                 break
             breaker.record_failure()
+        result.verdict = (
+            (VERDICT_DEGRADED if result.degraded or result.retries else VERDICT_ANSWERED)
+            if result.ok
+            else VERDICT_FAILED
+        )
         result.elapsed_s = self._clock() - started
         return result
 
     def _serve_one(
-        self, name: str, question: str, result: ServeResult
-    ) -> Optional[Tuple[Relation, Optional[str]]]:
+        self,
+        name: str,
+        question: str,
+        result: ServeResult,
+        injector: Union[FaultInjector, NoopInjector],
+    ) -> Optional[Tuple[Relation, Optional[str], Optional[str]]]:
         """Try one system with retries; ``None`` means it failed and the
         reason has been recorded on ``result``."""
         delay = self.backoff_s
         reason = "unknown failure"
         for attempt in range(self.retries + 1):
             try:
-                return self._attempt(name, question)
+                return self._attempt(name, question, injector)
             except _TRANSIENT as exc:
-                result.fault_trace.extend(self.injector.drain_events())
+                result.fault_trace.extend(injector.drain_events())
                 reason = str(exc)
                 if attempt < self.retries:
                     result.retries += 1
@@ -256,24 +365,34 @@ class ResilientService:
                     continue
                 break
             except NoAnswer as exc:
-                result.fault_trace.extend(self.injector.drain_events())
+                result.fault_trace.extend(injector.drain_events())
                 reason = exc.reason
                 break
+            except RequestCancelled:
+                result.fault_trace.extend(injector.drain_events())
+                raise  # chain-level: handled (and recorded) by ask()
             except Exception as exc:  # non-transient: fail over immediately
-                result.fault_trace.extend(self.injector.drain_events())
+                result.fault_trace.extend(injector.drain_events())
                 reason = f"{type(exc).__name__}: {exc}"
                 result.fault_trace.append(FaultEvent("serve", "error", f"{name}: {reason}"))
                 break
         result.degraded_from.append((name, reason))
         return None
 
-    def _attempt(self, name: str, question: str) -> Tuple[Relation, Optional[str]]:
+    def _attempt(
+        self,
+        name: str,
+        question: str,
+        injector: Union[FaultInjector, NoopInjector],
+    ) -> Tuple[Relation, Optional[str], Optional[str]]:
         """One end-to-end attempt, mirroring ``NLIDBSystem.answer``.
 
         The only differences from a direct ``answer()`` call are the
         armed stage hook (faults + deadline — inert when the injector is
         a no-op and no timeout is set) and that failures raise instead
         of collapsing to ``None``, so the caller can classify them.
+        The hook chains onto any ambient hook, so a preemptive stage
+        guard armed by the concurrent front keeps firing underneath.
         """
         system = self.system(name)
         deadline = (
@@ -281,13 +400,13 @@ class ResilientService:
         )
 
         def hook(stage: str) -> None:
-            self.injector.on_stage(stage)
+            injector.on_stage(stage)
             if deadline is not None and self._clock() > deadline:
                 raise StageTimeout(stage, self.timeout_s)
 
-        with stage_hook(hook):
+        with stage_hook(hook, chain=True):
             interpretations = self.context.interpret(system, question)
-            interpretations = self.injector.maybe_corrupt(interpretations)
+            interpretations = injector.maybe_corrupt(interpretations)
             if not interpretations:
                 raise NoAnswer(name, "no interpretation")
             candidates = apply_static_analysis(interpretations, self.context.analyze)
@@ -295,8 +414,15 @@ class ResilientService:
                 raise NoAnswer(name, "no statically valid interpretation")
             answer = self.context.execute(candidates[0])
         sql: Optional[str] = None
+        explanation: Optional[str] = None
         try:
             sql = candidates[0].to_sql(self.context.ontology, self.context.mapping).to_sql()
         except Exception:
             pass
-        return answer, sql
+        try:
+            oql = getattr(candidates[0], "oql", None)
+            if oql is not None:
+                explanation = oql.to_english()
+        except Exception:
+            pass
+        return answer, sql, explanation
