@@ -16,6 +16,8 @@ to an uncached one, just cheaper.
 
 from __future__ import annotations
 
+import math
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -59,11 +61,25 @@ def _evaluate_example(
     cache: Optional[EvaluationCache],
 ) -> ExampleOutcome:
     predicted_sql: Optional[str] = None
+    pruning_before = context.schema_index_counters()
+    pruning_before = pruning_before.snapshot() if pruning_before is not None else None
+    interp_start = time.perf_counter()
     try:
         with profile_stage("interpret"):
             interpretations = _interpret(system, context, example.question, cache)
     except Exception:
         interpretations = []
+    interp_ms = 1000.0 * (time.perf_counter() - interp_start)
+    cand_pruned: Optional[int] = None
+    live = context.schema_index_counters()
+    if live is not None:
+        # a None snapshot means this example lazily built the index, so
+        # the live counters are entirely its own
+        cand_pruned = (
+            live.delta(pruning_before).pruned
+            if pruning_before is not None
+            else live.pruned
+        )
     if interpretations:
         top = max(interpretations, key=lambda i: i.confidence)
         try:
@@ -92,6 +108,8 @@ def _evaluate_example(
         tier=example.tier,
         static_rejected=static_rejected,
         metadata=metadata,
+        interp_ms=interp_ms,
+        cand_pruned=cand_pruned,
     )
 
 
@@ -190,6 +208,12 @@ class ComparisonRow:
     cache_hit_rate: Optional[float] = field(default=None, compare=False)
     interp_ms: Optional[float] = field(default=None, compare=False)
     exec_ms: Optional[float] = field(default=None, compare=False)
+    #: schema-index candidates pruned before scoring across the sweep
+    #: (mirrors ``static_rej``: a whole-sweep count attached to each row)
+    cand_pruned: Optional[int] = field(default=None, compare=False)
+    #: per-example interpretation latency percentiles over the sweep
+    interp_p50_ms: Optional[float] = field(default=None, compare=False)
+    interp_p95_ms: Optional[float] = field(default=None, compare=False)
     availability: Optional[float] = field(default=None, compare=False)
     degraded_answers: Optional[int] = field(default=None, compare=False)
     serve_retries: Optional[int] = field(default=None, compare=False)
@@ -206,10 +230,17 @@ class ComparisonRow:
             "precision": round(self.summary.precision, 3),
             "answer_rate": round(self.summary.answer_rate, 3),
             "static_rej": self.summary.static_rejections,
+            "cand_pruned": self.cand_pruned if self.cand_pruned is not None else "",
             "cache_hit": round(self.cache_hit_rate, 3)
             if self.cache_hit_rate is not None
             else "",
             "interp_ms": round(self.interp_ms, 2) if self.interp_ms is not None else "",
+            "interp_p50": round(self.interp_p50_ms, 2)
+            if self.interp_p50_ms is not None
+            else "",
+            "interp_p95": round(self.interp_p95_ms, 2)
+            if self.interp_p95_ms is not None
+            else "",
             "exec_ms": round(self.exec_ms, 2) if self.exec_ms is not None else "",
         }
         # Serve columns only exist when a serving sweep ran (bench
@@ -239,21 +270,56 @@ def rows_for_outcomes(
     ``profiler`` should cover exactly this system's sweep (use
     ``StageProfiler.delta`` when one profiler spans several systems); its
     interpret/compile/score/execute totals become per-example timings.
+    The ``cand_pruned`` total and interpretation latency percentiles come
+    from the outcomes themselves and, like ``interp_ms``, describe the
+    whole sweep (the same values are attached to every row).
     """
     interp_ms, exec_ms = _per_example_timings(profiler, len(outcomes))
+    pruned_counts = [o.cand_pruned for o in outcomes if o.cand_pruned is not None]
+    cand_pruned = sum(pruned_counts) if pruned_counts else None
+    latencies = [o.interp_ms for o in outcomes if o.interp_ms is not None]
+    interp_p50 = _percentile(latencies, 0.5)
+    interp_p95 = _percentile(latencies, 0.95)
     rows: List[ComparisonRow] = []
     if split_by_tier:
         for tier, summary in by_tier(outcomes).items():
             label = tier.label if isinstance(tier, ComplexityTier) else str(tier)
             rows.append(
-                ComparisonRow(system_name, label, summary, cache_hit_rate, interp_ms, exec_ms)
+                ComparisonRow(
+                    system_name,
+                    label,
+                    summary,
+                    cache_hit_rate,
+                    interp_ms,
+                    exec_ms,
+                    cand_pruned=cand_pruned,
+                    interp_p50_ms=interp_p50,
+                    interp_p95_ms=interp_p95,
+                )
             )
     rows.append(
         ComparisonRow(
-            system_name, "all", summarize(outcomes), cache_hit_rate, interp_ms, exec_ms
+            system_name,
+            "all",
+            summarize(outcomes),
+            cache_hit_rate,
+            interp_ms,
+            exec_ms,
+            cand_pruned=cand_pruned,
+            interp_p50_ms=interp_p50,
+            interp_p95_ms=interp_p95,
         )
     )
     return rows
+
+
+def _percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (``q`` in [0, 1]); ``None`` on no data."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
 
 
 def _per_example_timings(

@@ -120,6 +120,12 @@ class ExampleOutcome:
     #: touching any row (counts as answered-but-wrong)
     static_rejected: bool = False
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: perf measurements *about* the run, not results *of* it — excluded
+    #: from equality so serial/parallel/cached sweeps stay comparable
+    interp_ms: Optional[float] = field(default=None, compare=False)
+    #: schema-index candidates pruned before scoring for this example
+    #: (``None`` when the context has no index or the annotator opted out)
+    cand_pruned: Optional[int] = field(default=None, compare=False)
 
 
 @dataclass

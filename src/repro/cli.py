@@ -36,13 +36,15 @@ from repro.core import NLIDBContext, available, create
 from repro.systems import AthenaSystem  # noqa: F401  (imported to populate the registry)
 
 
-def _build_context(domain: str, seed: int) -> NLIDBContext:
-    return NLIDBContext(build_domain(domain, seed=seed))
+def _build_context(domain: str, seed: int, use_schema_index: bool = True) -> NLIDBContext:
+    return NLIDBContext(build_domain(domain, seed=seed), use_schema_index=use_schema_index)
 
 
 def cmd_ask(args: argparse.Namespace) -> int:
     """One-shot question answering."""
-    context = _build_context(args.domain, args.seed)
+    context = _build_context(
+        args.domain, args.seed, use_schema_index=not args.no_schema_index
+    )
     system = create(args.system)
     interpretations = system.interpret(args.question, context)
     if not interpretations:
@@ -216,7 +218,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     if args.http:
         return _serve_http(args)
-    context = _build_context(args.domain, args.seed)
+    context = _build_context(
+        args.domain, args.seed, use_schema_index=not args.no_schema_index
+    )
     service = _build_service(context, args)
     system = args.system or None
     if args.workload:
@@ -258,7 +262,9 @@ def _serve_http(args: argparse.Namespace) -> int:
 
     plan = FaultPlan.parse(args.inject, seed=args.fault_seed) if args.inject else None
     front = ConcurrentFront(
-        lambda: _build_context(args.domain, args.seed),
+        lambda: _build_context(
+            args.domain, args.seed, use_schema_index=not args.no_schema_index
+        ),
         pool_size=args.pool,
         queue_depth=args.queue_depth,
         deadline_s=args.deadline or None,
@@ -308,11 +314,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     ``--jobs N`` fans evaluation out over N worker processes (with a
     graceful serial fallback); ``--epochs`` repeats the workload to
     exercise the interpretation cache; ``--profile`` prints the
-    per-stage timing table; ``--serve`` additionally runs each system as
-    the primary of a resilient fallback chain over the same questions
-    (honoring ``--inject``) and adds availability/degraded/retries
-    columns; ``--json FILE`` writes the machine-readable report (rows +
-    cache stats + profile + serve summaries).
+    per-stage timing table; ``--catalog-width N`` swaps the domain for a
+    seeded N-table wide catalog (enterprise-scale matching pressure);
+    ``--no-schema-index`` disables the inverted-lexicon candidate
+    pruning (brute-force matching, for A/B runs); ``--serve``
+    additionally runs each system as the primary of a resilient fallback
+    chain over the same questions (honoring ``--inject``) and adds
+    availability/degraded/retries columns; ``--json FILE`` writes the
+    machine-readable report (rows + cache stats + profile + serve
+    summaries).
     """
     import json
 
@@ -321,7 +331,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.cache import all_cache_stats
     from repro.perf.parallel import ContextSpec, parallel_compare_systems
 
-    spec = ContextSpec(args.domain, seed=args.seed)
+    spec = ContextSpec(
+        args.domain,
+        seed=args.seed,
+        # wide catalogs keep per-table row counts small: the matching
+        # cost under benchmark scales with width, not rows
+        scale=0.25 if args.catalog_width else 1.0,
+        catalog_width=args.catalog_width,
+        use_schema_index=not args.no_schema_index,
+    )
     context = spec.build()
     examples = WorkloadGenerator(context.database, seed=args.seed).generate_mixed(
         args.per_tier
@@ -343,8 +361,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for row in report.rows:
             if row.system in serve_summaries:
                 row.attach_serve(serve_summaries[row.system])
+    scope = f"widecat[{args.catalog_width}]" if args.catalog_width else args.domain
     title = (
-        f"{args.domain}: {len(examples)} examples × {len(names)} systems "
+        f"{scope}: {len(examples)} examples × {len(names)} systems "
         f"({report.mode}, jobs={report.jobs}, {report.wall_s:.2f}s)"
     )
     print(format_table([r.as_dict() for r in report.rows], title))
@@ -358,6 +377,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.json:
         payload = {
             "domain": args.domain,
+            "catalog_width": args.catalog_width,
+            "schema_index": not args.no_schema_index,
             "examples": len(examples),
             "jobs": report.jobs,
             "mode": report.mode,
@@ -402,6 +423,7 @@ def build_parser() -> argparse.ArgumentParser:
     ask.add_argument(
         "--stats", action="store_true", help="show ExecutionStats counters"
     )
+    _add_schema_index_arg(ask)
     ask.set_defaults(func=cmd_ask)
 
     sql = sub.add_parser("sql", help="run raw SQL against a domain database")
@@ -503,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="per-request end-to-end deadline seconds for --http (0 disables)",
     )
+    _add_schema_index_arg(serve)
     _add_fault_args(serve)
     serve.set_defaults(func=cmd_serve)
 
@@ -542,9 +565,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run a resilient-serving sweep; adds avail/degraded/retries columns",
     )
+    bench.add_argument(
+        "--catalog-width",
+        type=int,
+        default=0,
+        metavar="N",
+        help="benchmark against a seeded N-table wide catalog instead of "
+        "the domain (cloned/permuted domains with overlapping columns)",
+    )
+    _add_schema_index_arg(bench)
     _add_fault_args(bench)
     bench.set_defaults(func=cmd_bench)
     return parser
+
+
+def _add_schema_index_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-schema-index",
+        action="store_true",
+        help="disable the inverted-lexicon candidate pruning (brute-force matching)",
+    )
 
 
 def _add_fault_args(parser: argparse.ArgumentParser) -> None:

@@ -89,9 +89,19 @@ def resolve_overlaps(
         annotations, key=lambda a: (-composite(a), a.start, a.kind, a.target)
     )
     kept: List[EvidenceAnnotation] = []
+    # Token-index set instead of an any(overlaps) scan over `kept`: two
+    # non-empty annotations overlap exactly when they share a token
+    # index, so the check is O(span length) per candidate instead of
+    # O(|kept|) — the difference between linear and quadratic resolution
+    # under the candidate floods wide catalogs produce.  Degenerate
+    # empty spans (start == end, which no producer emits) claim no
+    # tokens and conflict with nothing.
+    covered: Set[int] = set()
     for ann in ranked:
-        if any(ann.overlaps(existing) for existing in kept):
+        span = range(ann.start, ann.end)
+        if any(i in covered for i in span):
             continue
+        covered.update(span)
         kept.append(ann)
     kept.sort(key=lambda a: a.start)
     return kept

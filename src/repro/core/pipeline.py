@@ -27,6 +27,7 @@ from repro.sqldb.relation import Relation
 
 from .interpretation import Interpretation
 from .ranking import apply_static_analysis
+from .schema_index import PruningCounters, SchemaIndex
 
 
 class NLIDBContext:
@@ -45,6 +46,7 @@ class NLIDBContext:
         thesaurus: Optional[Thesaurus] = None,
         use_planner: bool = True,
         interpretation_cache: Optional[InterpretationCache] = None,
+        use_schema_index: bool = True,
     ):
         self.database = database
         self.index = DatabaseIndex(database)
@@ -61,6 +63,9 @@ class NLIDBContext:
         self.interpretation_cache = interpretation_cache
         #: per-query ExecutionStats of the most recent execute() call
         self.last_stats = None
+        #: escape hatch: ``False`` forces brute-force evidence matching
+        self.use_schema_index = use_schema_index
+        self._schema_index: Optional[SchemaIndex] = None
         self._register_schema_synonyms()
 
     def _register_schema_synonyms(self) -> None:
@@ -84,6 +89,33 @@ class NLIDBContext:
         self.thesaurus = self.thesaurus.copy()
         for ring in rings:
             self.thesaurus.add_synonyms(ring)
+
+    @property
+    def schema_index(self) -> Optional[SchemaIndex]:
+        """The context's compressed schema index, or ``None`` when the
+        ``use_schema_index`` escape hatch disabled it.
+
+        Built lazily on first access; the lexicon and value buckets
+        inside rebuild themselves when ``catalog_version`` /
+        ``data_version`` move, so the index is always current.
+        """
+        if not self.use_schema_index:
+            return None
+        if self._schema_index is None:
+            self._schema_index = SchemaIndex(
+                self.ontology, self.thesaurus, self.database, self.mapping
+            )
+        return self._schema_index
+
+    def schema_index_counters(self) -> Optional[PruningCounters]:
+        """Live pruning counters, or ``None`` while no index exists yet.
+
+        Deliberately does *not* build the index — the harness peeks at
+        this around every example to attribute pruning deltas.
+        """
+        if not self.use_schema_index or self._schema_index is None:
+            return None
+        return self._schema_index.pruning
 
     def interpret(self, system: "NLIDBSystem", question: str) -> List[Interpretation]:
         """Run (or replay) ``system``'s interpretation of ``question``.

@@ -14,7 +14,7 @@ vocabulary when a database declares synonyms.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.perf.cache import MISSING, LRUCache, stats_for
 
@@ -149,10 +149,12 @@ class Thesaurus:
         stats = stats_for("nlp.thesaurus")
         self._syn_memo = LRUCache(maxsize=16384, stats=stats)
         self._wup_memo = LRUCache(maxsize=16384, stats=stats)
+        self._ring_lemmas: Optional[List[Set[str]]] = None
 
     def _invalidate_memos(self) -> None:
         self._syn_memo.clear()
         self._wup_memo.clear()
+        self._ring_lemmas = None
 
     def copy(self) -> "Thesaurus":
         """An independent clone; mutating it never touches the original.
@@ -212,6 +214,60 @@ class Thesaurus:
             return True
         return lemmatize(b_l) in {lemmatize(s) for s in self.synonyms(a_l)}
 
+    # -- index-side expansion -------------------------------------------------
+
+    def _ring_lemma_sets(self) -> List[Set[str]]:
+        """Lemma sets of every ring, cached until the next mutation."""
+        cached = self._ring_lemmas
+        if cached is None or len(cached) != len(self._rings):
+            cached = [{lemmatize(w) for w in ring} for ring in self._rings]
+            self._ring_lemmas = cached
+        return cached
+
+    def ring_mates(self, term: str) -> Set[str]:
+        """Every word whose synonym lookup can reach ``term``.
+
+        Inverted-index construction helper (see
+        :mod:`repro.core.schema_index`): ``are_synonyms(q, term)`` holds
+        only when ``q`` (or its lemma) is a member of a ring whose lemma
+        set contains ``lemmatize(term)``.  The raw members of those
+        rings, plus the lemma itself, are therefore a complete key set
+        for the synonym channel — any question word that can score 0.95
+        against ``term`` maps onto one of these keys.
+        """
+        lemma = lemmatize(term.lower())
+        out: Set[str] = {lemma}
+        for ring, lemmas in zip(self._rings, self._ring_lemma_sets()):
+            if lemma in lemmas:
+                out |= ring
+        return out
+
+    def taxonomy_mates(self, term: str, min_wup: float) -> Set[str]:
+        """Every word whose Wu–Palmer similarity with ``term`` can reach
+        ``min_wup`` through the taxonomy channel.
+
+        A question word only gets a nonzero wup score when its canonical
+        form sits in the taxonomy (otherwise both ancestry chains meet at
+        the root and the depth guard zeroes the score) or trivially
+        equals ``term``'s canonical form.  Enumerating the taxonomy's
+        nodes with ``wup >= min_wup`` against ``term`` and expanding each
+        qualifying node through the synonym rings that canonicalize to it
+        yields a complete, conservative key set.
+        """
+        ct = self._canonical(term)
+        nodes = set(self._hypernyms) | set(self._hypernyms.values()) | {_ROOT}
+        nodes.add(ct)
+        lemma_sets = self._ring_lemma_sets()
+        out: Set[str] = set()
+        for node in nodes:
+            if self._wup_canonical(node, ct) < min_wup:
+                continue
+            out.add(node)
+            for ring, lemmas in zip(self._rings, lemma_sets):
+                if node in lemmas:
+                    out |= ring
+        return out
+
     # -- taxonomy -----------------------------------------------------------
 
     def _ancestry(self, word: str) -> List[str]:
@@ -256,7 +312,15 @@ class Thesaurus:
     def _wup_impl(self, a: str, b: str) -> float:
         if self.are_synonyms(a, b):
             return 1.0
-        ca, cb = self._canonical(a), self._canonical(b)
+        return self._wup_canonical(self._canonical(a), self._canonical(b))
+
+    def _wup_canonical(self, ca: str, cb: str) -> float:
+        """Wu–Palmer over two already-canonicalized taxonomy terms.
+
+        Shared by :meth:`wup_similarity` and the schema index's
+        taxonomy-mates enumeration, so the index's notion of "reachable
+        through the taxonomy" is the scoring math itself, not a copy.
+        """
         if ca == cb:
             return 1.0
         chain_a = self._ancestry(ca)
@@ -266,7 +330,6 @@ class Thesaurus:
         set_b = {node: i for i, node in enumerate(chain_b)}
         for i, node in enumerate(chain_a):
             if node in set_b:
-                depth_a = len(chain_a) - 1 - 0  # root at end
                 # depth counted from the root (root depth = 1)
                 d_lcs = len(chain_a) - i
                 d_a = len(chain_a)

@@ -51,19 +51,34 @@ class ContextSpec:
 
     Domain databases are deterministic functions of ``(name, seed,
     scale)``, so the spec rebuilds an identical context in every process
-    without shipping table storage across the pipe.
+    without shipping table storage across the pipe.  A non-zero
+    ``catalog_width`` swaps the single domain for the seeded wide
+    catalog of :func:`repro.bench.catalog_gen.build_wide_catalog`
+    (equally deterministic, so workers still agree byte-for-byte).
     """
 
     domain: str
     seed: int = 0
     scale: float = 1.0
     use_planner: bool = True
+    #: 0 = build ``domain`` as-is; N ≥ 1 = build an N-table wide catalog
+    catalog_width: int = 0
+    use_schema_index: bool = True
 
     def build(self) -> NLIDBContext:
         """Construct the context this spec describes."""
+        if self.catalog_width:
+            from repro.bench.catalog_gen import build_wide_catalog
+
+            database = build_wide_catalog(
+                self.catalog_width, seed=self.seed, scale=self.scale
+            )
+        else:
+            database = build_domain(self.domain, seed=self.seed, scale=self.scale)
         return NLIDBContext(
-            build_domain(self.domain, seed=self.seed, scale=self.scale),
+            database,
             use_planner=self.use_planner,
+            use_schema_index=self.use_schema_index,
         )
 
 

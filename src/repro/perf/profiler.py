@@ -31,6 +31,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 #: canonical display order; unknown stages sort after these, alphabetically
 STAGE_ORDER: List[str] = [
     "tokenize",
+    "schema_index",
     "parse",
     "match",
     "rank",
@@ -213,7 +214,7 @@ def _chain_hooks(
     return chained
 
 
-def profile_stage(name: str):
+def profile_stage(name: str, fire_hook: bool = True):
     """A timing span on the ambient profiler, or a shared no-op.
 
     Usage at instrumentation sites::
@@ -225,10 +226,18 @@ def profile_stage(name: str):
     no-op context manager — cheap enough for per-question call sites.
     An installed :func:`stage_hook` fires first (and may raise), so
     injected faults surface even when nothing is being profiled.
+
+    ``fire_hook=False`` records the timing span without firing the
+    ambient hook.  Use it for *amortized* work (version-gated cache
+    fills like the schema-index lexicon build) where which request pays
+    the cost is a scheduling accident: letting fault injection or
+    deadline hooks land there would make a request's fault sequence
+    depend on worker cache state, breaking per-request replayability.
     """
-    hook = _STAGE_HOOK.get()
-    if hook is not None:
-        hook(name)
+    if fire_hook:
+        hook = _STAGE_HOOK.get()
+        if hook is not None:
+            hook(name)
     profiler = _ACTIVE.get()
     if profiler is None:
         return _NOOP

@@ -22,6 +22,7 @@ from typing import List, Optional, Set, Tuple
 from repro.core.evidence import EvidenceAnnotation, resolve_overlaps
 from repro.core.intermediate import PropertyRef
 from repro.core.pipeline import NLIDBContext
+from repro.core.schema_index import SchemaIndex
 from repro.nlp.matching import phrase_similarity, term_similarity
 from repro.nlp.patterns import PatternMatch, detect_patterns
 from repro.nlp.pos import tag_text
@@ -86,6 +87,7 @@ class EntityAnnotator:
         similarity_threshold: float = 0.75,
         relaxer: Optional[QueryRelaxer] = None,
         max_span: int = 3,
+        schema_index: bool = True,
     ):
         self.use_metadata = use_metadata
         self.use_values = use_values
@@ -93,6 +95,9 @@ class EntityAnnotator:
         self.similarity_threshold = similarity_threshold
         self.relaxer = relaxer
         self.max_span = max_span
+        #: escape hatch: ``False`` ignores the context's schema index and
+        #: always scores every ontology element (brute force)
+        self.schema_index = schema_index
 
     # -- public API -----------------------------------------------------------
 
@@ -102,11 +107,12 @@ class EntityAnnotator:
             tokens = tag_text(question)
         patterns = detect_patterns(tokens)
         candidates: List[EvidenceAnnotation] = []
+        index = self._index_for(context)
         with profile_stage("match"):
             for start, end, words in self._spans(tokens):
                 if self.use_metadata:
                     candidates.extend(
-                        self._metadata_candidates(start, end, words, context)
+                        self._metadata_candidates(start, end, words, context, index)
                     )
             if self.use_values:
                 for start, end, words in self._value_spans(tokens):
@@ -116,7 +122,7 @@ class EntityAnnotator:
             if self.fuzzy_values and self.use_values:
                 matched = {i for c in candidates for i in range(c.start, c.end)}
                 candidates.extend(
-                    self._fuzzy_value_candidates(tokens, matched, context)
+                    self._fuzzy_value_candidates(tokens, matched, context, index)
                 )
             if self.relaxer is not None and self.use_values:
                 matched = {i for c in candidates for i in range(c.start, c.end)}
@@ -124,6 +130,19 @@ class EntityAnnotator:
         candidates = self._contextual_boost(candidates)
         kept = resolve_overlaps(candidates)
         return AnnotatedQuestion(question, tokens, patterns, kept, candidates)
+
+    def _index_for(self, context: NLIDBContext) -> Optional[SchemaIndex]:
+        """The context's schema index, when both sides allow it.
+
+        ``None`` (→ brute force) when the annotator's own escape hatch is
+        off, the context was built with ``use_schema_index=False``, or
+        the similarity threshold is below the index's soundness floor.
+        """
+        if not self.schema_index:
+            return None
+        if not SchemaIndex.supports_threshold(self.similarity_threshold):
+            return None
+        return getattr(context, "schema_index", None)
 
     # -- contextual disambiguation ---------------------------------------------------
 
@@ -219,8 +238,26 @@ class EntityAnnotator:
 
     # -- metadata candidates ----------------------------------------------------------
 
+    @staticmethod
+    def _all_metadata_targets(context: NLIDBContext):
+        """Every (kind, element) pair in brute-force iteration order.
+
+        The schema index hands back the same pairs as an order-preserving
+        pruned subsequence, which is what makes the two paths produce
+        identical candidate lists.
+        """
+        for concept in context.ontology.concepts.values():
+            yield "concept", concept
+            for prop in concept.properties.values():
+                yield "property", prop
+
     def _metadata_candidates(
-        self, start: int, end: int, words: List[str], context: NLIDBContext
+        self,
+        start: int,
+        end: int,
+        words: List[str],
+        context: NLIDBContext,
+        index: Optional[SchemaIndex] = None,
     ) -> List[EvidenceAnnotation]:
         out: List[EvidenceAnnotation] = []
         # Multi-token metadata spans must be stopword-free: otherwise
@@ -229,23 +266,27 @@ class EntityAnnotator:
         if len(words) > 1 and any(is_stopword(w) for w in words):
             return out
         content = words
-        for concept in context.ontology.concepts.values():
-            score = self._surface_score(content, concept.surface_forms(), context)
-            if score >= self.similarity_threshold:
+        if index is None:
+            targets = self._all_metadata_targets(context)
+        else:
+            targets = index.candidate_targets(words, self.similarity_threshold)
+        for kind, element in targets:
+            score = self._surface_score(content, element.surface_forms(), context)
+            if score < self.similarity_threshold:
+                continue
+            if kind == "concept":
                 out.append(
                     EvidenceAnnotation(
-                        start, end, "concept", concept.name, score, payload=concept.name
+                        start, end, "concept", element.name, score, payload=element.name
                     )
                 )
-            for prop in concept.properties.values():
-                score = self._surface_score(content, prop.surface_forms(), context)
-                if score >= self.similarity_threshold:
-                    ref = PropertyRef(concept.name, prop.name)
-                    out.append(
-                        EvidenceAnnotation(
-                            start, end, "property", str(ref), score, payload=ref
-                        )
+            else:
+                ref = PropertyRef(element.concept, element.name)
+                out.append(
+                    EvidenceAnnotation(
+                        start, end, "property", str(ref), score, payload=ref
                     )
+                )
         return out
 
     def _surface_score(
@@ -305,7 +346,11 @@ class EntityAnnotator:
         return out
 
     def _fuzzy_value_candidates(
-        self, tokens: List[Token], matched: Set[int], context: NLIDBContext
+        self,
+        tokens: List[Token],
+        matched: Set[int],
+        context: NLIDBContext,
+        index: Optional[SchemaIndex] = None,
     ) -> List[EvidenceAnnotation]:
         out: List[EvidenceAnnotation] = []
         for i, token in enumerate(tokens):
@@ -314,20 +359,35 @@ class EntityAnnotator:
             if len(token.norm) < 4 or is_stopword(token.norm):
                 continue
             best: Optional[Tuple[float, PropertyRef, object]] = None
-            for table in context.database.tables:
-                for column in table.schema.text_columns():
-                    ref = self._ref_for(table.name, column.name, context)
+            if index is not None:
+                # The bucketed pool replays the brute-force scan over a
+                # pruned subsequence: same iteration order (global
+                # ordinals), same pre-filters (first char, |Δlen| ≤ 3),
+                # same strict-> tie-break, so `best` comes out identical.
+                for _, table_name, column_name, value, text in index.fuzzy_value_pool(
+                    token.norm
+                ):
+                    ref = self._ref_for(table_name, column_name, context)
                     if ref is None:
                         continue
-                    for value in table.distinct_values(column.name):
-                        text = str(value)
-                        if abs(len(text) - len(token.norm)) > 3:
+                    score = string_similarity(token.norm, text)
+                    if score >= 0.74 and (best is None or score > best[0]):
+                        best = (score, ref, value)
+            else:
+                for table in context.database.tables:
+                    for column in table.schema.text_columns():
+                        ref = self._ref_for(table.name, column.name, context)
+                        if ref is None:
                             continue
-                        if text[:1].lower() != token.norm[:1]:
-                            continue
-                        score = string_similarity(token.norm, text)
-                        if score >= 0.74 and (best is None or score > best[0]):
-                            best = (score, ref, value)
+                        for value in table.distinct_values(column.name):
+                            text = str(value)
+                            if abs(len(text) - len(token.norm)) > 3:
+                                continue
+                            if text[:1].lower() != token.norm[:1]:
+                                continue
+                            score = string_similarity(token.norm, text)
+                            if score >= 0.74 and (best is None or score > best[0]):
+                                best = (score, ref, value)
             if best is not None:
                 score, ref, value = best
                 out.append(
