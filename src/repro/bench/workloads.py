@@ -428,7 +428,9 @@ class WorkloadGenerator:
     # -- tier 4: nested (BI) -----------------------------------------------------------
 
     def _make_nested(self) -> Optional[QueryExample]:
-        choice = int(self.rng.integers(3))
+        choice = int(self.rng.integers(4))
+        if choice == 3:
+            return self._make_union()
         if choice == 0:
             picked = self._table_with(self._is_measure)
             if picked is None:
@@ -484,3 +486,36 @@ class WorkloadGenerator:
             )
             template = "nested-notin"
         return QueryExample(question, sql, ComplexityTier.NESTED, self.db.name, template)
+
+    def _make_union(self) -> Optional[QueryExample]:
+        """"… with X v1 or with Y v2" → a duplicate-eliminating UNION.
+
+        The disjuncts constrain *different* text columns of one table, so
+        no single conjunctive WHERE expresses the question — the shape
+        the survey's hard tier (compound/BI) exists for.
+        """
+        picked = self._table_with(self._is_entity_text)
+        if picked is None:
+            return None
+        table, text_cols = picked
+        if len(text_cols) < 2:
+            return None
+        display = self._display_column(table)
+        col_a, col_b = self.rng.choice(len(text_cols), size=2, replace=False)
+        col_a, col_b = text_cols[int(col_a)], text_cols[int(col_b)]
+        value_a = self._sample_value(table, col_a.name)
+        value_b = self._sample_value(table, col_b.name)
+        if value_a is None or value_b is None:
+            return None
+        question = (
+            f"{self._nouns(table)} with {self._col_phrase(table, col_a.name)} "
+            f"{value_a} or with {self._col_phrase(table, col_b.name)} {value_b}"
+        )
+        sql = (
+            f"SELECT {display} FROM {table} WHERE {col_a.name} = {format_value(value_a)} "
+            f"UNION "
+            f"SELECT {display} FROM {table} WHERE {col_b.name} = {format_value(value_b)}"
+        )
+        return QueryExample(
+            question, sql, ComplexityTier.NESTED, self.db.name, "union-or"
+        )

@@ -17,7 +17,12 @@ from __future__ import annotations
 import enum
 from typing import Union
 
-from repro.sqldb.ast import SelectStatement
+from repro.sqldb.ast import (
+    SelectStatement,
+    SetOperation,
+    Statement,
+    WindowFunction,
+)
 from repro.sqldb.parser import parse_select
 
 
@@ -40,15 +45,29 @@ class ComplexityTier(enum.IntEnum):
         }[self]
 
 
-def classify(query: Union[str, SelectStatement]) -> ComplexityTier:
+def _has_window(stmt: SelectStatement) -> bool:
+    """Whether any select-list or ORDER BY expression contains a window
+    function call."""
+    exprs = [item.expr for item in stmt.select_items]
+    exprs.extend(order.expr for order in stmt.order_by)
+    return any(
+        isinstance(node, WindowFunction) for expr in exprs for node in expr.walk()
+    )
+
+
+def classify(query: Union[str, Statement]) -> ComplexityTier:
     """Classify SQL text or an AST into a :class:`ComplexityTier`.
 
     Nesting dominates joins, which dominate aggregation: a nested query
     with joins is ``NESTED``; a single-table ``GROUP BY`` is
-    ``AGGREGATION``.
+    ``AGGREGATION``.  Compound queries (``UNION``/``EXCEPT``/
+    ``INTERSECT``) and window functions are BI/analytic shapes, so both
+    land in ``NESTED`` alongside sub-queries.
     """
     stmt = parse_select(query) if isinstance(query, str) else query
-    if stmt.subqueries():
+    if isinstance(stmt, SetOperation):
+        return ComplexityTier.NESTED
+    if stmt.subqueries() or _has_window(stmt):
         return ComplexityTier.NESTED
     if len(stmt.referenced_tables()) > 1:
         return ComplexityTier.JOIN
@@ -57,12 +76,12 @@ def classify(query: Union[str, SelectStatement]) -> ComplexityTier:
     return ComplexityTier.SELECTION
 
 
-def tier_at_most(query: Union[str, SelectStatement], tier: ComplexityTier) -> bool:
+def tier_at_most(query: Union[str, Statement], tier: ComplexityTier) -> bool:
     """Whether ``query`` is within (at or below) ``tier``."""
     return classify(query) <= tier
 
 
-def spider_hardness(query: Union[str, SelectStatement]) -> str:
+def spider_hardness(query: Union[str, Statement]) -> str:
     """Spider-style hardness label: easy / medium / hard / extra.
 
     Spider [64] buckets queries by counting SQL components; this is the
@@ -72,6 +91,11 @@ def spider_hardness(query: Union[str, SelectStatement]) -> str:
     selections → ``easy``.
     """
     stmt = parse_select(query) if isinstance(query, str) else query
+    if isinstance(stmt, SetOperation):
+        # Compounds are Spider's hallmark "extra" component.
+        return "extra"
+    if _has_window(stmt):
+        return "extra"
     components = 0
     if stmt.joins:
         components += 1 + max(0, len(stmt.joins) - 1)

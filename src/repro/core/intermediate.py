@@ -40,7 +40,9 @@ from repro.sqldb.ast import (
     OrderItem,
     SelectItem,
     SelectStatement,
+    SetOperation,
     Star,
+    Statement,
     SubqueryExpr,
     TableRef,
     UnaryOp,
@@ -267,6 +269,43 @@ class OQLQuery:
         return " ".join(parts)
 
 
+@dataclass(frozen=True)
+class OQLUnionQuery:
+    """A disjunctive ontology query: the union of branch readings.
+
+    ATHENA-style interpretation builds one conjunctive tree per query;
+    "projects with status X or with owner Y" does not fit a single tree
+    when the disjuncts constrain *different* properties.  The union form
+    keeps one branch per disjunct and lowers to a SQL compound
+    (``UNION``, duplicate-eliminating, NULLs comparing equal in dedup).
+    """
+
+    branches: Tuple[OQLQuery, ...]
+
+    def __post_init__(self):
+        if len(self.branches) < 2:
+            raise ValueError("a union query needs at least two branches")
+
+    def concepts(self) -> List[str]:
+        """All concepts referenced by any branch (dedup, ordered)."""
+        seen: List[str] = []
+        for branch in self.branches:
+            for concept in branch.concepts():
+                if concept not in seen:
+                    seen.append(concept)
+        return seen
+
+    def to_english(self) -> str:
+        """Natural-language rendering: branch sentences joined by or."""
+        sentences = [b.to_english() for b in self.branches]
+        rest = [s[len("find ") :] if s.startswith("find ") else s for s in sentences[1:]]
+        return sentences[0] + "".join(f", or {s}" for s in rest)
+
+    def describe(self) -> str:
+        """One-line readable form for logs and clarification dialogs."""
+        return " union ".join(b.describe() for b in self.branches)
+
+
 # --------------------------------------------------------------------------
 # Compilation to SQL
 # --------------------------------------------------------------------------
@@ -322,6 +361,25 @@ class OQLCompiler:
             limit=query.limit,
             distinct=query.distinct,
         )
+
+    def compile_union(self, query: OQLUnionQuery) -> SetOperation:
+        """Compile a disjunctive query into a left-associated ``UNION``.
+
+        Duplicate-eliminating by design: a row satisfying several
+        disjuncts must appear once, which is exactly compound ``UNION``
+        dedup (where NULL keys compare equal).
+        """
+        blocks = [self.compile(branch) for branch in query.branches]
+        widths = {len(b.select_items) for b in blocks}
+        if len(widths) > 1:
+            raise CompilationError(
+                "union branches project different column counts: "
+                + ", ".join(str(len(b.select_items)) for b in blocks)
+            )
+        stmt: Statement = blocks[0]
+        for block in blocks[1:]:
+            stmt = SetOperation("union", stmt, block)
+        return stmt
 
     # -- join construction -------------------------------------------------------
 
@@ -403,7 +461,11 @@ class OQLCompiler:
         if cond.op == "between":
             return Between(lhs, Literal(cond.value), Literal(cond.value2), negated=cond.negated)
         if cond.op in ("in", "not_in"):
-            items = tuple(Literal(v) for v in (cond.value or []))
+            # Strip NULLs: a NULL literal never matches, and under
+            # three-valued logic ``x NOT IN (…, NULL)`` is never true —
+            # one stray NULL would silently empty the negated result.
+            values = [v for v in (cond.value or []) if v is not None]
+            items = tuple(Literal(v) for v in values)
             return InList(lhs, items, negated=(cond.op == "not_in" or cond.negated))
         if cond.op == "like":
             expr = BinaryOp("LIKE", lhs, Literal(cond.value))
@@ -476,7 +538,12 @@ class OQLCompiler:
 
 
 def compile_oql(
-    query: OQLQuery, ontology: Ontology, mapping: OntologyMapping
-) -> SelectStatement:
+    query: Union[OQLQuery, OQLUnionQuery],
+    ontology: Ontology,
+    mapping: OntologyMapping,
+) -> Statement:
     """Convenience wrapper around :class:`OQLCompiler`."""
-    return OQLCompiler(ontology, mapping).compile(query)
+    compiler = OQLCompiler(ontology, mapping)
+    if isinstance(query, OQLUnionQuery):
+        return compiler.compile_union(query)
+    return compiler.compile(query)

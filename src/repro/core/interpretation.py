@@ -10,15 +10,15 @@ hooks for interactive systems (NaLIR [31], DialSQL [22]).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Union
 
 from repro.ontology.mapping import OntologyMapping
 from repro.ontology.model import Ontology
-from repro.sqldb.ast import SelectStatement
+from repro.sqldb.ast import Statement
 
 from .errors import CompilationError
 from .evidence import EvidenceAnnotation
-from .intermediate import OQLQuery, compile_oql
+from .intermediate import OQLQuery, OQLUnionQuery, compile_oql
 
 
 @dataclass
@@ -31,8 +31,8 @@ class Interpretation:
 
     system: str
     confidence: float
-    oql: Optional[OQLQuery] = None
-    sql: Optional[SelectStatement] = None
+    oql: Optional[Union[OQLQuery, OQLUnionQuery]] = None
+    sql: Optional[Statement] = None
     evidence: List[EvidenceAnnotation] = field(default_factory=list)
     explanation: str = ""
     clarifications: List[Any] = field(default_factory=list)
@@ -45,7 +45,7 @@ class Interpretation:
         self,
         ontology: Optional[Ontology] = None,
         mapping: Optional[OntologyMapping] = None,
-    ) -> SelectStatement:
+    ) -> Statement:
         """The SQL statement of this interpretation.
 
         OQL-backed interpretations need ``ontology`` and ``mapping`` on

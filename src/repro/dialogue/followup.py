@@ -74,6 +74,10 @@ class FollowupResolver:
         utterance should be interpreted from scratch."""
         if previous is None or not self.is_followup(utterance):
             return None, "new_query"
+        if not isinstance(previous, OQLQuery):
+            # Compound (union) queries have no single conjunctive tree to
+            # edit; follow-ups on them re-interpret from scratch.
+            return None, "new_query"
         annotated = self.annotator.annotate(utterance, context)
         annotated = self._prefer_context_concepts(annotated, previous)
         tokens = annotated.tokens

@@ -85,7 +85,10 @@ class QueryRelaxer:
         the database column being filtered; the result, if any, is the
         value the relaxed query should use.
         """
-        available = {c.lower() for c in candidates}
+        # Candidate lists come straight from stored column values, which
+        # may contain NULLs or non-text values; neither can ever match a
+        # relaxed text term, so skip them instead of crashing on .lower().
+        available = {c.lower() for c in candidates if isinstance(c, str)}
         t = term.lower().strip()
         if t in available:
             return RelaxedTerm(t, t, "exact", 1.0)

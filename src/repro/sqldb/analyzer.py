@@ -16,7 +16,13 @@ checks, without touching a single row:
   ``SELECT *`` in grouped queries, bare non-grouped columns, ``HAVING``
   on an ungrouped query;
 - **subqueries** — scalar/``IN`` subqueries whose SELECT list is not
-  exactly one column, with correlation handled through the scope chain.
+  exactly one column, with correlation handled through the scope chain;
+- **compounds, CASE and windows** (``SQL310``–``SQL316``) — set-operation
+  branches of differing width (error) or incompatible column families
+  (warning), window calls outside the select list / ORDER BY of an
+  ungrouped block, unsupported window shapes, CASE operand/branch family
+  mixes, and compound ``ORDER BY`` terms that are neither an output
+  column name nor a 1-based position.
 
 Results are :class:`Diagnostic` objects, not exceptions.  Each carries a
 stable ``code`` shared 1:1 with an exception class in
@@ -57,6 +63,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from .ast import (
     Between,
     BinaryOp,
+    CaseExpr,
     ColumnRef,
     Expr,
     FuncCall,
@@ -64,12 +71,15 @@ from .ast import (
     IsNull,
     Literal,
     SelectStatement,
+    SetOperation,
     Span,
     SqlNode,
     Star,
+    Statement,
     SubqueryExpr,
     TableRef,
     UnaryOp,
+    WindowFunction,
 )
 from .errors import ERROR_CLASS_BY_CODE, ParseError
 from .functions import SCALAR_FUNCTIONS
@@ -206,6 +216,9 @@ class _Ctx:
     in_aggregate: bool = False
     group: bool = False
     group_keys: Tuple[Expr, ...] = ()
+    #: window calls are legal only in the select list / ORDER BY of an
+    #: ungrouped block — everywhere else the executor raises SQL312
+    allow_windows: bool = False
 
     def row(self, **overrides: Any) -> "_Ctx":
         """A per-row variant of this context (used under group frontiers)."""
@@ -228,10 +241,13 @@ class SemanticAnalyzer:
 
     # -- public API ---------------------------------------------------------
 
-    def analyze(self, stmt: SelectStatement) -> AnalysisResult:
+    def analyze(self, stmt: Statement) -> AnalysisResult:
         """Analyze a parsed (or programmatically built) statement."""
         self._diags: List[Diagnostic] = []
-        self._analyze_block(stmt, parent=None)
+        if isinstance(stmt, SetOperation):
+            self._analyze_compound(stmt)
+        else:
+            self._analyze_block(stmt, parent=None)
         # Alias-substituted ORDER BY re-analyzes select expressions; drop
         # the resulting duplicates while preserving first-emission order.
         seen = set()
@@ -264,14 +280,80 @@ class SemanticAnalyzer:
         span = node.span if node is not None else None
         self._diags.append(Diagnostic(code, severity, message, span))
 
+    # -- compound (set-operation) analysis ----------------------------------
+
+    def _analyze_compound(self, stmt: SetOperation) -> None:
+        """Analyze a ``UNION``/``EXCEPT``/``INTERSECT`` chain.
+
+        Each block is analyzed as its own top-level scope (compound
+        branches cannot correlate with each other), then the branches are
+        checked against each other: differing output widths raise at
+        runtime (``SQL310``), incompatible column families make
+        cross-branch dedup matches impossible (``SQL311``, warning), and
+        the compound's ``ORDER BY`` must name a leftmost-block output
+        column or a 1-based position (``SQL316``, mirroring the
+        executor's :class:`CompoundOrderError`)."""
+        blocks = stmt.selects()
+        infos = [self._analyze_block(block, parent=None) for block in blocks]
+        first_width, _, first_families = infos[0]
+        for block, (width, _, families) in zip(blocks[1:], infos[1:]):
+            if first_width is not None and width is not None and width != first_width:
+                self._emit(
+                    "SQL310",
+                    ERROR,
+                    f"compound branches return {first_width} and {width} columns",
+                    block,
+                )
+            elif (
+                first_families is not None
+                and families is not None
+                and len(families) == len(first_families)
+            ):
+                for i, (f1, f2) in enumerate(zip(first_families, families)):
+                    if not _compatible(f1, f2):
+                        self._emit(
+                            "SQL311",
+                            WARNING,
+                            f"compound column {i + 1} pairs {f1} with {f2}: "
+                            "cross-branch values never match during dedup",
+                            block,
+                        )
+        names: Optional[List[str]] = []
+        for item in blocks[0].select_items:
+            if isinstance(item.expr, Star):
+                names = None
+                break
+            assert names is not None
+            names.append(item.output_name.lower())
+        for order in stmt.order_by:
+            expr = order.expr
+            ok = False
+            if isinstance(expr, ColumnRef) and expr.table is None:
+                ok = names is None or expr.column.lower() in names
+            elif (
+                isinstance(expr, Literal)
+                and isinstance(expr.value, int)
+                and not isinstance(expr.value, bool)
+            ):
+                ok = first_width is None or 1 <= expr.value <= first_width
+            if not ok:
+                self._emit(
+                    "SQL316",
+                    ERROR,
+                    f"compound ORDER BY term {expr.to_sql()!r} is neither an "
+                    "output column name nor a 1-based column position",
+                    order,
+                )
+
     # -- block analysis -----------------------------------------------------
 
     def _analyze_block(
         self, stmt: SelectStatement, parent: Optional[_Scope]
-    ) -> Tuple[Optional[int], Optional[str]]:
-        """Analyze one SELECT block; returns ``(output width, family of the
-        single output column)`` for subquery arity/type checks (either may
-        be ``None`` when stars over unknown tables make them unknowable).
+    ) -> Tuple[Optional[int], Optional[str], Optional[Tuple[Optional[str], ...]]]:
+        """Analyze one SELECT block; returns ``(output width, family of
+        the single output column, per-item output families)`` for
+        subquery arity/type and compound cross-branch checks (each may be
+        ``None`` when stars over unknown tables make them unknowable).
         """
         bindings: List[Tuple[str, Optional[TableSchema]]] = []
         table_refs: List[TableRef] = []
@@ -326,6 +408,8 @@ class SemanticAnalyzer:
 
         width: Optional[int] = 0
         first_family: Optional[str] = None
+        families: List[Optional[str]] = []
+        families_known = True
         for idx, item in enumerate(stmt.select_items):
             if isinstance(item.expr, Star):
                 if grouped:
@@ -336,6 +420,7 @@ class SemanticAnalyzer:
                         item,
                     )
                 width = self._extend_star_width(width, item.expr, bindings, item)
+                families_known = False
             else:
                 if width is not None:
                     width += 1
@@ -345,8 +430,13 @@ class SemanticAnalyzer:
                     family = self._infer(
                         item.expr,
                         scope,
-                        _Ctx(clause="select list", allow_aggregates=True),
+                        _Ctx(
+                            clause="select list",
+                            allow_aggregates=True,
+                            allow_windows=True,
+                        ),
                     )
+                families.append(family)
                 if idx == 0:
                     first_family = family
 
@@ -387,11 +477,11 @@ class SemanticAnalyzer:
                 )
                 self._infer_group(expr, scope, order_ctx)
             else:
-                self._infer(expr, scope, _Ctx(clause="ORDER BY"))
+                self._infer(expr, scope, _Ctx(clause="ORDER BY", allow_windows=True))
 
         if len(stmt.select_items) != 1 or isinstance(stmt.select_items[0].expr, Star):
             first_family = None
-        return width, first_family
+        return width, first_family, (tuple(families) if families_known else None)
 
     def _static_where(self, stmt: SelectStatement, scope: _Scope) -> None:
         """Run the static inference pass over the WHERE conjuncts and
@@ -570,9 +660,128 @@ class SemanticAnalyzer:
             return BOOL
         if isinstance(expr, FuncCall):
             return self._infer_call(expr, scope, ctx)
+        if isinstance(expr, CaseExpr):
+            return self._infer_case(expr, scope, ctx, grouped=False)
+        if isinstance(expr, WindowFunction):
+            return self._infer_window(expr, scope, ctx)
         if isinstance(expr, SubqueryExpr):
             return self._infer_subquery(expr, scope, ctx)
         return None
+
+    # -- CASE and window functions ------------------------------------------
+
+    def _infer_case(
+        self, expr: CaseExpr, scope: _Scope, ctx: _Ctx, grouped: bool
+    ) -> Optional[str]:
+        """Type-family inference through a CASE expression.
+
+        Simple-form WHEN operands incompatible with the CASE operand can
+        never match (definite equality at runtime, like ``=``); result
+        branches of incompatible families make the expression's type
+        data-dependent.  Both are warning-grade ``SQL314`` — the executor
+        evaluates either way."""
+
+        def sub(e: Expr) -> Optional[str]:
+            if grouped:
+                return self._infer_group(e, scope, ctx)
+            return self._infer(e, scope, ctx)
+
+        operand_family = sub(expr.operand) if expr.operand is not None else None
+        result_families: List[Optional[str]] = []
+        for when, result in expr.whens:
+            when_family = sub(when)
+            if expr.operand is not None and not _compatible(
+                operand_family, when_family
+            ):
+                self._emit(
+                    "SQL314",
+                    WARNING,
+                    f"CASE operand of type {operand_family} never matches a "
+                    f"WHEN value of type {when_family}",
+                    when,
+                )
+            result_families.append(sub(result))
+        if expr.default is not None:
+            result_families.append(sub(expr.default))
+        known = [f for f in result_families if f is not None]
+        distinct = sorted(set(known))
+        if len(distinct) > 1:
+            if any(
+                not _compatible(a, b) for a in distinct for b in distinct if a != b
+            ):
+                self._emit(
+                    "SQL314",
+                    WARNING,
+                    f"CASE branches mix result types {', '.join(distinct)}",
+                    expr,
+                )
+            return None
+        return distinct[0] if distinct else None
+
+    def _infer_window(
+        self, expr: WindowFunction, scope: _Scope, ctx: _Ctx
+    ) -> Optional[str]:
+        """Placement (``SQL312``) and shape (``SQL313``) checks for a
+        window call, mirroring ``Executor._window_values`` exactly."""
+        name = expr.name.lower()
+        upper = expr.name.upper()
+        if not ctx.allow_windows:
+            self._emit(
+                "SQL312",
+                ERROR,
+                f"window function {upper} is not allowed in {ctx.clause}",
+                expr,
+            )
+        supported = name in WindowFunction.SUPPORTED
+        if not supported:
+            self._emit(
+                "SQL313", ERROR, f"unsupported window function {upper}", expr
+            )
+        elif name in WindowFunction.RANKING:
+            if expr.args:
+                self._emit(
+                    "SQL313", ERROR, f"{upper}() takes no arguments", expr
+                )
+            if name in ("rank", "dense_rank") and not expr.order_by:
+                self._emit(
+                    "SQL313",
+                    ERROR,
+                    f"{upper} requires ORDER BY in its OVER clause",
+                    expr,
+                )
+        elif len(expr.args) == 1 and isinstance(expr.args[0], Star):
+            if name != "count":
+                self._emit(
+                    "SQL313", ERROR, f"{upper}(*) is not supported", expr
+                )
+        elif len(expr.args) != 1:
+            self._emit(
+                "SQL313", ERROR, f"{upper} takes exactly one argument", expr
+            )
+        # Arguments and the window spec are evaluated per-row before any
+        # window exists: aggregates and nested window calls there raise.
+        inner = ctx.row(clause=f"{upper} window")
+        arg_family: Optional[str] = None
+        for arg in expr.args:
+            if isinstance(arg, Star):
+                continue
+            arg_family = self._infer(arg, scope, inner)
+        for part in expr.partition_by:
+            self._infer(part, scope, inner)
+        for order in expr.order_by:
+            self._infer(order.expr, scope, inner)
+        if not supported:
+            return None
+        if name in ("min", "max"):
+            return arg_family
+        if name in ("sum", "avg") and arg_family not in (None, NUMBER):
+            self._emit(
+                "SQL307",
+                ERROR,
+                f"{upper} requires numeric input, got {arg_family}",
+                expr,
+            )
+        return NUMBER
 
     def _check_binary(
         self, expr: BinaryOp, left: Optional[str], right: Optional[str]
@@ -748,7 +957,7 @@ class SemanticAnalyzer:
     def _infer_subquery(
         self, expr: SubqueryExpr, scope: _Scope, ctx: _Ctx
     ) -> Optional[str]:
-        width, sub_family = self._analyze_block(expr.query, parent=scope)
+        width, sub_family, _ = self._analyze_block(expr.query, parent=scope)
         if expr.kind in ("scalar", "in", "not_in") and width is not None and width != 1:
             label = "scalar" if expr.kind == "scalar" else "IN"
             self._emit(
@@ -817,6 +1026,19 @@ class SemanticAnalyzer:
             return self._check_unary(expr, operand)
         if isinstance(expr, FuncCall):
             return self._infer_call(expr, scope, ctx)
+        if isinstance(expr, CaseExpr):
+            return self._infer_case(expr, scope, ctx, grouped=True)
+        if isinstance(expr, WindowFunction):
+            # Mirror of _eval_group: the grouped evaluator has no window
+            # scope, so any window call there raises — before recursing.
+            self._emit(
+                "SQL312",
+                ERROR,
+                f"window function {expr.name.upper()} is not supported in a "
+                "grouped query",
+                expr,
+            )
+            return None
         # Representative-row frontier: IS NULL / BETWEEN / IN / subqueries
         # and bare columns are handed to the per-row evaluator on one
         # member of the group.

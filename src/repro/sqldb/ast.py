@@ -11,14 +11,17 @@ families of benchmarks: single-block ``SELECT`` with ``DISTINCT``,
 arithmetic and boolean expressions, ``LIKE``/``BETWEEN``/``IN``,
 aggregates, ``GROUP BY``/``HAVING``, ``ORDER BY``/``LIMIT``/``OFFSET``,
 inner joins
-with ``ON`` conditions, and nested sub-queries (scalar, ``IN`` and
-``EXISTS``, correlated or not).
+with ``ON`` conditions, nested sub-queries (scalar, ``IN`` and
+``EXISTS``, correlated or not), ``CASE`` expressions (searched and
+simple), window functions (``ROW_NUMBER``/``RANK``/``DENSE_RANK`` and
+the aggregate functions with ``PARTITION BY``/``ORDER BY``), and the
+compound set operations ``UNION [ALL]``/``EXCEPT``/``INTERSECT``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple, Union
 
 from .types import format_value
 
@@ -237,6 +240,85 @@ class FuncCall(Expr):
 
 
 @dataclass(frozen=True)
+class CaseExpr(Expr):
+    """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``.
+
+    With ``operand`` set this is the *simple* form — each WHEN value is
+    compared to the operand with ``=`` semantics (a NULL operand or WHEN
+    value never matches).  Without it, the *searched* form — each WHEN is
+    a boolean condition and only a definite-true one selects its branch.
+    A missing ELSE yields NULL when no branch matches.
+    """
+
+    operand: Optional[Expr]
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    default: Optional[Expr] = None
+
+    def children(self) -> Sequence[Expr]:
+        out: List[Expr] = []
+        if self.operand is not None:
+            out.append(self.operand)
+        for condition, result in self.whens:
+            out.append(condition)
+            out.append(result)
+        if self.default is not None:
+            out.append(self.default)
+        return tuple(out)
+
+    def to_sql(self) -> str:
+        parts = ["CASE"]
+        if self.operand is not None:
+            parts.append(self.operand.to_sql())
+        for condition, result in self.whens:
+            parts.append(f"WHEN {condition.to_sql()} THEN {result.to_sql()}")
+        if self.default is not None:
+            parts.append(f"ELSE {self.default.to_sql()}")
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class WindowFunction(Expr):
+    """``FUNC(args) OVER (PARTITION BY ... ORDER BY ...)``.
+
+    The function name and arguments are stored directly (not as a nested
+    :class:`FuncCall`) so aggregate-detection walks never mistake a
+    windowed ``SUM(x) OVER (...)`` for a grouping aggregate.  With an
+    ORDER BY the aggregate functions use SQLite's default frame (RANGE
+    from the partition start through the current row's peers); without
+    one they aggregate the whole partition.
+    """
+
+    name: str
+    args: Tuple[Expr, ...] = ()
+    partition_by: Tuple[Expr, ...] = ()
+    order_by: Tuple["OrderItem", ...] = ()
+
+    #: ranking functions take no arguments and require no frame
+    RANKING = frozenset({"row_number", "rank", "dense_rank"})
+    #: aggregate window functions share the grouped-aggregate kernels
+    AGGREGATE = frozenset({"count", "sum", "avg", "min", "max"})
+    SUPPORTED = RANKING | AGGREGATE
+
+    def children(self) -> Sequence[Expr]:
+        out: List[Expr] = list(self.args)
+        out.extend(self.partition_by)
+        out.extend(o.expr for o in self.order_by)
+        return tuple(out)
+
+    def to_sql(self) -> str:
+        inner = ", ".join(arg.to_sql() for arg in self.args)
+        clauses = []
+        if self.partition_by:
+            clauses.append(
+                "PARTITION BY " + ", ".join(e.to_sql() for e in self.partition_by)
+            )
+        if self.order_by:
+            clauses.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        return f"{self.name.upper()}({inner}) OVER ({' '.join(clauses)})"
+
+
+@dataclass(frozen=True)
 class SubqueryExpr(Expr):
     """A nested ``SELECT`` used as an expression.
 
@@ -437,3 +519,72 @@ class SelectStatement(SqlNode):
     def output_columns(self) -> List[str]:
         """Result column names in order."""
         return [item.output_name for item in self.select_items]
+
+
+@dataclass(frozen=True)
+class SetOperation(SqlNode):
+    """A compound statement: ``left UNION [ALL] | EXCEPT | INTERSECT right``.
+
+    Chains associate left (SQLite semantics): ``a UNION b EXCEPT c``
+    parses as ``(a UNION b) EXCEPT c``.  A trailing ``ORDER BY`` /
+    ``LIMIT`` applies to the whole compound and resolves against the
+    leftmost block's output columns (by name or 1-based position).
+    ``all_rows`` (``UNION ALL``) keeps duplicates; every other form
+    dedups with set semantics where NULLs compare *equal* — unlike
+    ``WHERE``-clause comparisons.
+    """
+
+    op: str  # "union" | "except" | "intersect"
+    left: "Statement"
+    right: SelectStatement
+    all_rows: bool = False
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+
+    def to_sql(self) -> str:
+        keyword = self.op.upper() + (" ALL" if self.all_rows else "")
+        parts = [self.left.to_sql(), keyword, self.right.to_sql()]
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.to_sql() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+            if self.offset is not None:
+                parts.append(f"OFFSET {self.offset}")
+        elif self.offset is not None:
+            parts.append(f"LIMIT -1 OFFSET {self.offset}")
+        return " ".join(parts)
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def selects(self) -> List[SelectStatement]:
+        """The component blocks, left to right."""
+        out: List[SelectStatement] = []
+        if isinstance(self.left, SetOperation):
+            out.extend(self.left.selects())
+        else:
+            out.append(self.left)
+        out.append(self.right)
+        return out
+
+    def output_columns(self) -> List[str]:
+        """Result column names (the leftmost block's, SQLite-style)."""
+        return self.selects()[0].output_columns()
+
+    def referenced_tables(self) -> List[str]:
+        """Tables referenced by any component block (not nested)."""
+        out: List[str] = []
+        for block in self.selects():
+            out.extend(block.referenced_tables())
+        return out
+
+    def subqueries(self) -> List[SelectStatement]:
+        """All sub-selects nested in any component block."""
+        out: List[SelectStatement] = []
+        for block in self.selects():
+            out.extend(block.subqueries())
+        return out
+
+
+#: Any executable top-level statement shape.
+Statement = Union[SelectStatement, SetOperation]

@@ -62,6 +62,7 @@ except ImportError:  # pragma: no cover
 from .ast import (
     Between,
     BinaryOp,
+    CaseExpr,
     ColumnRef,
     Expr,
     FuncCall,
@@ -71,6 +72,7 @@ from .ast import (
     SelectStatement,
     Star,
     UnaryOp,
+    WindowFunction,
     split_conjuncts,
 )
 from .errors import (
@@ -818,6 +820,20 @@ _ORDER_OPS = ("<", "<=", ">", ">=")
 _VALUE_KINDS = ("int", "float", "bool", "date", "text")
 
 
+def _stmt_exprs(stmt: SelectStatement):
+    """Every expression root of a single-block statement, in clause order."""
+    for item in stmt.select_items:
+        yield item.expr
+    if stmt.where is not None:
+        yield stmt.where
+    for expr in stmt.group_by:
+        yield expr
+    if stmt.having is not None:
+        yield stmt.having
+    for order in stmt.order_by:
+        yield order.expr
+
+
 def _code3(value: Any) -> int:
     """The row path's ``_bool3`` as a truth code."""
     if value is None:
@@ -891,6 +907,8 @@ class _WhereCompiler:
             return _NotPred(node) if expr.negated else node
         if isinstance(expr, InList):
             return self._in_list(expr)
+        if isinstance(expr, CaseExpr):
+            raise _Unsupported("CASE expression in WHERE")
         raise _Unsupported(f"{type(expr).__name__} in WHERE")
 
     def _cmp_exprs(self, op: str, left: Expr, right: Expr) -> Any:
@@ -1289,6 +1307,12 @@ class ColumnarEngine:
             # The planner found an index-answerable equality/IN; the
             # index lookup reads fewer rows than any full scan.
             raise _Unsupported("index scan preferred")
+        for root in _stmt_exprs(stmt):
+            for node in root.walk():
+                if isinstance(node, WindowFunction):
+                    # Windows need the full post-filter row set in order;
+                    # the row path owns partition/frame evaluation.
+                    raise _Unsupported("window function")
         ex = self._ex
         table = ex.database.table(stmt.from_table.table)
         store = table.column_store()
@@ -1323,6 +1347,14 @@ class ColumnarEngine:
             else:
                 pred = compiler.compile(where)
         grouped = bool(stmt.group_by) or ex._projects_aggregate(stmt)
+        if grouped and any(
+            isinstance(node, CaseExpr)
+            for root in _stmt_exprs(stmt)
+            for node in root.walk()
+        ):
+            # CASE arms may mix aggregates with per-group scalars; the
+            # row path's grouped evaluator handles that shape.
+            raise _Unsupported("CASE in a grouped query")
         group_js = None
         fast_items = fast_order = None
         if grouped:

@@ -163,6 +163,53 @@ class FunctionTypeError(TypeMismatchError):
     code = "SQL307"
 
 
+class SetOperationArityError(TypeMismatchError):
+    """Compound (``UNION``/``EXCEPT``/``INTERSECT``) branches producing
+    different numbers of output columns.  The executor raises this before
+    evaluating either branch."""
+
+    code = "SQL310"
+
+
+class SetOperationTypeError(TypeMismatchError):
+    """Compound branches pairing columns of incompatible type families
+    (warning-grade: values still combine positionally, but comparisons
+    between mismatched families never match during dedup)."""
+
+    code = "SQL311"
+
+
+class MisplacedWindowError(ExecutionError):
+    """Window function in a context evaluated per-row before windows
+    exist (WHERE, JOIN ... ON, GROUP BY keys, HAVING) or over a grouped
+    query — contexts where the engine has no window scope."""
+
+    code = "SQL312"
+
+
+class WindowFunctionError(ExecutionError):
+    """A window call the engine cannot evaluate: an unsupported function
+    name after ``OVER``, wrong argument count, or a ranking function
+    without the ``ORDER BY`` that defines its ranks."""
+
+    code = "SQL313"
+
+
+class CaseTypeError(TypeMismatchError):
+    """``CASE`` whose branch results (or simple-form WHEN operands) mix
+    incompatible type families (warning-grade: mismatched simple-form
+    arms never match; mixed results still evaluate sqlite-style)."""
+
+    code = "SQL314"
+
+
+class CompoundOrderError(ExecutionError):
+    """A compound query's ``ORDER BY`` term that is neither an output
+    column name of the leftmost block nor a 1-based column position."""
+
+    code = "SQL316"
+
+
 class DivisionByZeroError(ExecutionError):
     """Division by a literal zero; the executor raises when the division
     is evaluated."""
@@ -288,6 +335,12 @@ ERROR_CLASS_BY_CODE = {
         BetweenTypeError,
         NullInListError,
         FunctionTypeError,
+        SetOperationArityError,
+        SetOperationTypeError,
+        MisplacedWindowError,
+        WindowFunctionError,
+        CaseTypeError,
+        CompoundOrderError,
         ExecutionError,
         DivisionByZeroError,
         AggregateError,

@@ -10,7 +10,13 @@ The executor interprets :class:`~repro.sqldb.ast.SelectStatement` trees:
 - nested sub-queries (scalar / IN / EXISTS), including correlated ones —
   inner column references resolve through the enclosing row scope,
 - GROUP BY / HAVING with the five SQL aggregates,
-- ORDER BY (including by select alias) and LIMIT/OFFSET, DISTINCT.
+- ORDER BY (including by select alias) and LIMIT/OFFSET, DISTINCT,
+- compound statements (``UNION [ALL]`` / ``EXCEPT`` / ``INTERSECT``)
+  with set-operation NULL-equality dedup, ``CASE`` expressions (searched
+  and simple forms), and a first slice of window functions
+  (``ROW_NUMBER``/``RANK``/``DENSE_RANK`` plus windowed
+  ``COUNT``/``SUM``/``AVG``/``MIN``/``MAX`` over ``PARTITION BY`` /
+  ``ORDER BY``, sqlite default frame).
 
 Repeated statements are served from a parsed-statement LRU cache keyed
 by SQL text (parsing is pure, so the cache never goes stale — results
@@ -45,6 +51,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 from .ast import (
     Between,
     BinaryOp,
+    CaseExpr,
     ColumnRef,
     Expr,
     FuncCall,
@@ -52,27 +59,34 @@ from .ast import (
     IsNull,
     Literal,
     SelectStatement,
+    SetOperation,
     Star,
+    Statement,
     SubqueryExpr,
     UnaryOp,
+    WindowFunction,
 )
 from .database import Database
 from .errors import (
     AggregateArityError,
     AmbiguousColumnError,
     ArithmeticTypeError,
+    CompoundOrderError,
     DivisionByZeroError,
     ExecutionError,
     FunctionArityError,
     GroupedStarError,
     LikeTypeError,
     MisplacedAggregateError,
+    MisplacedWindowError,
     NestedAggregateError,
+    SetOperationArityError,
     SubqueryColumnsError,
     SubqueryError,
     UnknownColumnError,
     UnknownFunctionError,
     UnknownTableError,
+    WindowFunctionError,
 )
 from .functions import AGGREGATE_FUNCTIONS, call_scalar
 from .planner import ExecutionStats, JoinPlan, Planner, QueryPlan, ScanPlan
@@ -251,6 +265,10 @@ class Executor:
         self._analyzer = None
         self._columnar = None
         self._statement_cache = _LRUCache(statement_cache_size)
+        #: per-row window values while projecting a windowed block; a
+        #: WindowFunction reached by ``_eval`` outside such a projection
+        #: has no value and raises :class:`MisplacedWindowError`.
+        self._active_windows: Optional[Dict[WindowFunction, Any]] = None
         self._plan_cache: Dict[int, Tuple[SelectStatement, QueryPlan]] = {}
         self._plan_catalog_version = database.catalog_version
         self._analysis_cache: Dict[int, Tuple[SelectStatement, Any]] = {}
@@ -258,7 +276,7 @@ class Executor:
 
     # -- public API -----------------------------------------------------------
 
-    def execute(self, stmt: SelectStatement) -> Relation:
+    def execute(self, stmt: Statement) -> Relation:
         """Run ``stmt`` and return its result relation."""
         self._begin_query()
         self._preflight(stmt)
@@ -271,7 +289,7 @@ class Executor:
         self._preflight(stmt)
         return self._run(stmt)
 
-    def analysis_for(self, stmt: SelectStatement) -> "AnalysisResult":
+    def analysis_for(self, stmt: Statement) -> "AnalysisResult":
         """Static analysis of ``stmt``, cached per statement object.
 
         The cache is keyed by object identity (like the plan cache —
@@ -297,10 +315,22 @@ class Executor:
         self._analysis_cache[id(stmt)] = (stmt, result)
         return result
 
-    def explain(self, stmt: SelectStatement) -> str:
+    def explain(self, stmt: Statement) -> str:
         """EXPLAIN-style description of the plan chosen for ``stmt``,
         including which execution path (vectorized columnar or row) the
         statement would take."""
+        if isinstance(stmt, SetOperation):
+            mode = "concatenate" if stmt.all_rows else "hash dedup, NULLs compare equal"
+            suffix = " ALL" if stmt.all_rows else ""
+            lines = [f"compound: {stmt.op.upper()}{suffix} ({mode})"]
+            for i, block in enumerate(stmt.selects()):
+                lines.append(f"  branch {i + 1}:")
+                lines.extend("    " + ln for ln in self.explain(block).splitlines())
+            if stmt.order_by:
+                lines.append(
+                    "  order by: " + ", ".join(o.to_sql() for o in stmt.order_by)
+                )
+            return "\n".join(lines)
         plan = self._planner.plan(stmt)
         text = plan.describe()
         if self.use_planner and not plan.provably_empty:
@@ -327,7 +357,7 @@ class Executor:
         self.last_stats = ExecutionStats()
         self._stats = self.last_stats
 
-    def _preflight(self, stmt: SelectStatement) -> None:
+    def _preflight(self, stmt: Statement) -> None:
         """Static pre-flight: reject statements the analyzer proves broken.
 
         Raises the exception class mapped to the first error-severity
@@ -343,7 +373,7 @@ class Executor:
             self.total_stats.merge(self._stats)
             result.raise_first_error()
 
-    def _run(self, stmt: SelectStatement) -> Relation:
+    def _run(self, stmt: Statement) -> Relation:
         result = self._execute(stmt, parent=None)
         self._stats.rows_output += len(result.rows)
         if not self.use_planner and not self._stats.strategy:
@@ -351,7 +381,7 @@ class Executor:
         self.total_stats.merge(self._stats)
         return result
 
-    def _parse_cached(self, sql: str, count: bool) -> SelectStatement:
+    def _parse_cached(self, sql: str, count: bool) -> Statement:
         from .parser import parse_select
 
         stmt = self._statement_cache.get(sql)
@@ -399,7 +429,9 @@ class Executor:
 
     # -- statement evaluation ----------------------------------------------------
 
-    def _execute(self, stmt: SelectStatement, parent: Optional[_Scope]) -> Relation:
+    def _execute(self, stmt: Statement, parent: Optional[_Scope]) -> Relation:
+        if isinstance(stmt, SetOperation):
+            return self._execute_compound(stmt, parent)
         if self.use_planner:
             plan = self._plan_for(stmt)
             self._stats.static_rewrites += plan.static_rewrites
@@ -454,6 +486,100 @@ class Executor:
 
         columns = self._output_columns(stmt, scopes)
         return self._finalize(stmt, rows, order_rows, columns)
+
+    # -- compound (set-operation) evaluation ----------------------------------
+
+    def _execute_compound(self, stmt: SetOperation, parent: Optional[_Scope]) -> Relation:
+        """Evaluate ``left OP right`` with SQL set-operation semantics.
+
+        Dedup follows the SQL *set-operation* NULL rule, which differs
+        from WHERE's three-valued comparisons: for ``UNION``/``EXCEPT``/
+        ``INTERSECT`` two rows are duplicates when their values are
+        pairwise "not distinct", i.e. **NULLs compare equal** here.  The
+        key tuples below therefore let ``None`` pass through (equal to
+        itself in a hash set), while WHERE-level ``=`` against NULL stays
+        unknown — the corpus asserts the two paths disagree on purpose
+        (``EXCEPT`` vs ``NOT IN`` with NULLs).
+        """
+        if parent is None and not self._stats.strategy:
+            suffix = " all" if stmt.all_rows else ""
+            self._stats.strategy = f"compound({stmt.op}{suffix})"
+        left = self._execute(stmt.left, parent)
+        right = self._execute(stmt.right, parent)
+        if len(left.columns) != len(right.columns):
+            raise SetOperationArityError(
+                f"{stmt.op.upper()} branches return {len(left.columns)} "
+                f"and {len(right.columns)} columns"
+            )
+        columns = list(left.columns)
+        rows: List[Tuple[Any, ...]]
+        if stmt.op == "union":
+            if stmt.all_rows:
+                rows = list(left.rows) + list(right.rows)
+            else:
+                rows = []
+                seen = set()
+                for row in list(left.rows) + list(right.rows):
+                    key = _setop_key(row)
+                    if key not in seen:
+                        seen.add(key)
+                        rows.append(row)
+        else:
+            right_keys = {_setop_key(row) for row in right.rows}
+            want_in_right = stmt.op == "intersect"
+            rows = []
+            seen = set()
+            for row in left.rows:
+                key = _setop_key(row)
+                if key in seen or (key in right_keys) != want_in_right:
+                    continue
+                seen.add(key)
+                rows.append(row)
+        if stmt.order_by:
+            keys = self._compound_order_keys(stmt, columns)
+            rows = sorted(
+                rows,
+                key=lambda row: tuple(
+                    _DirectionKey(sort_key(row[idx]), desc) for idx, desc in keys
+                ),
+            )
+        if stmt.limit is not None or stmt.offset:
+            skip = stmt.offset or 0
+            end = None if stmt.limit is None else skip + stmt.limit
+            rows = rows[skip:end]
+        return Relation(columns, rows)
+
+    def _compound_order_keys(
+        self, stmt: SetOperation, columns: List[str]
+    ) -> List[Tuple[int, bool]]:
+        """Resolve a compound's ORDER BY terms to output-column indices.
+
+        Per sqlite, a compound orders by the leftmost block's output
+        column *names* or by 1-based integer *positions* — arbitrary
+        expressions have no single block to evaluate against."""
+        lowered = [c.lower() for c in columns]
+        out: List[Tuple[int, bool]] = []
+        for item in stmt.order_by:
+            expr = item.expr
+            idx: Optional[int] = None
+            if isinstance(expr, ColumnRef) and expr.table is None:
+                name = expr.column.lower()
+                if name in lowered:
+                    idx = lowered.index(name)
+            elif (
+                isinstance(expr, Literal)
+                and isinstance(expr.value, int)
+                and not isinstance(expr.value, bool)
+                and 1 <= expr.value <= len(columns)
+            ):
+                idx = expr.value - 1
+            if idx is None:
+                raise CompoundOrderError(
+                    f"compound ORDER BY term {expr.to_sql()!r} is neither an "
+                    "output column name nor a 1-based column position"
+                )
+            out.append((idx, item.direction == "desc"))
+        return out
 
     def _finalize(
         self,
@@ -705,21 +831,142 @@ class Executor:
         rows: List[Tuple[Any, ...]] = []
         order_rows: List[Tuple[Any, ...]] = []
         alias_map = self._alias_exprs(stmt)
-        for scope in scopes:
-            out: List[Any] = []
-            for item in stmt.select_items:
-                if isinstance(item.expr, Star):
-                    out.extend(self._star_values(stmt, item.expr, scope))
-                else:
-                    out.append(self._eval(item.expr, scope))
-            rows.append(tuple(out))
-            order_rows.append(
-                tuple(
-                    self._eval(self._substitute_alias(o.expr, alias_map), scope)
-                    for o in stmt.order_by
+        windows = self._window_nodes(stmt, alias_map)
+        window_values = {win: self._window_values(win, scopes) for win in windows}
+        saved = self._active_windows
+        try:
+            for i, scope in enumerate(scopes):
+                if windows:
+                    self._active_windows = {
+                        win: vals[i] for win, vals in window_values.items()
+                    }
+                out: List[Any] = []
+                for item in stmt.select_items:
+                    if isinstance(item.expr, Star):
+                        out.extend(self._star_values(stmt, item.expr, scope))
+                    else:
+                        out.append(self._eval(item.expr, scope))
+                rows.append(tuple(out))
+                order_rows.append(
+                    tuple(
+                        self._eval(self._substitute_alias(o.expr, alias_map), scope)
+                        for o in stmt.order_by
+                    )
                 )
-            )
+        finally:
+            self._active_windows = saved
         return rows, order_rows
+
+    # -- window evaluation ----------------------------------------------------
+
+    def _window_nodes(
+        self, stmt: SelectStatement, alias_map: Dict[str, Expr]
+    ) -> List[WindowFunction]:
+        """Unique window calls of this block's SELECT list and ORDER BY."""
+        exprs = [item.expr for item in stmt.select_items]
+        exprs.extend(self._substitute_alias(o.expr, alias_map) for o in stmt.order_by)
+        out: List[WindowFunction] = []
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, WindowFunction) and node not in out:
+                    out.append(node)
+        return out
+
+    def _window_values(
+        self, win: WindowFunction, scopes: List[_Scope]
+    ) -> List[Any]:
+        """Per-input-row values of one window call.
+
+        Matches sqlite's defaults: ``PARTITION BY`` groups NULL keys
+        together; with ``ORDER BY`` an aggregate window uses the implicit
+        ``RANGE UNBOUNDED PRECEDING → CURRENT ROW`` frame, so *peer* rows
+        (equal order keys) share the running value; without ``ORDER BY``
+        it aggregates the whole partition.
+        """
+        name = win.name.lower()
+        if name not in WindowFunction.SUPPORTED:
+            raise WindowFunctionError(
+                f"unsupported window function {win.name.upper()}"
+            )
+        star = len(win.args) == 1 and isinstance(win.args[0], Star)
+        ranking = name in WindowFunction.RANKING
+        if ranking:
+            if win.args:
+                raise WindowFunctionError(
+                    f"{win.name.upper()}() takes no arguments"
+                )
+            if name in ("rank", "dense_rank") and not win.order_by:
+                raise WindowFunctionError(
+                    f"{win.name.upper()} requires ORDER BY in its OVER clause"
+                )
+        elif star:
+            if name != "count":
+                raise WindowFunctionError(
+                    f"{win.name.upper()}(*) is not supported"
+                )
+        elif len(win.args) != 1:
+            raise WindowFunctionError(
+                f"{win.name.upper()} takes exactly one argument"
+            )
+
+        values: List[Any] = [None] * len(scopes)
+        partitions: "OrderedDict[Any, List[int]]" = OrderedDict()
+        for i, scope in enumerate(scopes):
+            pkey = tuple(_hashable(self._eval(e, scope)) for e in win.partition_by)
+            partitions.setdefault(pkey, []).append(i)
+        directions = [o.direction for o in win.order_by]
+        func = AGGREGATE_FUNCTIONS.get(name)
+        for indices in partitions.values():
+            okeys: Dict[int, Tuple[Any, ...]] = {}
+            if win.order_by:
+                for i in indices:
+                    raw = [self._eval(o.expr, scopes[i]) for o in win.order_by]
+                    okeys[i] = tuple(
+                        _DirectionKey(sort_key(v), d == "desc")
+                        for v, d in zip(raw, directions)
+                    )
+                # stable: ties keep input order, so ROW_NUMBER is
+                # deterministic for this engine (sqlite leaves it free)
+                ordered = sorted(indices, key=lambda i: okeys[i])
+            else:
+                ordered = list(indices)
+            if ranking:
+                rank = dense = 0
+                for pos, i in enumerate(ordered):
+                    new_peer = (
+                        not okeys or pos == 0 or okeys[i] != okeys[ordered[pos - 1]]
+                    )
+                    if new_peer:
+                        rank = pos + 1
+                        dense += 1
+                    if name == "row_number":
+                        values[i] = pos + 1
+                    elif name == "rank":
+                        values[i] = rank
+                    else:
+                        values[i] = dense
+                continue
+            assert func is not None  # SUPPORTED aggregates all exist
+            if star:
+                argvals: List[Any] = [None] * len(ordered)
+            else:
+                argvals = [self._eval(win.args[0], scopes[i]) for i in ordered]
+            if not win.order_by:
+                total = func(argvals, star=True) if star else func(argvals)
+                for i in ordered:
+                    values[i] = total
+                continue
+            pos = 0
+            while pos < len(ordered):
+                end = pos + 1
+                while end < len(ordered) and okeys[ordered[end]] == okeys[ordered[pos]]:
+                    end += 1
+                prefix = argvals[:end]
+                agg = func(prefix, star=True) if star else func(prefix)
+                for j in range(pos, end):
+                    values[ordered[j]] = agg
+                pos = end
+        return values
 
     def _project_grouped(
         self, stmt: SelectStatement, scopes: List[_Scope], parent: Optional[_Scope]
@@ -851,6 +1098,31 @@ class Executor:
                 )
             args = [self._eval(arg, scope) for arg in expr.args]
             return call_scalar(expr.name, args)
+        if isinstance(expr, CaseExpr):
+            # Searched form: first WHEN whose condition is definitely
+            # true (unknown skips, like WHERE).  Simple form: definite
+            # equality — a NULL operand or NULL WHEN value never matches.
+            if expr.operand is not None:
+                operand = self._eval(expr.operand, scope)
+                for when, result in expr.whens:
+                    if values_equal(operand, self._eval(when, scope)):
+                        return self._eval(result, scope)
+            else:
+                for when, result in expr.whens:
+                    if self._truthy(self._eval(when, scope)):
+                        return self._eval(result, scope)
+            if expr.default is not None:
+                return self._eval(expr.default, scope)
+            return None
+        if isinstance(expr, WindowFunction):
+            if self._active_windows is not None:
+                value = self._active_windows.get(expr, _MISSING)
+                if value is not _MISSING:
+                    return value
+            raise MisplacedWindowError(
+                f"window function {expr.name.upper()} used where no window "
+                "scope exists (WHERE, JOIN ON, GROUP BY or a nested call)"
+            )
         if isinstance(expr, SubqueryExpr):
             return self._eval_subquery(expr, scope)
         raise ExecutionError(f"cannot evaluate expression {expr!r}")  # pragma: no cover
@@ -935,7 +1207,14 @@ class Executor:
 
     def _eval_subquery(self, expr: SubqueryExpr, scope: _Scope) -> Any:
         self._stats.subqueries += 1
-        result = self._execute(expr.query, parent=scope)
+        # The enclosing block's window values must not leak into the
+        # subquery's own evaluation (its windows get their own scope).
+        saved = self._active_windows
+        self._active_windows = None
+        try:
+            result = self._execute(expr.query, parent=scope)
+        finally:
+            self._active_windows = saved
         if expr.kind == "scalar":
             # arity first: it is statically decidable (the analyzer flags
             # it as SQL421), row count depends on the data
@@ -1010,6 +1289,27 @@ class Executor:
         if isinstance(expr, FuncCall):
             args = [self._eval_group(a, members, parent) for a in expr.args]
             return call_scalar(expr.name, args)
+        if isinstance(expr, CaseExpr):
+            # Mirrors the per-row CASE, with aggregate-capable sub-eval.
+            if expr.operand is not None:
+                operand = self._eval_group(expr.operand, members, parent)
+                for when, result in expr.whens:
+                    if values_equal(
+                        operand, self._eval_group(when, members, parent)
+                    ):
+                        return self._eval_group(result, members, parent)
+            else:
+                for when, result in expr.whens:
+                    if self._truthy(self._eval_group(when, members, parent)):
+                        return self._eval_group(result, members, parent)
+            if expr.default is not None:
+                return self._eval_group(expr.default, members, parent)
+            return None
+        if isinstance(expr, WindowFunction):
+            raise MisplacedWindowError(
+                f"window function {expr.name.upper()} is not supported in a "
+                "grouped query"
+            )
         # Bare columns / other expressions: evaluate on a representative row
         # of the group (valid for GROUP BY keys; pragmatic otherwise, as in
         # SQLite).  The empty whole-table group (aggregate over zero rows)
@@ -1114,6 +1414,13 @@ def _hashable(value: Any) -> Any:
     except TypeError:
         return repr(value)
     return value
+
+
+def _setop_key(row: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Dedup key for set operations: NULLs compare equal (``None`` hashes
+    to itself), non-NULLs use :func:`hash_key` so ``1``/``1.0`` and
+    DATE/ISO-string collapse exactly as :func:`values_equal` would."""
+    return tuple(None if v is None else hash_key(v) for v in row)
 
 
 def execute_sql(database: Database, sql: str) -> Relation:

@@ -45,6 +45,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .ast import (
     Between,
     BinaryOp,
+    CaseExpr,
     ColumnRef,
     Expr,
     FuncCall,
@@ -419,8 +420,42 @@ def fact(expr: Expr, resolver: Resolver) -> Fact:
         return _bool_fact(truth(expr, resolver))
     if isinstance(expr, (IsNull, Between, InList)):
         return _bool_fact(truth(expr, resolver))
-    # Star, FuncCall, SubqueryExpr: value and effects unknown.
+    if isinstance(expr, CaseExpr):
+        return _case_fact(expr, resolver)
+    # Star, FuncCall, SubqueryExpr, WindowFunction: value and effects unknown.
     return Fact()
+
+
+def _case_fact(expr: CaseExpr, resolver: Resolver) -> Fact:
+    """Facts through CASE: the family is the join of the branch results,
+    purity requires every operand, condition, and result to be pure, and
+    a missing ELSE keeps NULL reachable via fall-through."""
+    pure = True
+    if expr.operand is not None:
+        pure = pure and fact(expr.operand, resolver).pure
+    results: List[Fact] = []
+    for when, then in expr.whens:
+        if expr.operand is None:
+            # Searched form: WHEN sits in a boolean position.
+            pure = pure and truth(when, resolver).pure
+        else:
+            # Simple form: values_equal never raises, so only the
+            # operand/WHEN evaluations themselves matter.
+            pure = pure and fact(when, resolver).pure
+        results.append(fact(then, resolver))
+    if expr.default is not None:
+        results.append(fact(expr.default, resolver))
+    pure = pure and all(f.pure for f in results)
+    families = {f.family for f in results}
+    family = families.pop() if len(families) == 1 else None
+    if all(f.nullability == ALWAYS for f in results):
+        # Every branch yields NULL — and so does fall-through.
+        nullability = ALWAYS
+    elif expr.default is not None and all(f.nullability == NEVER for f in results):
+        nullability = NEVER
+    else:
+        nullability = MAYBE
+    return Fact(family=family, nullability=nullability, pure=pure)
 
 
 # ---------------------------------------------------------------------------
@@ -766,7 +801,9 @@ def truth(expr: Expr, resolver: Resolver) -> Truth:
         return _between_truth(expr, resolver)
     if isinstance(expr, InList):
         return _inlist_truth(expr, resolver)
-    # FuncCall, SubqueryExpr, Star: no claims.
+    if isinstance(expr, CaseExpr):
+        return _value_truth(fact(expr, resolver))
+    # FuncCall, SubqueryExpr, Star, WindowFunction: no claims.
     return Truth()
 
 
@@ -833,7 +870,18 @@ def fold_constants(expr: Expr) -> Expr:
         if all(a is b for a, b in zip(args, expr.args)):
             return expr
         return _with_span(FuncCall(expr.name, args, expr.distinct), expr)
-    # Literal, ColumnRef, Star, SubqueryExpr: leave as-is.
+    if isinstance(expr, CaseExpr):
+        operand = fold_constants(expr.operand) if expr.operand is not None else None
+        whens = tuple((fold_constants(w), fold_constants(t)) for w, t in expr.whens)
+        default = fold_constants(expr.default) if expr.default is not None else None
+        if (
+            operand is expr.operand
+            and default is expr.default
+            and all(w is ow and t is ot for (w, t), (ow, ot) in zip(whens, expr.whens))
+        ):
+            return expr
+        return _with_span(CaseExpr(operand, whens, default), expr)
+    # Literal, ColumnRef, Star, SubqueryExpr, WindowFunction: leave as-is.
     return expr
 
 

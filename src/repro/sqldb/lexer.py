@@ -22,6 +22,9 @@ KEYWORDS = frozenset(
     select distinct from where group by having order asc desc limit offset
     join inner on as and or not in exists between like is null
     true false
+    union except intersect all
+    case when then else end
+    over partition
     """.split()
 )
 

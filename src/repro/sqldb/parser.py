@@ -2,6 +2,9 @@
 
 Grammar (informal)::
 
+    statement := select (compound_op select)*
+                 [ORDER BY order_list] [LIMIT int [OFFSET int]]
+    compound_op := UNION [ALL] | EXCEPT | INTERSECT
     select    := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
                  [GROUP BY expr_list] [HAVING expr]
                  [ORDER BY order_list] [LIMIT int [OFFSET int]]
@@ -17,7 +20,17 @@ Grammar (informal)::
                  | EXISTS '(' select ')'
     additive  := term (('+'|'-') term)*
     term      := factor (('*'|'/') factor)*
-    factor    := literal | column | function | '(' expr-or-select ')' | '-'factor
+    factor    := literal | column | function | case | '(' expr-or-select ')'
+                 | '-'factor
+    case      := CASE [expr] (WHEN expr THEN expr)+ [ELSE expr] END
+    function  := ident '(' [DISTINCT] args ')' [OVER '(' window ')']
+    window    := [PARTITION BY expr_list] [ORDER BY order_list]
+
+Compound operators are left-associative, sqlite-style: ``ORDER BY`` /
+``LIMIT`` may only follow the *last* block (they then apply to the whole
+compound, resolving against the leftmost block's output columns), and
+``EXCEPT ALL`` / ``INTERSECT ALL`` are rejected like sqlite rejects
+them.  Subqueries remain single-block.
 
 DDL is limited to ``CREATE TABLE`` (see :func:`parse_create_table`)::
 
@@ -36,11 +49,13 @@ errors report 1-based line/column alongside the character offset.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Tuple, TypeVar
 
 from .ast import (
     Between,
     BinaryOp,
+    CaseExpr,
     ColumnRef,
     Expr,
     FuncCall,
@@ -51,12 +66,15 @@ from .ast import (
     OrderItem,
     SelectItem,
     SelectStatement,
+    SetOperation,
     Span,
     SqlNode,
     Star,
+    Statement,
     SubqueryExpr,
     TableRef,
     UnaryOp,
+    WindowFunction,
 )
 from .errors import ParseError
 from .lexer import Token, tokenize
@@ -84,14 +102,16 @@ _TYPE_NAMES = {
 _NodeT = TypeVar("_NodeT", bound=SqlNode)
 
 
-def parse_select(sql: str) -> SelectStatement:
-    """Parse ``sql`` into a :class:`~repro.sqldb.ast.SelectStatement`.
+def parse_select(sql: str) -> Statement:
+    """Parse ``sql`` into a :class:`~repro.sqldb.ast.SelectStatement` or,
+    when compound operators (``UNION``/``EXCEPT``/``INTERSECT``) join
+    several blocks, a :class:`~repro.sqldb.ast.SetOperation`.
 
     Raises :class:`~repro.sqldb.errors.ParseError` with line/column info
     on malformed input or trailing junk.
     """
     parser = _Parser(tokenize(sql))
-    stmt = parser.select()
+    stmt = parser.statement()
     parser.expect_eof()
     return stmt
 
@@ -265,6 +285,58 @@ class _Parser:
                 continue
             break
         return Column(name, dtype, nullable=nullable, primary_key=primary_key)
+
+    def statement(self) -> Statement:
+        """Parse a full statement: one SELECT block or a compound chain.
+
+        Compound operators associate left, matching sqlite.  A trailing
+        ``ORDER BY``/``LIMIT`` is consumed by the last block's
+        :meth:`select` call and then hoisted onto the compound node,
+        because it orders/limits the whole result (resolving against the
+        leftmost block's output columns — see the executor).  The same
+        clauses *before* a compound operator are a parse error, as is
+        ``EXCEPT ALL``/``INTERSECT ALL`` (unsupported in sqlite too).
+        """
+        start = self._peek()
+        stmt: Statement = self.select()
+        while self._check_keyword("union", "except", "intersect"):
+            op_token = self._peek()
+            last = stmt.right if isinstance(stmt, SetOperation) else stmt
+            if last.order_by or last.limit is not None or last.offset is not None:
+                raise self._error(
+                    "ORDER BY/LIMIT must follow the last block of a compound query",
+                    op_token,
+                )
+            op = str(self._advance().value)
+            all_rows = False
+            if self._check_keyword("all"):
+                all_token = self._peek()
+                if op != "union":
+                    raise self._error(
+                        f"{op.upper()} ALL is not supported", all_token
+                    )
+                self._advance()
+                all_rows = True
+            right = self.select()
+            stmt = self._spanned(
+                SetOperation(op=op, left=stmt, right=right, all_rows=all_rows),
+                start,
+            )
+        if isinstance(stmt, SetOperation):
+            last = stmt.right
+            if last.order_by or last.limit is not None or last.offset is not None:
+                stripped = replace(last, order_by=(), limit=None, offset=None)
+                if getattr(last, "span", None) is not None:
+                    object.__setattr__(stripped, "span", last.span)
+                stmt = replace(
+                    stmt,
+                    right=stripped,
+                    order_by=last.order_by,
+                    limit=last.limit,
+                    offset=last.offset,
+                )
+                stmt = self._spanned(stmt, start)
+        return stmt
 
     def select(self) -> SelectStatement:
         """Parse one SELECT block (without enclosing parentheses)."""
@@ -518,9 +590,40 @@ class _Parser:
         if token.kind == "keyword" and token.value == "null":
             self._advance()
             return self._spanned(Literal(None), token)
+        if token.kind == "keyword" and token.value == "case":
+            return self._case_expr()
         if token.kind == "ident":
             return self._identifier_expr()
         raise self._error(f"unexpected token {token.text or 'EOF'!r}", token)
+
+    def _case_expr(self) -> Expr:
+        """``CASE [operand] WHEN ... THEN ... [ELSE ...] END``.
+
+        The operand is present iff the token after CASE is not WHEN
+        (simple vs. searched form); at least one WHEN/THEN pair is
+        required, END always is.
+        """
+        start = self._peek()
+        self._expect_keyword("case")
+        operand: Optional[Expr] = None
+        if not self._check_keyword("when"):
+            operand = self.expression()
+        token = self._peek()
+        if not self._check_keyword("when"):
+            raise self._error(
+                f"expected WHEN in CASE, got {token.text or 'EOF'!r}", token
+            )
+        whens: List[Tuple[Expr, Expr]] = []
+        while self._match_keyword("when"):
+            condition = self.expression()
+            self._expect_keyword("then")
+            result = self.expression()
+            whens.append((condition, result))
+        default: Optional[Expr] = None
+        if self._match_keyword("else"):
+            default = self.expression()
+        self._expect_keyword("end")
+        return self._spanned(CaseExpr(operand, tuple(whens), default), start)
 
     def _identifier_expr(self) -> Expr:
         start = self._peek()
@@ -528,23 +631,53 @@ class _Parser:
         if self._peek().kind == "op" and self._peek().value == "(":
             self._advance()
             distinct = self._match_keyword("distinct") is not None
+            args: Tuple[Expr, ...]
             if self._match_op("*"):
                 self._expect_op(")")
-                return self._spanned(
-                    FuncCall(name.lower(), (Star(),), distinct=distinct), start
-                )
-            if self._match_op(")"):
-                return self._spanned(FuncCall(name.lower(), (), distinct=distinct), start)
-            args = [self.expression()]
-            while self._match_op(","):
-                args.append(self.expression())
-            self._expect_op(")")
-            return self._spanned(
-                FuncCall(name.lower(), tuple(args), distinct=distinct), start
-            )
+                args = (Star(),)
+            elif self._match_op(")"):
+                args = ()
+            else:
+                parsed = [self.expression()]
+                while self._match_op(","):
+                    parsed.append(self.expression())
+                self._expect_op(")")
+                args = tuple(parsed)
+            if self._check_keyword("over"):
+                return self._window_function(name.lower(), args, distinct, start)
+            return self._spanned(FuncCall(name.lower(), args, distinct=distinct), start)
         if self._match_op("."):
             if self._match_op("*"):
                 return self._spanned(Star(table=name), start)
             column = self._expect_ident()
             return self._spanned(ColumnRef(column, table=name), start)
         return self._spanned(ColumnRef(name), start)
+
+    def _window_function(
+        self, name: str, args: Tuple[Expr, ...], distinct: bool, start: Token
+    ) -> Expr:
+        """``OVER ( [PARTITION BY exprs] [ORDER BY items] )`` after a call."""
+        over_token = self._peek()
+        self._expect_keyword("over")
+        if distinct:
+            raise self._error(
+                "DISTINCT is not supported in window functions", over_token
+            )
+        self._expect_op("(")
+        partition_by: List[Expr] = []
+        if self._match_keyword("partition"):
+            self._expect_keyword("by")
+            partition_by.append(self.expression())
+            while self._match_op(","):
+                partition_by.append(self.expression())
+        order_by: List[OrderItem] = []
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._order_item())
+            while self._match_op(","):
+                order_by.append(self._order_item())
+        self._expect_op(")")
+        return self._spanned(
+            WindowFunction(name, args, tuple(partition_by), tuple(order_by)),
+            start,
+        )

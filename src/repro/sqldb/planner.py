@@ -46,6 +46,7 @@ from .ast import (
     SelectStatement,
     SubqueryExpr,
     TableRef,
+    WindowFunction,
     split_conjuncts,
 )
 from .database import Database
@@ -460,6 +461,11 @@ class Planner:
             if isinstance(node, SubqueryExpr):
                 return None
             if isinstance(node, FuncCall) and node.is_aggregate:
+                return None
+            if isinstance(node, WindowFunction):
+                # Window calls have no per-row value before windows are
+                # computed; leave the conjunct residual so the executor
+                # (or analyzer) reports the misuse, not a pushed scan.
                 return None
         targets = set()
         for node in conjunct.walk():

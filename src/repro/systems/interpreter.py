@@ -21,7 +21,7 @@ the ontology reasoner (Steiner trees / FK chains).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.evidence import EvidenceAnnotation
@@ -31,6 +31,7 @@ from repro.core.intermediate import (
     OQLItem,
     OQLOrder,
     OQLQuery,
+    OQLUnionQuery,
     PropertyRef,
 )
 from repro.core.interpretation import Interpretation
@@ -51,6 +52,7 @@ class InterpreterConfig:
     allow_order_limit: bool = True
     allow_join: bool = True
     allow_nested: bool = True
+    allow_union: bool = False
     abstain_on_cross_concept: bool = False
     require_full_coverage: bool = False
     max_interpretations: int = 3
@@ -91,8 +93,8 @@ class InterpreterConfig:
 
     @classmethod
     def full(cls) -> "InterpreterConfig":
-        """ATHENA-BI tier: everything."""
-        return cls()
+        """ATHENA-BI tier: everything, including compound queries."""
+        return cls(allow_union=True)
 
 
 class _BuildState:
@@ -431,6 +433,13 @@ class SemanticInterpreter:
         constructs the question needs, or nothing matched)."""
         base = self._build(annotated, context)
         interpretations = [base] if base else []
+        if self.config.allow_union and base is not None:
+            union = self._union_variant(base, annotated)
+            if union is not None:
+                # The conjunctive reading ANDs the disjuncts; the union
+                # reading supersedes it, so it goes first — with equal
+                # evidence the stable sort keeps it ranked ahead.
+                interpretations.insert(0, union)
         for variant in self._ambiguity_variants(annotated, context):
             if len(interpretations) >= self.config.max_interpretations:
                 break
@@ -497,6 +506,58 @@ class SemanticInterpreter:
             oql=query,
             evidence=state.used_evidence(),
             explanation=f"primary concept: {primary}",
+        )
+
+    def _union_variant(
+        self, base: Interpretation, annotated: AnnotatedQuestion
+    ) -> Optional[Interpretation]:
+        """"... with X v1 or with Y v2" → one UNION branch per disjunct.
+
+        ``_collect_value_conditions`` ANDs every value condition, which
+        is the wrong reading when an "or" token separates value mentions
+        bound to *different* properties.  Each branch keeps one disjunct
+        (plus all shared clauses); the compound dedups rows satisfying
+        both.  Only the full (ATHENA-BI) tier emits this.
+        """
+        oql = base.oql
+        if not isinstance(oql, OQLQuery):
+            return None
+        values = [a for a in annotated.annotations if a.kind == "value"]
+        or_positions = {
+            i for i, token in enumerate(annotated.tokens) if token.norm == "or"
+        }
+        if len(values) < 2 or not or_positions:
+            return None
+        disjuncts: Optional[Tuple[OQLCondition, OQLCondition]] = None
+        for left, right in zip(values, values[1:]):
+            if not (set(range(left.end, right.start)) & or_positions):
+                continue
+            left_ref, left_value = left.payload
+            right_ref, right_value = right.payload
+            if left_ref == right_ref:
+                continue
+            disjuncts = (
+                OQLCondition(left_ref, "=", left_value),
+                OQLCondition(right_ref, "=", right_value),
+            )
+            break
+        if disjuncts is None or any(d not in oql.conditions for d in disjuncts):
+            return None
+        branches = tuple(
+            replace(
+                oql,
+                conditions=tuple(
+                    c for c in oql.conditions if c == keep or c not in disjuncts
+                ),
+            )
+            for keep in disjuncts
+        )
+        return Interpretation(
+            self.system_name,
+            0.0,
+            oql=OQLUnionQuery(branches),
+            evidence=list(base.evidence),
+            explanation=base.explanation + "; union of 'or' disjuncts",
         )
 
     def _fully_covered(self, state: _BuildState) -> bool:
